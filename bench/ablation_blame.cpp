@@ -1,0 +1,142 @@
+// Ablations over the blame engine's design choices (DESIGN.md):
+//
+//  1. fuzzy OR operator: max (the paper's choice) vs averaging,
+//  2. probe accuracy a sweep,
+//  3. Delta admission-window sweep,
+//  4. guilty-blame threshold sweep,
+//  5. snapshots consulted per judgment (Section 4.2's vouching argument),
+//  6. recursive revision (Section 3.5) on vs off.
+//
+// Each row reports the conviction rates p_good / p_faulty (or end-to-end
+// attribution accuracy) the configuration achieves on the same world.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+    const std::size_t samples =
+        args.samples != 0 ? args.samples : (args.full ? 60000 : 15000);
+
+    bench::print_header("ablation", "blame-engine design choices");
+    bench::print_param("samples", static_cast<double>(samples));
+    bench::print_param("seed", static_cast<double>(args.seed));
+
+    // --- 1. OR operator -------------------------------------------------
+    {
+        const sim::Scenario scenario(bench::paper_scenario(args));
+        std::printf("\n# section: OR operator (threshold 0.4)\n");
+        std::printf("%-10s %-10s %-10s\n", "operator", "p_good", "p_faulty");
+        for (const auto op : {core::BlameParams::OrOperator::kMax,
+                              core::BlameParams::OrOperator::kMean}) {
+            sim::BlameExperimentParams exp;
+            exp.samples = samples;
+            exp.or_operator = op;
+            util::Rng rng(args.seed + 41);
+            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            std::printf("%-10s %-10.4f %-10.4f\n",
+                        op == core::BlameParams::OrOperator::kMax ? "max"
+                                                                  : "mean",
+                        r.p_good, r.p_faulty);
+        }
+    }
+
+    // --- 2. probe accuracy ----------------------------------------------
+    {
+        std::printf("\n# section: probe accuracy sweep\n");
+        std::printf("%-10s %-10s %-10s\n", "accuracy", "p_good", "p_faulty");
+        for (const double a : {0.7, 0.8, 0.9, 0.95, 0.99}) {
+            sim::ScenarioParams p = bench::paper_scenario(args);
+            p.blame.probe_accuracy = a;
+            const sim::Scenario scenario(p);
+            sim::BlameExperimentParams exp;
+            exp.samples = samples;
+            util::Rng rng(args.seed + 43);
+            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            std::printf("%-10.2f %-10.4f %-10.4f\n", a, r.p_good, r.p_faulty);
+        }
+    }
+
+    // --- 3. Delta window -------------------------------------------------
+    {
+        std::printf("\n# section: Delta admission-window sweep\n");
+        std::printf("%-10s %-10s %-10s\n", "delta_s", "p_good", "p_faulty");
+        for (const int delta_s : {15, 30, 60, 120, 300}) {
+            sim::ScenarioParams p = bench::paper_scenario(args);
+            p.blame.delta = delta_s * util::kSecond;
+            const sim::Scenario scenario(p);
+            sim::BlameExperimentParams exp;
+            exp.samples = samples;
+            util::Rng rng(args.seed + 47);
+            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            std::printf("%-10d %-10.4f %-10.4f\n", delta_s, r.p_good,
+                        r.p_faulty);
+        }
+    }
+
+    // --- 4. verdict threshold ---------------------------------------------
+    {
+        const sim::Scenario scenario(bench::paper_scenario(args));
+        std::printf("\n# section: guilty-blame threshold sweep\n");
+        std::printf("%-10s %-10s %-10s\n", "threshold", "p_good",
+                    "p_faulty");
+        for (const double thr : {0.2, 0.3, 0.4, 0.5, 0.6, 0.8}) {
+            sim::BlameExperimentParams exp;
+            exp.samples = samples;
+            exp.guilty_threshold = thr;
+            util::Rng rng(args.seed + 53);
+            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            std::printf("%-10.2f %-10.4f %-10.4f\n", thr, r.p_good,
+                        r.p_faulty);
+        }
+    }
+
+    // --- 5. vouching peers (Section 4.2's coverage argument) ----------------
+    {
+        const sim::Scenario scenario(bench::paper_scenario(args));
+        std::printf("\n# section: snapshots consulted per judgment\n");
+        std::printf("%-12s %-10s %-10s\n", "reporters", "p_good",
+                    "p_faulty");
+        for (const std::size_t cap : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{5}, std::size_t{15},
+                                      std::size_t{40}, SIZE_MAX}) {
+            sim::BlameExperimentParams exp;
+            exp.samples = samples;
+            exp.reporter_cap = cap;
+            util::Rng rng(args.seed + 61);
+            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            if (cap == SIZE_MAX) {
+                std::printf("%-12s %-10.4f %-10.4f\n", "all", r.p_good,
+                            r.p_faulty);
+            } else {
+                std::printf("%-12zu %-10.4f %-10.4f\n", cap, r.p_good,
+                            r.p_faulty);
+            }
+        }
+    }
+
+    // --- 6. recursive revision --------------------------------------------
+    {
+        const sim::Scenario scenario(bench::paper_scenario(args));
+        std::printf("\n# section: recursive revision (Section 3.5)\n");
+        std::printf("%-10s %-10s %-14s %-16s %-16s\n", "revision",
+                    "accuracy", "wrong_node", "net_as_node", "node_as_net");
+        for (const bool enabled : {true, false}) {
+            sim::AttributionExperimentParams exp;
+            exp.samples = args.full ? 2000 : 600;
+            exp.enable_revision = enabled;
+            exp.min_route_length = 4;
+            util::Rng rng(args.seed + 59);
+            const auto r =
+                sim::run_attribution_experiment(scenario, exp, rng);
+            std::printf("%-10s %-10.4f %-14zu %-16zu %-16zu\n",
+                        enabled ? "on" : "off", r.accuracy(),
+                        r.blamed_wrong_node, r.blamed_node_wrongly,
+                        r.blamed_network_wrongly);
+        }
+    }
+    return 0;
+}

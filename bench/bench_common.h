@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction binaries.
+//
+// Every bench prints a self-describing, machine-parsable table to stdout:
+// a `# figure:` header, `# param:` lines recording the configuration, and
+// whitespace-separated columns.  Pass --full to run at the paper's SCAN
+// scale (slower); pass --seed N to change the deterministic seed.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/topology_gen.h"
+#include "sim/scenario.h"
+
+namespace concilium::bench {
+
+struct BenchArgs {
+    bool full = false;
+    std::uint64_t seed = 1;
+    /// 0 = per-bench default.
+    std::size_t samples = 0;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            args.full = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            args.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+            args.samples = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--full] [--seed N] [--samples N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/// The Section 4.2 world: Pastry on 3% of the end hosts of a SCAN-shaped
+/// topology, 5% of links bad, two virtual hours.
+inline sim::ScenarioParams paper_scenario(const BenchArgs& args,
+                                          double malicious_fraction = 0.0) {
+    sim::ScenarioParams p;
+    p.topology = args.full ? net::scan_like_params() : net::medium_params();
+    p.overlay_fraction = 0.03;
+    p.duration = 2 * util::kHour;
+    p.malicious_fraction = malicious_fraction;
+    p.seed = args.seed;
+    return p;
+}
+
+inline void print_header(const char* figure, const char* caption) {
+    std::printf("# figure: %s\n# caption: %s\n", figure, caption);
+}
+
+inline void print_param(const char* name, double value) {
+    std::printf("# param: %s = %g\n", name, value);
+}
+
+inline void print_param(const char* name, const std::string& value) {
+    std::printf("# param: %s = %s\n", name, value.c_str());
+}
+
+}  // namespace concilium::bench

@@ -1,0 +1,206 @@
+// Micro-benchmarks (google-benchmark): throughput of Concilium's hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "core/blame.h"
+#include "core/validation.h"
+#include "crypto/certificates.h"
+#include "dht/dht.h"
+#include "net/paths.h"
+#include "net/topology_gen.h"
+#include "overlay/advertisement.h"
+#include "overlay/density.h"
+#include "overlay/network.h"
+#include "tomography/inference.h"
+#include "tomography/probing.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace concilium;
+
+overlay::OverlayNetwork make_net(std::size_t n, std::uint64_t seed) {
+    crypto::CertificateAuthority ca(seed);
+    util::Rng rng(seed + 1);
+    std::vector<overlay::Member> members;
+    members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto adm = ca.admit(static_cast<crypto::IpAddress>(i));
+        members.push_back(
+            overlay::Member{std::move(adm.certificate), std::move(adm.keys)});
+    }
+    return overlay::OverlayNetwork(std::move(members), overlay::OverlayParams{},
+                                   rng);
+}
+
+void BM_SignVerify(benchmark::State& state) {
+    const auto keys = crypto::KeyPair::from_seed(1);
+    crypto::KeyRegistry registry;
+    registry.register_key(keys);
+    const std::string message(256, 'x');
+    for (auto _ : state) {
+        const auto sig = keys.sign(message);
+        benchmark::DoNotOptimize(registry.verify(keys.public_key(), message, sig));
+    }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_ComputeBlame(benchmark::State& state) {
+    const auto probes_per_link = static_cast<int>(state.range(0));
+    std::vector<net::LinkId> path;
+    std::vector<core::ProbeResult> probes;
+    util::Rng rng(2);
+    for (net::LinkId l = 0; l < 12; ++l) {
+        path.push_back(l);
+        for (int p = 0; p < probes_per_link; ++p) {
+            probes.push_back(core::ProbeResult{util::NodeId::random(rng), l,
+                                               rng.bernoulli(0.9), 0});
+        }
+    }
+    const auto judged = util::NodeId::random(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::compute_blame(path, probes, 0, judged, core::BlameParams{}));
+    }
+}
+BENCHMARK(BM_ComputeBlame)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SecureRoute(benchmark::State& state) {
+    const auto net = make_net(static_cast<std::size_t>(state.range(0)), 3);
+    util::Rng rng(4);
+    for (auto _ : state) {
+        const auto key = util::NodeId::random(rng);
+        benchmark::DoNotOptimize(
+            net.route(static_cast<overlay::MemberIndex>(
+                          rng.uniform_index(net.size())),
+                      key));
+    }
+}
+BENCHMARK(BM_SecureRoute)->Arg(200)->Arg(1000);
+
+void BM_OverlayConstruction(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(make_net(n, 5));
+    }
+}
+BENCHMARK(BM_OverlayConstruction)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_OccupancyModel(benchmark::State& state) {
+    const util::OverlayGeometry geom{.digits = 32};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(overlay::occupancy_model(100000, geom));
+    }
+}
+BENCHMARK(BM_OccupancyModel);
+
+void BM_DensityErrorIntegral(benchmark::State& state) {
+    const util::OverlayGeometry geom{.digits = 32};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            overlay::density_false_positive(1.5, 10000, 10000, geom));
+    }
+}
+BENCHMARK(BM_DensityErrorIntegral);
+
+void BM_BfsPathExtraction(benchmark::State& state) {
+    util::Rng rng(6);
+    const auto topo = net::generate_topology(net::medium_params(), rng);
+    const net::PathOracle oracle(topo);
+    const auto hosts = topo.end_hosts();
+    std::vector<net::RouterId> dsts(hosts.begin(), hosts.begin() + 64);
+    std::size_t src = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.paths_from(hosts[src % hosts.size()], dsts));
+        ++src;
+    }
+}
+BENCHMARK(BM_BfsPathExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_MincInference(benchmark::State& state) {
+    // A 3-level tree with 27 leaves and 500 stripes.
+    net::Topology topo;
+    const auto root = topo.add_router(net::RouterTier::kCore);
+    std::vector<net::RouterId> hosts;
+    for (int a = 0; a < 3; ++a) {
+        const auto l1 = topo.add_router(net::RouterTier::kCore);
+        topo.add_link(root, l1);
+        for (int b = 0; b < 3; ++b) {
+            const auto l2 = topo.add_router(net::RouterTier::kCore);
+            topo.add_link(l1, l2);
+            for (int c = 0; c < 3; ++c) {
+                const auto leaf = topo.add_router(net::RouterTier::kEndHost);
+                topo.add_link(l2, leaf);
+                hosts.push_back(leaf);
+            }
+        }
+    }
+    const net::PathOracle oracle(topo);
+    const tomography::ProbeTree tree(root, oracle.paths_from(root, hosts));
+    util::Rng rng(7);
+    const auto pass = [](net::LinkId l, util::SimTime) {
+        return l % 5 == 0 ? 0.85 : 1.0;
+    };
+    const auto session = tomography::run_heavyweight_session(
+        tree, pass, 0, tomography::HeavyweightParams{.probe_count = 500}, {},
+        rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tomography::infer_link_loss(tree, session.probes));
+    }
+}
+BENCHMARK(BM_MincInference);
+
+void BM_DhtPutGet(benchmark::State& state) {
+    const auto net = make_net(300, 8);
+    dht::Dht store(net, 4);
+    util::Rng rng(9);
+    const std::vector<std::uint8_t> value(512, 0xab);
+    for (auto _ : state) {
+        const auto key = util::NodeId::random(rng);
+        store.put(0, key, value);
+        benchmark::DoNotOptimize(store.get(1, key));
+    }
+}
+BENCHMARK(BM_DhtPutGet);
+
+void BM_AdvertisementValidation(benchmark::State& state) {
+    crypto::CertificateAuthority ca(10);
+    util::Rng rng(11);
+    std::vector<overlay::Member> members;
+    for (std::size_t i = 0; i < 300; ++i) {
+        auto adm = ca.admit(static_cast<crypto::IpAddress>(i));
+        members.push_back(
+            overlay::Member{std::move(adm.certificate), std::move(adm.keys)});
+    }
+    const overlay::OverlayNetwork net(std::move(members),
+                                      overlay::OverlayParams{}, rng);
+    std::unordered_map<util::NodeId, crypto::PublicKey, util::NodeIdHash> keys;
+    crypto::KeyRegistry registry;
+    for (overlay::MemberIndex i = 0; i < net.size(); ++i) {
+        keys.emplace(net.member(i).id(), net.member(i).keys.public_key());
+        registry.register_key(net.member(i).keys);
+    }
+    const util::SimTime now = 10 * util::kMinute;
+    const auto ad = overlay::make_advertisement(
+        net, 3, now, [&](overlay::MemberIndex) { return now; });
+    core::ValidationParams params;
+    params.geometry = net.params().geometry;
+    params.gamma = 2.0;
+    const auto key_of = [&](const util::NodeId& id)
+        -> std::optional<crypto::PublicKey> {
+        const auto it = keys.find(id);
+        if (it == keys.end()) return std::nullopt;
+        return it->second;
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::validate_advertisement(
+            ad, net.secure_table(0).density(), now, params, key_of,
+            registry));
+    }
+}
+BENCHMARK(BM_AdvertisementValidation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

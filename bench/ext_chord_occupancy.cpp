@@ -1,0 +1,60 @@
+// Extension: the jump-table occupancy test ported to Chord finger tables.
+//
+// Section 3.1 claims the test "can be extended to other overlays in a
+// straightforward manner"; this bench demonstrates it.  Distinct-finger
+// counts are a Poisson-binomial sum exactly like Pastry slot occupancy, so
+// the same normal approximation, gamma test, and error analysis carry over.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "overlay/chord.h"
+#include "test_support_members.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+
+    bench::print_header("ext-chord",
+                        "occupancy test generalized to Chord fingers");
+    bench::print_param("seed", static_cast<double>(args.seed));
+
+    // --- model vs Monte Carlo (the Chord twin of Figure 1) -----------------
+    std::printf("%-8s %-12s %-12s %-12s %-12s\n", "N", "model_mean",
+                "model_sd", "mc_mean", "mc_sd");
+    for (const std::size_t n : {128u, 512u, 2048u, 8192u}) {
+        const auto model = overlay::chord_finger_model(static_cast<double>(n));
+        crypto::CertificateAuthority ca(args.seed + n);
+        const overlay::ChordNetwork chord(
+            bench::make_members(ca, n), overlay::ChordNetwork::ChordParams{});
+        util::OnlineMoments mc;
+        for (overlay::MemberIndex m = 0; m < chord.size(); ++m) {
+            mc.add(chord.distinct_fingers(m));
+        }
+        std::printf("%-8zu %-12.3f %-12.3f %-12.3f %-12.3f\n", n,
+                    model.mean_count(), model.stddev_count(), mc.mean(),
+                    mc.stddev());
+    }
+
+    // --- density-test error rates (the Chord twin of Figure 2) -------------
+    const double big_n = 100000;
+    std::printf("\n# section: density-test errors, N = %.0f\n", big_n);
+    std::printf("%-8s %-12s %-12s %-12s %-12s\n", "gamma", "fp", "fn_c10",
+                "fn_c20", "fn_c30");
+    for (double gamma = 1.0; gamma <= 1.501; gamma += 0.05) {
+        std::printf("%-8.2f %-12.5f %-12.5f %-12.5f %-12.5f\n", gamma,
+                    overlay::chord_density_false_positive(gamma, big_n, big_n),
+                    overlay::chord_density_false_negative(gamma, big_n,
+                                                          0.1 * big_n),
+                    overlay::chord_density_false_negative(gamma, big_n,
+                                                          0.2 * big_n),
+                    overlay::chord_density_false_negative(gamma, big_n,
+                                                          0.3 * big_n));
+    }
+    std::printf(
+        "# note: Chord's distinct-finger count grows only as log2(N), so a\n"
+        "# colluder pool of c*N sits log2(1/c) ~ 2.3 fingers below honest\n"
+        "# tables at c = 0.2 -- a narrower gap than Pastry's, demanding a\n"
+        "# tighter gamma.  The machinery is identical.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 1: "Modeling jump table occupancy".
+//
+// Compares the analytic occupancy distribution phi(mu_phi, sigma_phi)
+// (Equation 1 + Poisson-binomial normal approximation, Section 3.1) against
+// Monte Carlo simulations of jump-table occupancy, across overlay sizes.
+// The paper shows the model tracking the simulated mean with y-bars for the
+// standard deviation.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "overlay/density.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+    const util::OverlayGeometry geometry{.digits = 32};
+    const int samples =
+        args.samples != 0 ? static_cast<int>(args.samples)
+                          : (args.full ? 400 : 150);
+
+    bench::print_header(
+        "1", "jump-table occupancy: analytic model vs Monte Carlo");
+    bench::print_param("digits", geometry.digits);
+    bench::print_param("samples_per_N", samples);
+    bench::print_param("seed", static_cast<double>(args.seed));
+
+    std::vector<int> populations{250, 500, 1131, 2500, 5000, 10000, 20000};
+    if (args.full) populations.push_back(100000);
+
+    util::Rng rng(args.seed);
+    std::printf("%-8s %-12s %-12s %-12s %-12s %-10s\n", "N", "model_mean",
+                "model_sd", "mc_mean", "mc_sd", "rel_err");
+    for (const int n : populations) {
+        const auto model = overlay::occupancy_model(n, geometry);
+        const auto mc =
+            overlay::simulate_table_occupancy(n, geometry, samples, rng);
+        const double rel_err =
+            std::abs(mc.mean() - model.mean_count()) /
+            std::max(1.0, model.mean_count());
+        std::printf("%-8d %-12.3f %-12.3f %-12.3f %-12.3f %-10.4f\n", n,
+                    model.mean_count(), model.stddev_count(), mc.mean(),
+                    mc.stddev(), rel_err);
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 3: jump-table density-test error rates WITH suppression attacks.
+//
+// "We model these attacks by supplying our false positive/negative equations
+// with the appropriately skewed versions of N" (Section 4.1): colluders
+// suppress their identifiers from honest nodes' tables, so an honest peer's
+// advertised table reflects only N(1-c) visible hosts, and the victim's own
+// table (the d_local reference) is skewed the same way when colluders hide
+// from it.
+//
+// Paper reference point: with c = 20%, FP 10.1% / FN 21.1%; checks beyond
+// c = 20% are "not very reliable".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "overlay/density.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+    const util::OverlayGeometry geometry{.digits = 32};
+    const double n = args.full ? 100000.0 : 10000.0;
+
+    bench::print_header("3", "density-test errors under suppression attacks");
+    bench::print_param("N", n);
+
+    const std::vector<double> collusion{0.10, 0.20, 0.30};
+
+    std::printf("\n# section: (a)+(b) error rates vs gamma\n");
+    std::printf("%-8s", "gamma");
+    for (const double c : collusion) std::printf(" fp_c%-9.0f", c * 100);
+    for (const double c : collusion) std::printf(" fn_c%-9.0f", c * 100);
+    std::printf("\n");
+    for (double gamma = 1.0; gamma <= 3.001; gamma += 0.1) {
+        std::printf("%-8.2f", gamma);
+        for (const double c : collusion) {
+            // Honest peer's table misses the c colluders that hide from it.
+            std::printf(" %-12.5f", overlay::density_false_positive(
+                                        gamma, n, (1.0 - c) * n, geometry));
+        }
+        for (const double c : collusion) {
+            // Victim's local reference is skewed down; attacker pool is cN.
+            std::printf(" %-12.5f",
+                        overlay::density_false_negative(
+                            gamma, (1.0 - c) * n, c * n, geometry));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n# section: (c) optimal gamma per colluding fraction\n");
+    std::printf("%-8s %-10s %-12s %-12s %-12s\n", "c", "gamma*", "fp", "fn",
+                "fp+fn");
+    for (const double c : collusion) {
+        overlay::GammaChoice best;
+        bool have = false;
+        for (int s = 0; s < 301; ++s) {
+            const double gamma = 1.0 + 3.0 * s / 300.0;
+            overlay::GammaChoice choice;
+            choice.gamma = gamma;
+            choice.false_positive = overlay::density_false_positive(
+                gamma, n, (1.0 - c) * n, geometry);
+            choice.false_negative = overlay::density_false_negative(
+                gamma, (1.0 - c) * n, c * n, geometry);
+            if (!have || choice.total_error() < best.total_error()) {
+                best = choice;
+                have = true;
+            }
+        }
+        std::printf("%-8.2f %-10.3f %-12.5f %-12.5f %-12.5f\n", c,
+                    best.gamma, best.false_positive, best.false_negative,
+                    best.total_error());
+    }
+    std::printf("# paper: c=0.20 -> fp 0.101, fn 0.211\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Section 4.4: Concilium's bandwidth requirements (the paper reports these
+// in prose; we render them as a table).
+//
+// Routing-state advertisement: mu_phi + 16 peers, 144 bytes per signed
+// entry plus a 1-byte path summary -- "about 11.5 kilobytes" at 100k nodes.
+// Heavyweight probing: C(peers, 2) * 100 stripes * 2 probes * 30 bytes --
+// "16.7 MB of outgoing network traffic" for the average 100k-overlay node.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bandwidth.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    (void)bench::parse_args(argc, argv);
+    const core::BandwidthModel model;
+
+    bench::print_header("table-4.4", "protocol bandwidth model");
+    bench::print_param("entry_bytes", 144);
+    bench::print_param("path_summary_bytes", 1);
+    bench::print_param("stripes_per_pair", 100);
+    bench::print_param("probes_per_stripe", 2);
+    bench::print_param("probe_bytes", 30);
+
+    std::printf("%-10s %-14s %-14s %-16s %-18s\n", "N", "jump_entries",
+                "routing_peers", "advert_bytes", "heavyweight_bytes");
+    for (const double n :
+         {1000.0, 5000.0, 10000.0, 50000.0, 100000.0, 500000.0}) {
+        const double peers = model.expected_routing_peers(n);
+        std::printf("%-10.0f %-14.2f %-14.2f %-16.0f %-18.0f\n", n,
+                    model.expected_jump_entries(n), peers,
+                    model.advertisement_bytes(n),
+                    core::BandwidthModel::heavyweight_probe_bytes(peers));
+    }
+    const double peers100k = model.expected_routing_peers(100000);
+    std::printf(
+        "# at N=100000: %.1f peers, advertisement %.2f kB (paper: ~11.5 kB), "
+        "heavyweight probe %.2f MB (paper: 16.7 MB)\n",
+        peers100k, model.advertisement_bytes(100000) / 1000.0,
+        core::BandwidthModel::heavyweight_probe_bytes(peers100k) /
+            (1024.0 * 1024.0));
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Shared bench helper: admit `count` members through a CA.
+
+#pragma once
+
+#include <vector>
+
+#include "crypto/certificates.h"
+#include "overlay/network.h"
+
+namespace concilium::bench {
+
+inline std::vector<overlay::Member> make_members(
+    crypto::CertificateAuthority& ca, std::size_t count) {
+    std::vector<overlay::Member> members;
+    members.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto admission = ca.admit(static_cast<crypto::IpAddress>(i));
+        members.push_back(overlay::Member{std::move(admission.certificate),
+                                          std::move(admission.keys)});
+    }
+    return members;
+}
+
+}  // namespace concilium::bench

@@ -1,0 +1,136 @@
+// Formal fault accusations and their recursive revision (Sections 3.4-3.5).
+//
+// An accusation is *self-verifying*: it bundles the forwarding commitment
+// (proof the suspect agreed to forward the message), the signed tomographic
+// snapshots the judge consulted, and the resulting blame value.  Any third
+// party can re-run Equations 2-3 over the bundled evidence and reach the
+// same verdict.
+//
+// Blame can land on an innocent forwarder when the true culprit sits further
+// downstream; recursive stewardship lets each forwarder issue its own
+// judgment against *its* next hop, and these are pushed upstream as
+// revisions: "an amended accusation contains the signed, timestamped data
+// from both the original verdict and the revision that was pushed upstream.
+// This allows amended verdicts to be self-verifying."
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/blame.h"
+#include "core/commitments.h"
+#include "core/verdicts.h"
+#include "crypto/keys.h"
+#include "tomography/snapshot.h"
+#include "util/ids.h"
+
+namespace concilium::core {
+
+/// One judge's complete, independently checkable case against one suspect:
+/// "suspect agreed to forward message_id and the IP path from it to its next
+/// hop was good at message_time".
+struct BlameEvidence {
+    util::NodeId judge;
+    util::NodeId suspect;
+    std::uint64_t message_id = 0;
+    util::SimTime message_time = 0;
+    /// IP links of the path from the suspect to its next overlay hop,
+    /// derived from the suspect's validated routing advertisement.
+    std::vector<net::LinkId> path_links;
+    /// The signed snapshots consulted (the suspect's own snapshots carry no
+    /// weight; compute_blame excludes them regardless).
+    std::vector<tomography::TomographicSnapshot> snapshots;
+    /// The suspect's signed agreement to forward this message.
+    ForwardingCommitment commitment;
+    double claimed_blame = 0.0;
+    crypto::Signature judge_signature;
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const;
+};
+
+/// Flattens snapshots into the per-link probe votes Equations 2-3 consume.
+std::vector<ProbeResult> probes_from_snapshots(
+    std::span<const tomography::TomographicSnapshot> snapshots);
+
+struct FaultAccusation {
+    util::NodeId accuser;
+    /// evidence[0] is the accuser's original judgment; each later element is
+    /// a revision pushed upstream (its judge is the previous suspect).
+    std::vector<BlameEvidence> evidence;
+    crypto::Signature signature;  ///< by the accuser, over the whole chain
+
+    /// The node currently blamed: the last link of the revision chain.
+    [[nodiscard]] const util::NodeId& accused() const;
+    /// The accuser's original target (the first hop it judged).
+    [[nodiscard]] const util::NodeId& original_accused() const;
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const;
+    [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+    static FaultAccusation deserialize(std::span<const std::uint8_t> bytes);
+
+    /// The DHT insertion key: derived from the accused node's public key
+    /// ("The insertion key for the accusation is B's public key").
+    static util::NodeId dht_key(const crypto::PublicKey& accused_key);
+};
+
+/// Appends a revision to an accusation, retargeting the blame at the next
+/// downstream suspect, and re-signs the chain with the (new) accuser's keys.
+/// Throws std::invalid_argument when the revision's judge is not the current
+/// accused node.
+void amend_accusation(FaultAccusation& accusation, BlameEvidence revision,
+                      const crypto::KeyPair& accuser_keys);
+
+enum class AccusationCheck {
+    kOk,
+    kEmptyEvidence,
+    kBadAccuserSignature,
+    kBrokenChain,       ///< revision judges do not chain through suspects
+    kBadJudgeSignature,
+    kBadCommitment,     ///< missing/forged/mismatched forwarding commitment
+    kBadSnapshotSignature,
+    kBlameMismatch,     ///< claimed blame does not reproduce from evidence
+    kBlameBelowThreshold,
+    kBadPath,           ///< claimed IP path contradicts the routing state
+};
+
+const char* to_string(AccusationCheck check);
+
+/// Third-party verification context ("the host uses the associated
+/// tomographic data to independently verify the fault calculations").
+class AccusationVerifier {
+  public:
+    using KeyOfFn =
+        std::function<std::optional<crypto::PublicKey>(const util::NodeId&)>;
+    /// Checks that the claimed IP path for (judge -> suspect's next hop) is
+    /// consistent with the verifier's own link map / the suspect's validated
+    /// routing advertisement.  An accuser that lies about the path could
+    /// otherwise cite probes of unrelated (healthy) links.
+    using PathCheckFn = std::function<bool(
+        const util::NodeId& judge, const util::NodeId& suspect,
+        std::span<const net::LinkId> path_links)>;
+
+    AccusationVerifier(const crypto::KeyRegistry& registry, KeyOfFn key_of,
+                       BlameParams blame_params, VerdictParams verdict_params,
+                       PathCheckFn path_check = {})
+        : registry_(&registry), key_of_(std::move(key_of)),
+          blame_params_(blame_params), verdict_params_(verdict_params),
+          path_check_(std::move(path_check)) {}
+
+    [[nodiscard]] AccusationCheck verify(
+        const FaultAccusation& accusation) const;
+
+  private:
+    [[nodiscard]] AccusationCheck verify_evidence(
+        const BlameEvidence& ev) const;
+
+    const crypto::KeyRegistry* registry_;
+    KeyOfFn key_of_;
+    BlameParams blame_params_;
+    VerdictParams verdict_params_;
+    PathCheckFn path_check_;
+};
+
+}  // namespace concilium::core

@@ -1,0 +1,28 @@
+#include "core/bandwidth.h"
+
+#include "overlay/advertisement.h"
+
+namespace concilium::core {
+
+double BandwidthModel::expected_jump_entries(double n) const {
+    return overlay::occupancy_model(n, geometry_).mean_count();
+}
+
+double BandwidthModel::expected_routing_peers(double n) const {
+    return expected_jump_entries(n) + static_cast<double>(leaf_count_);
+}
+
+double BandwidthModel::advertisement_bytes(double n) const {
+    const double peers = expected_routing_peers(n);
+    return peers *
+           (static_cast<double>(overlay::AdvertisedEntry::kWireBytes) + 1.0);
+}
+
+double BandwidthModel::heavyweight_probe_bytes(
+    double leaves, const HeavyweightProbeCost& cost) {
+    const double pairs = leaves * (leaves - 1.0) / 2.0;
+    return pairs * cost.stripes_per_pair * cost.probes_per_stripe *
+           cost.probe_bytes;
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,56 @@
+// Bandwidth model (Section 4.4).
+//
+// Two overheads dominate Concilium: exchanging signed, timestamped routing
+// state, and tomographic probing.  The paper's worked example: in a
+// 100,000-node overlay, a node's routing state references mu_phi + 16 peers
+// (~77), an advertised table costs ~11.5 kB, and a full heavyweight probe of
+// one tree costs C(77, 2) * 100 stripes * 2 probes * 30 bytes ~= 16.7 MB
+// outgoing.  This module reproduces those numbers analytically.
+
+#pragma once
+
+#include "overlay/density.h"
+#include "util/ids.h"
+
+namespace concilium::core {
+
+struct HeavyweightProbeCost {
+    int stripes_per_pair = 100;  ///< stripes sent to each pair of peers
+    int probes_per_stripe = 2;   ///< back-to-back UDP probes per stripe
+    int probe_bytes = 30;        ///< 28 B IP+UDP headers + 16-bit nonce
+};
+
+class BandwidthModel {
+  public:
+    explicit BandwidthModel(util::OverlayGeometry geometry = {.digits = 32},
+                            int leaf_count = 16)
+        : geometry_(geometry), leaf_count_(leaf_count) {}
+
+    /// Expected occupied jump-table slots mu_phi for an overlay of n nodes.
+    [[nodiscard]] double expected_jump_entries(double n) const;
+
+    /// Expected routing-state size: mu_phi + leaf count (the paper's "mu_phi
+    /// + 16 peers").
+    [[nodiscard]] double expected_routing_peers(double n) const;
+
+    /// Bytes for one full routing-state advertisement: 144 bytes per entry
+    /// (identifier + freshness timestamp + PSS-R signature) plus one byte of
+    /// tomographic path summary per referenced peer.
+    [[nodiscard]] double advertisement_bytes(double n) const;
+
+    /// Outgoing bytes for one heavyweight striped probe of a tree with
+    /// `leaves` leaf peers: C(leaves, 2) * stripes * probes * bytes.
+    [[nodiscard]] static double heavyweight_probe_bytes(
+        double leaves, const HeavyweightProbeCost& cost = {});
+
+    [[nodiscard]] const util::OverlayGeometry& geometry() const noexcept {
+        return geometry_;
+    }
+    [[nodiscard]] int leaf_count() const noexcept { return leaf_count_; }
+
+  private:
+    util::OverlayGeometry geometry_;
+    int leaf_count_;
+};
+
+}  // namespace concilium::core

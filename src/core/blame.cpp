@@ -1,0 +1,75 @@
+#include "core/blame.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace concilium::core {
+
+double probe_vote(bool link_up, double probe_accuracy) {
+    return link_up ? (1.0 - probe_accuracy) : probe_accuracy;
+}
+
+BlameBreakdown compute_blame(std::span<const net::LinkId> path_links,
+                             std::span<const ProbeResult> probes,
+                             util::SimTime message_time,
+                             const util::NodeId& judged,
+                             const BlameParams& params) {
+    if (params.probe_accuracy < 0.5 || params.probe_accuracy > 1.0) {
+        throw std::invalid_argument(
+            "compute_blame: probe accuracy must lie in [0.5, 1]");
+    }
+    const util::SimTime lo = message_time - params.delta;
+    const util::SimTime hi = message_time + params.delta;
+
+    // Accumulate votes per path link.
+    struct Tally {
+        double vote_sum = 0.0;
+        int count = 0;
+    };
+    std::unordered_map<net::LinkId, Tally> tallies;
+    tallies.reserve(path_links.size());
+    for (const net::LinkId l : path_links) tallies.emplace(l, Tally{});
+
+    for (const ProbeResult& p : probes) {
+        if (p.at < lo || p.at > hi) continue;
+        if (p.reporter == judged) continue;  // the self-probe exclusion
+        const auto it = tallies.find(p.link);
+        if (it == tallies.end()) continue;  // probe of an off-path link
+        it->second.vote_sum += probe_vote(p.link_up, params.probe_accuracy);
+        ++it->second.count;
+    }
+
+    BlameBreakdown out;
+    double agg = 0.0;
+    int probed_links = 0;
+    // Iterate path order (not hash order) so breakdowns are deterministic.
+    std::vector<net::LinkId> seen;
+    for (const net::LinkId l : path_links) {
+        if (std::find(seen.begin(), seen.end(), l) != seen.end()) continue;
+        seen.push_back(l);
+        const Tally& tally = tallies.at(l);
+        if (tally.count == 0) continue;
+        const double confidence =
+            tally.vote_sum / static_cast<double>(tally.count);
+        out.links.push_back(LinkConfidence{l, confidence, tally.count});
+        ++probed_links;
+        switch (params.or_operator) {
+            case BlameParams::OrOperator::kMax:
+                agg = std::max(agg, confidence);
+                break;
+            case BlameParams::OrOperator::kMean:
+                agg += confidence;
+                break;
+        }
+    }
+    if (params.or_operator == BlameParams::OrOperator::kMean &&
+        probed_links > 0) {
+        agg /= static_cast<double>(probed_links);
+    }
+    out.path_bad_confidence = agg;
+    out.blame = 1.0 - agg;
+    return out;
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,78 @@
+// The blame engine: Equations 2 and 3 (Section 3.4).
+//
+// When A's message through forwarder B (next hop C) is never acknowledged, A
+// consults the probe results covering the links of the IP path B -> C that
+// were initiated within [t - Delta, t + Delta].  Each probe votes on its
+// link's status, weighted by the probe accuracy a:
+//
+//     vote(p) = p.l_up * (1 - a) + (1 - p.l_up) * a
+//
+// i.e. a down-probe is evidence the link was bad with confidence a, an
+// up-probe with confidence 1-a.  Per-link confidences are averaged over the
+// probes of that link, and the *fuzzy-logic OR* (max) over links gives
+// Pr(B -> C bad); blame on B is its complement:
+//
+//     Pr(B faulty) = 1 - max_l  mean_{p in probes(l)} vote(p)      (Eq. 2-3)
+//
+// Crucially, the judged node's own probe results are excluded, "since a
+// malicious B could reduce its level of blame by claiming that it probed a
+// link in B -> C as down."
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace concilium::core {
+
+/// One reporter's probe of one link, as extracted from a signed tomographic
+/// snapshot (tomography::LinkObservation plus provenance).
+struct ProbeResult {
+    util::NodeId reporter;
+    net::LinkId link = net::kInvalidLink;
+    bool link_up = true;  ///< p.l_up
+    util::SimTime at = 0;
+};
+
+struct BlameParams {
+    double probe_accuracy = 0.9;                ///< a (Section 4.3)
+    util::SimTime delta = 60 * util::kSecond;   ///< probe admission window
+    /// Fuzzy OR operator.  The paper uses kMax; kMean is this repo's
+    /// ablation alternative (probabilistic-sum-style averaging).
+    enum class OrOperator { kMax, kMean } or_operator = OrOperator::kMax;
+};
+
+/// Per-link aggregation detail, archived with accusations so that third
+/// parties can re-derive the verdict.
+struct LinkConfidence {
+    net::LinkId link = net::kInvalidLink;
+    double bad_confidence = 0.0;  ///< mean vote over admitted probes
+    int probes_used = 0;
+};
+
+struct BlameBreakdown {
+    double path_bad_confidence = 0.0;  ///< Pr(B->C has >= 1 bad link)
+    double blame = 1.0;                ///< Pr(B faulty) = 1 - the above
+    std::vector<LinkConfidence> links; ///< only links with >= 1 admitted probe
+};
+
+/// Evaluates Equations 2-3 for a message sent at `message_time` along the
+/// path `path_links` through judged forwarder `judged`.  Probes reported by
+/// `judged` and probes outside [message_time - delta, message_time + delta]
+/// are discarded.  With no admissible probe on any path link, the path is
+/// presumed good and blame is 1 ("Otherwise, Concilium determines that B was
+/// faulty").
+BlameBreakdown compute_blame(std::span<const net::LinkId> path_links,
+                             std::span<const ProbeResult> probes,
+                             util::SimTime message_time,
+                             const util::NodeId& judged,
+                             const BlameParams& params);
+
+/// Single probe's vote that its link was bad (the bracketed term of Eq. 3).
+double probe_vote(bool link_up, double probe_accuracy);
+
+}  // namespace concilium::core

@@ -1,0 +1,36 @@
+#include "core/commitments.h"
+
+namespace concilium::core {
+
+std::vector<std::uint8_t> ForwardingCommitment::signed_payload() const {
+    util::ByteWriter w;
+    w.node_id(sender);
+    w.node_id(forwarder);
+    w.node_id(destination);
+    w.u64(message_id);
+    w.i64(at);
+    return w.data();
+}
+
+ForwardingCommitment make_forwarding_commitment(
+    const util::NodeId& sender, const util::NodeId& forwarder,
+    const util::NodeId& destination, std::uint64_t message_id,
+    util::SimTime at, const crypto::KeyPair& forwarder_keys) {
+    ForwardingCommitment c;
+    c.sender = sender;
+    c.forwarder = forwarder;
+    c.destination = destination;
+    c.message_id = message_id;
+    c.at = at;
+    c.signature = forwarder_keys.sign(c.signed_payload());
+    return c;
+}
+
+bool verify_forwarding_commitment(const ForwardingCommitment& commitment,
+                                  const crypto::PublicKey& forwarder_key,
+                                  const crypto::KeyRegistry& registry) {
+    return registry.verify(forwarder_key, commitment.signed_payload(),
+                           commitment.signature);
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,50 @@
+// Forwarding commitments (Section 3.6).
+//
+// "When A sends a message through B, B sends a signed statement to A
+// indicating its willingness to forward the message.  The commitment
+// includes a timestamp, A's identifier, B's identifier, and the identifier
+// of the ultimate destination Z ...  In this fashion, B can only be blamed
+// for dropping messages that it agreed to forward."  This stops a malicious
+// *sender* from fabricating accusations about messages it never sent.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/ids.h"
+#include "util/serialize.h"
+#include "util/time.h"
+
+namespace concilium::core {
+
+struct ForwardingCommitment {
+    util::NodeId sender;       ///< A
+    util::NodeId forwarder;    ///< B, the signer
+    util::NodeId destination;  ///< Z
+    std::uint64_t message_id = 0;
+    util::SimTime at = 0;
+    crypto::Signature signature;  ///< by the forwarder
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const;
+
+    /// Wire size: three identifiers, message id, timestamp, signature.
+    [[nodiscard]] static constexpr std::size_t wire_bytes() {
+        return 3 * util::NodeId::kBytes + 8 + 8 + crypto::Signature::kWireBytes;
+    }
+};
+
+/// Issued by the forwarder (whose keys sign the statement).
+ForwardingCommitment make_forwarding_commitment(
+    const util::NodeId& sender, const util::NodeId& forwarder,
+    const util::NodeId& destination, std::uint64_t message_id,
+    util::SimTime at, const crypto::KeyPair& forwarder_keys);
+
+/// Checks the forwarder's signature and that the commitment names the
+/// expected parties.
+bool verify_forwarding_commitment(const ForwardingCommitment& commitment,
+                                  const crypto::PublicKey& forwarder_key,
+                                  const crypto::KeyRegistry& registry);
+
+}  // namespace concilium::core

@@ -1,0 +1,43 @@
+#include "core/reputation.h"
+
+namespace concilium::core {
+
+void ReputationBook::cast_vote(const util::NodeId& voter,
+                               const util::NodeId& subject, util::SimTime at) {
+    Entry& e = entries_[subject];
+    e.voters.insert(voter);
+    e.last_vote = at;
+}
+
+int ReputationBook::votes_against(const util::NodeId& subject) const {
+    const auto it = entries_.find(subject);
+    return it == entries_.end() ? 0 : static_cast<int>(it->second.voters.size());
+}
+
+bool ReputationBook::poor_peer(const util::NodeId& subject,
+                               int vote_threshold) const {
+    return votes_against(subject) >= vote_threshold;
+}
+
+SanctionDecision evaluate_sanction(SanctionPolicy policy,
+                                   int verified_accusations,
+                                   int blacklist_threshold) {
+    SanctionDecision d;
+    if (verified_accusations <= 0) return d;
+    switch (policy) {
+        case SanctionPolicy::kNone:
+            break;
+        case SanctionPolicy::kDistrustSensitive:
+            d.allow_sensitive_messages = false;
+            break;
+        case SanctionPolicy::kUniversalBlacklist:
+            d.allow_sensitive_messages = false;
+            if (verified_accusations >= blacklist_threshold) {
+                d.allow_peering = false;
+            }
+            break;
+    }
+    return d;
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,55 @@
+#include "core/steward.h"
+
+#include <stdexcept>
+
+namespace concilium::core {
+
+AttributionOutcome attribute_fault(
+    std::size_t route_length, std::size_t forwarder_count,
+    const std::function<double(std::size_t judge, std::size_t suspect)>&
+        blame_fn,
+    const VerdictParams& params) {
+    if (route_length < 2) {
+        throw std::invalid_argument("attribute_fault: route too short");
+    }
+    if (forwarder_count >= route_length) {
+        throw std::invalid_argument(
+            "attribute_fault: forwarder count beyond route end");
+    }
+
+    AttributionOutcome out;
+    // Each steward that forwarded the message judges its next hop.
+    for (std::size_t j = 0; j < forwarder_count; ++j) {
+        HopJudgment judgment;
+        judgment.judge_hop = j;
+        judgment.suspect_hop = j + 1;
+        judgment.blame = blame_fn(j, j + 1);
+        judgment.guilty = is_guilty_verdict(judgment.blame, params);
+        out.judgments.push_back(judgment);
+    }
+
+    if (out.judgments.empty()) {
+        // The sender itself dropped or never sent; nothing to attribute.
+        out.network_blamed = false;
+        out.blamed_hop = forwarder_count;
+        return out;
+    }
+
+    // Walk the chain of guilty verdicts downstream from the sender.  A
+    // not-guilty verdict means that judge's tomographic evidence showed a
+    // bad IP link to its next hop; its upstream accuser accepts that
+    // rebuttal and the network takes the blame.
+    for (const HopJudgment& j : out.judgments) {
+        if (!j.guilty) {
+            out.network_blamed = true;
+            out.faulted_segment = j.judge_hop;
+            return out;
+        }
+    }
+    // Every steward pushed guilt one hop further; it sticks at the first
+    // node that issued no (verifiable) judgment -- the apparent drop point.
+    out.blamed_hop = forwarder_count;
+    return out;
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,69 @@
+// Recursive stewardship and fault attribution (Section 3.5).
+//
+// "Whenever a peer along A -> Z forwards a message, it treats the message as
+// if it were generated locally -- in other words, each forwarding peer
+// expects to receive an acknowledgment from Z. ... When this acknowledgment
+// does not arrive, A will blame B, B will blame C, and C will blame D.  D
+// will not be able to blame a forwarding peer since it lacks incriminating
+// tomographic data ... Thus, the accusation chain stops at D and nodes
+// absolve themselves of unfair blame by pushing locally generated verdicts
+// upstream."
+//
+// attribute_fault() is the pure chain-resolution logic: given each
+// steward's blame value against its next hop, it walks the chain of guilty
+// verdicts downstream from the sender and decides where blame finally lands
+// -- on a forwarder, or on the network between two forwarders.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/verdicts.h"
+
+namespace concilium::core {
+
+/// One steward's judgment of its next hop.
+struct HopJudgment {
+    std::size_t judge_hop = 0;    ///< position of the judge in the route
+    std::size_t suspect_hop = 0;  ///< judge_hop + 1
+    double blame = 0.0;
+    bool guilty = false;
+};
+
+struct AttributionOutcome {
+    /// Blame landed on the IP network rather than on a node.
+    bool network_blamed = false;
+    /// When a node is blamed: its route position.
+    std::optional<std::size_t> blamed_hop;
+    /// When the network is blamed: the route segment (judge, judge+1) whose
+    /// tomographic evidence showed a bad link.
+    std::optional<std::size_t> faulted_segment;
+    /// All judgments issued, in route order, starting with the sender's.
+    std::vector<HopJudgment> judgments;
+};
+
+/// Resolves blame along a route of `route_length` overlay nodes (sender at
+/// position 0, destination at route_length - 1).
+///
+/// * `forwarder_count`: how many route positions actually forwarded the
+///   message; positions 0..forwarder_count-1 are the stewards that await an
+///   acknowledgment and judge their next hop.  If forwarder f dropped the
+///   message, positions 0..f-1 forwarded it, so forwarder_count == f.  If
+///   the IP network ate the message on segment s -> s+1, position s still
+///   forwarded it (the packet died in transit), so forwarder_count == s+1
+///   and the judge adjacent to the failure gets to testify.
+/// * `blame_fn(judge, suspect)`: Equations 2-3 evaluated by `judge` against
+///   `suspect` == judge + 1, using only evidence available to the judge.
+///
+/// Position forwarder_count never forwarded and holds no forwarding
+/// commitment from its successor, so a chain of guilty verdicts that runs
+/// through every judge sticks to it.
+AttributionOutcome attribute_fault(
+    std::size_t route_length, std::size_t forwarder_count,
+    const std::function<double(std::size_t judge, std::size_t suspect)>&
+        blame_fn,
+    const VerdictParams& params);
+
+}  // namespace concilium::core

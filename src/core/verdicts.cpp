@@ -1,0 +1,66 @@
+#include "core/verdicts.h"
+
+#include <stdexcept>
+
+namespace concilium::core {
+
+bool is_guilty_verdict(double blame, const VerdictParams& params) {
+    return blame >= params.guilty_blame_threshold;
+}
+
+VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
+                                                   double blame,
+                                                   util::SimTime /*at*/) {
+    Window& win = windows_[suspect];
+    const bool guilty = is_guilty_verdict(blame, params_);
+    win.verdicts.push_back(guilty);
+    if (guilty) ++win.guilty;
+    while (win.verdicts.size() > static_cast<std::size_t>(params_.window)) {
+        if (win.verdicts.front()) --win.guilty;
+        win.verdicts.pop_front();
+    }
+    RecordOutcome out;
+    out.guilty = guilty;
+    out.guilty_in_window = win.guilty;
+    out.accusation_triggered = win.guilty >= params_.accusation_threshold;
+    return out;
+}
+
+int VerdictLedger::guilty_count(const util::NodeId& suspect) const {
+    const auto it = windows_.find(suspect);
+    return it == windows_.end() ? 0 : it->second.guilty;
+}
+
+int VerdictLedger::verdict_count(const util::NodeId& suspect) const {
+    const auto it = windows_.find(suspect);
+    return it == windows_.end() ? 0
+                                : static_cast<int>(it->second.verdicts.size());
+}
+
+double accusation_false_positive(int window, int threshold_m, double p_good) {
+    if (window < 1 || threshold_m < 0) {
+        throw std::invalid_argument("accusation_false_positive: bad window/m");
+    }
+    return util::binomial_upper_tail(window, threshold_m, p_good);
+}
+
+double accusation_false_negative(int window, int threshold_m,
+                                 double p_faulty) {
+    if (window < 1 || threshold_m < 0) {
+        throw std::invalid_argument("accusation_false_negative: bad window/m");
+    }
+    return util::binomial_lower_tail_exclusive(window, threshold_m, p_faulty);
+}
+
+std::optional<int> minimal_accusation_threshold(int window, double p_good,
+                                                double p_faulty, double bound) {
+    for (int m = 1; m <= window; ++m) {
+        if (accusation_false_positive(window, m, p_good) < bound &&
+            accusation_false_negative(window, m, p_faulty) < bound) {
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,81 @@
+// Verdict ledgers and the accusation error model (Sections 3.4, 4.3).
+//
+// Each blame evaluation is thresholded into a binary verdict: blame below
+// the threshold acquits the forwarder (the network is blamed); otherwise the
+// forwarder is guilty.  "A maintains a sliding window of the last w verdicts
+// that it issued for B ... If B receives m or more guilty verdicts in this
+// window, A inserts a formal fault accusation into a DHT."
+//
+// With p_good / p_faulty the per-drop guilty-verdict probabilities of
+// innocent and faulty nodes, the w-window count is binomial, giving the
+// closed-form error rates of Section 4.3 (reproduced in Figure 6).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace concilium::core {
+
+struct VerdictParams {
+    /// "nodes receiving less than 40% blame are proclaimed innocent and all
+    /// other nodes receive a guilty verdict" (Section 4.3).
+    double guilty_blame_threshold = 0.4;
+    int window = 100;            ///< w
+    int accusation_threshold = 6;  ///< m
+};
+
+/// True when this blame value convicts the forwarder for a single drop.
+bool is_guilty_verdict(double blame, const VerdictParams& params);
+
+/// One judging node's per-suspect sliding verdict windows.
+class VerdictLedger {
+  public:
+    explicit VerdictLedger(VerdictParams params) : params_(params) {}
+
+    struct RecordOutcome {
+        bool guilty = false;
+        int guilty_in_window = 0;
+        /// Set when the guilty count reached m: time to file a formal
+        /// accusation against the suspect.
+        bool accusation_triggered = false;
+    };
+
+    /// Appends a verdict derived from `blame` for `suspect` at time `at`.
+    RecordOutcome record(const util::NodeId& suspect, double blame,
+                         util::SimTime at);
+
+    [[nodiscard]] int guilty_count(const util::NodeId& suspect) const;
+    [[nodiscard]] int verdict_count(const util::NodeId& suspect) const;
+    [[nodiscard]] const VerdictParams& params() const noexcept {
+        return params_;
+    }
+
+  private:
+    struct Window {
+        std::deque<bool> verdicts;  // true == guilty
+        int guilty = 0;
+    };
+    VerdictParams params_;
+    std::unordered_map<util::NodeId, Window, util::NodeIdHash> windows_;
+};
+
+/// Section 4.3: Pr(false positive) = Pr(W >= m), W ~ Binomial(w, p_good).
+double accusation_false_positive(int window, int threshold_m, double p_good);
+
+/// Section 4.3: Pr(false negative) = Pr(W < m), W ~ Binomial(w, p_faulty).
+double accusation_false_negative(int window, int threshold_m, double p_faulty);
+
+/// Smallest m in [1, w] driving both error rates below `bound`, or nullopt
+/// when no m achieves it (Figure 6: m=6 honest, m=16 with 20% colluders).
+std::optional<int> minimal_accusation_threshold(int window, double p_good,
+                                                double p_faulty, double bound);
+
+}  // namespace concilium::core

@@ -1,0 +1,41 @@
+#include "crypto/certificates.h"
+
+namespace concilium::crypto {
+
+std::vector<std::uint8_t> NodeCertificate::signed_payload() const {
+    util::ByteWriter w;
+    w.u32(ip);
+    w.bytes(public_key.bytes());
+    w.node_id(node_id);
+    return w.data();
+}
+
+std::size_t NodeCertificate::wire_bytes() const {
+    // 4 (ip) + modelled public key + identifier + CA signature.
+    return 4 + PublicKey::kWireBytes + util::NodeId::kBytes +
+           Signature::kWireBytes;
+}
+
+CertificateAuthority::CertificateAuthority(std::uint64_t seed)
+    : rng_(seed), ca_keys_(KeyPair::from_seed(seed ^ 0xCA15'CA15'CA15'CA15ULL)) {
+    registry_.register_key(ca_keys_);
+}
+
+CertificateAuthority::Admission CertificateAuthority::admit(IpAddress ip) {
+    KeyPair keys = KeyPair::from_seed(rng_.uniform_u64() ^ ++admissions_);
+    registry_.register_key(keys);
+    NodeCertificate cert;
+    cert.ip = ip;
+    cert.public_key = keys.public_key();
+    cert.node_id = util::NodeId::random(rng_);
+    cert.ca_signature = ca_keys_.sign(cert.signed_payload());
+    return Admission{cert, keys};
+}
+
+bool CertificateAuthority::validate(const NodeCertificate& cert) const {
+    if (!registry_.knows(cert.public_key)) return false;
+    return registry_.verify(ca_keys_.public_key(), cert.signed_payload(),
+                            cert.ca_signature);
+}
+
+}  // namespace concilium::crypto

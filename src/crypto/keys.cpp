@@ -1,0 +1,102 @@
+#include "crypto/keys.h"
+
+#include <cstring>
+
+namespace concilium::crypto {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Keyed hash producing a 16-byte tag: two chained FNV-1a passes mixed with
+/// the secret.  Collision-resistant enough for simulation purposes.
+std::array<std::uint8_t, 16> keyed_tag(std::uint64_t secret,
+                                       std::span<const std::uint8_t> message) {
+    std::uint64_t h1 = splitmix(secret ^ 0xa076'1d64'78bd'642fULL);
+    std::uint64_t h2 = splitmix(secret ^ 0xe703'7ed1'a0b4'28dbULL);
+    for (const std::uint8_t c : message) {
+        h1 = (h1 ^ c) * 0x100000001b3ULL;
+        h2 = (h2 ^ (c + 0x51)) * 0x100000001b3ULL;
+    }
+    h1 = splitmix(h1 ^ (h2 >> 13));
+    h2 = splitmix(h2 ^ (h1 << 7));
+    std::array<std::uint8_t, 16> out{};
+    for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<std::uint8_t>(h1 >> (8 * i));
+        out[8 + i] = static_cast<std::uint8_t>(h2 >> (8 * i));
+    }
+    return out;
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+std::string PublicKey::to_string() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * kBytes);
+    for (const std::uint8_t b : bytes_) {
+        out.push_back(kHex[b >> 4]);
+        out.push_back(kHex[b & 0x0f]);
+    }
+    return out;
+}
+
+std::size_t PublicKeyHash::operator()(const PublicKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint8_t b : k.bytes()) {
+        h = (h ^ b) * 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+    const std::uint64_t secret = splitmix(seed ^ 0x243f'6a88'85a3'08d3ULL);
+    const std::uint64_t p1 = splitmix(secret ^ 0x1357'9bdf'0246'8aceULL);
+    const std::uint64_t p2 = splitmix(p1);
+    std::array<std::uint8_t, PublicKey::kBytes> pub{};
+    for (int i = 0; i < 8; ++i) {
+        pub[i] = static_cast<std::uint8_t>(p1 >> (8 * i));
+        pub[8 + i] = static_cast<std::uint8_t>(p2 >> (8 * i));
+    }
+    return KeyPair(secret, PublicKey(pub));
+}
+
+Signature KeyPair::sign(std::span<const std::uint8_t> message) const {
+    return Signature(keyed_tag(secret_, message));
+}
+
+Signature KeyPair::sign(std::string_view message) const {
+    return sign(as_bytes(message));
+}
+
+void KeyRegistry::register_key(const KeyPair& pair) {
+    secrets_[pair.public_key()] = pair.secret_;
+}
+
+bool KeyRegistry::knows(const PublicKey& key) const {
+    return secrets_.contains(key);
+}
+
+bool KeyRegistry::verify(const PublicKey& key,
+                         std::span<const std::uint8_t> message,
+                         const Signature& sig) const {
+    const auto it = secrets_.find(key);
+    if (it == secrets_.end()) return false;
+    return Signature(keyed_tag(it->second, message)) == sig;
+}
+
+bool KeyRegistry::verify(const PublicKey& key, std::string_view message,
+                         const Signature& sig) const {
+    return verify(key, as_bytes(message), sig);
+}
+
+}  // namespace concilium::crypto

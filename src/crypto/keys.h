@@ -1,0 +1,121 @@
+// Simulated public-key primitives.
+//
+// Concilium's protocol logic consumes exactly three cryptographic
+// capabilities: (1) unforgeable signatures over byte strings, (2) a central
+// certificate authority binding IP address <-> public key <-> random overlay
+// identifier (Section 2), and (3) nonces for probe freshness (Section 3.3).
+// None of the paper's evaluation exercises cryptographic hardness, so we
+// substitute an *ideal* signature scheme: a signature is a keyed hash of the
+// message, and verification consults a KeyRegistry that maps public keys to
+// signing secrets.  Within the simulation the registry is only reachable
+// through verify(), so no component -- including modelled adversaries -- can
+// forge a tag it did not legitimately produce.  Wire-size accounting uses the
+// paper's PSS-R/1024-bit figures (Section 4.4) so bandwidth numbers match a
+// real deployment.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/ids.h"
+
+namespace concilium::crypto {
+
+/// Opaque 16-byte public-key token.
+class PublicKey {
+  public:
+    static constexpr int kBytes = 16;
+    /// Wire size of a 1024-bit public key, for bandwidth accounting.
+    static constexpr int kWireBytes = 128;
+
+    constexpr PublicKey() noexcept : bytes_{} {}
+    explicit constexpr PublicKey(const std::array<std::uint8_t, kBytes>& b) noexcept
+        : bytes_(b) {}
+
+    [[nodiscard]] const std::array<std::uint8_t, kBytes>& bytes() const noexcept {
+        return bytes_;
+    }
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(const PublicKey&, const PublicKey&) = default;
+
+  private:
+    std::array<std::uint8_t, kBytes> bytes_;
+};
+
+struct PublicKeyHash {
+    std::size_t operator()(const PublicKey& k) const noexcept;
+};
+
+/// A signature tag.  The simulated tag is 16 bytes; the modelled wire size is
+/// that of PSS-R with 1024-bit keys (Section 4.4).
+class Signature {
+  public:
+    static constexpr int kBytes = 16;
+    /// PSS-R signature wire size used by the paper's bandwidth model.
+    static constexpr int kWireBytes = 128;
+
+    constexpr Signature() noexcept : bytes_{} {}
+    explicit constexpr Signature(const std::array<std::uint8_t, kBytes>& b) noexcept
+        : bytes_(b) {}
+
+    [[nodiscard]] const std::array<std::uint8_t, kBytes>& bytes() const noexcept {
+        return bytes_;
+    }
+
+    friend constexpr auto operator<=>(const Signature&, const Signature&) = default;
+
+  private:
+    std::array<std::uint8_t, kBytes> bytes_;
+};
+
+/// A signing key.  Holders can produce signatures that verify against the
+/// matching public key.
+class KeyPair {
+  public:
+    /// Deterministically derives a key pair from a seed (the simulation gives
+    /// each node a distinct seed).
+    static KeyPair from_seed(std::uint64_t seed);
+
+    [[nodiscard]] const PublicKey& public_key() const noexcept { return public_; }
+
+    /// Signs a byte string.
+    [[nodiscard]] Signature sign(std::span<const std::uint8_t> message) const;
+    [[nodiscard]] Signature sign(std::string_view message) const;
+
+  private:
+    KeyPair(std::uint64_t secret, PublicKey pub) : secret_(secret), public_(pub) {}
+
+    friend class KeyRegistry;
+
+    std::uint64_t secret_;
+    PublicKey public_;
+};
+
+/// The ideal-signature oracle.  register_key() is called once per key pair
+/// (by the certificate authority at admission time); verify() recomputes the
+/// keyed hash.  Simulated adversaries never call sign() with keys they do not
+/// hold, which models existential unforgeability.
+class KeyRegistry {
+  public:
+    void register_key(const KeyPair& pair);
+
+    [[nodiscard]] bool knows(const PublicKey& key) const;
+
+    [[nodiscard]] bool verify(const PublicKey& key,
+                              std::span<const std::uint8_t> message,
+                              const Signature& sig) const;
+    [[nodiscard]] bool verify(const PublicKey& key, std::string_view message,
+                              const Signature& sig) const;
+
+  private:
+    std::unordered_map<PublicKey, std::uint64_t, PublicKeyHash> secrets_;
+};
+
+}  // namespace concilium::crypto

@@ -1,0 +1,19 @@
+#include "crypto/tokens.h"
+
+namespace concilium::crypto {
+
+SignedTimestamp make_signed_timestamp(const util::NodeId& signer,
+                                      util::SimTime at, const KeyPair& keys) {
+    SignedTimestamp ts;
+    ts.signer = signer;
+    ts.at = at;
+    ts.signature = keys.sign(ts.signed_payload());
+    return ts;
+}
+
+bool verify_signed_timestamp(const SignedTimestamp& ts, const PublicKey& key,
+                             const KeyRegistry& registry) {
+    return registry.verify(key, ts.signed_payload(), ts.signature);
+}
+
+}  // namespace concilium::crypto

@@ -1,0 +1,56 @@
+// Signed timestamps and nonces.
+//
+// Signed freshness timestamps defeat jump-table *inflation* attacks: "a host
+// can collect identifiers from peers that have gone offline and use these
+// identifiers to inflate its advertised table density.  To protect against
+// inflation attacks, Concilium requires a jump table entry referencing peer H
+// to contain a signed timestamp from H." (Section 3.1)
+//
+// Nonces defeat spurious probe acknowledgments: "To detect spurious responses
+// to non-received probes, the probing node includes nonces in its probes."
+// (Section 3.3)
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/ids.h"
+#include "util/serialize.h"
+#include "util/time.h"
+
+namespace concilium::crypto {
+
+/// A statement "node `signer` was alive at time `at`", produced by the signer
+/// when answering an availability probe and piggybacked on the response.
+struct SignedTimestamp {
+    util::NodeId signer;
+    util::SimTime at = 0;
+    Signature signature;
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const {
+        util::ByteWriter w;
+        w.node_id(signer);
+        w.i64(at);
+        return w.data();
+    }
+
+    /// Wire size: identifier + 4-byte timestamp, per Section 4.4's entry
+    /// accounting ("a 16 byte node identifier and a 4 byte freshness
+    /// timestamp"); the signature is amortised over the whole advertisement.
+    static constexpr std::size_t kWireBytes = 16 + 4;
+};
+
+/// Creates a signed timestamp with `keys` (which must belong to `signer`).
+SignedTimestamp make_signed_timestamp(const util::NodeId& signer,
+                                      util::SimTime at, const KeyPair& keys);
+
+/// Verifies the signature against the signer's public key.
+bool verify_signed_timestamp(const SignedTimestamp& ts, const PublicKey& key,
+                             const KeyRegistry& registry);
+
+/// 64-bit probe nonce.
+using Nonce = std::uint64_t;
+
+}  // namespace concilium::crypto

@@ -1,0 +1,85 @@
+#include "dht/dht.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace concilium::dht {
+
+Dht::Dht(const overlay::OverlayNetwork& net, int replication)
+    : net_(&net), replication_(replication), storage_(net.size()) {
+    if (replication < 1) {
+        throw std::invalid_argument("Dht: replication must be >= 1");
+    }
+}
+
+std::vector<overlay::MemberIndex> Dht::replica_set(
+    const util::NodeId& key) const {
+    const overlay::MemberIndex root = net_->root_of(key);
+    std::vector<overlay::MemberIndex> replicas{root};
+    // Nearest leaf neighbours of the root, alternating sides so the set
+    // stays centred on the key.
+    const overlay::LeafSet& leaves = net_->leaf_set(root);
+    const auto cw = leaves.successors();
+    const auto ccw = leaves.predecessors();
+    std::size_t i = 0;
+    while (replicas.size() < static_cast<std::size_t>(replication_)) {
+        bool added = false;
+        if (i < cw.size()) {
+            replicas.push_back(cw[i]);
+            added = true;
+        }
+        if (replicas.size() < static_cast<std::size_t>(replication_) &&
+            i < ccw.size()) {
+            replicas.push_back(ccw[i]);
+            added = true;
+        }
+        if (!added) break;  // overlay smaller than the replica target
+        ++i;
+    }
+    std::sort(replicas.begin(), replicas.end());
+    replicas.erase(std::unique(replicas.begin(), replicas.end()),
+                   replicas.end());
+    return replicas;
+}
+
+Dht::PutResult Dht::put(overlay::MemberIndex via, const util::NodeId& key,
+                        std::vector<std::uint8_t> value) {
+    PutResult result;
+    result.route = net_->route(via, key);
+    result.replicas = replica_set(key);
+    for (const overlay::MemberIndex m : result.replicas) {
+        auto& values = storage_.at(m)[key];
+        if (std::find(values.begin(), values.end(), value) == values.end()) {
+            values.push_back(value);
+        }
+    }
+    return result;
+}
+
+Dht::GetResult Dht::get(overlay::MemberIndex via,
+                        const util::NodeId& key) const {
+    GetResult result;
+    result.route = net_->route(via, key);
+    for (const overlay::MemberIndex m : replica_set(key)) {
+        const auto& node_store = storage_.at(m);
+        const auto it = node_store.find(key);
+        if (it == node_store.end()) continue;
+        for (const auto& v : it->second) {
+            if (std::find(result.values.begin(), result.values.end(), v) ==
+                result.values.end()) {
+                result.values.push_back(v);
+            }
+        }
+    }
+    return result;
+}
+
+std::size_t Dht::stored_at(overlay::MemberIndex m) const {
+    std::size_t n = 0;
+    for (const auto& [key, values] : storage_.at(m)) {
+        n += values.size();
+    }
+    return n;
+}
+
+}  // namespace concilium::dht

@@ -1,0 +1,66 @@
+// Accusation repository: a replicated DHT atop the secure overlay.
+//
+// "A inserts a formal fault accusation into a DHT which exists atop the
+// secure overlay.  The insertion key for the accusation is B's public key ...
+// Insertions and fetches of the formal accusation are secured using Castro's
+// techniques" (Section 3.4).
+//
+// Entries are append-only multisets: many accusers may store accusations
+// under the same key, and nothing is ever silently replaced.  Each entry is
+// replicated on the key root and its nearest leaf-set neighbours so that a
+// single faulty replica cannot make an accusation disappear.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/network.h"
+#include "util/ids.h"
+
+namespace concilium::dht {
+
+class Dht {
+  public:
+    /// replication: total copies per entry (root + replication-1 leaf
+    /// neighbours of the root).
+    Dht(const overlay::OverlayNetwork& net, int replication = 4);
+
+    struct PutResult {
+        std::vector<overlay::MemberIndex> route;     ///< secure route walked
+        std::vector<overlay::MemberIndex> replicas;  ///< nodes now storing it
+    };
+
+    /// Routes from `via` to the key root and stores `value` on the replica
+    /// set.  Duplicate values under the same key are kept once per replica.
+    PutResult put(overlay::MemberIndex via, const util::NodeId& key,
+                  std::vector<std::uint8_t> value);
+
+    struct GetResult {
+        std::vector<overlay::MemberIndex> route;
+        std::vector<std::vector<std::uint8_t>> values;  ///< deduplicated
+    };
+
+    /// Routes from `via` to the key root and returns the union of the
+    /// replica set's stored values.
+    [[nodiscard]] GetResult get(overlay::MemberIndex via,
+                                const util::NodeId& key) const;
+
+    /// The replica set for a key: its root plus nearest leaf neighbours.
+    [[nodiscard]] std::vector<overlay::MemberIndex> replica_set(
+        const util::NodeId& key) const;
+
+    /// Number of values stored at one member (for balance diagnostics).
+    [[nodiscard]] std::size_t stored_at(overlay::MemberIndex m) const;
+
+  private:
+    const overlay::OverlayNetwork* net_;
+    int replication_;
+    /// Per member: key -> stored values.
+    std::vector<std::unordered_map<util::NodeId, std::vector<std::vector<std::uint8_t>>,
+                                   util::NodeIdHash>>
+        storage_;
+};
+
+}  // namespace concilium::dht

@@ -1,0 +1,38 @@
+#include "net/event_sim.h"
+
+#include <utility>
+
+namespace concilium::net {
+
+void EventSim::schedule_at(util::SimTime t, Callback fn) {
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+}
+
+void EventSim::schedule_after(util::SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventSim::step() {
+    if (queue_.empty()) return false;
+    // Move the callback out before popping; the callback may schedule more
+    // events (which reallocates the queue's storage).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+}
+
+void EventSim::run_until(util::SimTime t) {
+    while (!queue_.empty() && queue_.top().at <= t) {
+        step();
+    }
+    if (now_ < t) now_ = t;
+}
+
+void EventSim::run_all() {
+    while (step()) {
+    }
+}
+
+}  // namespace concilium::net

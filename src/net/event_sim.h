@@ -1,0 +1,65 @@
+// Discrete-event simulator.
+//
+// "we used a discrete event network simulator.  The simulator modeled link
+// failure, tomographic probing, the collaborative dissemination of probe
+// results, and three types of message events (message sent, message
+// acknowledged, message not acknowledged)." (Section 4.2)
+//
+// EventSim is the shared clock and event queue those components hang off of.
+// Events at equal times fire in scheduling order, so runs are deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace concilium::net {
+
+class EventSim {
+  public:
+    using Callback = std::function<void()>;
+
+    [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+    /// Schedules fn at absolute time t (>= now, else it fires immediately at
+    /// the current time).
+    void schedule_at(util::SimTime t, Callback fn);
+
+    /// Schedules fn at now() + delay.
+    void schedule_after(util::SimTime delay, Callback fn);
+
+    /// Runs events with time <= t, then advances the clock to t.
+    void run_until(util::SimTime t);
+
+    /// Runs until the queue is empty.
+    void run_all();
+
+    /// Fires the next event; returns false when the queue is empty.
+    bool step();
+
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  private:
+    struct Event {
+        util::SimTime at;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    util::SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace concilium::net

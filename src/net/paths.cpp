@@ -1,0 +1,65 @@
+#include "net/paths.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace concilium::net {
+
+void PathOracle::bfs(RouterId src, std::vector<RouterId>& parent,
+                     std::vector<LinkId>& via) const {
+    parent.assign(topo_->router_count(), kInvalidRouter);
+    via.assign(topo_->router_count(), kInvalidLink);
+    parent[src] = src;
+    std::deque<RouterId> queue{src};
+    while (!queue.empty()) {
+        const RouterId r = queue.front();
+        queue.pop_front();
+        for (const Topology::Edge& e : topo_->neighbors(r)) {
+            if (parent[e.neighbor] == kInvalidRouter) {
+                parent[e.neighbor] = r;
+                via[e.neighbor] = e.link;
+                queue.push_back(e.neighbor);
+            }
+        }
+    }
+}
+
+namespace {
+
+Path extract(RouterId src, RouterId dst, const std::vector<RouterId>& parent,
+             const std::vector<LinkId>& via) {
+    Path path;
+    if (dst == src || parent[dst] == kInvalidRouter) return path;
+    for (RouterId r = dst; r != src; r = parent[r]) {
+        path.routers.push_back(r);
+        path.links.push_back(via[r]);
+    }
+    path.routers.push_back(src);
+    std::reverse(path.routers.begin(), path.routers.end());
+    std::reverse(path.links.begin(), path.links.end());
+    return path;
+}
+
+}  // namespace
+
+Path PathOracle::path(RouterId src, RouterId dst) const {
+    std::vector<RouterId> parent;
+    std::vector<LinkId> via;
+    bfs(src, parent, via);
+    return extract(src, dst, parent, via);
+}
+
+std::vector<Path> PathOracle::paths_from(RouterId src,
+                                         std::span<const RouterId> dsts) const {
+    std::vector<RouterId> parent;
+    std::vector<LinkId> via;
+    bfs(src, parent, via);
+    std::vector<Path> out;
+    out.reserve(dsts.size());
+    for (const RouterId dst : dsts) {
+        out.push_back(extract(src, dst, parent, via));
+    }
+    return out;
+}
+
+}  // namespace concilium::net

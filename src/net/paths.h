@@ -1,0 +1,50 @@
+// Shortest-path extraction.
+//
+// The paper derives each host's IP-level link map with measurement tools like
+// RocketFuel and notes that Internet routes are stable for a day or more
+// (Section 3.2), so maps are computed rarely.  In the simulation the oracle
+// extracts exact shortest paths from the topology (BFS over unweighted links
+// with deterministic tie-breaking), playing the role of that stable map.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace concilium::net {
+
+/// A route through the IP network.  routers.size() == links.size() + 1;
+/// routers.front() is the source and routers.back() the destination.
+struct Path {
+    std::vector<RouterId> routers;
+    std::vector<LinkId> links;
+
+    [[nodiscard]] bool empty() const noexcept { return links.empty(); }
+    [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+};
+
+class PathOracle {
+  public:
+    explicit PathOracle(const Topology& topo) : topo_(&topo) {}
+
+    /// Shortest path from src to dst.  Deterministic: ties break by
+    /// adjacency-list order, which is fixed by construction order.
+    /// Returns an empty path when dst is unreachable or src == dst.
+    [[nodiscard]] Path path(RouterId src, RouterId dst) const;
+
+    /// One BFS from src, extracting the paths to every destination.
+    /// Unreachable destinations yield empty paths.
+    [[nodiscard]] std::vector<Path> paths_from(
+        RouterId src, std::span<const RouterId> dsts) const;
+
+  private:
+    /// Runs BFS from src; fills parent-link arrays sized to the topology.
+    void bfs(RouterId src, std::vector<RouterId>& parent,
+             std::vector<LinkId>& via) const;
+
+    const Topology* topo_;
+};
+
+}  // namespace concilium::net

@@ -1,0 +1,69 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace concilium::net {
+
+RouterId Topology::add_router(RouterTier tier, DomainId domain) {
+    tiers_.push_back(tier);
+    domains_.push_back(domain);
+    adjacency_.emplace_back();
+    return static_cast<RouterId>(tiers_.size() - 1);
+}
+
+LinkId Topology::add_link(RouterId a, RouterId b) {
+    if (a == b) {
+        throw std::invalid_argument("Topology::add_link: self-loop");
+    }
+    if (a >= router_count() || b >= router_count()) {
+        throw std::invalid_argument("Topology::add_link: unknown router");
+    }
+    if (find_link(a, b) != kInvalidLink) {
+        throw std::invalid_argument("Topology::add_link: duplicate link");
+    }
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{a, b});
+    adjacency_[a].push_back(Edge{b, id});
+    adjacency_[b].push_back(Edge{a, id});
+    return id;
+}
+
+LinkId Topology::find_link(RouterId a, RouterId b) const {
+    // Scan the lower-degree endpoint; adjacency lists at the edge are tiny.
+    const RouterId probe = degree(a) <= degree(b) ? a : b;
+    const RouterId target = probe == a ? b : a;
+    for (const Edge& e : adjacency_.at(probe)) {
+        if (e.neighbor == target) return e.link;
+    }
+    return kInvalidLink;
+}
+
+std::vector<RouterId> Topology::end_hosts() const {
+    std::vector<RouterId> hosts;
+    for (RouterId r = 0; r < router_count(); ++r) {
+        if (adjacency_[r].size() == 1) hosts.push_back(r);
+    }
+    return hosts;
+}
+
+bool Topology::connected() const {
+    if (router_count() == 0) return true;
+    std::vector<bool> seen(router_count(), false);
+    std::vector<RouterId> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        const RouterId r = stack.back();
+        stack.pop_back();
+        for (const Edge& e : adjacency_[r]) {
+            if (!seen[e.neighbor]) {
+                seen[e.neighbor] = true;
+                ++visited;
+                stack.push_back(e.neighbor);
+            }
+        }
+    }
+    return visited == router_count();
+}
+
+}  // namespace concilium::net

@@ -1,0 +1,93 @@
+// Router-level IP topology.
+//
+// The paper's simulations place a Pastry overlay atop a router topology
+// gathered by the SCAN project: 112,969 routers and 181,639 links, with end
+// hosts defined as routers that have only one link (Section 4.2).  Topology
+// is the passive graph; generation, path computation, and failure dynamics
+// live in sibling modules.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace concilium::net {
+
+using RouterId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+constexpr LinkId kInvalidLink = 0xffffffffu;
+constexpr RouterId kInvalidRouter = 0xffffffffu;
+
+/// Coarse role labels assigned by the generator; path and failure logic never
+/// depends on them, but they make tests and edge-bias diagnostics readable.
+enum class RouterTier : std::uint8_t {
+    kCore = 0,     ///< transit-domain backbone router
+    kStub = 1,     ///< stub-domain router
+    kEndHost = 2,  ///< degree-1 leaf machine
+};
+
+/// Administrative-domain label; kNoDomain for core routers.
+using DomainId = std::int32_t;
+constexpr DomainId kNoDomain = -1;
+
+struct Link {
+    RouterId a = kInvalidRouter;
+    RouterId b = kInvalidRouter;
+
+    [[nodiscard]] RouterId other(RouterId self) const noexcept {
+        return self == a ? b : a;
+    }
+};
+
+class Topology {
+  public:
+    /// Adds a router and returns its id.  Domain labels group stub routers
+    /// and their end hosts into administrative domains (Section 3.7's
+    /// "hosts ... in the same stub network"); core routers carry kNoDomain.
+    RouterId add_router(RouterTier tier, DomainId domain = kNoDomain);
+
+    /// Adds an undirected link; returns its id.  Self-loops and duplicate
+    /// links are rejected with std::invalid_argument.
+    LinkId add_link(RouterId a, RouterId b);
+
+    [[nodiscard]] std::size_t router_count() const noexcept {
+        return tiers_.size();
+    }
+    [[nodiscard]] std::size_t link_count() const noexcept {
+        return links_.size();
+    }
+
+    [[nodiscard]] RouterTier tier(RouterId r) const { return tiers_.at(r); }
+    [[nodiscard]] DomainId domain(RouterId r) const { return domains_.at(r); }
+    [[nodiscard]] const Link& link(LinkId l) const { return links_.at(l); }
+
+    struct Edge {
+        RouterId neighbor;
+        LinkId link;
+    };
+    [[nodiscard]] std::span<const Edge> neighbors(RouterId r) const {
+        return adjacency_.at(r);
+    }
+    [[nodiscard]] std::size_t degree(RouterId r) const {
+        return adjacency_.at(r).size();
+    }
+
+    /// Existing link between a and b, or kInvalidLink.
+    [[nodiscard]] LinkId find_link(RouterId a, RouterId b) const;
+
+    /// All degree-1 routers; the paper draws overlay hosts from these.
+    [[nodiscard]] std::vector<RouterId> end_hosts() const;
+
+    /// True when every router can reach router 0.
+    [[nodiscard]] bool connected() const;
+
+  private:
+    std::vector<RouterTier> tiers_;
+    std::vector<DomainId> domains_;
+    std::vector<Link> links_;
+    std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace concilium::net

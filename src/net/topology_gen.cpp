@@ -1,0 +1,182 @@
+#include "net/topology_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace concilium::net {
+
+namespace {
+
+/// Adds a link unless it already exists (chord generation may collide).
+bool add_link_if_new(Topology& topo, RouterId a, RouterId b) {
+    if (a == b) return false;
+    if (topo.find_link(a, b) != kInvalidLink) return false;
+    topo.add_link(a, b);
+    return true;
+}
+
+}  // namespace
+
+TopologyParams scan_like_params() {
+    TopologyParams p;
+    p.transit_domains = 20;
+    p.routers_per_transit = 30;
+    p.stub_domains = 2500;
+    p.routers_per_stub = 30;
+    p.end_hosts = 37400;
+    p.transit_chord_fraction = 0.5;
+    p.stub_chord_fraction = 0.9;
+    p.dual_home_probability = 0.3;
+    p.inter_domain_links = 20;
+    return p;
+}
+
+TopologyParams medium_params() {
+    TopologyParams p;
+    p.transit_domains = 8;
+    p.routers_per_transit = 16;
+    p.stub_domains = 320;
+    p.routers_per_stub = 28;
+    p.end_hosts = 4700;
+    p.transit_chord_fraction = 0.5;
+    p.stub_chord_fraction = 0.9;
+    p.dual_home_probability = 0.3;
+    p.inter_domain_links = 8;
+    return p;
+}
+
+TopologyParams small_params() {
+    TopologyParams p;
+    p.transit_domains = 2;
+    p.routers_per_transit = 5;
+    p.stub_domains = 12;
+    p.routers_per_stub = 6;
+    p.end_hosts = 120;
+    p.transit_chord_fraction = 0.5;
+    p.stub_chord_fraction = 0.7;
+    p.dual_home_probability = 0.3;
+    p.inter_domain_links = 2;
+    return p;
+}
+
+Topology generate_topology(const TopologyParams& params, util::Rng& rng) {
+    if (params.transit_domains < 1 || params.routers_per_transit < 2 ||
+        params.stub_domains < 1 || params.routers_per_stub < 1 ||
+        params.end_hosts < 0) {
+        throw std::invalid_argument("generate_topology: degenerate parameters");
+    }
+
+    Topology topo;
+
+    // --- Core: transit domains, each a ring plus random chords. ---
+    std::vector<std::vector<RouterId>> domains(
+        static_cast<std::size_t>(params.transit_domains));
+    for (auto& domain : domains) {
+        domain.reserve(static_cast<std::size_t>(params.routers_per_transit));
+        for (int i = 0; i < params.routers_per_transit; ++i) {
+            domain.push_back(topo.add_router(RouterTier::kCore));
+        }
+        for (std::size_t i = 0; i < domain.size(); ++i) {
+            add_link_if_new(topo, domain[i], domain[(i + 1) % domain.size()]);
+        }
+        const int chords = static_cast<int>(params.transit_chord_fraction *
+                                            params.routers_per_transit);
+        for (int i = 0; i < chords; ++i) {
+            add_link_if_new(topo, rng.pick(domain), rng.pick(domain));
+        }
+    }
+
+    // Interconnect the domains: a ring over domains guarantees connectivity,
+    // extra random pairs add path diversity.
+    for (std::size_t d = 0; d + 1 < domains.size(); ++d) {
+        add_link_if_new(topo, rng.pick(domains[d]), rng.pick(domains[d + 1]));
+    }
+    if (domains.size() > 2) {
+        add_link_if_new(topo, rng.pick(domains.back()), rng.pick(domains.front()));
+    }
+    for (int i = 0; i < params.inter_domain_links; ++i) {
+        const auto& d1 = domains[rng.uniform_index(domains.size())];
+        const auto& d2 = domains[rng.uniform_index(domains.size())];
+        add_link_if_new(topo, rng.pick(d1), rng.pick(d2));
+    }
+
+    std::vector<RouterId> core;
+    for (const auto& domain : domains) {
+        core.insert(core.end(), domain.begin(), domain.end());
+    }
+
+    // --- Stub domains: random trees with chords, gateway(s) to the core. ---
+    std::vector<RouterId> stub_routers;
+    std::vector<DomainId> stub_router_domain;
+    for (int s = 0; s < params.stub_domains; ++s) {
+        const int lo = std::max(1, params.routers_per_stub / 2);
+        const int hi = std::max(lo, params.routers_per_stub * 3 / 2);
+        const int size = static_cast<int>(rng.uniform_int(lo, hi));
+        std::vector<RouterId> stub;
+        stub.reserve(static_cast<std::size_t>(size));
+        for (int i = 0; i < size; ++i) {
+            const RouterId r = topo.add_router(RouterTier::kStub,
+                                               static_cast<DomainId>(s));
+            if (i > 0) {
+                // Random recursive tree keeps diameters small and degrees
+                // skewed, like measured stub networks.
+                add_link_if_new(topo, r, stub[rng.uniform_index(stub.size())]);
+            }
+            stub.push_back(r);
+        }
+        const int chords =
+            static_cast<int>(params.stub_chord_fraction * static_cast<double>(size));
+        for (int i = 0; i < chords; ++i) {
+            add_link_if_new(topo, rng.pick(stub), rng.pick(stub));
+        }
+        add_link_if_new(topo, stub.front(), rng.pick(core));
+        if (rng.bernoulli(params.dual_home_probability)) {
+            add_link_if_new(topo, rng.pick(stub), rng.pick(core));
+        }
+        stub_routers.insert(stub_routers.end(), stub.begin(), stub.end());
+        stub_router_domain.insert(stub_router_domain.end(), stub.size(),
+                                  static_cast<DomainId>(s));
+    }
+
+    // --- End hosts: degree-1 leaves on random stub routers, inheriting
+    // their router's domain. ---
+    for (int i = 0; i < params.end_hosts; ++i) {
+        const std::size_t pick = rng.uniform_index(stub_routers.size());
+        const RouterId host =
+            topo.add_router(RouterTier::kEndHost, stub_router_domain[pick]);
+        topo.add_link(host, stub_routers[pick]);
+    }
+
+    return topo;
+}
+
+TopologyStats summarize(const Topology& topo) {
+    TopologyStats stats;
+    stats.routers = topo.router_count();
+    stats.links = topo.link_count();
+    std::size_t interior_degree_sum = 0;
+    std::size_t interior = 0;
+    for (RouterId r = 0; r < topo.router_count(); ++r) {
+        switch (topo.tier(r)) {
+            case RouterTier::kCore: ++stats.core_routers; break;
+            case RouterTier::kStub: ++stats.stub_routers; break;
+            case RouterTier::kEndHost: ++stats.end_hosts; break;
+        }
+        if (topo.tier(r) != RouterTier::kEndHost) {
+            interior_degree_sum += topo.degree(r);
+            ++interior;
+        }
+    }
+    stats.link_router_ratio = stats.routers == 0
+                                  ? 0.0
+                                  : static_cast<double>(stats.links) /
+                                        static_cast<double>(stats.routers);
+    stats.mean_interior_degree =
+        interior == 0 ? 0.0
+                      : static_cast<double>(interior_degree_sum) /
+                            static_cast<double>(interior);
+    return stats;
+}
+
+}  // namespace concilium::net

@@ -1,0 +1,33 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace concilium::net {
+
+double Transport::pass_probability(LinkId link, util::SimTime t) const {
+    if (!timeline_->is_up(link, t)) return 0.0;
+    return 1.0 - params_.healthy_link_loss;
+}
+
+bool Transport::sample_traversal(std::span<const LinkId> links,
+                                 util::SimTime t) {
+    util::SimTime cross = t;
+    for (const LinkId link : links) {
+        if (!rng_.bernoulli(pass_probability(link, cross))) return false;
+        cross += params_.per_hop_latency;
+    }
+    return true;
+}
+
+bool Transport::sample_traversal(const Path& path, util::SimTime t) {
+    return sample_traversal(path.links, t);
+}
+
+void Transport::send(const Path& path, std::function<void()> on_deliver,
+                     std::function<void()> on_drop) {
+    const bool ok = sample_traversal(path, sim_->now());
+    sim_->schedule_after(latency(path),
+                         ok ? std::move(on_deliver) : std::move(on_drop));
+}
+
+}  // namespace concilium::net

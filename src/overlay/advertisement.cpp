@@ -1,0 +1,70 @@
+#include "overlay/advertisement.h"
+
+namespace concilium::overlay {
+
+std::vector<std::uint8_t> LeafSetAdvertisement::signed_payload() const {
+    util::ByteWriter w;
+    w.node_id(owner);
+    w.i64(issued_at);
+    const auto side = [&w](const std::vector<LeafEntry>& entries) {
+        w.u32(static_cast<std::uint32_t>(entries.size()));
+        for (const LeafEntry& e : entries) {
+            w.node_id(e.peer);
+            w.i64(e.freshness.at);
+            w.bytes(e.freshness.signature.bytes());
+        }
+    };
+    side(successors);
+    side(predecessors);
+    return w.data();
+}
+
+double LeafSetAdvertisement::mean_spacing() const {
+    const std::size_t count = successors.size() + predecessors.size();
+    if (count == 0) return 1.0;
+    const util::NodeId lo =
+        predecessors.empty() ? owner : predecessors.back().peer;
+    const util::NodeId hi = successors.empty() ? owner : successors.back().peer;
+    const double span = util::clockwise_distance(lo, hi).as_fraction();
+    return span <= 0.0 ? 1.0 : span / static_cast<double>(count);
+}
+
+std::size_t LeafSetAdvertisement::wire_bytes() const {
+    return (successors.size() + predecessors.size()) *
+               AdvertisedEntry::kWireBytes +
+           util::NodeId::kBytes + 8 + crypto::Signature::kWireBytes;
+}
+
+std::vector<std::uint8_t> JumpTableAdvertisement::signed_payload() const {
+    util::ByteWriter w;
+    w.node_id(owner);
+    w.i64(issued_at);
+    w.f64(population_estimate);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const AdvertisedEntry& e : entries) {
+        w.u8(static_cast<std::uint8_t>(e.row));
+        w.u8(static_cast<std::uint8_t>(e.col));
+        w.node_id(e.peer);
+        w.u32(e.peer_ip);
+        w.i64(e.freshness.at);
+        w.bytes(e.freshness.signature.bytes());
+    }
+    return w.data();
+}
+
+double JumpTableAdvertisement::density(
+    const util::OverlayGeometry& geometry) const {
+    return static_cast<double>(entries.size()) /
+           static_cast<double>(geometry.table_slots());
+}
+
+std::size_t JumpTableAdvertisement::wire_bytes() const {
+    // Per-entry cost follows the paper exactly (144 bytes, see
+    // AdvertisedEntry::kWireBytes); the envelope adds the owner identifier,
+    // issue time, population estimate, and the owner's own signature.
+    return entries.size() * AdvertisedEntry::kWireBytes +
+           util::NodeId::kBytes /* owner */ + 8 /* issued_at */ +
+           8 /* population estimate */ + crypto::Signature::kWireBytes;
+}
+
+}  // namespace concilium::overlay

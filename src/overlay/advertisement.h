@@ -1,0 +1,135 @@
+// Signed routing-state advertisements.
+//
+// "hosts exchange their routing tables so that they can determine the first
+// few hops that a locally forwarded message will take" (Section 3).  An
+// advertisement carries, for every occupied jump-table slot, the peer's
+// identifier and a *signed freshness timestamp* produced by that peer
+// (Section 3.1's defence against inflation attacks: identifiers harvested
+// from departed nodes come with stale timestamps and are rejected).  The
+// whole advertisement is signed by its owner so it cannot be spoofed or
+// later disavowed.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "crypto/tokens.h"
+#include "overlay/network.h"
+#include "util/ids.h"
+#include "util/serialize.h"
+#include "util/time.h"
+
+namespace concilium::overlay {
+
+struct AdvertisedEntry {
+    int row = 0;
+    int col = 0;
+    util::NodeId peer;
+    net::RouterId peer_ip = net::kInvalidRouter;
+    crypto::SignedTimestamp freshness;  ///< signed by `peer` itself
+
+    /// Section 4.4: "Each routing entry contains a 16 byte node identifier
+    /// and a 4 byte freshness timestamp.  Using PSS-R with 1024 bit public
+    /// keys, both quantities plus a signature consume 144 bytes" (PSS-R
+    /// message recovery folds the 20 payload bytes into the signature).
+    static constexpr std::size_t kWireBytes = 144;
+};
+
+struct JumpTableAdvertisement {
+    util::NodeId owner;
+    util::SimTime issued_at = 0;
+    /// Population estimate from the owner's leaf spacing, included so that
+    /// receivers can sanity-check density claims against the same N.
+    double population_estimate = 0.0;
+    std::vector<AdvertisedEntry> entries;
+    crypto::Signature signature;  ///< by owner, over signed_payload()
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const;
+
+    /// Advertised occupancy fraction d_peer for an l x v geometry.
+    [[nodiscard]] double density(const util::OverlayGeometry& geometry) const;
+
+    /// Modelled wire size (Section 4.4): 144 bytes for identifier + freshness
+    /// timestamp + signature amortisation per entry, as in the paper.
+    [[nodiscard]] std::size_t wire_bytes() const;
+};
+
+/// A leaf-set advertisement, subject to Castro's density test: "By comparing
+/// the average inter-identifier spacing in its own leaf set to that of a
+/// peer's leaf set, a host can identify advertised leaf sets that are too
+/// sparse" (Section 2).  Entries carry the same signed freshness timestamps
+/// as jump-table entries so departed neighbours cannot be re-advertised.
+struct LeafEntry {
+    util::NodeId peer;
+    crypto::SignedTimestamp freshness;
+};
+
+struct LeafSetAdvertisement {
+    util::NodeId owner;
+    util::SimTime issued_at = 0;
+    std::vector<LeafEntry> successors;    ///< clockwise, nearest first
+    std::vector<LeafEntry> predecessors;  ///< counter-clockwise, nearest first
+    crypto::Signature signature;
+
+    [[nodiscard]] std::vector<std::uint8_t> signed_payload() const;
+
+    /// Mean inter-identifier ring spacing implied by the advertisement
+    /// (the quantity Castro's test compares).
+    [[nodiscard]] double mean_spacing() const;
+
+    /// 144 modelled bytes per entry, like jump-table entries.
+    [[nodiscard]] std::size_t wire_bytes() const;
+};
+
+/// Builds member `who`'s leaf-set advertisement.
+template <typename ProbeTimeFn>
+LeafSetAdvertisement make_leaf_advertisement(const OverlayNetwork& net,
+                                             MemberIndex who,
+                                             util::SimTime now,
+                                             ProbeTimeFn&& probe_time_of) {
+    LeafSetAdvertisement ad;
+    ad.owner = net.member(who).id();
+    ad.issued_at = now;
+    const auto fill = [&](auto span, std::vector<LeafEntry>& out) {
+        for (const MemberIndex m : span) {
+            const Member& peer = net.member(m);
+            out.push_back(LeafEntry{
+                peer.id(), crypto::make_signed_timestamp(
+                               peer.id(), probe_time_of(m), peer.keys)});
+        }
+    };
+    fill(net.leaf_set(who).successors(), ad.successors);
+    fill(net.leaf_set(who).predecessors(), ad.predecessors);
+    ad.signature = net.member(who).keys.sign(ad.signed_payload());
+    return ad;
+}
+
+/// Builds member `who`'s advertisement of its secure jump table.  Freshness
+/// timestamps are signed by each referenced peer as of `probe_time_of(peer)`
+/// (in the live protocol they piggyback on availability-probe responses).
+template <typename ProbeTimeFn>
+JumpTableAdvertisement make_advertisement(const OverlayNetwork& net,
+                                          MemberIndex who, util::SimTime now,
+                                          ProbeTimeFn&& probe_time_of) {
+    JumpTableAdvertisement ad;
+    ad.owner = net.member(who).id();
+    ad.issued_at = now;
+    ad.population_estimate = net.estimate_population(who);
+    for (const JumpTable::Entry& e : net.secure_table(who).entries()) {
+        const Member& peer = net.member(e.member);
+        AdvertisedEntry entry;
+        entry.row = e.row;
+        entry.col = e.col;
+        entry.peer = peer.id();
+        entry.peer_ip = peer.ip();
+        entry.freshness = crypto::make_signed_timestamp(
+            peer.id(), probe_time_of(e.member), peer.keys);
+        ad.entries.push_back(entry);
+    }
+    ad.signature = net.member(who).keys.sign(ad.signed_payload());
+    return ad;
+}
+
+}  // namespace concilium::overlay

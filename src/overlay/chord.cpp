@@ -1,0 +1,187 @@
+#include "overlay/chord.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace concilium::overlay {
+
+namespace {
+
+/// id + 2^bit mod 2^160, big-endian byte arithmetic.
+util::NodeId add_power_of_two(const util::NodeId& id, int bit) {
+    auto bytes = id.bytes();
+    int byte_index = util::NodeId::kBytes - 1 - bit / 8;
+    unsigned carry = 1u << (bit % 8);
+    while (carry != 0 && byte_index >= 0) {
+        const unsigned sum = bytes[static_cast<std::size_t>(byte_index)] + carry;
+        bytes[static_cast<std::size_t>(byte_index)] =
+            static_cast<std::uint8_t>(sum & 0xff);
+        carry = sum >> 8;
+        --byte_index;
+    }
+    return util::NodeId(bytes);
+}
+
+/// x in the cyclic half-open interval (a, b].
+bool in_open_closed(const util::NodeId& a, const util::NodeId& x,
+                    const util::NodeId& b) {
+    if (a < b) return a < x && (x < b || x == b);
+    return a < x || x < b || x == b;
+}
+
+}  // namespace
+
+ChordNetwork::ChordNetwork(std::vector<Member> members, ChordParams params)
+    : members_(std::move(members)), params_(params) {
+    if (members_.empty()) {
+        throw std::invalid_argument("ChordNetwork: no members");
+    }
+    if (params_.successor_list_length < 1) {
+        throw std::invalid_argument("ChordNetwork: bad successor list length");
+    }
+    const std::size_t n = members_.size();
+    sorted_.resize(n);
+    for (MemberIndex i = 0; i < n; ++i) sorted_[i] = i;
+    std::sort(sorted_.begin(), sorted_.end(),
+              [this](MemberIndex a, MemberIndex b) {
+                  return members_[a].id() < members_[b].id();
+              });
+
+    // Successor lists straight off the ring.
+    std::vector<std::size_t> position(n);
+    for (std::size_t k = 0; k < n; ++k) position[sorted_[k]] = k;
+    successors_.resize(n);
+    const auto list_len = static_cast<std::size_t>(
+        std::min<std::size_t>(params_.successor_list_length, n - 1));
+    for (MemberIndex m = 0; m < n; ++m) {
+        for (std::size_t s = 1; s <= list_len; ++s) {
+            successors_[m].push_back(sorted_[(position[m] + s) % n]);
+        }
+    }
+
+    // Finger tables: finger i = successor_of(id + 2^i).
+    fingers_.resize(n);
+    for (MemberIndex m = 0; m < n; ++m) {
+        fingers_[m].reserve(kFingers);
+        for (int i = 0; i < kFingers; ++i) {
+            fingers_[m].push_back(
+                successor_of(add_power_of_two(members_[m].id(), i)));
+        }
+    }
+}
+
+MemberIndex ChordNetwork::finger(MemberIndex m, int i) const {
+    if (i < 0 || i >= kFingers) {
+        throw std::out_of_range("ChordNetwork::finger: bad row");
+    }
+    return fingers_.at(m).at(static_cast<std::size_t>(i));
+}
+
+int ChordNetwork::distinct_fingers(MemberIndex m) const {
+    std::unordered_set<MemberIndex> distinct;
+    for (const MemberIndex f : fingers_.at(m)) {
+        if (f != m) distinct.insert(f);
+    }
+    return static_cast<int>(distinct.size());
+}
+
+MemberIndex ChordNetwork::successor_of(const util::NodeId& key) const {
+    // First member with id >= key, wrapping to the ring's smallest id.
+    const auto cmp = [this](MemberIndex m, const util::NodeId& id) {
+        return members_[m].id() < id;
+    };
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), key, cmp);
+    return it == sorted_.end() ? sorted_.front() : *it;
+}
+
+std::vector<MemberIndex> ChordNetwork::route(MemberIndex from,
+                                             const util::NodeId& key) const {
+    const MemberIndex target = successor_of(key);
+    std::vector<MemberIndex> hops{from};
+    MemberIndex cur = from;
+    for (int step = 0; cur != target; ++step) {
+        if (step > 2 * kFingers) {
+            throw std::runtime_error("ChordNetwork::route: did not converge");
+        }
+        const MemberIndex next_on_ring = successors_.at(cur).empty()
+                                             ? cur
+                                             : successors_.at(cur).front();
+        if (in_open_closed(members_[cur].id(), key,
+                           members_[next_on_ring].id())) {
+            cur = next_on_ring;  // key owned by the immediate successor
+        } else {
+            // Closest preceding finger: the highest finger strictly inside
+            // (cur, key).
+            MemberIndex best = next_on_ring;
+            for (int i = kFingers - 1; i >= 0; --i) {
+                const MemberIndex f = fingers_.at(cur)[static_cast<std::size_t>(i)];
+                if (f == cur) continue;
+                if (in_open_closed(members_[cur].id(), members_[f].id(), key) &&
+                    !(members_[f].id() == key)) {
+                    best = f;
+                    break;
+                }
+            }
+            if (best == cur) break;  // degenerate single-node ring
+            cur = best;
+        }
+        hops.push_back(cur);
+    }
+    return hops;
+}
+
+double chord_finger_distinct_probability(int finger, double n_nodes) {
+    if (finger < 0 || finger >= ChordNetwork::kFingers) {
+        throw std::out_of_range("chord_finger_distinct_probability: row");
+    }
+    if (n_nodes <= 1.0) return 0.0;
+    if (finger == 0) return 1.0;  // finger 0 always names one distinct node
+    // Interval (n + 2^(i-1), n + 2^i] has ring-fraction 2^(i-1) / 2^160.
+    const double fraction = std::exp2(static_cast<double>(finger - 1) - 160.0);
+    const double log_miss = (n_nodes - 1.0) * std::log1p(-fraction);
+    return -std::expm1(log_miss);
+}
+
+util::PoissonBinomialNormal chord_finger_model(double n_nodes) {
+    std::vector<double> grid;
+    grid.reserve(ChordNetwork::kFingers);
+    for (int i = 0; i < ChordNetwork::kFingers; ++i) {
+        grid.push_back(chord_finger_distinct_probability(i, n_nodes));
+    }
+    return util::PoissonBinomialNormal(grid);
+}
+
+namespace {
+
+double chord_density_error(double gamma, double n_pmf_source,
+                           double n_cdf_source, bool false_positive) {
+    const auto pmf_model = chord_finger_model(n_pmf_source);
+    const auto cdf_model = chord_finger_model(n_cdf_source);
+    double total = 0.0;
+    for (int d = 0; d <= ChordNetwork::kFingers; ++d) {
+        const double p = pmf_model.pmf(d);
+        if (p <= 0.0) continue;
+        total += p * cdf_model.cdf(false_positive
+                                       ? static_cast<double>(d) / gamma
+                                       : gamma * static_cast<double>(d));
+    }
+    return total;
+}
+
+}  // namespace
+
+double chord_density_false_positive(double gamma, double n_local,
+                                    double n_peer_view) {
+    // Pr(gamma * d_peer < d_local), both honest.
+    return chord_density_error(gamma, n_local, n_peer_view, true);
+}
+
+double chord_density_false_negative(double gamma, double n_local,
+                                    double n_attacker_pool) {
+    // Pr(gamma * d_peer >= d_local), peer drawn from the colluder pool.
+    return chord_density_error(gamma, n_attacker_pool, n_local, false);
+}
+
+}  // namespace concilium::overlay

@@ -1,0 +1,95 @@
+// Chord: the second overlay substrate.
+//
+// The paper names Chord alongside Pastry (Section 2) and claims its
+// jump-table occupancy test "can be extended to other overlays in a
+// straightforward manner" (Section 3.1).  This module substantiates that
+// claim: a Chord ring with finger tables and successor lists, plus the
+// direct analogue of the occupancy test.
+//
+// In Chord, finger i of node n points at the first node clockwise of
+// n + 2^i.  Neighbouring fingers often collapse onto the same node, and the
+// number of *distinct* fingers plays exactly the role jump-table occupancy
+// plays in Pastry: finger i is distinct from finger i-1 iff some node lies
+// in the half-open ring interval (n + 2^(i-1), n + 2^i], which happens with
+// probability 1 - (1 - 2^(i-1)/2^160)^(N-1) -- Equation 1's twin.  Distinct
+// counts are again a Poisson-binomial sum, so the same normal approximation,
+// the same gamma test, and the same false positive/negative analysis apply
+// verbatim.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/network.h"
+#include "util/ids.h"
+#include "util/stats.h"
+
+namespace concilium::overlay {
+
+class ChordNetwork {
+  public:
+    /// Number of finger-table rows (the full 160-bit ring).
+    static constexpr int kFingers = 160;
+
+    struct ChordParams {
+        int successor_list_length = 8;
+    };
+
+    /// Builds the ring: successor lists and finger tables for every member.
+    ChordNetwork(std::vector<Member> members, ChordParams params);
+
+    [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+    [[nodiscard]] const Member& member(MemberIndex i) const {
+        return members_.at(i);
+    }
+
+    /// The i-th successor list entry of member m.
+    [[nodiscard]] const std::vector<MemberIndex>& successors(
+        MemberIndex m) const {
+        return successors_.at(m);
+    }
+
+    /// finger(m, i): the first member clockwise of member m's id + 2^i,
+    /// for i in [0, kFingers).
+    [[nodiscard]] MemberIndex finger(MemberIndex m, int i) const;
+
+    /// Number of distinct nodes among m's fingers, excluding m itself --
+    /// the Chord analogue of jump-table occupancy.
+    [[nodiscard]] int distinct_fingers(MemberIndex m) const;
+
+    /// The member responsible for (first clockwise of or equal to) key.
+    [[nodiscard]] MemberIndex successor_of(const util::NodeId& key) const;
+
+    /// Greedy Chord routing: repeatedly jump to the closest preceding
+    /// finger.  Returns the hop sequence ending at the key's successor.
+    [[nodiscard]] std::vector<MemberIndex> route(MemberIndex from,
+                                                 const util::NodeId& key) const;
+
+  private:
+    std::vector<Member> members_;
+    ChordParams params_;
+    std::vector<MemberIndex> sorted_;  ///< indices in ring order
+    std::vector<std::vector<MemberIndex>> successors_;
+    std::vector<std::vector<MemberIndex>> fingers_;  ///< [member][finger row]
+};
+
+/// Probability that finger i is distinct from finger i-1 in an N-node ring
+/// (for i = 0: that the interval (n, n+1] holds a node, which is ~0):
+/// 1 - (1 - 2^(i-1) / 2^160)^(N-1).
+double chord_finger_distinct_probability(int finger, double n_nodes);
+
+/// Distribution of the distinct-finger count: the Chord twin of
+/// overlay::occupancy_model.
+util::PoissonBinomialNormal chord_finger_model(double n_nodes);
+
+/// Analytic density-test error rates, reusing the Pastry machinery's shape:
+/// a malicious node advertising only colluders has the distinct-finger
+/// distribution of an N*c-node ring.
+double chord_density_false_positive(double gamma, double n_local,
+                                    double n_peer_view);
+double chord_density_false_negative(double gamma, double n_local,
+                                    double n_attacker_pool);
+
+}  // namespace concilium::overlay

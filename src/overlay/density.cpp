@@ -1,0 +1,147 @@
+#include "overlay/density.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace concilium::overlay {
+
+double slot_fill_probability(int row, double n_nodes,
+                             const util::OverlayGeometry& geometry) {
+    if (row < 0 || row >= geometry.rows()) {
+        throw std::out_of_range("slot_fill_probability: row out of range");
+    }
+    if (n_nodes <= 1.0) return 0.0;
+    const double v = geometry.kDigitBase;
+    // log1p-based form keeps precision for deep rows where (1/v)^(i+1) is
+    // denormal-small.
+    const double log_miss =
+        (n_nodes - 1.0) * std::log1p(-std::pow(1.0 / v, row + 1));
+    return -std::expm1(log_miss);
+}
+
+std::vector<double> fill_probability_grid(
+    double n_nodes, const util::OverlayGeometry& geometry) {
+    std::vector<double> grid;
+    grid.reserve(static_cast<std::size_t>(geometry.table_slots()));
+    for (int row = 0; row < geometry.rows(); ++row) {
+        const double p = slot_fill_probability(row, n_nodes, geometry);
+        for (int col = 0; col < geometry.columns(); ++col) {
+            grid.push_back(p);
+        }
+    }
+    return grid;
+}
+
+util::PoissonBinomialNormal occupancy_model(
+    double n_nodes, const util::OverlayGeometry& geometry) {
+    const auto grid = fill_probability_grid(n_nodes, geometry);
+    return util::PoissonBinomialNormal(grid);
+}
+
+bool jump_table_too_sparse(double local_density, double peer_density,
+                           double gamma) {
+    if (gamma < 1.0) {
+        throw std::invalid_argument("jump_table_too_sparse: gamma must be >= 1");
+    }
+    return gamma * peer_density < local_density;
+}
+
+bool leaf_set_too_sparse(double local_mean_spacing, double peer_mean_spacing,
+                         double gamma) {
+    if (gamma < 1.0) {
+        throw std::invalid_argument("leaf_set_too_sparse: gamma must be >= 1");
+    }
+    // Sparse leaf set == large spacing; suspicious when the peer's spacing
+    // exceeds gamma times ours.
+    return peer_mean_spacing > gamma * local_mean_spacing;
+}
+
+double density_false_positive(double gamma, double n_local,
+                              double n_peer_view,
+                              const util::OverlayGeometry& geometry) {
+    const auto local = occupancy_model(n_local, geometry);
+    const auto peer = occupancy_model(n_peer_view, geometry);
+    const int slots = geometry.table_slots();
+    double fp = 0.0;
+    for (int d = 0; d <= slots; ++d) {
+        const double p_local = local.pmf(d);
+        if (p_local <= 0.0) continue;
+        fp += p_local * peer.cdf(static_cast<double>(d) / gamma);
+    }
+    return fp;
+}
+
+double density_false_negative(double gamma, double n_local,
+                              double n_attacker_pool,
+                              const util::OverlayGeometry& geometry) {
+    const auto local = occupancy_model(n_local, geometry);
+    const auto malicious = occupancy_model(n_attacker_pool, geometry);
+    const int slots = geometry.table_slots();
+    double fn = 0.0;
+    for (int d = 0; d <= slots; ++d) {
+        const double p_mal = malicious.pmf(d);
+        if (p_mal <= 0.0) continue;
+        fn += p_mal * local.cdf(gamma * static_cast<double>(d));
+    }
+    return fn;
+}
+
+GammaChoice optimal_gamma(double n_local, double n_peer_view,
+                          double n_attacker_pool,
+                          const util::OverlayGeometry& geometry, double lo,
+                          double hi, int steps) {
+    if (!(hi >= lo) || steps < 2 || lo < 1.0) {
+        throw std::invalid_argument("optimal_gamma: bad scan range");
+    }
+    GammaChoice best;
+    bool have_best = false;
+    for (int s = 0; s < steps; ++s) {
+        const double gamma =
+            lo + (hi - lo) * static_cast<double>(s) / (steps - 1);
+        GammaChoice c;
+        c.gamma = gamma;
+        c.false_positive =
+            density_false_positive(gamma, n_local, n_peer_view, geometry);
+        c.false_negative =
+            density_false_negative(gamma, n_local, n_attacker_pool, geometry);
+        if (!have_best || c.total_error() < best.total_error()) {
+            best = c;
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+util::OnlineMoments simulate_table_occupancy(
+    int n_nodes, const util::OverlayGeometry& geometry, int samples,
+    util::Rng& rng) {
+    if (n_nodes < 2 || samples < 1) {
+        throw std::invalid_argument("simulate_table_occupancy: bad arguments");
+    }
+    util::OnlineMoments occupancy;
+    std::vector<bool> filled(
+        static_cast<std::size_t>(geometry.table_slots()));
+    for (int s = 0; s < samples; ++s) {
+        const util::NodeId self = util::NodeId::random(rng);
+        std::fill(filled.begin(), filled.end(), false);
+        int count = 0;
+        for (int other = 0; other + 1 < n_nodes; ++other) {
+            const util::NodeId id = util::NodeId::random(rng);
+            const int row = self.shared_prefix_digits(id);
+            if (row >= geometry.rows()) continue;  // duplicate-prefix freak
+            const int col = id.digit(row);
+            const std::size_t slot =
+                static_cast<std::size_t>(row) *
+                    static_cast<std::size_t>(geometry.columns()) +
+                static_cast<std::size_t>(col);
+            if (!filled[slot]) {
+                filled[slot] = true;
+                ++count;
+            }
+        }
+        occupancy.add(static_cast<double>(count));
+    }
+    return occupancy;
+}
+
+}  // namespace concilium::overlay

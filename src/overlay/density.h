@@ -1,0 +1,96 @@
+// Jump-table and leaf-set density validation (Section 3.1, Figures 1-3).
+//
+// Peers exchange routing tables so that Concilium can predict forwarding
+// paths; a peer that under-reports its table (suppressing honest nodes) or
+// over-reports it can steer traffic to confederates or dodge blame.  The
+// occupancy test compares the advertised density d_peer against the local
+// density d_local: the table is deemed invalid when gamma * d_peer < d_local
+// for a small gamma > 1.
+//
+// This module implements both the runtime check and the analytic error model
+// used to choose gamma: Equation 1's slot-fill probability, the
+// Poisson-binomial occupancy distribution with its normal approximation, the
+// false-positive / false-negative integrals, and a Monte Carlo occupancy
+// sampler for validating the model (Figure 1).
+
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace concilium::overlay {
+
+/// Equation 1: Pr(entry filled in row i) = 1 - [1 - (1/v)^(i+1)]^(N-1),
+/// with rows indexed from 0.  `n_nodes` is the total overlay population N.
+double slot_fill_probability(int row, double n_nodes,
+                             const util::OverlayGeometry& geometry);
+
+/// The flattened l x v grid of p_ij values (constant across columns).
+std::vector<double> fill_probability_grid(double n_nodes,
+                                          const util::OverlayGeometry& geometry);
+
+/// The paper's occupancy distribution phi(mu_phi, sigma_phi).
+util::PoissonBinomialNormal occupancy_model(
+    double n_nodes, const util::OverlayGeometry& geometry);
+
+/// The runtime density check: true when gamma * d_peer < d_local, i.e. the
+/// advertised table is suspiciously sparse.
+bool jump_table_too_sparse(double local_density, double peer_density,
+                           double gamma);
+
+/// Castro's leaf-set variant: a peer's leaf set whose mean inter-identifier
+/// spacing is more than gamma times the local spacing is suspiciously sparse.
+bool leaf_set_too_sparse(double local_mean_spacing, double peer_mean_spacing,
+                         double gamma);
+
+/// Analytic false-positive probability of the jump-table test:
+///   Pr(gamma * d_peer < d_local)
+///     = sum_d pmf_local(d) * Phi_peer(d / gamma)
+/// where the local occupancy is modelled with population n_local and the
+/// honest peer's occupancy with population n_peer_view.  Without suppression
+/// attacks both are N; a suppression attack shrinks n_peer_view because
+/// colluders hide from the honest peer's table (Section 4.1).
+double density_false_positive(double gamma, double n_local,
+                              double n_peer_view,
+                              const util::OverlayGeometry& geometry);
+
+/// Analytic false-negative probability:
+///   Pr(gamma * d_peer >= d_local)
+///     = sum_d pmf_malicious(d) * Phi_local(gamma * d)
+/// where the malicious table is modelled as a legitimate table in an overlay
+/// of n_attacker_pool = N * c hosts (the attacker can only fill slots with
+/// colluders), and the local occupancy uses population n_local (skewed
+/// downward under suppression attacks).
+double density_false_negative(double gamma, double n_local,
+                              double n_attacker_pool,
+                              const util::OverlayGeometry& geometry);
+
+struct GammaChoice {
+    double gamma = 1.0;
+    double false_positive = 0.0;
+    double false_negative = 0.0;
+
+    [[nodiscard]] double total_error() const noexcept {
+        return false_positive + false_negative;
+    }
+};
+
+/// Scans gammas in [lo, hi] (inclusive, `steps` points) and returns the one
+/// minimising FP + FN, as in Figure 2(c) / 3(c).
+GammaChoice optimal_gamma(double n_local, double n_peer_view,
+                          double n_attacker_pool,
+                          const util::OverlayGeometry& geometry, double lo,
+                          double hi, int steps);
+
+/// Monte Carlo ground truth for Figure 1: draws `samples` overlays of
+/// n_nodes uniformly random identifiers and counts one node's filled jump
+/// table slots per the standard constraint (some other node shares an
+/// i-digit prefix and has digit j at position i).
+util::OnlineMoments simulate_table_occupancy(
+    int n_nodes, const util::OverlayGeometry& geometry, int samples,
+    util::Rng& rng);
+
+}  // namespace concilium::overlay

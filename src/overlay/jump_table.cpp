@@ -1,0 +1,70 @@
+#include "overlay/jump_table.h"
+
+#include <stdexcept>
+
+namespace concilium::overlay {
+
+JumpTable::JumpTable(util::NodeId owner, util::OverlayGeometry geometry)
+    : owner_(owner), geometry_(geometry),
+      slots_(static_cast<std::size_t>(geometry.table_slots())) {
+    if (geometry.digits < 1 ||
+        geometry.digits > util::OverlayGeometry::kMaxDigits) {
+        throw std::invalid_argument("JumpTable: bad geometry");
+    }
+}
+
+std::size_t JumpTable::index_of(int row, int col) const {
+    if (row < 0 || row >= geometry_.rows() || col < 0 ||
+        col >= geometry_.columns()) {
+        throw std::out_of_range("JumpTable: slot index out of range");
+    }
+    return static_cast<std::size_t>(row) *
+               static_cast<std::size_t>(geometry_.columns()) +
+           static_cast<std::size_t>(col);
+}
+
+std::optional<MemberIndex> JumpTable::slot(int row, int col) const {
+    return slots_[index_of(row, col)];
+}
+
+void JumpTable::set_slot(int row, int col, MemberIndex member) {
+    auto& s = slots_[index_of(row, col)];
+    if (!s.has_value()) ++occupancy_;
+    s = member;
+}
+
+void JumpTable::clear_slot(int row, int col) {
+    auto& s = slots_[index_of(row, col)];
+    if (s.has_value()) --occupancy_;
+    s.reset();
+}
+
+double JumpTable::density() const noexcept {
+    return static_cast<double>(occupancy_) /
+           static_cast<double>(geometry_.table_slots());
+}
+
+std::vector<JumpTable::Entry> JumpTable::entries() const {
+    std::vector<Entry> out;
+    out.reserve(static_cast<std::size_t>(occupancy_));
+    for (int row = 0; row < geometry_.rows(); ++row) {
+        for (int col = 0; col < geometry_.columns(); ++col) {
+            const auto& s = slots_[index_of(row, col)];
+            if (s.has_value()) out.push_back(Entry{row, col, *s});
+        }
+    }
+    return out;
+}
+
+bool JumpTable::satisfies_standard_constraint(
+    int row, int col, const util::NodeId& candidate) const {
+    if (candidate == owner_) return false;
+    return candidate.shared_prefix_digits(owner_) >= row &&
+           candidate.digit(row) == col;
+}
+
+util::NodeId JumpTable::constraint_point(int row, int col) const {
+    return owner_.with_digit(row, col);
+}
+
+}  // namespace concilium::overlay

@@ -1,0 +1,75 @@
+// Pastry jump (routing) tables.
+//
+// "In overlays like Pastry and Chord, the local routing state consists of two
+// logical components.  The leaf table points to the peers with the
+// numerically closest identifiers ...  The jump table points to peers whose
+// identifiers differ from the local one by increasing, exponentially spaced
+// distances." (Section 2)
+//
+// A jump table has l rows and v columns; the entry in row i, column j shares
+// an i-digit identifier prefix with the local host and has j as its i+1-th
+// digit.  In *secure* Pastry the entry must additionally be the online host
+// whose identifier is closest to the point p = local id with digit i replaced
+// by j -- this constrained choice is what bounds the attacker's presence in
+// routing state.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace concilium::overlay {
+
+/// Index of a node in an OverlayNetwork's member list.
+using MemberIndex = std::uint32_t;
+
+class JumpTable {
+  public:
+    JumpTable(util::NodeId owner, util::OverlayGeometry geometry);
+
+    [[nodiscard]] const util::NodeId& owner() const noexcept { return owner_; }
+    [[nodiscard]] const util::OverlayGeometry& geometry() const noexcept {
+        return geometry_;
+    }
+
+    [[nodiscard]] std::optional<MemberIndex> slot(int row, int col) const;
+    void set_slot(int row, int col, MemberIndex member);
+    void clear_slot(int row, int col);
+
+    /// Number of occupied slots.
+    [[nodiscard]] int occupancy() const noexcept { return occupancy_; }
+
+    /// Occupied fraction of the full l x v grid -- the d of the density test.
+    [[nodiscard]] double density() const noexcept;
+
+    /// All occupied (row, col, member) triples.
+    struct Entry {
+        int row;
+        int col;
+        MemberIndex member;
+    };
+    [[nodiscard]] std::vector<Entry> entries() const;
+
+    /// True when `candidate` may legally occupy (row, col) for this owner:
+    /// shares a `row`-digit prefix with the owner and has digit `col` at
+    /// position `row`.
+    [[nodiscard]] bool satisfies_standard_constraint(
+        int row, int col, const util::NodeId& candidate) const;
+
+    /// The secure-routing target point p: owner's id with digit `row`
+    /// replaced by `col` (Section 2).
+    [[nodiscard]] util::NodeId constraint_point(int row, int col) const;
+
+  private:
+    [[nodiscard]] std::size_t index_of(int row, int col) const;
+
+    util::NodeId owner_;
+    util::OverlayGeometry geometry_;
+    std::vector<std::optional<MemberIndex>> slots_;
+    int occupancy_ = 0;
+};
+
+}  // namespace concilium::overlay

@@ -1,0 +1,35 @@
+#include "overlay/leaf_set.h"
+
+#include <stdexcept>
+
+namespace concilium::overlay {
+
+LeafSet::LeafSet(util::NodeId owner, int half) : owner_(owner), half_(half) {
+    if (half < 1) {
+        throw std::invalid_argument("LeafSet: half must be positive");
+    }
+}
+
+std::vector<MemberIndex> LeafSet::all() const {
+    std::vector<MemberIndex> out;
+    out.reserve(size());
+    out.insert(out.end(), ccw_.begin(), ccw_.end());
+    out.insert(out.end(), cw_.begin(), cw_.end());
+    return out;
+}
+
+void LeafSet::set_successors(std::vector<MemberIndex> members) {
+    if (members.size() > static_cast<std::size_t>(half_)) {
+        throw std::invalid_argument("LeafSet: too many successors");
+    }
+    cw_ = std::move(members);
+}
+
+void LeafSet::set_predecessors(std::vector<MemberIndex> members) {
+    if (members.size() > static_cast<std::size_t>(half_)) {
+        throw std::invalid_argument("LeafSet: too many predecessors");
+    }
+    ccw_ = std::move(members);
+}
+
+}  // namespace concilium::overlay

@@ -1,0 +1,76 @@
+// Pastry leaf sets.
+//
+// A leaf set points to the `half` numerically closest peers on each side of
+// the local identifier on the ring.  Concilium uses leaf sets in three ways:
+// as the last routing hop, as the input to Castro's leaf-set density test,
+// and as the basis of the node-count estimator ("Nodes can estimate N by
+// inspecting the inter-identifier spacing in their leaf sets", Section 3.1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "overlay/jump_table.h"
+#include "util/ids.h"
+
+namespace concilium::overlay {
+
+class LeafSet {
+  public:
+    /// The paper's bandwidth model assumes 16 leaf nodes (Section 4.4).
+    static constexpr int kDefaultHalf = 8;
+
+    LeafSet(util::NodeId owner, int half = kDefaultHalf);
+
+    [[nodiscard]] const util::NodeId& owner() const noexcept { return owner_; }
+    [[nodiscard]] int half() const noexcept { return half_; }
+
+    /// Members on the clockwise (successor) side, nearest first.
+    [[nodiscard]] std::span<const MemberIndex> successors() const noexcept {
+        return cw_;
+    }
+    /// Members on the counter-clockwise (predecessor) side, nearest first.
+    [[nodiscard]] std::span<const MemberIndex> predecessors() const noexcept {
+        return ccw_;
+    }
+    [[nodiscard]] std::vector<MemberIndex> all() const;
+    [[nodiscard]] std::size_t size() const noexcept {
+        return cw_.size() + ccw_.size();
+    }
+
+    void set_successors(std::vector<MemberIndex> members);
+    void set_predecessors(std::vector<MemberIndex> members);
+
+    /// Mean inter-identifier ring spacing across the set (as a fraction of
+    /// the ring), given a resolver from member index to identifier.  This is
+    /// the quantity Castro's density test compares between peers.
+    template <typename Resolver>
+    [[nodiscard]] double mean_spacing(Resolver&& id_of) const {
+        if (size() == 0) return 1.0;
+        // Spacing = ring span from furthest predecessor to furthest
+        // successor, divided by the number of spanned gaps.
+        const util::NodeId lo = ccw_.empty() ? owner_ : id_of(ccw_.back());
+        const util::NodeId hi = cw_.empty() ? owner_ : id_of(cw_.back());
+        const double span = util::clockwise_distance(lo, hi).as_fraction();
+        const auto gaps = static_cast<double>(size());
+        return span <= 0.0 ? 1.0 : span / gaps;
+    }
+
+    /// Estimates the total overlay population from leaf spacing: identifiers
+    /// are uniform, so N ~= 1 / mean_spacing.
+    template <typename Resolver>
+    [[nodiscard]] double estimate_population(Resolver&& id_of) const {
+        const double spacing = mean_spacing(id_of);
+        return spacing <= 0.0 ? 0.0 : 1.0 / spacing;
+    }
+
+  private:
+    util::NodeId owner_;
+    int half_;
+    std::vector<MemberIndex> cw_;
+    std::vector<MemberIndex> ccw_;
+};
+
+}  // namespace concilium::overlay

@@ -1,0 +1,79 @@
+#include "runtime/archive.h"
+
+#include <algorithm>
+
+namespace concilium::runtime {
+
+void SnapshotArchive::add(tomography::TomographicSnapshot snapshot,
+                          util::SimTime now) {
+    auto& queue = by_origin_[snapshot.origin];
+    queue.push_back(std::move(snapshot));
+    ++count_;
+    prune(now);
+}
+
+void SnapshotArchive::prune(util::SimTime now) {
+    const util::SimTime horizon = now - retention_;
+    for (auto& [origin, queue] : by_origin_) {
+        while (!queue.empty() && queue.front().probed_at < horizon) {
+            queue.pop_front();
+            --count_;
+        }
+    }
+}
+
+std::vector<core::ProbeResult> SnapshotArchive::probes_for(
+    std::span<const net::LinkId> links, util::SimTime t, util::SimTime delta,
+    const util::NodeId& exclude) const {
+    std::vector<core::ProbeResult> out;
+    for (const auto& [origin, queue] : by_origin_) {
+        if (origin == exclude) continue;
+        for (const auto& snap : queue) {
+            if (snap.probed_at < t - delta || snap.probed_at > t + delta) {
+                continue;
+            }
+            for (const auto& obs : snap.links) {
+                if (std::find(links.begin(), links.end(), obs.link) ==
+                    links.end()) {
+                    continue;
+                }
+                out.push_back(core::ProbeResult{origin, obs.link, obs.up,
+                                                snap.probed_at});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<const tomography::TomographicSnapshot*>
+SnapshotArchive::snapshots_from(const util::NodeId& origin) const {
+    std::vector<const tomography::TomographicSnapshot*> out;
+    const auto it = by_origin_.find(origin);
+    if (it == by_origin_.end()) return out;
+    for (const auto& snap : it->second) out.push_back(&snap);
+    return out;
+}
+
+std::vector<tomography::TomographicSnapshot> SnapshotArchive::evidence_for(
+    std::span<const net::LinkId> links, util::SimTime t, util::SimTime delta,
+    const util::NodeId& exclude) const {
+    std::vector<tomography::TomographicSnapshot> out;
+    for (const auto& [origin, queue] : by_origin_) {
+        if (origin == exclude) continue;
+        for (const auto& snap : queue) {
+            if (snap.probed_at < t - delta || snap.probed_at > t + delta) {
+                continue;
+            }
+            const bool touches = std::any_of(
+                snap.links.begin(), snap.links.end(),
+                [&](const tomography::LinkObservation& obs) {
+                    return std::find(links.begin(), links.end(), obs.link) !=
+                           links.end();
+                });
+            if (touches) out.push_back(snap);
+        }
+    }
+    return out;
+}
+
+}  // namespace concilium::runtime

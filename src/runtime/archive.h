@@ -1,0 +1,68 @@
+// Per-node snapshot archive.
+//
+// "Regardless, the node archives H's snapshot.  As the node receives
+// snapshots from other peers, it constructs a distributed view of the
+// forwarding paths emanating from its routing peers and the quality of IP
+// links in these paths." (Section 3.2)
+//
+// The archive keeps every snapshot that is still young enough to matter for
+// blame evaluation (the Delta admission window plus slack) and answers the
+// query the blame engine needs: all probe results covering a set of links
+// around a point in time, with provenance.
+
+#pragma once
+
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/blame.h"
+#include "tomography/snapshot.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace concilium::runtime {
+
+class SnapshotArchive {
+  public:
+    /// retention: snapshots older than now - retention are pruned on insert.
+    explicit SnapshotArchive(util::SimTime retention = 10 * util::kMinute)
+        : retention_(retention) {}
+
+    /// Archives a snapshot (assumed already signature-checked by the caller;
+    /// un-verifiable snapshots never reach the archive).
+    void add(tomography::TomographicSnapshot snapshot, util::SimTime now);
+
+    /// All archived probe results covering any link in `links`, initiated in
+    /// [t - delta, t + delta].  Results from `exclude` are skipped -- the
+    /// caller passes the judged node per Section 3.4's self-probe rule.
+    [[nodiscard]] std::vector<core::ProbeResult> probes_for(
+        std::span<const net::LinkId> links, util::SimTime t,
+        util::SimTime delta, const util::NodeId& exclude) const;
+
+    /// The archived snapshots from one origin, oldest first (used as signed
+    /// evidence when building accusations).
+    [[nodiscard]] std::vector<const tomography::TomographicSnapshot*>
+    snapshots_from(const util::NodeId& origin) const;
+
+    /// Snapshots (from any origin) whose probes fall inside the window and
+    /// touch the given links; this is exactly the evidence bundle a formal
+    /// accusation must carry.
+    [[nodiscard]] std::vector<tomography::TomographicSnapshot>
+    evidence_for(std::span<const net::LinkId> links, util::SimTime t,
+                 util::SimTime delta, const util::NodeId& exclude) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  private:
+    void prune(util::SimTime now);
+
+    util::SimTime retention_;
+    std::unordered_map<util::NodeId, std::deque<tomography::TomographicSnapshot>,
+                       util::NodeIdHash>
+        by_origin_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace concilium::runtime

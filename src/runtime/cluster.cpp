@@ -1,0 +1,653 @@
+#include "runtime/cluster.h"
+
+#include "tomography/verification.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace concilium::runtime {
+
+namespace {
+
+const NodeBehavior kHonest{};
+
+}  // namespace
+
+Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
+                 const overlay::OverlayNetwork& net,
+                 const tomography::OverlayTrees& trees, RuntimeParams params,
+                 std::vector<NodeBehavior> behaviors, util::Rng rng)
+    : sim_(&sim), timeline_(&timeline), net_(&net), trees_(&trees),
+      params_(params), behaviors_(std::move(behaviors)), rng_(rng),
+      transport_(timeline, sim, rng_.fork(), params.transport),
+      dht_(net, params.dht_replication) {
+    if (!behaviors_.empty() && behaviors_.size() != net.size()) {
+        throw std::invalid_argument(
+            "Cluster: behaviors must match overlay size");
+    }
+    online_.assign(net.size(), true);
+    member_of_.reserve(net.size());
+    nodes_.reserve(net.size());
+    for (overlay::MemberIndex m = 0; m < net.size(); ++m) {
+        registry_.register_key(net.member(m).keys);
+        member_of_.emplace(net.member(m).id(), m);
+        nodes_.push_back(NodeState{
+            SnapshotArchive(params_.blame.delta + 5 * util::kMinute),
+            core::VerdictLedger(params_.verdicts),
+            -(1LL << 60)});
+    }
+}
+
+void Cluster::set_online(overlay::MemberIndex m, bool online) {
+    online_.at(m) = online;
+}
+
+const NodeBehavior& Cluster::behavior(overlay::MemberIndex m) const {
+    if (behaviors_.empty()) return kHonest;
+    return behaviors_[m];
+}
+
+std::optional<crypto::PublicKey> Cluster::key_of(
+    const util::NodeId& id) const {
+    const auto it = member_of_.find(id);
+    if (it == member_of_.end()) return std::nullopt;
+    return net_->member(it->second).keys.public_key();
+}
+
+std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
+    overlay::MemberIndex m) const {
+    std::vector<tomography::LeafBehavior> out;
+    bool all_online = true;
+    for (const bool b : online_) all_online = all_online && b;
+    if (behaviors_.empty() && all_online) return out;  // all honest+online
+    for (const overlay::MemberIndex leaf : trees_->leaf_members(m)) {
+        tomography::LeafBehavior b;
+        b.suppress_ack_probability = behavior(leaf).suppress_probe_acks;
+        b.fabricate_acks = behavior(leaf).fabricate_probe_acks;
+        if (!online_[leaf]) {
+            // Offline machines answer nothing, honestly.
+            b.suppress_ack_probability = 1.0;
+            b.fabricate_acks = false;
+        }
+        out.push_back(b);
+    }
+    return out;
+}
+
+// --------------------------------------------------------------- probing
+
+void Cluster::start() {
+    exchange_routing_state();
+    for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
+        schedule_probe_round(m);
+    }
+}
+
+void Cluster::exchange_routing_state() {
+    // Section 3.1: peers exchange signed jump tables before Concilium can
+    // predict forwarding paths; each receiver runs the full validation
+    // pipeline (owner signature, per-entry freshness, slot constraints,
+    // the occupancy density test).
+    ad_rejecters_.assign(net_->size(), {});
+    const auto key_fn = [this](const util::NodeId& id) {
+        return key_of(id);
+    };
+    for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
+        if (!online_[m]) continue;
+        auto ad = overlay::make_advertisement(
+            *net_, m, sim_->now(), [this](overlay::MemberIndex) {
+                // Entries were last vouched for within one probe period.
+                return std::max<util::SimTime>(
+                    0, sim_->now() - params_.probe_interval_max / 2);
+            });
+        const double fraction = behavior(m).advertised_table_fraction;
+        if (fraction < 1.0) {
+            // Suppression attack: hide a share of the honest entries.
+            ad.entries.resize(static_cast<std::size_t>(
+                fraction * static_cast<double>(ad.entries.size())));
+            ad.signature = net_->member(m).keys.sign(ad.signed_payload());
+        }
+        for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+            if (!online_[peer]) continue;
+            const auto verdict = core::validate_advertisement(
+                ad, net_->secure_table(peer).density(), sim_->now(),
+                params_.validation, key_fn, registry_);
+            if (verdict == core::AdvertisementCheck::kOk) {
+                ++stats_.advertisements_accepted;
+            } else {
+                ++stats_.advertisements_rejected;
+                ad_rejecters_[m].push_back(peer);
+            }
+        }
+    }
+}
+
+void Cluster::schedule_probe_round(overlay::MemberIndex m) {
+    const auto delay = static_cast<util::SimTime>(rng_.uniform(
+        0.0, static_cast<double>(params_.probe_interval_max)));
+    sim_->schedule_after(delay, [this, m] { run_probe_round(m); });
+}
+
+void Cluster::run_probe_round(overlay::MemberIndex m) {
+    if (!online_[m]) {
+        schedule_probe_round(m);
+        return;
+    }
+    ++stats_.lightweight_rounds;
+    const auto& tree = trees_->tree(m);
+    if (!tree.leaves().empty()) {
+        const auto pass = [this](net::LinkId link, util::SimTime t) {
+            return transport_.pass_probability(link, t);
+        };
+        const auto behaviors = leaf_behaviors(m);
+        const auto light = tomography::run_lightweight_probe(
+            tree, pass, sim_->now(), params_.lightweight_retries, behaviors,
+            rng_);
+
+        bool any_silent = false;
+        tomography::TomographicSnapshot snap;
+        snap.origin = net_->member(m).id();
+        snap.probed_at = sim_->now();
+        std::unordered_map<net::LinkId, bool> up_links;
+        for (std::size_t leaf = 0; leaf < light.responsive.size(); ++leaf) {
+            tomography::PathSummary summary;
+            summary.peer = trees_->leaf_ids(m)[leaf];
+            if (light.responsive[leaf]) {
+                summary.bucket = tomography::LossBucket::kClean;
+                // An acknowledged probe traversed every link on the path.
+                for (const net::LinkId l :
+                     tree.path_links(static_cast<int>(leaf))) {
+                    up_links[l] = true;
+                }
+            } else {
+                summary.bucket = tomography::LossBucket::kDown;
+                any_silent = true;
+            }
+            snap.paths.push_back(summary);
+        }
+        for (const auto& [link, up] : up_links) {
+            snap.links.push_back(tomography::LinkObservation{link, up});
+        }
+        publish_snapshot(m, std::move(snap));
+
+        // "If link loss is detected ... H initiates heavyweight probing."
+        if (any_silent && sim_->now() - nodes_[m].last_heavyweight >=
+                              params_.heavyweight_min_gap) {
+            run_heavyweight(m);
+        }
+    }
+    schedule_probe_round(m);
+}
+
+void Cluster::run_heavyweight(overlay::MemberIndex m) {
+    const auto& tree = trees_->tree(m);
+    if (tree.leaves().empty()) return;
+    ++stats_.heavyweight_sessions;
+    nodes_[m].last_heavyweight = sim_->now();
+    const auto pass = [this](net::LinkId link, util::SimTime t) {
+        return transport_.pass_probability(link, t);
+    };
+    const auto behaviors = leaf_behaviors(m);
+    const auto session = tomography::run_heavyweight_session(
+        tree, pass, sim_->now(), params_.heavyweight, behaviors, rng_);
+
+    // Feedback verification (Section 3.3): exclude fabricators (invalid
+    // nonces) and suppressors (implausible conditional ack rates) before
+    // inference.
+    const auto fabricators =
+        tomography::detect_fabricators(tree.leaves().size(), session.probes);
+    const auto suppressors = tomography::detect_suppressors(
+        tree, session.probes, tomography::SuppressionTestParams{});
+    std::vector<bool> excluded(tree.leaves().size(), false);
+    for (std::size_t leaf = 0; leaf < excluded.size(); ++leaf) {
+        excluded[leaf] = fabricators[leaf] || suppressors[leaf];
+    }
+    const auto cleaned = tomography::exclude_leaves(session.probes, excluded);
+    const auto inference = tomography::infer_link_loss(tree, cleaned);
+    auto snapshot = tomography::make_snapshot(
+        net_->member(m).id(), net_->member(m).keys, sim_->now(), tree,
+        inference, params_.snapshot, trees_->leaf_ids(m));
+
+    // An excluded leaf's silenced feedback makes its last mile *look* dead;
+    // links that are only observable through excluded leaves carry no
+    // evidence and must not be reported at all.
+    bool any_excluded = false;
+    for (const bool e : excluded) any_excluded = any_excluded || e;
+    if (any_excluded) {
+        std::unordered_map<net::LinkId, bool> observable;
+        for (std::size_t leaf = 0; leaf < excluded.size(); ++leaf) {
+            if (excluded[leaf]) continue;
+            for (const net::LinkId l :
+                 tree.path_links(static_cast<int>(leaf))) {
+                observable[l] = true;
+            }
+        }
+        std::erase_if(snapshot.links,
+                      [&](const tomography::LinkObservation& obs) {
+                          return !observable.contains(obs.link);
+                      });
+        snapshot.signature =
+            net_->member(m).keys.sign(snapshot.signed_payload());
+    }
+    publish_snapshot(m, std::move(snapshot));
+}
+
+void Cluster::publish_snapshot(overlay::MemberIndex m,
+                               tomography::TomographicSnapshot snapshot) {
+    if (behavior(m).flip_probe_reports) {
+        // Section 3.3's worst-case leaf: answer others' probes correctly but
+        // misreport one's own results.  The liar signs its lie.
+        for (auto& obs : snapshot.links) obs.up = !obs.up;
+        for (auto& path : snapshot.paths) {
+            path.bucket = path.bucket == tomography::LossBucket::kClean
+                              ? tomography::LossBucket::kDown
+                              : tomography::LossBucket::kClean;
+        }
+    }
+    snapshot.signature =
+        net_->member(m).keys.sign(snapshot.signed_payload());
+    ++stats_.snapshots_published;
+    nodes_[m].archive.add(snapshot, sim_->now());
+    for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+        sim_->schedule_after(
+            params_.control_latency, [this, peer, snapshot] {
+                const auto key = key_of(snapshot.origin);
+                if (!key.has_value() ||
+                    !tomography::verify_snapshot(snapshot, *key, registry_)) {
+                    ++stats_.snapshots_rejected;
+                    return;
+                }
+                nodes_[peer].archive.add(snapshot, sim_->now());
+            });
+    }
+}
+
+// -------------------------------------------------------------- messaging
+
+std::uint64_t Cluster::send(overlay::MemberIndex from,
+                            const util::NodeId& dest_key,
+                            CompletionFn on_complete) {
+    MessageContext ctx;
+    ctx.id = next_message_id_++;
+    ctx.route = net_->route(from, dest_key);
+    ctx.sent_at = sim_->now();
+    ctx.stewards.resize(ctx.route.size());
+    ctx.on_complete = std::move(on_complete);
+    ++stats_.messages;
+    const std::uint64_t id = ctx.id;
+    messages_.emplace(id, std::move(ctx));
+    deliver_to_hop(id, 0);
+    return id;
+}
+
+std::vector<net::LinkId> Cluster::hop_path(const MessageContext& ctx,
+                                           std::size_t hop) const {
+    // The IP path between consecutive route hops, taken from the upstream
+    // node's link map (direction does not matter for loss sampling).
+    if (!trees_->leaf_slot(ctx.route[hop], ctx.route[hop + 1]).has_value()) {
+        return {};
+    }
+    return trees_->path_links(ctx.route[hop], ctx.route[hop + 1]);
+}
+
+void Cluster::deliver_to_hop(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    if (hop > 0 && hop + 1 == ctx.route.size() &&
+        !online_[ctx.route[hop]]) {
+        // The destination is down: no acknowledgment will ever come.
+        ctx.dropped_by_hop = hop;
+        return;
+    }
+    if (hop + 1 == ctx.route.size()) {
+        if (ctx.route.size() == 1) {
+            // Sender is already the destination.
+            ctx.completed = true;
+            ++stats_.delivered;
+            if (ctx.on_complete) {
+                MessageOutcome outcome;
+                outcome.delivered = true;
+                outcome.route = ctx.route;
+                ctx.on_complete(outcome);
+            }
+            return;
+        }
+        start_ack_return(msg_id);
+        return;
+    }
+    forward_from_hop(msg_id, hop);
+}
+
+void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    const overlay::MemberIndex m = ctx.route[hop];
+    const overlay::MemberIndex next = ctx.route[hop + 1];
+
+    // A faulty *intermediate* forwarder may silently drop the message; an
+    // offline one cannot forward at all.
+    if (hop > 0 && (!online_[m] ||
+                    rng_.bernoulli(behavior(m).drop_forward_probability))) {
+        ctx.dropped_by_hop = hop;
+        return;  // upstream stewards will time out
+    }
+
+    // Forwarding commitment (Section 3.6), issued by the next hop.
+    if (behavior(next).refuse_commitments) {
+        ++stats_.commitments_refused;
+        ++stats_.reputation_votes;
+        reputation_.cast_vote(net_->member(m).id(), net_->member(next).id(),
+                              sim_->now());
+    } else {
+        ++stats_.commitments_issued;
+        ctx.stewards[hop].commitment = core::make_forwarding_commitment(
+            net_->member(m).id(), net_->member(next).id(),
+            net_->member(ctx.route.back()).id(), msg_id, ctx.sent_at,
+            net_->member(next).keys);
+    }
+
+    ctx.stewards[hop].forwarded = true;
+    sim_->schedule_after(params_.ack_timeout, [this, msg_id, hop] {
+        on_ack_timeout(msg_id, hop);
+    });
+
+    const auto path = hop_path(ctx, hop);
+    if (path.empty()) {
+        ctx.dropped_by_network = true;
+        ctx.network_drop_segment = hop;
+        return;
+    }
+    // One packet over the IP path; loss kills the message.
+    if (transport_.sample_traversal(path, sim_->now())) {
+        sim_->schedule_after(transport_.latency(path.size()),
+                             [this, msg_id, hop] {
+                                 deliver_to_hop(msg_id, hop + 1);
+                             });
+    } else if (!ctx.dropped_by_hop.has_value()) {
+        ctx.dropped_by_network = true;
+        ctx.network_drop_segment = hop;
+    }
+}
+
+void Cluster::start_ack_return(std::uint64_t msg_id) {
+    auto& ctx = messages_.at(msg_id);
+    deliver_ack_to_hop(msg_id, ctx.route.size() - 1);
+}
+
+void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    if (!online_[ctx.route[hop]]) return;  // a dead relay swallows the ack
+    ctx.stewards[hop].acked = true;
+    if (hop == 0) {
+        if (!ctx.completed) {
+            ctx.completed = true;
+            ++stats_.delivered;
+            if (ctx.on_complete) {
+                MessageOutcome outcome;
+                outcome.delivered = true;
+                outcome.route = ctx.route;
+                ctx.on_complete(outcome);
+            }
+        }
+        return;
+    }
+    // Relay the acknowledgment upstream over hop-1's path.
+    const auto path = hop_path(ctx, hop - 1);
+    if (path.empty()) {
+        ctx.dropped_by_network = true;
+        return;
+    }
+    if (transport_.sample_traversal(path, sim_->now())) {
+        sim_->schedule_after(
+            transport_.latency(path.size()),
+            [this, msg_id, hop] { deliver_ack_to_hop(msg_id, hop - 1); });
+    } else {
+        // Lost acknowledgment: upstream stewards will time out and a chain
+        // of verdicts will be issued (Section 3.5).
+        ctx.dropped_by_network = true;
+        if (!ctx.network_drop_segment.has_value()) {
+            ctx.network_drop_segment = hop - 1;
+        }
+    }
+}
+
+void Cluster::on_ack_timeout(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    StewardRecord& steward = ctx.stewards[hop];
+    if (steward.acked || !steward.forwarded) return;
+
+    // Reactive heavyweight probing: the steward refreshes its own view and
+    // asks its routing peers to do the same (Section 3.2).  The judge's own
+    // refresh uses the (shorter) reactive floor: its tree covers the very
+    // path it is about to rule on.
+    const overlay::MemberIndex m = ctx.route[hop];
+    if (sim_->now() - nodes_[m].last_heavyweight >=
+        params_.reactive_heavyweight_min_gap) {
+        run_heavyweight(m);
+    }
+    for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+        const auto delay = static_cast<util::SimTime>(
+            rng_.uniform(0.0, 2.0 * util::kSecond));
+        sim_->schedule_after(delay, [this, peer] {
+            if (sim_->now() - nodes_[peer].last_heavyweight >=
+                params_.heavyweight_min_gap) {
+                run_heavyweight(peer);
+            }
+        });
+    }
+
+    sim_->schedule_after(params_.judgment_grace, [this, msg_id, hop] {
+        judge_next_hop(msg_id, hop);
+    });
+}
+
+core::BlameEvidence Cluster::build_evidence(const MessageContext& ctx,
+                                            std::size_t judge_hop) const {
+    const overlay::MemberIndex m = ctx.route[judge_hop];
+    const overlay::MemberIndex suspect = ctx.route[judge_hop + 1];
+    core::BlameEvidence ev;
+    ev.judge = net_->member(m).id();
+    ev.suspect = net_->member(suspect).id();
+    ev.message_id = ctx.id;
+    ev.message_time = ctx.sent_at;
+    ev.path_links = hop_path(ctx, judge_hop);
+    ev.snapshots = nodes_[m].archive.evidence_for(
+        ev.path_links, ctx.sent_at, params_.blame.delta, ev.suspect);
+    if (ctx.stewards[judge_hop].commitment.has_value()) {
+        ev.commitment = *ctx.stewards[judge_hop].commitment;
+    }
+    ev.claimed_blame =
+        core::compute_blame(ev.path_links,
+                            core::probes_from_snapshots(ev.snapshots),
+                            ctx.sent_at, ev.suspect, params_.blame)
+            .blame;
+    ev.judge_signature = net_->member(m).keys.sign(ev.signed_payload());
+    return ev;
+}
+
+void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    StewardRecord& steward = ctx.stewards[hop];
+    if (steward.acked || steward.judged) return;
+    steward.judged = true;
+
+    const overlay::MemberIndex m = ctx.route[hop];
+    core::BlameEvidence ev = build_evidence(ctx, hop);
+    const bool guilty = core::is_guilty_verdict(ev.claimed_blame,
+                                                params_.verdicts);
+    nodes_[m].ledger.record(ev.suspect, ev.claimed_blame, sim_->now());
+    if (guilty) {
+        ++stats_.guilty_verdicts;
+    } else {
+        ++stats_.innocent_verdicts;
+    }
+    steward.judgment = std::move(ev);
+    if (hop > 0) push_revision_upstream(msg_id, hop);
+    if (hop == 0) {
+        // Give downstream revisions time to climb the chain, then settle.
+        const auto settle =
+            params_.control_latency *
+                static_cast<util::SimTime>(ctx.route.size() + 2) +
+            params_.judgment_grace;
+        sim_->schedule_after(settle,
+                             [this, msg_id] { maybe_complete(msg_id); });
+    }
+}
+
+void Cluster::push_revision_upstream(std::uint64_t msg_id, std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    const overlay::MemberIndex m = ctx.route[hop];
+    if (behavior(m).refuse_revisions) return;  // at its own peril
+    if (!ctx.stewards[hop].judgment.has_value()) return;
+    ++stats_.revisions_pushed;
+    // Each steward presents the verdict to its upstream neighbor, which
+    // relays it further unless it withholds revisions itself (Section 3.5).
+    const core::BlameEvidence evidence = *ctx.stewards[hop].judgment;
+    sim_->schedule_after(params_.control_latency, [this, msg_id, evidence,
+                                                   hop] {
+        relay_revision(msg_id, evidence, hop - 1);
+    });
+}
+
+void Cluster::relay_revision(std::uint64_t msg_id,
+                             const core::BlameEvidence& evidence,
+                             std::size_t to_hop) {
+    auto& ctx = messages_.at(msg_id);
+    ctx.stewards[to_hop].pushed.push_back(evidence);
+    ++stats_.revisions_applied;
+    if (to_hop == 0) return;
+    if (behavior(ctx.route[to_hop]).refuse_revisions) return;
+    sim_->schedule_after(params_.control_latency,
+                         [this, msg_id, evidence, to_hop] {
+                             relay_revision(msg_id, evidence, to_hop - 1);
+                         });
+}
+
+void Cluster::maybe_complete(std::uint64_t msg_id) {
+    auto& ctx = messages_.at(msg_id);
+    if (ctx.completed) return;
+    ctx.completed = true;
+    if (ctx.dropped_by_hop.has_value()) {
+        ++stats_.dropped_by_forwarder;
+    } else if (ctx.dropped_by_network) {
+        ++stats_.dropped_by_network;
+    }
+
+    MessageOutcome outcome;
+    outcome.route = ctx.route;
+    outcome.true_drop_hop = ctx.dropped_by_hop;
+    outcome.true_network_drop = ctx.dropped_by_network;
+    outcome.true_network_segment = ctx.network_drop_segment;
+    const auto& sender = ctx.stewards[0];
+    if (!sender.judgment.has_value()) {
+        // Sender never judged (e.g. it never forwarded); nothing to report.
+        if (ctx.on_complete) ctx.on_complete(outcome);
+        return;
+    }
+    if (!core::is_guilty_verdict(sender.judgment->claimed_blame,
+                                 params_.verdicts)) {
+        outcome.network_blamed = true;
+        if (ctx.on_complete) ctx.on_complete(outcome);
+        return;
+    }
+    // Walk the revision chain: start blaming hop 1, follow pushed verdicts.
+    util::NodeId accused = sender.judgment->suspect;
+    std::vector<const core::BlameEvidence*> chain{&*sender.judgment};
+    bool network = false;
+    for (bool advanced = true; advanced;) {
+        advanced = false;
+        for (const core::BlameEvidence& ev : sender.pushed) {
+            if (!(ev.judge == accused)) continue;
+            if (!core::is_guilty_verdict(ev.claimed_blame,
+                                         params_.verdicts)) {
+                // The accused proved the IP path to its next hop was bad.
+                network = true;
+            } else {
+                accused = ev.suspect;
+                chain.push_back(&ev);
+                advanced = true;
+            }
+            break;
+        }
+        if (network) break;
+    }
+    if (network) {
+        outcome.network_blamed = true;
+    } else {
+        outcome.blamed = accused;
+        // File a formal accusation once the suspect has accumulated enough
+        // guilty verdicts in the sender's window (Section 3.4).
+        const overlay::MemberIndex sender_m = ctx.route[0];
+        if (nodes_[sender_m].ledger.guilty_count(
+                ctx.stewards[0].judgment->suspect) >=
+                params_.verdicts.accusation_threshold &&
+            ctx.stewards[0].commitment.has_value()) {
+            core::FaultAccusation accusation;
+            accusation.accuser = net_->member(sender_m).id();
+            for (const core::BlameEvidence* ev : chain) {
+                // A suspect that never issued a forwarding commitment can
+                // only be handled through the reputation system (Section
+                // 3.6); the verifiable chain truncates there.
+                const auto suspect_key = key_of(ev->suspect);
+                if (!suspect_key.has_value() ||
+                    !core::verify_forwarding_commitment(
+                        ev->commitment, *suspect_key, registry_)) {
+                    break;
+                }
+                accusation.evidence.push_back(*ev);
+            }
+            if (!accusation.evidence.empty()) {
+                accusation.signature = net_->member(sender_m).keys.sign(
+                    accusation.signed_payload());
+                const auto accused_member = member_of_.find(
+                    accusation.accused());
+                if (accused_member != member_of_.end()) {
+                    dht_.put(sender_m,
+                             core::FaultAccusation::dht_key(
+                                 net_->member(accused_member->second)
+                                     .keys.public_key()),
+                             accusation.serialize());
+                    ++stats_.accusations_filed;
+                }
+            }
+        }
+    }
+    if (ctx.on_complete) ctx.on_complete(outcome);
+}
+
+std::vector<core::FaultAccusation> Cluster::accusations_against(
+    overlay::MemberIndex m) const {
+    std::vector<core::FaultAccusation> out;
+    const auto key =
+        core::FaultAccusation::dht_key(net_->member(m).keys.public_key());
+    // Read as an arbitrary third party.
+    const auto result = dht_.get((m + 1) % net_->size(), key);
+    for (const auto& bytes : result.values) {
+        out.push_back(core::FaultAccusation::deserialize(bytes));
+    }
+    return out;
+}
+
+core::AccusationCheck Cluster::verify(
+    const core::FaultAccusation& accusation) const {
+    const core::AccusationVerifier verifier(
+        registry_,
+        [this](const util::NodeId& id) { return key_of(id); },
+        params_.blame, params_.verdicts,
+        // Path claims are checked against the verifier's own link map: the
+        // judge's claimed path must be the actual IP path between the two
+        // nodes (Section 3.4 bundles the routing state for this purpose).
+        [this](const util::NodeId& judge, const util::NodeId& suspect,
+               std::span<const net::LinkId> links) {
+            const auto j = member_of_.find(judge);
+            const auto s = member_of_.find(suspect);
+            if (j == member_of_.end() || s == member_of_.end()) return false;
+            if (!trees_->leaf_slot(j->second, s->second).has_value()) {
+                return false;
+            }
+            const auto truth = trees_->path_links(j->second, s->second);
+            return std::equal(links.begin(), links.end(), truth.begin(),
+                              truth.end());
+        });
+    return verifier.verify(accusation);
+}
+
+}  // namespace concilium::runtime

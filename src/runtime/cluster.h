@@ -1,0 +1,280 @@
+// The Concilium protocol as an event-driven machine.
+//
+// sim::Scenario evaluates the paper's equations directly under the Section
+// 4.3 assumptions (probes classify links with accuracy a).  Cluster instead
+// *runs the protocol*: every node schedules lightweight striped probes of
+// its tree (Section 3.2), escalates to heavyweight probing and MINC
+// inference when leaves go silent or messages go unacknowledged, publishes
+// signed snapshots to its routing peers, and archives the snapshots it
+// receives.  Application messages travel hop by hop over the simulated IP
+// network with forwarding commitments (Section 3.6) and end-to-end
+// acknowledgments under recursive stewardship (Section 3.5); timeouts
+// trigger blame evaluation, verdict ledgers, upstream revision pushes, and
+// formal accusations stored in the DHT (Section 3.4).
+//
+// Misbehaviour is injected per node through NodeBehavior: message droppers,
+// probe-report flippers ("misreporting the results of its own probes",
+// Section 3.3), ack suppressors/fabricators at the probing layer,
+// commitment refusers, and nodes that withhold revisions "at their own
+// peril".
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/accusation.h"
+#include "core/blame.h"
+#include "core/reputation.h"
+#include "core/validation.h"
+#include "core/verdicts.h"
+#include "dht/dht.h"
+#include "net/event_sim.h"
+#include "net/link_state.h"
+#include "net/transport.h"
+#include "overlay/network.h"
+#include "runtime/archive.h"
+#include "tomography/overlay_trees.h"
+#include "tomography/probing.h"
+#include "tomography/snapshot.h"
+#include "util/rng.h"
+
+namespace concilium::runtime {
+
+struct NodeBehavior {
+    /// Silently drop messages this node should forward (the core fault
+    /// Concilium diagnoses).
+    double drop_forward_probability = 0.0;
+    /// Invert the link verdicts in published snapshots (Section 3.3's most
+    /// damaging leaf strategy: answer others' probes correctly, misreport
+    /// one's own results).
+    bool flip_probe_reports = false;
+    /// Probability of suppressing the acknowledgment of a received probe.
+    double suppress_probe_acks = 0.0;
+    /// Acknowledge probes that were never received (caught by nonces).
+    bool fabricate_probe_acks = false;
+    /// Refuse to issue forwarding commitments (Section 3.6).
+    bool refuse_commitments = false;
+    /// Never push guilty verdicts upstream ("They do so at their own
+    /// peril", Section 3.5).
+    bool refuse_revisions = false;
+    /// Advertise only this fraction of the jump table (a suppression attack
+    /// on routing state; 1.0 = honest).
+    double advertised_table_fraction = 1.0;
+};
+
+struct RuntimeParams {
+    /// Routing-state validation applied to the advertisements exchanged at
+    /// start() (Section 3.1).
+    core::ValidationParams validation;
+    /// Lightweight probe inter-arrival: uniform in [0, this] (Section 3.2).
+    util::SimTime probe_interval_max = 120 * util::kSecond;
+    /// Retries sent to silent leaves before escalating.
+    int lightweight_retries = 2;
+    /// Heavyweight session shape (Duffield's full scheme).
+    tomography::HeavyweightParams heavyweight{
+        .probe_count = 100, .spacing = 50 * util::kMillisecond};
+    /// Per-node floor between *periodic* heavyweight sessions.
+    util::SimTime heavyweight_min_gap = 1 * util::kMinute;
+    /// Floor for *reactive* sessions (unacknowledged message): fresh
+    /// evidence matters more than probe budget when blame is being decided.
+    util::SimTime reactive_heavyweight_min_gap = 10 * util::kSecond;
+    core::BlameParams blame;
+    core::VerdictParams verdicts;
+    tomography::SnapshotParams snapshot;
+    /// Steward acknowledgment timeout.
+    util::SimTime ack_timeout = 5 * util::kSecond;
+    /// Delay between a timeout and the steward's judgment, leaving time for
+    /// reactive heavyweight snapshots and downstream revisions to arrive.
+    util::SimTime judgment_grace = 8 * util::kSecond;
+    /// Control-plane (snapshot / revision) dissemination latency.
+    util::SimTime control_latency = 200 * util::kMillisecond;
+    int dht_replication = 4;
+    /// Reputation votes needed before a peer is considered poor.
+    int reputation_threshold = 3;
+    net::TransportParams transport;
+};
+
+class Cluster {
+  public:
+    Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
+            const overlay::OverlayNetwork& net,
+            const tomography::OverlayTrees& trees, RuntimeParams params,
+            std::vector<NodeBehavior> behaviors, util::Rng rng);
+
+    /// Schedules every node's first probe round.  Call once, then drive the
+    /// EventSim.
+    void start();
+
+    /// Takes a node off the network / brings it back (our extension: the
+    /// paper "did not model fluctuating machine availability").  An offline
+    /// node answers no probes, forwards no messages, relays no acks, and
+    /// publishes no snapshots -- indistinguishable, to the protocol, from a
+    /// total message dropper, and blamed accordingly.
+    void set_online(overlay::MemberIndex m, bool online);
+    [[nodiscard]] bool is_online(overlay::MemberIndex m) const {
+        return online_.at(m);
+    }
+
+    struct MessageOutcome {
+        bool delivered = false;
+        bool network_blamed = false;
+        /// Final accused node (after revisions), when a node is blamed.
+        std::optional<util::NodeId> blamed;
+        /// Route positions, for ground-truth scoring by callers.
+        std::vector<overlay::MemberIndex> route;
+        /// Simulation-only ground truth (never visible to protocol logic):
+        /// which hop actually dropped the message, or whether the IP
+        /// network ate the message / its acknowledgment (and on which
+        /// route segment).
+        std::optional<std::size_t> true_drop_hop;
+        bool true_network_drop = false;
+        std::optional<std::size_t> true_network_segment;
+    };
+    using CompletionFn = std::function<void(const MessageOutcome&)>;
+
+    /// Sends an application message from `from` toward the root of
+    /// `dest_key`.  The callback fires when the sender either receives the
+    /// acknowledgment or completes its diagnosis.
+    std::uint64_t send(overlay::MemberIndex from, const util::NodeId& dest_key,
+                       CompletionFn on_complete = {});
+
+    struct Stats {
+        std::size_t messages = 0;
+        std::size_t delivered = 0;
+        std::size_t dropped_by_forwarder = 0;  ///< ground truth
+        std::size_t dropped_by_network = 0;    ///< ground truth (incl. acks)
+        std::size_t guilty_verdicts = 0;
+        std::size_t innocent_verdicts = 0;
+        std::size_t accusations_filed = 0;
+        std::size_t revisions_pushed = 0;
+        std::size_t revisions_applied = 0;
+        std::size_t snapshots_published = 0;
+        std::size_t snapshots_rejected = 0;  ///< bad signature on receipt
+        std::size_t lightweight_rounds = 0;
+        std::size_t heavyweight_sessions = 0;
+        std::size_t commitments_issued = 0;
+        std::size_t commitments_refused = 0;
+        std::size_t reputation_votes = 0;
+        std::size_t advertisements_accepted = 0;
+        std::size_t advertisements_rejected = 0;
+    };
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    [[nodiscard]] const SnapshotArchive& archive(overlay::MemberIndex m) const {
+        return nodes_.at(m).archive;
+    }
+    [[nodiscard]] const dht::Dht& repository() const noexcept { return dht_; }
+    [[nodiscard]] const core::ReputationBook& reputation() const noexcept {
+        return reputation_;
+    }
+
+    /// Peers that rejected m's routing advertisement during the start()
+    /// exchange (empty set == everyone accepted it).
+    [[nodiscard]] const std::vector<overlay::MemberIndex>&
+    advertisement_rejecters(overlay::MemberIndex m) const {
+        return ad_rejecters_.at(m);
+    }
+
+    /// Fetches and deserializes the accusations stored against a member,
+    /// as an arbitrary third party would (Section 3.4's final step).
+    [[nodiscard]] std::vector<core::FaultAccusation> accusations_against(
+        overlay::MemberIndex m) const;
+
+    /// Independently verifies an accusation against this cluster's key
+    /// registry, exactly as a prospective peer would before sanctioning.
+    [[nodiscard]] core::AccusationCheck verify(
+        const core::FaultAccusation& accusation) const;
+
+  private:
+    struct StewardRecord {
+        bool forwarded = false;
+        bool acked = false;
+        std::optional<core::ForwardingCommitment> commitment;  ///< from next
+        std::optional<core::BlameEvidence> judgment;  ///< own verdict vs next
+        /// Revision evidence pushed up from downstream stewards, in chain
+        /// order (next hop's judgment first).
+        std::vector<core::BlameEvidence> pushed;
+        bool judged = false;
+    };
+
+    struct MessageContext {
+        std::uint64_t id = 0;
+        std::vector<overlay::MemberIndex> route;
+        util::SimTime sent_at = 0;
+        std::vector<StewardRecord> stewards;
+        CompletionFn on_complete;
+        bool completed = false;
+        // Ground truth for stats.
+        std::optional<std::size_t> dropped_by_hop;
+        bool dropped_by_network = false;
+        std::optional<std::size_t> network_drop_segment;
+    };
+
+    struct NodeState {
+        SnapshotArchive archive;
+        core::VerdictLedger ledger;
+        util::SimTime last_heavyweight = -(1LL << 60);
+    };
+
+    // --- routing-state exchange -------------------------------------------
+    void exchange_routing_state();
+
+    // --- probing ---------------------------------------------------------
+    void schedule_probe_round(overlay::MemberIndex m);
+    void run_probe_round(overlay::MemberIndex m);
+    void run_heavyweight(overlay::MemberIndex m);
+    void publish_snapshot(overlay::MemberIndex m,
+                          tomography::TomographicSnapshot snapshot);
+
+    // --- messaging ---------------------------------------------------------
+    void deliver_to_hop(std::uint64_t msg_id, std::size_t hop);
+    void forward_from_hop(std::uint64_t msg_id, std::size_t hop);
+    void start_ack_return(std::uint64_t msg_id);
+    void deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop);
+    void on_ack_timeout(std::uint64_t msg_id, std::size_t hop);
+    void judge_next_hop(std::uint64_t msg_id, std::size_t hop);
+    void push_revision_upstream(std::uint64_t msg_id, std::size_t hop);
+    void relay_revision(std::uint64_t msg_id,
+                        const core::BlameEvidence& evidence,
+                        std::size_t to_hop);
+    void maybe_complete(std::uint64_t msg_id);
+
+    core::BlameEvidence build_evidence(const MessageContext& ctx,
+                                       std::size_t judge_hop) const;
+    void file_accusation(const MessageContext& ctx);
+
+    [[nodiscard]] std::vector<net::LinkId> hop_path(
+        const MessageContext& ctx, std::size_t hop) const;
+    [[nodiscard]] const NodeBehavior& behavior(overlay::MemberIndex m) const;
+    [[nodiscard]] std::vector<tomography::LeafBehavior> leaf_behaviors(
+        overlay::MemberIndex m) const;
+    [[nodiscard]] std::optional<crypto::PublicKey> key_of(
+        const util::NodeId& id) const;
+
+    net::EventSim* sim_;
+    const net::FailureTimeline* timeline_;
+    const overlay::OverlayNetwork* net_;
+    const tomography::OverlayTrees* trees_;
+    RuntimeParams params_;
+    std::vector<NodeBehavior> behaviors_;
+    util::Rng rng_;
+    net::Transport transport_;
+    crypto::KeyRegistry registry_;
+    std::unordered_map<util::NodeId, overlay::MemberIndex, util::NodeIdHash>
+        member_of_;
+    std::vector<NodeState> nodes_;
+    dht::Dht dht_;
+    core::ReputationBook reputation_;
+    std::unordered_map<std::uint64_t, MessageContext> messages_;
+    std::uint64_t next_message_id_ = 1;
+    std::vector<bool> online_;
+    std::vector<std::vector<overlay::MemberIndex>> ad_rejecters_;
+    Stats stats_;
+};
+
+}  // namespace concilium::runtime

@@ -1,0 +1,226 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace concilium::sim {
+
+CoverageCurve run_coverage_experiment(const Scenario& scenario,
+                                      std::size_t max_peer_trees,
+                                      std::size_t sample_hosts,
+                                      util::Rng& rng) {
+    const auto& net = scenario.overlay_net();
+    sample_hosts = std::min(sample_hosts, net.size());
+    const auto hosts = rng.sample_indices(net.size(), sample_hosts);
+
+    CoverageCurve curve;
+    curve.coverage.assign(max_peer_trees + 1, 0.0);
+    curve.vouchers.assign(max_peer_trees + 1, 0.0);
+    curve.hosts_counted.assign(max_peer_trees + 1, 0);
+
+    for (const std::size_t h : hosts) {
+        const auto m = static_cast<overlay::MemberIndex>(h);
+        std::vector<const tomography::ProbeTree*> trees{&scenario.tree(m)};
+        std::vector<overlay::MemberIndex> peers = net.routing_peers(m);
+        rng.shuffle(peers);
+        for (const overlay::MemberIndex p : peers) {
+            trees.push_back(&scenario.tree(p));
+        }
+        const tomography::Forest forest(trees);
+        for (std::size_t k = 0; k <= max_peer_trees; ++k) {
+            if (k + 1 > trees.size()) break;
+            curve.coverage[k] += forest.coverage(k + 1);
+            curve.vouchers[k] += forest.mean_vouchers(k + 1);
+            ++curve.hosts_counted[k];
+        }
+    }
+    for (std::size_t k = 0; k <= max_peer_trees; ++k) {
+        if (curve.hosts_counted[k] == 0) continue;
+        curve.coverage[k] /= curve.hosts_counted[k];
+        curve.vouchers[k] /= curve.hosts_counted[k];
+    }
+    return curve;
+}
+
+BlameExperimentResult run_blame_experiment(const Scenario& scenario,
+                                           const BlameExperimentParams& params,
+                                           util::Rng& rng) {
+    BlameExperimentResult result{
+        util::Histogram(0.0, 1.0,
+                        static_cast<std::size_t>(params.histogram_bins)),
+        util::Histogram(0.0, 1.0,
+                        static_cast<std::size_t>(params.histogram_bins)),
+        0, 0, 0.0, 0.0};
+
+    core::BlameParams blame_params = scenario.params().blame;
+    blame_params.or_operator = params.or_operator;
+    const util::SimTime duration = scenario.params().duration;
+    const bool colluders_active = scenario.malicious_count() > 0;
+
+    std::size_t guilty_faulty = 0;
+    std::size_t guilty_nonfaulty = 0;
+    for (std::uint64_t q = 0; result.faulty_samples +
+                                  result.nonfaulty_samples <
+                              params.samples;
+         ++q) {
+        const auto triple = scenario.sample_triple(rng);
+        if (!triple.has_value()) continue;
+        const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
+            static_cast<double>(blame_params.delta),
+            static_cast<double>(duration - blame_params.delta)));
+        const auto path = scenario.path_links(triple->b, triple->c);
+        const bool path_bad = scenario.path_bad(path, t);
+        // "B was a faulty node if it dropped a message despite B -> C being
+        // good; it was non-faulty if at least one link in B -> C was bad."
+        const auto stance =
+            !colluders_active ? Scenario::CollusionStance::kNone
+            : path_bad        ? Scenario::CollusionStance::kIncriminate
+                              : Scenario::CollusionStance::kExonerate;
+        const auto probes = scenario.gather_probes(triple->a, path, t, stance,
+                                                   q, params.reporter_cap);
+        const auto breakdown = core::compute_blame(
+            path, probes, t, scenario.overlay_net().member(triple->b).id(),
+            blame_params);
+        const bool guilty = breakdown.blame >= params.guilty_threshold;
+        if (path_bad) {
+            result.nonfaulty_pdf.add(breakdown.blame);
+            ++result.nonfaulty_samples;
+            if (guilty) ++guilty_nonfaulty;
+        } else {
+            result.faulty_pdf.add(breakdown.blame);
+            ++result.faulty_samples;
+            if (guilty) ++guilty_faulty;
+        }
+    }
+    if (result.nonfaulty_samples > 0) {
+        result.p_good = static_cast<double>(guilty_nonfaulty) /
+                        static_cast<double>(result.nonfaulty_samples);
+    }
+    if (result.faulty_samples > 0) {
+        result.p_faulty = static_cast<double>(guilty_faulty) /
+                          static_cast<double>(result.faulty_samples);
+    }
+    return result;
+}
+
+AttributionExperimentResult run_attribution_experiment(
+    const Scenario& scenario, const AttributionExperimentParams& params,
+    util::Rng& rng) {
+    AttributionExperimentResult result;
+    const auto& net = scenario.overlay_net();
+    const core::BlameParams& blame_params = scenario.params().blame;
+    const util::SimTime duration = scenario.params().duration;
+
+    std::uint64_t query_id = 0x41545452u;  // disjoint stream from Figure 5
+    while (result.samples < params.samples) {
+        // A random end-to-end route of at least one intermediate hop.
+        const auto a = static_cast<overlay::MemberIndex>(
+            rng.uniform_index(net.size()));
+        const util::NodeId key = util::NodeId::random(rng);
+        std::vector<overlay::MemberIndex> hops;
+        try {
+            hops = net.route(a, key);
+        } catch (const std::runtime_error&) {
+            continue;
+        }
+        if (hops.size() < params.min_route_length) continue;
+        // Hop-to-hop IP paths must exist for stewardship to judge them.
+        bool paths_ok = true;
+        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+            if (!scenario.leaf_slot(hops[i], hops[i + 1]).has_value()) {
+                paths_ok = false;
+                break;
+            }
+        }
+        if (!paths_ok) continue;
+
+        const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
+            static_cast<double>(blame_params.delta),
+            static_cast<double>(duration - blame_params.delta)));
+
+        // Ground truth: first route segment with a down IP link, if any.
+        std::optional<std::size_t> bad_segment;
+        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+            const auto path = scenario.path_links(hops[i], hops[i + 1]);
+            if (scenario.path_bad(path, t)) {
+                bad_segment = i;
+                break;
+            }
+        }
+        // Optionally inject a faulty forwarder at a random interior hop.
+        std::optional<std::size_t> dropper;
+        if (rng.bernoulli(params.forwarder_drop_probability)) {
+            dropper = 1 + rng.uniform_index(hops.size() - 2);
+        }
+
+        // Which cause fires first along the route?
+        bool network_cause;
+        std::size_t locus;
+        if (bad_segment.has_value() &&
+            (!dropper.has_value() || *bad_segment < *dropper)) {
+            network_cause = true;
+            locus = *bad_segment;
+        } else if (dropper.has_value()) {
+            network_cause = false;
+            locus = *dropper;
+        } else {
+            continue;  // message would have been delivered; nothing to judge
+        }
+        // For a network drop on segment locus -> locus+1, position locus
+        // still forwarded the packet (it died in transit), so that judge's
+        // tomographic evidence enters the chain.  A faulty forwarder at
+        // locus never forwarded, so judges stop one position earlier.
+        const std::size_t forwarder_count =
+            network_cause ? locus + 1 : locus;
+
+        const auto blame_fn = [&](std::size_t judge, std::size_t suspect) {
+            const auto path =
+                scenario.path_links(hops[judge], hops[suspect]);
+            const auto probes = scenario.gather_probes(
+                hops[judge], path, t, Scenario::CollusionStance::kNone,
+                query_id++);
+            return core::compute_blame(path, probes, t,
+                                       net.member(hops[suspect]).id(),
+                                       blame_params)
+                .blame;
+        };
+
+        core::AttributionOutcome outcome;
+        if (params.enable_revision) {
+            outcome = core::attribute_fault(hops.size(), forwarder_count,
+                                            blame_fn, params.verdicts);
+        } else {
+            // Non-recursive baseline: the sender's verdict on its first hop
+            // is final.
+            const double blame = blame_fn(0, 1);
+            if (core::is_guilty_verdict(blame, params.verdicts)) {
+                outcome.blamed_hop = 1;
+            } else {
+                outcome.network_blamed = true;
+                outcome.faulted_segment = 0;
+            }
+        }
+
+        ++result.samples;
+        if (network_cause) {
+            ++result.cause_network;
+            if (outcome.network_blamed) {
+                ++result.correct;
+            } else {
+                ++result.blamed_node_wrongly;
+            }
+        } else {
+            ++result.cause_forwarder;
+            if (outcome.network_blamed) {
+                ++result.blamed_network_wrongly;
+            } else if (outcome.blamed_hop == locus) {
+                ++result.correct;
+            } else {
+                ++result.blamed_wrong_node;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace concilium::sim

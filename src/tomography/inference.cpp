@@ -1,0 +1,171 @@
+#include "tomography/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace concilium::tomography {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Solves (1 - gamma_k / A) = prod_j (1 - gamma_j / A) for A in (lo, 1].
+/// Returns 1.0 when the data show no shared loss above the branch point.
+double solve_branch(double gamma_self, const std::vector<double>& gamma_children) {
+    double lo = gamma_self;
+    for (const double g : gamma_children) lo = std::max(lo, g);
+    lo = std::max(lo, kEps);
+    if (lo >= 1.0) return 1.0;
+
+    const auto g_fn = [&](double a) {
+        double prod = 1.0;
+        for (const double g : gamma_children) prod *= (1.0 - g / a);
+        return (1.0 - gamma_self / a) - prod;
+    };
+    // g(lo+) <= 0 (first term vanishes at gamma_self, or a child factor
+    // vanishes); if g(1) < 0 there is no interior root -> no inferable
+    // shared loss.
+    if (g_fn(1.0) < 0.0) return 1.0;
+    double a = lo + kEps;
+    double b = 1.0;
+    if (g_fn(a) > 0.0) return a;  // degenerate sample; clamp
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (a + b);
+        if (g_fn(mid) <= 0.0) {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+}  // namespace
+
+double InferenceResult::loss_of(net::LinkId link) const {
+    for (const LinkLossEstimate& e : links) {
+        if (e.link == link) return e.loss;
+    }
+    throw std::out_of_range("InferenceResult::loss_of: unknown link");
+}
+
+InferenceResult infer_link_loss(const ProbeTree& tree,
+                                std::span<const ProbeRecord> probes) {
+    if (probes.empty()) {
+        throw std::invalid_argument("infer_link_loss: no probes");
+    }
+    const auto& nodes = tree.nodes();
+    const std::size_t n = nodes.size();
+
+    // gamma_hat[k]: fraction of probes with a (nonce-valid) ack from some
+    // leaf in k's subtree.  One bottom-up pass per probe.
+    std::vector<int> ack_any(n, 0);
+    // Children are always appended after their parent, so iterating node
+    // indices in reverse is a valid post-order for accumulation.
+    std::vector<char> probe_hit(n, 0);
+    for (const ProbeRecord& rec : probes) {
+        std::fill(probe_hit.begin(), probe_hit.end(), 0);
+        for (std::size_t k = n; k-- > 0;) {
+            const auto& node = nodes[k];
+            bool hit = false;
+            if (node.leaf_slot.has_value()) {
+                const auto slot = static_cast<std::size_t>(*node.leaf_slot);
+                hit = rec.acked[slot] && rec.nonce_valid[slot];
+            }
+            for (const int c : node.children) {
+                hit = hit || probe_hit[static_cast<std::size_t>(c)];
+            }
+            probe_hit[k] = hit ? 1 : 0;
+            if (hit) ++ack_any[k];
+        }
+    }
+    std::vector<double> gamma(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        gamma[k] = static_cast<double>(ack_any[k]) /
+                   static_cast<double>(probes.size());
+    }
+
+    // Logical skeleton: the root, branch points (>= 2 children), and probed
+    // endpoints are identifiable; single-child pass-through routers collapse
+    // into the link chain below their nearest identifiable ancestor.
+    const auto is_logical = [&](std::size_t k) {
+        return k == 0 || nodes[k].children.size() >= 2 ||
+               nodes[k].leaf_slot.has_value();
+    };
+
+    InferenceResult result;
+    result.cumulative_pass.assign(n, 1.0);
+
+    // Process logical nodes top-down (index order is parent-before-child).
+    for (std::size_t k = 1; k < n; ++k) {
+        if (!is_logical(k)) continue;
+        // Find the nearest identifiable ancestor and count the chain links.
+        std::size_t anc = static_cast<std::size_t>(nodes[k].parent);
+        int chain_len = 1;
+        while (!is_logical(anc)) {
+            anc = static_cast<std::size_t>(nodes[anc].parent);
+            ++chain_len;
+        }
+        const double a_parent = result.cumulative_pass[anc];
+        // When no probe ever reached the parent (its whole subtree is
+        // silent), deeper links carry no evidence whatsoever.
+        const bool parent_reachable = a_parent > 2.0 * kEps;
+
+        double a_k;
+        if (gamma[k] <= 0.0) {
+            // No ack from this subtree: if probes did reach the parent, the
+            // chain itself is demonstrably dead; otherwise it is merely
+            // unobservable.
+            a_k = kEps;
+        } else if (nodes[k].children.empty()) {
+            a_k = gamma[k];  // logical leaf: gamma IS the end-to-end pass rate
+        } else {
+            std::vector<double> child_gammas;
+            for (const int c : nodes[k].children) {
+                child_gammas.push_back(gamma[static_cast<std::size_t>(c)]);
+            }
+            if (nodes[k].leaf_slot.has_value()) {
+                // A probed interior endpoint: its own acks behave like a
+                // zero-loss virtual child.
+                const auto slot = *nodes[k].leaf_slot;
+                double own = 0.0;
+                for (const ProbeRecord& rec : probes) {
+                    const auto s = static_cast<std::size_t>(slot);
+                    if (rec.acked[s] && rec.nonce_valid[s]) own += 1.0;
+                }
+                child_gammas.push_back(own /
+                                       static_cast<double>(probes.size()));
+            }
+            a_k = child_gammas.size() >= 2
+                      ? solve_branch(gamma[k], child_gammas)
+                      : gamma[k];  // cannot happen for a true branch point
+        }
+        a_k = std::clamp(a_k, kEps, 1.0);
+        const bool observable = parent_reachable;
+        const double chain_pass =
+            observable ? std::clamp(a_k / a_parent, 0.0, 1.0) : 1.0;
+        const double chain_loss = observable ? 1.0 - chain_pass : 0.0;
+
+        // Record the estimate on every physical link of the chain, and give
+        // intermediate chain nodes interpolated cumulative passes.
+        result.cumulative_pass[k] = a_k;
+        const double per_hop = std::pow(
+            std::max(chain_pass, kEps), 1.0 / static_cast<double>(chain_len));
+        std::size_t walk = k;
+        double cum = a_k;
+        for (int hop = 0; hop < chain_len; ++hop) {
+            result.links.push_back(LinkLossEstimate{
+                nodes[walk].via, chain_loss, chain_len, observable});
+            const auto parent = static_cast<std::size_t>(nodes[walk].parent);
+            if (hop + 1 < chain_len) {
+                cum /= per_hop;
+                result.cumulative_pass[parent] = std::min(cum, 1.0);
+            }
+            walk = parent;
+        }
+    }
+    return result;
+}
+
+}  // namespace concilium::tomography

@@ -1,0 +1,52 @@
+#include "tomography/overlay_trees.h"
+
+#include <stdexcept>
+
+namespace concilium::tomography {
+
+OverlayTrees::OverlayTrees(const overlay::OverlayNetwork& net,
+                           const net::Topology& topology) {
+    const net::PathOracle oracle(topology);
+    const std::size_t n = net.size();
+    trees_.reserve(n);
+    leaf_slots_.resize(n);
+    leaf_ids_.resize(n);
+    leaf_members_.resize(n);
+    for (overlay::MemberIndex m = 0; m < n; ++m) {
+        const auto& peers = net.routing_peers(m);
+        std::vector<net::RouterId> dsts;
+        dsts.reserve(peers.size());
+        for (const overlay::MemberIndex p : peers) {
+            dsts.push_back(net.member(p).ip());
+        }
+        std::vector<net::Path> paths = oracle.paths_from(net.member(m).ip(), dsts);
+        trees_.emplace_back(net.member(m).ip(), paths);
+        int slot = 0;
+        for (std::size_t i = 0; i < peers.size(); ++i) {
+            if (paths[i].empty()) continue;
+            leaf_slots_[m].emplace(peers[i], slot++);
+            leaf_ids_[m].push_back(net.member(peers[i]).id());
+            leaf_members_[m].push_back(peers[i]);
+            member_peer_paths_.push_back(std::move(paths[i]));
+        }
+    }
+}
+
+std::optional<int> OverlayTrees::leaf_slot(overlay::MemberIndex m,
+                                           overlay::MemberIndex peer) const {
+    const auto& slots = leaf_slots_.at(m);
+    const auto it = slots.find(peer);
+    if (it == slots.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<net::LinkId> OverlayTrees::path_links(
+    overlay::MemberIndex m, overlay::MemberIndex peer) const {
+    const auto slot = leaf_slot(m, peer);
+    if (!slot.has_value()) {
+        throw std::invalid_argument("OverlayTrees::path_links: no path");
+    }
+    return trees_.at(m).path_links(*slot);
+}
+
+}  // namespace concilium::tomography

@@ -1,0 +1,66 @@
+// Probe trees for every overlay member.
+//
+// Builds, for each member of an overlay, the tree T_H spanning it and its
+// routing peers (Section 3.2), together with the peer -> leaf-slot mapping
+// and the flat list of (host, routing peer) IP paths -- the candidate set
+// that the failure model of Section 4.2 draws from.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/paths.h"
+#include "net/topology.h"
+#include "overlay/network.h"
+#include "tomography/tree.h"
+
+namespace concilium::tomography {
+
+class OverlayTrees {
+  public:
+    OverlayTrees(const overlay::OverlayNetwork& net,
+                 const net::Topology& topology);
+
+    [[nodiscard]] const ProbeTree& tree(overlay::MemberIndex m) const {
+        return trees_.at(m);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return trees_.size(); }
+
+    /// Leaf slot of `peer` in `m`'s tree, when the IP path exists.
+    [[nodiscard]] std::optional<int> leaf_slot(
+        overlay::MemberIndex m, overlay::MemberIndex peer) const;
+
+    /// IP links of the path m -> peer.  Throws when no path exists.
+    [[nodiscard]] std::vector<net::LinkId> path_links(
+        overlay::MemberIndex m, overlay::MemberIndex peer) const;
+
+    /// Overlay identifiers of `m`'s tree leaves, in leaf-slot order (the
+    /// argument make_snapshot() wants).
+    [[nodiscard]] const std::vector<util::NodeId>& leaf_ids(
+        overlay::MemberIndex m) const {
+        return leaf_ids_.at(m);
+    }
+
+    /// Member behind each leaf slot of m's tree.
+    [[nodiscard]] const std::vector<overlay::MemberIndex>& leaf_members(
+        overlay::MemberIndex m) const {
+        return leaf_members_.at(m);
+    }
+
+    /// All (member, routing peer) paths with at least one hop; the failure
+    /// model's candidate set.
+    [[nodiscard]] const std::vector<net::Path>& member_peer_paths() const {
+        return member_peer_paths_;
+    }
+
+  private:
+    std::vector<ProbeTree> trees_;
+    std::vector<std::unordered_map<overlay::MemberIndex, int>> leaf_slots_;
+    std::vector<std::vector<util::NodeId>> leaf_ids_;
+    std::vector<std::vector<overlay::MemberIndex>> leaf_members_;
+    std::vector<net::Path> member_peer_paths_;
+};
+
+}  // namespace concilium::tomography

@@ -1,0 +1,145 @@
+#include "tomography/probing.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace concilium::tomography {
+
+namespace {
+
+const LeafBehavior kHonest{};
+
+const LeafBehavior& behavior_of(std::span<const LeafBehavior> behaviors,
+                                std::size_t leaf) {
+    if (behaviors.empty()) return kHonest;
+    return behaviors[leaf];
+}
+
+}  // namespace
+
+ProbeRecord sample_striped_probe(const ProbeTree& tree,
+                                 const PassProbabilityFn& pass_probability,
+                                 util::SimTime t,
+                                 std::span<const LeafBehavior> behaviors,
+                                 util::Rng& rng) {
+    if (!behaviors.empty() && behaviors.size() != tree.leaves().size()) {
+        throw std::invalid_argument(
+            "sample_striped_probe: behaviors must match leaf count");
+    }
+    // One Bernoulli draw per tree link models the stripe's multicast
+    // emulation: packets issued back to back share interior fate.
+    std::unordered_map<net::LinkId, bool> link_passed;
+    link_passed.reserve(tree.links().size());
+    for (const net::LinkId l : tree.links()) {
+        link_passed.emplace(l, rng.bernoulli(pass_probability(l, t)));
+    }
+
+    const std::size_t n = tree.leaves().size();
+    ProbeRecord record;
+    record.received.assign(n, false);
+    record.acked.assign(n, false);
+    record.nonce_valid.assign(n, false);
+
+    // Walk the tree once, propagating delivery.
+    std::vector<bool> reached(tree.nodes().size(), false);
+    reached[0] = true;
+    std::vector<int> stack{0};
+    while (!stack.empty()) {
+        const int n_idx = stack.back();
+        stack.pop_back();
+        const auto& node = tree.nodes()[static_cast<std::size_t>(n_idx)];
+        for (const int child : node.children) {
+            const auto& cn = tree.nodes()[static_cast<std::size_t>(child)];
+            if (reached[static_cast<std::size_t>(n_idx)] &&
+                link_passed.at(cn.via)) {
+                reached[static_cast<std::size_t>(child)] = true;
+            }
+            stack.push_back(child);
+        }
+        if (node.leaf_slot.has_value()) {
+            const auto slot = static_cast<std::size_t>(*node.leaf_slot);
+            record.received[slot] = reached[static_cast<std::size_t>(n_idx)];
+        }
+    }
+
+    for (std::size_t leaf = 0; leaf < n; ++leaf) {
+        const LeafBehavior& b = behavior_of(behaviors, leaf);
+        if (record.received[leaf]) {
+            const bool suppressed = rng.bernoulli(b.suppress_ack_probability);
+            record.acked[leaf] = !suppressed;
+            record.nonce_valid[leaf] = !suppressed;
+        } else if (b.fabricate_acks) {
+            // The nonce travelled inside the lost probe; a fabricated ack
+            // cannot echo it (Section 3.3).
+            record.acked[leaf] = true;
+            record.nonce_valid[leaf] = false;
+        }
+    }
+    return record;
+}
+
+HeavyweightResult run_heavyweight_session(
+    const ProbeTree& tree, const PassProbabilityFn& pass_probability,
+    util::SimTime t0, const HeavyweightParams& params,
+    std::span<const LeafBehavior> behaviors, util::Rng& rng) {
+    if (params.probe_count < 1) {
+        throw std::invalid_argument(
+            "run_heavyweight_session: probe_count must be positive");
+    }
+    HeavyweightResult result;
+    result.started_at = t0;
+    result.ack_counts.assign(tree.leaves().size(), 0);
+    result.probes.reserve(static_cast<std::size_t>(params.probe_count));
+    util::SimTime t = t0;
+    for (int i = 0; i < params.probe_count; ++i, t += params.spacing) {
+        ProbeRecord rec =
+            sample_striped_probe(tree, pass_probability, t, behaviors, rng);
+        for (std::size_t leaf = 0; leaf < rec.acked.size(); ++leaf) {
+            if (rec.acked[leaf] && rec.nonce_valid[leaf]) {
+                ++result.ack_counts[leaf];
+            }
+        }
+        result.probes.push_back(std::move(rec));
+    }
+    result.finished_at = t;
+    return result;
+}
+
+LightweightResult run_lightweight_probe(
+    const ProbeTree& tree, const PassProbabilityFn& pass_probability,
+    util::SimTime t, int retries, std::span<const LeafBehavior> behaviors,
+    util::Rng& rng) {
+    LightweightResult result;
+    result.first_stripe =
+        sample_striped_probe(tree, pass_probability, t, behaviors, rng);
+    // Only nonce-valid acknowledgments count (Section 3.3): a fabricated
+    // ack cannot make a leaf look responsive.
+    result.responsive.assign(tree.leaves().size(), false);
+    for (std::size_t leaf = 0; leaf < result.responsive.size(); ++leaf) {
+        result.responsive[leaf] = result.first_stripe.acked[leaf] &&
+                                  result.first_stripe.nonce_valid[leaf];
+    }
+    // "it sends a few more probes to silent peers to determine if they are
+    // truly offline or situated along a lossy IP link" (Section 3.2)
+    for (int r = 0; r < retries; ++r) {
+        bool any_silent = false;
+        for (const bool ok : result.responsive) {
+            if (!ok) {
+                any_silent = true;
+                break;
+            }
+        }
+        if (!any_silent) break;
+        const ProbeRecord again = sample_striped_probe(
+            tree, pass_probability, t + (r + 1) * util::kSecond, behaviors,
+            rng);
+        for (std::size_t leaf = 0; leaf < result.responsive.size(); ++leaf) {
+            if (again.acked[leaf] && again.nonce_valid[leaf]) {
+                result.responsive[leaf] = true;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace concilium::tomography

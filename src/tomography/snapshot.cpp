@@ -1,0 +1,93 @@
+#include "tomography/snapshot.h"
+
+#include <stdexcept>
+
+namespace concilium::tomography {
+
+LossBucket quantize_loss(double loss) {
+    if (loss < 0.01) return LossBucket::kClean;
+    if (loss < 0.05) return LossBucket::kLow;
+    if (loss < 0.20) return LossBucket::kModerate;
+    if (loss < 0.80) return LossBucket::kHigh;
+    return LossBucket::kDown;
+}
+
+double bucket_loss(LossBucket bucket) {
+    switch (bucket) {
+        case LossBucket::kClean: return 0.0;
+        case LossBucket::kLow: return 0.03;
+        case LossBucket::kModerate: return 0.12;
+        case LossBucket::kHigh: return 0.5;
+        case LossBucket::kDown: return 1.0;
+    }
+    throw std::invalid_argument("bucket_loss: bad bucket");
+}
+
+std::vector<std::uint8_t> TomographicSnapshot::signed_payload() const {
+    util::ByteWriter w;
+    w.node_id(origin);
+    w.i64(probed_at);
+    w.u32(static_cast<std::uint32_t>(paths.size()));
+    for (const PathSummary& p : paths) {
+        w.node_id(p.peer);
+        w.u8(static_cast<std::uint8_t>(p.bucket));
+    }
+    w.u32(static_cast<std::uint32_t>(links.size()));
+    for (const LinkObservation& l : links) {
+        w.u32(l.link);
+        w.u8(l.up ? 1 : 0);
+    }
+    return w.data();
+}
+
+std::size_t TomographicSnapshot::wire_bytes() const {
+    // "Assuming 1 byte for each path summary" (Section 4.4).  Link verdicts
+    // are derivable from the path summaries plus the advertised tree, so
+    // they ride free; the envelope carries the origin, timestamp, and
+    // signature.
+    return paths.size() * 1 + util::NodeId::kBytes + 8 +
+           crypto::Signature::kWireBytes;
+}
+
+TomographicSnapshot make_snapshot(const util::NodeId& origin,
+                                  const crypto::KeyPair& keys,
+                                  util::SimTime probed_at,
+                                  const ProbeTree& tree,
+                                  const InferenceResult& inference,
+                                  const SnapshotParams& params,
+                                  const std::vector<util::NodeId>& leaf_ids) {
+    if (leaf_ids.size() != tree.leaves().size()) {
+        throw std::invalid_argument("make_snapshot: leaf id count mismatch");
+    }
+    TomographicSnapshot snap;
+    snap.origin = origin;
+    snap.probed_at = probed_at;
+    for (std::size_t slot = 0; slot < leaf_ids.size(); ++slot) {
+        double pass = 1.0;
+        const auto node = tree.node_of(tree.leaves()[slot]);
+        if (node.has_value()) {
+            pass = inference.cumulative_pass.at(
+                static_cast<std::size_t>(*node));
+        }
+        snap.paths.push_back(
+            PathSummary{leaf_ids[slot], quantize_loss(1.0 - pass)});
+    }
+    for (const LinkLossEstimate& e : inference.links) {
+        // Links with no probe evidence (below a dead ancestor) are omitted:
+        // a snapshot only vouches for what its probes actually tested.
+        if (!e.observable) continue;
+        snap.links.push_back(
+            LinkObservation{e.link, e.loss < params.down_loss_threshold});
+    }
+    snap.signature = keys.sign(snap.signed_payload());
+    return snap;
+}
+
+bool verify_snapshot(const TomographicSnapshot& snapshot,
+                     const crypto::PublicKey& origin_key,
+                     const crypto::KeyRegistry& registry) {
+    return registry.verify(origin_key, snapshot.signed_payload(),
+                           snapshot.signature);
+}
+
+}  // namespace concilium::tomography

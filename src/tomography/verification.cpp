@@ -1,0 +1,95 @@
+#include "tomography/verification.h"
+
+#include <stdexcept>
+
+namespace concilium::tomography {
+
+std::vector<bool> detect_fabricators(std::size_t leaf_count,
+                                     std::span<const ProbeRecord> probes) {
+    std::vector<bool> flagged(leaf_count, false);
+    for (const ProbeRecord& rec : probes) {
+        for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+            if (rec.acked[leaf] && !rec.nonce_valid[leaf]) {
+                flagged[leaf] = true;
+            }
+        }
+    }
+    return flagged;
+}
+
+std::vector<bool> detect_suppressors(const ProbeTree& tree,
+                                     std::span<const ProbeRecord> probes,
+                                     const SuppressionTestParams& params) {
+    const std::size_t leaf_count = tree.leaves().size();
+    std::vector<bool> flagged(leaf_count, false);
+
+    // For each leaf, evidence = stripes where some leaf in a *sibling*
+    // subtree acknowledged, proving delivery up to the shared ancestor.
+    // The immediate parent is usually a pass-through router with a single
+    // child, so we climb to the nearest ancestor that has leaf descendants
+    // outside this leaf's own subtree.
+    for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+        const auto node_idx = tree.node_of(tree.leaves()[leaf]);
+        if (!node_idx.has_value()) continue;
+
+        std::vector<int> own = tree.leaf_slots_under(*node_idx);
+        std::vector<bool> is_own(leaf_count, false);
+        for (const int s : own) is_own[static_cast<std::size_t>(s)] = true;
+
+        std::vector<int> siblings;
+        for (int cur = *node_idx;
+             siblings.empty() &&
+             tree.nodes()[static_cast<std::size_t>(cur)].parent >= 0;) {
+            const int anc = tree.nodes()[static_cast<std::size_t>(cur)].parent;
+            for (const int s : tree.leaf_slots_under(anc)) {
+                if (!is_own[static_cast<std::size_t>(s)]) siblings.push_back(s);
+            }
+            cur = anc;
+        }
+        if (siblings.empty()) continue;  // no cross-check possible
+
+        int evidence = 0;
+        int acked_given_evidence = 0;
+        for (const ProbeRecord& rec : probes) {
+            bool sibling_ack = false;
+            for (const int s : siblings) {
+                const auto i = static_cast<std::size_t>(s);
+                if (rec.acked[i] && rec.nonce_valid[i]) {
+                    sibling_ack = true;
+                    break;
+                }
+            }
+            if (!sibling_ack) continue;
+            ++evidence;
+            if (rec.acked[leaf] && rec.nonce_valid[leaf]) {
+                ++acked_given_evidence;
+            }
+        }
+        if (evidence < params.min_evidence) continue;
+        const double conditional = static_cast<double>(acked_given_evidence) /
+                                   static_cast<double>(evidence);
+        if (conditional < params.min_conditional_ack_rate) {
+            flagged[leaf] = true;
+        }
+    }
+    return flagged;
+}
+
+std::vector<ProbeRecord> exclude_leaves(std::span<const ProbeRecord> probes,
+                                        const std::vector<bool>& excluded) {
+    std::vector<ProbeRecord> out(probes.begin(), probes.end());
+    for (ProbeRecord& rec : out) {
+        if (rec.acked.size() != excluded.size()) {
+            throw std::invalid_argument("exclude_leaves: size mismatch");
+        }
+        for (std::size_t leaf = 0; leaf < excluded.size(); ++leaf) {
+            if (excluded[leaf]) {
+                rec.acked[leaf] = false;
+                rec.nonce_valid[leaf] = false;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace concilium::tomography

@@ -1,0 +1,156 @@
+#include "util/ids.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace concilium::util {
+
+namespace {
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("NodeId::from_hex: non-hex character");
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+NodeId NodeId::from_hex(std::string_view hex) {
+    if (hex.size() > kDigits) {
+        throw std::invalid_argument("NodeId::from_hex: too many digits");
+    }
+    std::array<std::uint8_t, kBytes> bytes{};
+    for (std::size_t i = 0; i < hex.size(); ++i) {
+        const int v = hex_value(hex[i]);
+        if (i % 2 == 0) {
+            bytes[i / 2] = static_cast<std::uint8_t>(v << 4);
+        } else {
+            bytes[i / 2] = static_cast<std::uint8_t>(bytes[i / 2] | v);
+        }
+    }
+    return NodeId(bytes);
+}
+
+NodeId NodeId::random(Rng& rng) {
+    std::array<std::uint8_t, kBytes> bytes{};
+    for (auto& b : bytes) {
+        b = static_cast<std::uint8_t>(rng.uniform_u64() & 0xff);
+    }
+    return NodeId(bytes);
+}
+
+NodeId NodeId::hash_of(std::string_view data) {
+    // Two rounds of FNV-1a with different offsets, spread across the 20
+    // bytes.  Not cryptographic -- see crypto/ for the trust model -- but
+    // stable, well-distributed, and dependency-free.
+    std::array<std::uint8_t, kBytes> bytes{};
+    std::uint64_t h1 = 0xcbf29ce484222325ULL;
+    std::uint64_t h2 = 0x84222325cbf29ce4ULL;
+    for (unsigned char c : data) {
+        h1 = (h1 ^ c) * 0x100000001b3ULL;
+        h2 = (h2 ^ (c + 0x9e)) * 0x100000001b3ULL;
+    }
+    std::uint64_t h3 = h1 ^ (h2 << 1) ^ (h2 >> 7);
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<std::uint8_t>(h1 >> (56 - 8 * i));
+        bytes[i + 8] = static_cast<std::uint8_t>(h2 >> (56 - 8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+        bytes[16 + i] = static_cast<std::uint8_t>(h3 >> (24 - 8 * i));
+    }
+    return NodeId(bytes);
+}
+
+int NodeId::digit(int i) const {
+    if (i < 0 || i >= kDigits) {
+        throw std::out_of_range("NodeId::digit: index out of range");
+    }
+    const std::uint8_t byte = bytes_[static_cast<std::size_t>(i) / 2];
+    return (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+}
+
+NodeId NodeId::with_digit(int i, int value) const {
+    if (i < 0 || i >= kDigits) {
+        throw std::out_of_range("NodeId::with_digit: index out of range");
+    }
+    if (value < 0 || value >= OverlayGeometry::kDigitBase) {
+        throw std::out_of_range("NodeId::with_digit: digit value out of range");
+    }
+    std::array<std::uint8_t, kBytes> bytes = bytes_;
+    auto& byte = bytes[static_cast<std::size_t>(i) / 2];
+    if (i % 2 == 0) {
+        byte = static_cast<std::uint8_t>((byte & 0x0f) | (value << 4));
+    } else {
+        byte = static_cast<std::uint8_t>((byte & 0xf0) | value);
+    }
+    return NodeId(bytes);
+}
+
+int NodeId::shared_prefix_digits(const NodeId& other) const noexcept {
+    for (int i = 0; i < kBytes; ++i) {
+        if (bytes_[i] != other.bytes_[i]) {
+            const int hi_a = bytes_[i] >> 4;
+            const int hi_b = other.bytes_[i] >> 4;
+            return 2 * i + (hi_a == hi_b ? 1 : 0);
+        }
+    }
+    return kDigits;
+}
+
+NodeId clockwise_distance(const NodeId& a, const NodeId& b) noexcept {
+    // b - a mod 2^160, big-endian subtraction with borrow.
+    std::array<std::uint8_t, NodeId::kBytes> out{};
+    int borrow = 0;
+    for (int i = NodeId::kBytes - 1; i >= 0; --i) {
+        int diff = static_cast<int>(b.bytes()[i]) -
+                   static_cast<int>(a.bytes()[i]) - borrow;
+        borrow = diff < 0 ? 1 : 0;
+        if (diff < 0) diff += 256;
+        out[i] = static_cast<std::uint8_t>(diff);
+    }
+    return NodeId(out);
+}
+
+NodeId NodeId::ring_distance(const NodeId& other) const noexcept {
+    const NodeId cw = clockwise_distance(*this, other);
+    const NodeId ccw = clockwise_distance(other, *this);
+    return cw < ccw ? cw : ccw;
+}
+
+double NodeId::as_fraction() const noexcept {
+    // Use the top 53 bits so the result is an exact double strictly below
+    // 1.0 even for the all-ones identifier.
+    std::uint64_t top = 0;
+    for (int i = 0; i < 8; ++i) {
+        top = (top << 8) | bytes_[i];
+    }
+    top >>= 11;  // keep 53 bits
+    return static_cast<double>(top) / 9007199254740992.0;  // 2^53
+}
+
+std::string NodeId::to_hex() const {
+    std::string out;
+    out.reserve(kDigits);
+    for (const std::uint8_t b : bytes_) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0x0f]);
+    }
+    return out;
+}
+
+std::string NodeId::short_hex() const { return to_hex().substr(0, 8); }
+
+std::size_t NodeIdHash::operator()(const NodeId& id) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint8_t b : id.bytes()) {
+        h = (h ^ b) * 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+}  // namespace concilium::util

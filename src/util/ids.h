@@ -1,0 +1,114 @@
+// Overlay identifiers.
+//
+// Structured overlays such as Pastry assign every node a fixed-width random
+// identifier.  Identifiers are interpreted as strings of base-v digits; the
+// paper (Section 3.1) uses identifiers of length l = 32 or 40 digits with
+// v = 16 possible values per digit, i.e. 128- or 160-bit hexadecimal strings.
+//
+// NodeId stores the maximal 160-bit form.  Deployments with shorter digit
+// strings simply ignore the trailing digits; all digit-indexed accessors take
+// the digit count from the caller's OverlayGeometry.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace concilium::util {
+
+class Rng;
+
+/// Static parameters of the identifier space (Section 3.1: "overlay
+/// identifiers are l characters long and each character can assume one of v
+/// different values").  v is fixed at 16 (hexadecimal digits); l is
+/// configurable up to kMaxDigits.
+struct OverlayGeometry {
+    static constexpr int kDigitBase = 16;   ///< v: values per digit.
+    static constexpr int kMaxDigits = 40;   ///< upper bound on l (160 bits).
+
+    int digits = 40;                        ///< l: identifier length in digits.
+
+    [[nodiscard]] constexpr int rows() const noexcept { return digits; }
+    [[nodiscard]] constexpr int columns() const noexcept { return kDigitBase; }
+    /// Total number of jump-table slots (l rows x v columns).
+    [[nodiscard]] constexpr int table_slots() const noexcept {
+        return digits * kDigitBase;
+    }
+
+    friend bool operator==(const OverlayGeometry&,
+                           const OverlayGeometry&) = default;
+};
+
+/// A 160-bit overlay identifier viewed as 40 hexadecimal digits,
+/// most-significant digit first.
+class NodeId {
+  public:
+    static constexpr int kBytes = 20;
+    static constexpr int kDigits = 2 * kBytes;
+
+    /// The all-zero identifier.
+    constexpr NodeId() noexcept : bytes_{} {}
+
+    /// Builds an identifier from raw big-endian bytes.
+    explicit constexpr NodeId(const std::array<std::uint8_t, kBytes>& bytes) noexcept
+        : bytes_(bytes) {}
+
+    /// Parses a hex string of up to kDigits characters (shorter strings are
+    /// left-aligned and zero-padded).  Throws std::invalid_argument on any
+    /// non-hex character.
+    static NodeId from_hex(std::string_view hex);
+
+    /// Draws an identifier uniformly at random.  Random assignment by the
+    /// certificate authority is what stops adversaries from choosing
+    /// advantageous identifier-space positions (Section 2).
+    static NodeId random(Rng& rng);
+
+    /// Deterministically derives an identifier from arbitrary bytes (used to
+    /// key DHT entries by public key, Section 3.4).
+    static NodeId hash_of(std::string_view data);
+
+    /// Returns digit i (0 = most significant), in [0, 16).
+    [[nodiscard]] int digit(int i) const;
+
+    /// Returns a copy with digit i replaced by value.  This is the "point p"
+    /// construction of secure routing: the local identifier with the i-th
+    /// character substituted with j (Section 2).
+    [[nodiscard]] NodeId with_digit(int i, int value) const;
+
+    /// Length of the shared digit prefix with other, in [0, kDigits].
+    [[nodiscard]] int shared_prefix_digits(const NodeId& other) const noexcept;
+
+    /// Absolute distance on the identifier ring (min of clockwise and
+    /// counter-clockwise distance), returned as a NodeId-sized magnitude.
+    [[nodiscard]] NodeId ring_distance(const NodeId& other) const noexcept;
+
+    /// Lossy projection of the identifier (or a ring distance) onto a double
+    /// in [0, 1): the identifier's position as a fraction of the ring.
+    [[nodiscard]] double as_fraction() const noexcept;
+
+    [[nodiscard]] std::string to_hex() const;
+    /// First eight hex digits; convenient for logs.
+    [[nodiscard]] std::string short_hex() const;
+
+    [[nodiscard]] const std::array<std::uint8_t, kBytes>& bytes() const noexcept {
+        return bytes_;
+    }
+
+    friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  private:
+    std::array<std::uint8_t, kBytes> bytes_;  // big-endian digit string
+};
+
+/// FNV-1a over the identifier bytes, for unordered containers.
+struct NodeIdHash {
+    std::size_t operator()(const NodeId& id) const noexcept;
+};
+
+/// Clockwise distance from a to b on the ring (b - a mod 2^160).
+NodeId clockwise_distance(const NodeId& a, const NodeId& b) noexcept;
+
+}  // namespace concilium::util

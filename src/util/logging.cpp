@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace concilium::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+        case LogLevel::kOff: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+    if (level < log_level()) return;
+    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace concilium::util

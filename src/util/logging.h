@@ -1,0 +1,51 @@
+// Minimal leveled logging.
+//
+// Simulations involving a hundred thousand links produce torrents of events;
+// logging is therefore off by default and enabled per-run (examples use Info,
+// debugging uses Debug).  The logger writes to stderr so benchmark stdout
+// stays machine-parsable.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace concilium::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr ("[level] message").  Prefer the LOG_* helpers.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    log_line(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+    detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+    detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+    detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+    detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace concilium::util

@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace concilium::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+    if (k > n) {
+        throw std::invalid_argument("Rng::sample_indices: k > n");
+    }
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+        std::swap(pool[i], pool[i + uniform_index(n - i)]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+}  // namespace concilium::util

@@ -1,0 +1,227 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace concilium::util {
+
+double normal_pdf(double x) {
+    static const double kInvSqrt2Pi = 0.3989422804014327;
+    return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_cdf(double x, double mean, double stddev) {
+    if (stddev <= 0.0) {
+        return x < mean ? 0.0 : 1.0;
+    }
+    return normal_cdf((x - mean) / stddev);
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0)) {
+        throw std::domain_error("normal_quantile: p must be in (0, 1)");
+    }
+    // Acklam's rational approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+    double q = 0.0;
+    double r = 0.0;
+    if (p < p_low) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double log_factorial(int n) {
+    if (n < 0) {
+        throw std::domain_error("log_factorial: negative argument");
+    }
+    return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial_coefficient(int n, int k) {
+    if (k < 0 || k > n) {
+        return -std::numeric_limits<double>::infinity();
+    }
+    return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_pmf(int n, int k, double p) {
+    if (k < 0 || k > n) return 0.0;
+    if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0) return k == n ? 1.0 : 0.0;
+    const double log_pmf = log_binomial_coefficient(n, k) +
+                           k * std::log(p) + (n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+double binomial_upper_tail(int n, int k, double p) {
+    if (k <= 0) return 1.0;
+    if (k > n) return 0.0;
+    // Sum the smaller tail for accuracy.
+    if (k > n / 2) {
+        double sum = 0.0;
+        for (int i = k; i <= n; ++i) sum += binomial_pmf(n, i, p);
+        return std::min(1.0, sum);
+    }
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) sum += binomial_pmf(n, i, p);
+    return std::max(0.0, 1.0 - sum);
+}
+
+double binomial_lower_tail_exclusive(int n, int k, double p) {
+    return 1.0 - binomial_upper_tail(n, k, p);
+}
+
+PoissonBinomialNormal::PoissonBinomialNormal(std::span<const double> probs)
+    : slots_(probs.size()) {
+    if (probs.empty()) {
+        throw std::invalid_argument("PoissonBinomialNormal: empty grid");
+    }
+    double sum = 0.0;
+    for (const double p : probs) {
+        if (p < 0.0 || p > 1.0) {
+            throw std::domain_error(
+                "PoissonBinomialNormal: probability outside [0, 1]");
+        }
+        sum += p;
+    }
+    const double s = static_cast<double>(slots_);
+    grid_mean_ = sum / s;
+    double sq = 0.0;
+    for (const double p : probs) {
+        const double d = p - grid_mean_;
+        sq += d * d;
+    }
+    grid_variance_ = sq / s;
+    mu_phi_ = s * grid_mean_;
+    const double var_phi =
+        s * grid_mean_ * (1.0 - grid_mean_) - s * grid_variance_;
+    sigma_phi_ = std::sqrt(std::max(0.0, var_phi));
+}
+
+double PoissonBinomialNormal::cdf(double x) const {
+    return normal_cdf(x, mu_phi_, sigma_phi_);
+}
+
+double PoissonBinomialNormal::pmf(int d) const {
+    return cdf(d + 0.5) - cdf(d - 0.5);
+}
+
+void OnlineMoments::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double OnlineMoments::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double OnlineMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+    if (!(hi > lo) || bins == 0) {
+        throw std::invalid_argument("Histogram: invalid range or bin count");
+    }
+}
+
+void Histogram::add(double x) noexcept {
+    const double pos = (x - lo_) / width_;
+    std::size_t bin = 0;
+    if (pos >= 0.0) {
+        bin = std::min(counts_.size() - 1, static_cast<std::size_t>(pos));
+    }
+    ++counts_[bin];
+    ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) {
+        throw std::out_of_range("Histogram::bin_center");
+    }
+    return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) /
+           (static_cast<double>(total_) * width_);
+}
+
+double Histogram::fraction_below(double x) const noexcept {
+    if (total_ == 0) return 0.0;
+    if (x <= lo_) return 0.0;
+    if (x >= hi_) return 1.0;
+    const double pos = (x - lo_) / width_;
+    const std::size_t full_bins =
+        std::min(counts_.size(), static_cast<std::size_t>(pos));
+    std::int64_t below = 0;
+    for (std::size_t i = 0; i < full_bins; ++i) below += counts_[i];
+    double frac = static_cast<double>(below);
+    if (full_bins < counts_.size()) {
+        const double partial = pos - static_cast<double>(full_bins);
+        frac += partial * static_cast<double>(counts_[full_bins]);
+    }
+    return frac / static_cast<double>(total_);
+}
+
+}  // namespace concilium::util

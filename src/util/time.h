@@ -1,0 +1,29 @@
+// Simulated time.
+//
+// All protocol timestamps and event-simulator clocks use SimTime, an integer
+// count of microseconds since the start of the simulation.  Integer time
+// keeps event ordering exact and serialization trivial.
+
+#pragma once
+
+#include <cstdint>
+
+namespace concilium::util {
+
+using SimTime = std::int64_t;  ///< microseconds since simulation start
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr double to_seconds(SimTime t) noexcept {
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime from_seconds(double s) noexcept {
+    return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace concilium::util

@@ -1,0 +1,185 @@
+#include "core/blame.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace concilium::core {
+namespace {
+
+using util::kSecond;
+
+const util::NodeId kJudged = util::NodeId::from_hex("bb");
+const util::NodeId kReporterQ = util::NodeId::from_hex("01");
+const util::NodeId kReporterR = util::NodeId::from_hex("02");
+const util::NodeId kReporterS = util::NodeId::from_hex("03");
+
+ProbeResult probe(const util::NodeId& who, net::LinkId link, bool up,
+                  util::SimTime at = 0) {
+    return ProbeResult{who, link, up, at};
+}
+
+TEST(ProbeVote, WeighsByAccuracy) {
+    EXPECT_DOUBLE_EQ(probe_vote(false, 0.8), 0.8);  // down-probe: bad w.p. a
+    EXPECT_DOUBLE_EQ(probe_vote(true, 0.8), 0.2);   // up-probe: bad w.p. 1-a
+}
+
+TEST(ComputeBlame, PaperWorkedExample) {
+    // Section 3.4: Q and R probe a link as down, S probes it up, a = 0.8
+    // => bad confidence (1/3)(0.8)+(1/3)(0.8)+(1/3)(0.2) = 0.6.
+    const std::vector<net::LinkId> path{5};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 5, false),
+        probe(kReporterR, 5, false),
+        probe(kReporterS, 5, true),
+    };
+    BlameParams params;
+    params.probe_accuracy = 0.8;
+    const auto b = compute_blame(path, probes, 0, kJudged, params);
+    EXPECT_NEAR(b.path_bad_confidence, 0.6, 1e-12);
+    EXPECT_NEAR(b.blame, 0.4, 1e-12);
+    ASSERT_EQ(b.links.size(), 1u);
+    EXPECT_EQ(b.links[0].probes_used, 3);
+}
+
+TEST(ComputeBlame, NoProbesMeansFullBlame) {
+    // "Otherwise, Concilium determines that B was faulty."
+    const std::vector<net::LinkId> path{1, 2, 3};
+    const auto b = compute_blame(path, {}, 0, kJudged, BlameParams{});
+    EXPECT_DOUBLE_EQ(b.blame, 1.0);
+    EXPECT_TRUE(b.links.empty());
+}
+
+TEST(ComputeBlame, FuzzyMaxPicksWorstLink) {
+    const std::vector<net::LinkId> path{1, 2};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, true),   // link 1 looks fine: confidence 0.1
+        probe(kReporterQ, 2, false),  // link 2 looks down: confidence 0.9
+    };
+    const auto b = compute_blame(path, probes, 0, kJudged, BlameParams{});
+    EXPECT_NEAR(b.path_bad_confidence, 0.9, 1e-12);
+    EXPECT_NEAR(b.blame, 0.1, 1e-12);
+}
+
+TEST(ComputeBlame, MeanOperatorAverages) {
+    const std::vector<net::LinkId> path{1, 2};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, true),
+        probe(kReporterQ, 2, false),
+    };
+    BlameParams params;
+    params.or_operator = BlameParams::OrOperator::kMean;
+    const auto b = compute_blame(path, probes, 0, kJudged, params);
+    EXPECT_NEAR(b.path_bad_confidence, 0.5, 1e-12);
+}
+
+TEST(ComputeBlame, JudgedNodesOwnProbesAreExcluded) {
+    // "when A judges the trustworthiness of B, it does not incorporate B's
+    // probe results into Equation 3."
+    const std::vector<net::LinkId> path{1};
+    const std::vector<ProbeResult> probes{
+        probe(kJudged, 1, false),  // B claims the link was down
+    };
+    const auto b = compute_blame(path, probes, 0, kJudged, BlameParams{});
+    EXPECT_DOUBLE_EQ(b.blame, 1.0);  // B's self-serving claim carries nothing
+}
+
+TEST(ComputeBlame, DeltaWindowFiltersStaleAndFutureProbes) {
+    const std::vector<net::LinkId> path{1};
+    BlameParams params;  // delta = 60 s
+    const util::SimTime t = 600 * kSecond;
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, false, t - 61 * kSecond),  // too old
+        probe(kReporterR, 1, false, t + 61 * kSecond),  // too new
+        probe(kReporterS, 1, true, t + 30 * kSecond),   // admitted
+    };
+    const auto b = compute_blame(path, probes, t, kJudged, params);
+    ASSERT_EQ(b.links.size(), 1u);
+    EXPECT_EQ(b.links[0].probes_used, 1);
+    EXPECT_NEAR(b.path_bad_confidence, 1.0 - params.probe_accuracy, 1e-12);
+}
+
+TEST(ComputeBlame, WindowBoundariesAreInclusive) {
+    const std::vector<net::LinkId> path{1};
+    BlameParams params;
+    const util::SimTime t = 600 * kSecond;
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, false, t - 60 * kSecond),
+        probe(kReporterR, 1, false, t + 60 * kSecond),
+    };
+    const auto b = compute_blame(path, probes, t, kJudged, params);
+    EXPECT_EQ(b.links[0].probes_used, 2);
+}
+
+TEST(ComputeBlame, OffPathProbesIgnored) {
+    const std::vector<net::LinkId> path{1};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 99, false),  // not on the path
+    };
+    const auto b = compute_blame(path, probes, 0, kJudged, BlameParams{});
+    EXPECT_DOUBLE_EQ(b.blame, 1.0);
+}
+
+TEST(ComputeBlame, AllProbesDownYieldsMinimalBlame) {
+    const std::vector<net::LinkId> path{1};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, false),
+        probe(kReporterR, 1, false),
+    };
+    BlameParams params;
+    params.probe_accuracy = 0.9;
+    const auto b = compute_blame(path, probes, 0, kJudged, params);
+    EXPECT_NEAR(b.blame, 0.1, 1e-12);
+}
+
+TEST(ComputeBlame, DuplicatePathLinksCountOnce) {
+    const std::vector<net::LinkId> path{1, 1, 2};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 1, false),
+        probe(kReporterQ, 2, true),
+    };
+    const auto b = compute_blame(path, probes, 0, kJudged, BlameParams{});
+    EXPECT_EQ(b.links.size(), 2u);  // link 1 listed once
+}
+
+TEST(ComputeBlame, BreakdownIsDeterministicPathOrder) {
+    const std::vector<net::LinkId> path{9, 3, 7};
+    const std::vector<ProbeResult> probes{
+        probe(kReporterQ, 3, true),
+        probe(kReporterQ, 7, true),
+        probe(kReporterQ, 9, true),
+    };
+    const auto b = compute_blame(path, probes, 0, kJudged, BlameParams{});
+    ASSERT_EQ(b.links.size(), 3u);
+    EXPECT_EQ(b.links[0].link, 9u);
+    EXPECT_EQ(b.links[1].link, 3u);
+    EXPECT_EQ(b.links[2].link, 7u);
+}
+
+TEST(ComputeBlame, RejectsNonsenseAccuracy) {
+    const std::vector<net::LinkId> path{1};
+    BlameParams params;
+    params.probe_accuracy = 0.3;  // worse than coin-flip: misconfiguration
+    EXPECT_THROW(compute_blame(path, {}, 0, kJudged, params),
+                 std::invalid_argument);
+}
+
+TEST(ComputeBlame, MoreDownVotesMonotonicallyLowerBlame) {
+    const std::vector<net::LinkId> path{1};
+    BlameParams params;
+    double prev_blame = 1.1;
+    for (int down = 0; down <= 10; ++down) {
+        std::vector<ProbeResult> probes;
+        for (int i = 0; i < 10; ++i) {
+            // Distinct reporter ids so none are filtered.
+            probes.push_back(probe(
+                util::NodeId::from_hex("c" + std::to_string(i)), 1, i >= down));
+        }
+        const auto b = compute_blame(path, probes, 0, kJudged, params);
+        EXPECT_LT(b.blame, prev_blame) << down << " down-votes";
+        prev_blame = b.blame;
+    }
+}
+
+}  // namespace
+}  // namespace concilium::core

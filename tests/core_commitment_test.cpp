@@ -1,0 +1,87 @@
+#include "core/commitments.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/certificates.h"
+
+namespace concilium::core {
+namespace {
+
+struct CommitmentFixture : ::testing::Test {
+    CommitmentFixture() : ca(11) {
+        sender = std::make_unique<crypto::CertificateAuthority::Admission>(
+            ca.admit(1));
+        forwarder = std::make_unique<crypto::CertificateAuthority::Admission>(
+            ca.admit(2));
+        destination =
+            std::make_unique<crypto::CertificateAuthority::Admission>(
+                ca.admit(3));
+    }
+
+    ForwardingCommitment make(std::uint64_t message_id = 7) {
+        return make_forwarding_commitment(
+            sender->certificate.node_id, forwarder->certificate.node_id,
+            destination->certificate.node_id, message_id,
+            90 * util::kSecond, forwarder->keys);
+    }
+
+    crypto::CertificateAuthority ca;
+    std::unique_ptr<crypto::CertificateAuthority::Admission> sender;
+    std::unique_ptr<crypto::CertificateAuthority::Admission> forwarder;
+    std::unique_ptr<crypto::CertificateAuthority::Admission> destination;
+};
+
+TEST_F(CommitmentFixture, RoundTripVerifies) {
+    const auto c = make();
+    EXPECT_TRUE(verify_forwarding_commitment(
+        c, forwarder->keys.public_key(), ca.registry()));
+    EXPECT_EQ(c.sender, sender->certificate.node_id);
+    EXPECT_EQ(c.forwarder, forwarder->certificate.node_id);
+    EXPECT_EQ(c.destination, destination->certificate.node_id);
+}
+
+TEST_F(CommitmentFixture, TamperedFieldsFailVerification) {
+    {
+        auto c = make();
+        c.message_id = 8;  // rebind the promise to another message
+        EXPECT_FALSE(verify_forwarding_commitment(
+            c, forwarder->keys.public_key(), ca.registry()));
+    }
+    {
+        auto c = make();
+        c.destination = sender->certificate.node_id;
+        EXPECT_FALSE(verify_forwarding_commitment(
+            c, forwarder->keys.public_key(), ca.registry()));
+    }
+    {
+        auto c = make();
+        c.at += 1;
+        EXPECT_FALSE(verify_forwarding_commitment(
+            c, forwarder->keys.public_key(), ca.registry()));
+    }
+}
+
+TEST_F(CommitmentFixture, SenderCannotForgeForwardersCommitment) {
+    // A malicious sender signing a "commitment" with its own keys must not
+    // verify against the forwarder's public key -- this is exactly the
+    // spurious-accusation defence of Section 3.6.
+    const auto forged = make_forwarding_commitment(
+        sender->certificate.node_id, forwarder->certificate.node_id,
+        destination->certificate.node_id, 7, 90 * util::kSecond,
+        sender->keys);  // wrong signer
+    EXPECT_FALSE(verify_forwarding_commitment(
+        forged, forwarder->keys.public_key(), ca.registry()));
+}
+
+TEST_F(CommitmentFixture, WireBytesIncludeSignature) {
+    EXPECT_EQ(ForwardingCommitment::wire_bytes(),
+              3u * util::NodeId::kBytes + 16u +
+                  crypto::Signature::kWireBytes);
+}
+
+TEST_F(CommitmentFixture, DistinctMessagesDistinctSignatures) {
+    EXPECT_NE(make(1).signature, make(2).signature);
+}
+
+}  // namespace
+}  // namespace concilium::core

@@ -1,0 +1,181 @@
+// Adversarial-input robustness: mutated or random byte strings fed to the
+// accusation deserializer must throw cleanly or fail verification -- never
+// crash, hang, or verify.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/accusation.h"
+#include "crypto/certificates.h"
+#include "util/rng.h"
+
+namespace concilium::core {
+namespace {
+
+struct FuzzWorld {
+    FuzzWorld() : ca(61) {
+        for (int i = 0; i < 4; ++i) {
+            nodes.push_back(std::make_unique<
+                            crypto::CertificateAuthority::Admission>(
+                ca.admit(static_cast<crypto::IpAddress>(i))));
+            keys.emplace(nodes.back()->certificate.node_id,
+                         nodes.back()->keys.public_key());
+        }
+    }
+
+    FaultAccusation make_valid() {
+        BlameEvidence ev;
+        ev.judge = nodes[0]->certificate.node_id;
+        ev.suspect = nodes[1]->certificate.node_id;
+        ev.message_id = 7;
+        ev.message_time = 100 * util::kSecond;
+        ev.path_links = {1, 2, 3};
+        tomography::TomographicSnapshot snap;
+        snap.origin = nodes[2]->certificate.node_id;
+        snap.probed_at = 100 * util::kSecond;
+        snap.links = {{1, true}, {2, true}, {3, true}};
+        snap.signature = nodes[2]->keys.sign(snap.signed_payload());
+        ev.snapshots.push_back(std::move(snap));
+        ev.commitment = make_forwarding_commitment(
+            ev.judge, ev.suspect, nodes[3]->certificate.node_id,
+            ev.message_id, ev.message_time, nodes[1]->keys);
+        ev.claimed_blame =
+            compute_blame(ev.path_links, probes_from_snapshots(ev.snapshots),
+                          ev.message_time, ev.suspect, BlameParams{})
+                .blame;
+        ev.judge_signature = nodes[0]->keys.sign(ev.signed_payload());
+        FaultAccusation acc;
+        acc.accuser = nodes[0]->certificate.node_id;
+        acc.evidence.push_back(std::move(ev));
+        acc.signature = nodes[0]->keys.sign(acc.signed_payload());
+        return acc;
+    }
+
+    AccusationVerifier verifier() {
+        return AccusationVerifier(
+            ca.registry(),
+            [this](const util::NodeId& id)
+                -> std::optional<crypto::PublicKey> {
+                const auto it = keys.find(id);
+                if (it == keys.end()) return std::nullopt;
+                return it->second;
+            },
+            BlameParams{}, VerdictParams{});
+    }
+
+    crypto::CertificateAuthority ca;
+    std::vector<std::unique_ptr<crypto::CertificateAuthority::Admission>>
+        nodes;
+    std::unordered_map<util::NodeId, crypto::PublicKey, util::NodeIdHash>
+        keys;
+};
+
+class AccusationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccusationFuzz, SingleByteMutationsNeverVerify) {
+    FuzzWorld world;
+    const auto valid = world.make_valid();
+    const auto verifier = world.verifier();
+    ASSERT_EQ(verifier.verify(valid), AccusationCheck::kOk);
+    const auto bytes = valid.serialize();
+
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 17);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto mutated = bytes;
+        const std::size_t pos = rng.uniform_index(mutated.size());
+        const auto flip = static_cast<std::uint8_t>(
+            1u << rng.uniform_index(8));
+        mutated[pos] ^= flip;
+        try {
+            const auto parsed = FaultAccusation::deserialize(mutated);
+            if (verifier.verify(parsed) == AccusationCheck::kOk) {
+                // A mutation may hit a non-canonical encoding (e.g. the
+                // high bits of a boolean byte) that parses back to the
+                // same semantics; then verifying is correct -- but the
+                // canonical re-serialization must equal the original.
+                EXPECT_EQ(parsed.serialize(), bytes)
+                    << "mutation at byte " << pos
+                    << " verified with altered content";
+            }
+        } catch (const std::exception&) {
+            // Clean rejection is fine.
+        }
+    }
+}
+
+TEST_P(AccusationFuzz, RandomGarbageIsRejectedCleanly) {
+    FuzzWorld world;
+    const auto verifier = world.verifier();
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> garbage(
+            rng.uniform_index(512) + 1);
+        for (auto& b : garbage) {
+            b = static_cast<std::uint8_t>(rng.uniform_u64());
+        }
+        try {
+            const auto parsed = FaultAccusation::deserialize(garbage);
+            EXPECT_NE(verifier.verify(parsed), AccusationCheck::kOk);
+        } catch (const std::exception&) {
+        }
+    }
+}
+
+TEST_P(AccusationFuzz, TruncationsAreRejected) {
+    FuzzWorld world;
+    const auto bytes = world.make_valid().serialize();
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t keep = rng.uniform_index(bytes.size());
+        const std::vector<std::uint8_t> cut(bytes.begin(),
+                                            bytes.begin() + keep);
+        EXPECT_THROW((void)FaultAccusation::deserialize(cut),
+                     std::exception)
+            << "accepted a " << keep << "-byte truncation";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccusationFuzz, ::testing::Values(1, 2, 3));
+
+TEST(AccusationPathCheck, LiedAboutPathIsRejected) {
+    FuzzWorld world;
+    const auto acc = world.make_valid();
+    // A verifier that knows the true path between these nodes is {9, 10}.
+    const AccusationVerifier strict(
+        world.ca.registry(),
+        [&](const util::NodeId& id) -> std::optional<crypto::PublicKey> {
+            const auto it = world.keys.find(id);
+            if (it == world.keys.end()) return std::nullopt;
+            return it->second;
+        },
+        BlameParams{}, VerdictParams{},
+        [](const util::NodeId&, const util::NodeId&,
+           std::span<const net::LinkId> links) {
+            const std::vector<net::LinkId> truth{9, 10};
+            return std::equal(links.begin(), links.end(), truth.begin(),
+                              truth.end());
+        });
+    EXPECT_EQ(strict.verify(acc), AccusationCheck::kBadPath);
+    EXPECT_STREQ(to_string(AccusationCheck::kBadPath), "bad path claim");
+
+    // And one whose link map agrees accepts it.
+    const AccusationVerifier lenient(
+        world.ca.registry(),
+        [&](const util::NodeId& id) -> std::optional<crypto::PublicKey> {
+            const auto it = world.keys.find(id);
+            if (it == world.keys.end()) return std::nullopt;
+            return it->second;
+        },
+        BlameParams{}, VerdictParams{},
+        [](const util::NodeId&, const util::NodeId&,
+           std::span<const net::LinkId> links) {
+            const std::vector<net::LinkId> truth{1, 2, 3};
+            return std::equal(links.begin(), links.end(), truth.begin(),
+                              truth.end());
+        });
+    EXPECT_EQ(lenient.verify(acc), AccusationCheck::kOk);
+}
+
+}  // namespace
+}  // namespace concilium::core

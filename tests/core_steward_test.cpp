@@ -1,0 +1,106 @@
+#include "core/steward.h"
+
+#include <gtest/gtest.h>
+
+namespace concilium::core {
+namespace {
+
+/// blame_fn helper: guilt[j] is the blame judge j assigns to hop j+1.
+std::function<double(std::size_t, std::size_t)> blame_table(
+    std::vector<double> blames) {
+    return [blames = std::move(blames)](std::size_t judge,
+                                        std::size_t suspect) {
+        EXPECT_EQ(suspect, judge + 1);
+        return blames.at(judge);
+    };
+}
+
+TEST(AttributeFault, PaperExampleBlameSticksAtDropper) {
+    // A -> B -> C -> D -> ... Z with D dropping and all links good: A blames
+    // B, B blames C, C blames D; D cannot push further, so D is blamed.
+    const auto outcome = attribute_fault(
+        6, 3, blame_table({1.0, 1.0, 1.0}), VerdictParams{});
+    EXPECT_FALSE(outcome.network_blamed);
+    ASSERT_TRUE(outcome.blamed_hop.has_value());
+    EXPECT_EQ(*outcome.blamed_hop, 3u);
+    ASSERT_EQ(outcome.judgments.size(), 3u);
+    for (const auto& j : outcome.judgments) EXPECT_TRUE(j.guilty);
+}
+
+TEST(AttributeFault, NetworkRebuttalStopsTheChain) {
+    // B's tomographic evidence shows the B->C link bad: the chain ends with
+    // the network blamed at segment 1, exonerating everyone.
+    const auto outcome = attribute_fault(
+        5, 2, blame_table({1.0, 0.1}), VerdictParams{});
+    EXPECT_TRUE(outcome.network_blamed);
+    EXPECT_FALSE(outcome.blamed_hop.has_value());
+    ASSERT_TRUE(outcome.faulted_segment.has_value());
+    EXPECT_EQ(*outcome.faulted_segment, 1u);
+}
+
+TEST(AttributeFault, SenderItselfBlamesNetworkDirectly) {
+    // A's own evidence shows the first segment bad.
+    const auto outcome =
+        attribute_fault(4, 2, blame_table({0.2, 0.9}), VerdictParams{});
+    EXPECT_TRUE(outcome.network_blamed);
+    EXPECT_EQ(*outcome.faulted_segment, 0u);
+}
+
+TEST(AttributeFault, FirstHopDropperBlamedWithoutRevisions) {
+    // B (hop 1) dropped: A's guilty verdict is the whole chain.
+    const auto outcome =
+        attribute_fault(4, 1, blame_table({1.0}), VerdictParams{});
+    EXPECT_FALSE(outcome.network_blamed);
+    EXPECT_EQ(*outcome.blamed_hop, 1u);
+    EXPECT_EQ(outcome.judgments.size(), 1u);
+}
+
+TEST(AttributeFault, SenderWithNoJudgmentsIsItsOwnProblem) {
+    // last_steward == 0: the sender never handed the message off.
+    const auto outcome =
+        attribute_fault(3, 0, blame_table({}), VerdictParams{});
+    EXPECT_FALSE(outcome.network_blamed);
+    EXPECT_EQ(*outcome.blamed_hop, 0u);
+    EXPECT_TRUE(outcome.judgments.empty());
+}
+
+TEST(AttributeFault, ThresholdGovernsGuilt) {
+    VerdictParams strict;
+    strict.guilty_blame_threshold = 0.95;
+    // Blame 0.9 acquits under the strict threshold -> network blamed.
+    const auto outcome = attribute_fault(3, 1, blame_table({0.9}), strict);
+    EXPECT_TRUE(outcome.network_blamed);
+
+    VerdictParams loose;
+    loose.guilty_blame_threshold = 0.5;
+    const auto outcome2 = attribute_fault(3, 1, blame_table({0.9}), loose);
+    EXPECT_FALSE(outcome2.network_blamed);
+    EXPECT_EQ(*outcome2.blamed_hop, 1u);
+}
+
+TEST(AttributeFault, DropAtLastForwarder) {
+    // Route of 4; hop 2 (last forwarder before Z) dropped.
+    const auto outcome = attribute_fault(
+        4, 2, blame_table({1.0, 1.0}), VerdictParams{});
+    EXPECT_EQ(*outcome.blamed_hop, 2u);
+}
+
+TEST(AttributeFault, JudgmentsRecordRoutePositions) {
+    const auto outcome = attribute_fault(
+        5, 3, blame_table({0.8, 0.9, 1.0}), VerdictParams{});
+    ASSERT_EQ(outcome.judgments.size(), 3u);
+    for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(outcome.judgments[j].judge_hop, j);
+        EXPECT_EQ(outcome.judgments[j].suspect_hop, j + 1);
+    }
+}
+
+TEST(AttributeFault, ValidatesArguments) {
+    EXPECT_THROW(attribute_fault(1, 0, blame_table({}), VerdictParams{}),
+                 std::invalid_argument);
+    EXPECT_THROW(attribute_fault(3, 3, blame_table({}), VerdictParams{}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concilium::core

@@ -1,0 +1,124 @@
+#include "core/verdicts.h"
+
+#include <gtest/gtest.h>
+
+namespace concilium::core {
+namespace {
+
+const util::NodeId kSuspect = util::NodeId::from_hex("bb");
+const util::NodeId kOther = util::NodeId::from_hex("cc");
+
+TEST(Verdict, ThresholdSemantics) {
+    VerdictParams params;  // threshold 0.4
+    EXPECT_FALSE(is_guilty_verdict(0.39, params));
+    EXPECT_TRUE(is_guilty_verdict(0.4, params));
+    EXPECT_TRUE(is_guilty_verdict(1.0, params));
+}
+
+TEST(VerdictLedger, CountsGuiltyVerdictsPerSuspect) {
+    VerdictParams params;
+    params.accusation_threshold = 3;
+    VerdictLedger ledger(params);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 0);
+
+    ledger.record(kSuspect, 0.9, 0);
+    ledger.record(kSuspect, 0.1, 1);
+    ledger.record(kOther, 0.9, 2);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 1);
+    EXPECT_EQ(ledger.verdict_count(kSuspect), 2);
+    EXPECT_EQ(ledger.guilty_count(kOther), 1);
+}
+
+TEST(VerdictLedger, AccusationTriggersAtM) {
+    VerdictParams params;
+    params.accusation_threshold = 3;
+    VerdictLedger ledger(params);
+    EXPECT_FALSE(ledger.record(kSuspect, 0.9, 0).accusation_triggered);
+    EXPECT_FALSE(ledger.record(kSuspect, 0.9, 1).accusation_triggered);
+    const auto outcome = ledger.record(kSuspect, 0.9, 2);
+    EXPECT_TRUE(outcome.accusation_triggered);
+    EXPECT_EQ(outcome.guilty_in_window, 3);
+}
+
+TEST(VerdictLedger, WindowSlidesAndForgets) {
+    VerdictParams params;
+    params.window = 5;
+    params.accusation_threshold = 3;
+    VerdictLedger ledger(params);
+    // Three guilty verdicts followed by five innocents: the guilty ones
+    // fall out of the 5-slot window.
+    for (int i = 0; i < 3; ++i) ledger.record(kSuspect, 0.9, i);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 3);
+    for (int i = 0; i < 5; ++i) ledger.record(kSuspect, 0.0, 10 + i);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 0);
+    EXPECT_EQ(ledger.verdict_count(kSuspect), 5);
+}
+
+TEST(AccusationErrors, MatchBinomialTails) {
+    // FP = Pr(W >= m) with W ~ Bin(w, p_good); FN = Pr(W < m) with p_faulty.
+    const double fp = accusation_false_positive(100, 6, 0.018);
+    const double fn = accusation_false_negative(100, 6, 0.938);
+    EXPECT_NEAR(fp, util::binomial_upper_tail(100, 6, 0.018), 1e-15);
+    EXPECT_NEAR(fn, util::binomial_lower_tail_exclusive(100, 6, 0.938),
+                1e-15);
+    EXPECT_THROW(accusation_false_positive(0, 1, 0.5),
+                 std::invalid_argument);
+}
+
+TEST(AccusationErrors, Figure6aHonestOperatingPoint) {
+    // "If all nodes faithfully report probe results, then we can drive both
+    // error rates below 1% with an m of 6."  (w = 100, threshold 40%,
+    // p_good ~ 1.8%, p_faulty ~ 93.8%.)
+    const auto m = minimal_accusation_threshold(100, 0.018, 0.938, 0.01);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_LE(*m, 6);
+    EXPECT_GE(*m, 4);
+}
+
+TEST(AccusationErrors, Figure6bColludingOperatingPoint) {
+    // "If 20% of hosts maliciously invert their probe results, we can
+    // achieve equivalent error rates with an m of 16."  (p_good ~ 8.4%,
+    // p_faulty ~ 71.3%.)
+    const auto m = minimal_accusation_threshold(100, 0.084, 0.713, 0.01);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_NEAR(*m, 16, 3);
+    // And the honest m no longer suffices under collusion.
+    EXPECT_GT(accusation_false_positive(100, 6, 0.084), 0.01);
+}
+
+TEST(AccusationErrors, FalsePositiveFallsAndFalseNegativeRisesWithM) {
+    double prev_fp = 1.1;
+    double prev_fn = -0.1;
+    for (int m = 1; m <= 40; ++m) {
+        const double fp = accusation_false_positive(100, m, 0.084);
+        const double fn = accusation_false_negative(100, m, 0.713);
+        EXPECT_LE(fp, prev_fp);
+        EXPECT_GE(fn, prev_fn);
+        prev_fp = fp;
+        prev_fn = fn;
+    }
+}
+
+TEST(AccusationErrors, ImpossibleBoundYieldsNullopt) {
+    // p_good == p_faulty: no threshold separates them.
+    EXPECT_FALSE(
+        minimal_accusation_threshold(100, 0.5, 0.5, 0.01).has_value());
+}
+
+TEST(AccusationErrors, WindowSizeImprovesSeparation) {
+    // A larger window gives the binomial more evidence: for fixed
+    // (p_good, p_faulty), the best achievable total error shrinks.
+    const auto best_error = [](int w, double p_good, double p_faulty) {
+        double best = 2.0;
+        for (int m = 1; m <= w; ++m) {
+            best = std::min(best,
+                            accusation_false_positive(w, m, p_good) +
+                                accusation_false_negative(w, m, p_faulty));
+        }
+        return best;
+    };
+    EXPECT_LT(best_error(100, 0.084, 0.713), best_error(20, 0.084, 0.713));
+}
+
+}  // namespace
+}  // namespace concilium::core

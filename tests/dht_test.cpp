@@ -1,0 +1,120 @@
+#include "dht/dht.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace concilium::dht {
+namespace {
+
+std::vector<std::uint8_t> blob(const std::string& s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+struct DhtFixture : ::testing::Test {
+    DhtFixture()
+        : net(concilium::testing::make_overlay(120, 55)), dht(net, 4) {}
+
+    overlay::OverlayNetwork net;
+    Dht dht;
+};
+
+TEST_F(DhtFixture, PutThenGetReturnsValue) {
+    const auto key = util::NodeId::from_hex("1234");
+    dht.put(3, key, blob("accusation-1"));
+    const auto result = dht.get(17, key);
+    ASSERT_EQ(result.values.size(), 1u);
+    EXPECT_EQ(result.values[0], blob("accusation-1"));
+}
+
+TEST_F(DhtFixture, GetOnEmptyKeyIsEmpty) {
+    const auto result = dht.get(0, util::NodeId::from_hex("dead"));
+    EXPECT_TRUE(result.values.empty());
+}
+
+TEST_F(DhtFixture, MultipleAccusersAccumulate) {
+    const auto key = util::NodeId::from_hex("77");
+    dht.put(1, key, blob("from-accuser-1"));
+    dht.put(2, key, blob("from-accuser-2"));
+    const auto result = dht.get(9, key);
+    EXPECT_EQ(result.values.size(), 2u);
+}
+
+TEST_F(DhtFixture, DuplicatePutsStoredOnce) {
+    const auto key = util::NodeId::from_hex("88");
+    dht.put(1, key, blob("same"));
+    dht.put(4, key, blob("same"));
+    const auto result = dht.get(9, key);
+    EXPECT_EQ(result.values.size(), 1u);
+}
+
+TEST_F(DhtFixture, ReplicaSetCentersOnKeyRoot) {
+    const auto key = util::NodeId::from_hex("abcd");
+    const auto replicas = dht.replica_set(key);
+    EXPECT_EQ(replicas.size(), 4u);
+    const auto root = net.root_of(key);
+    EXPECT_NE(std::find(replicas.begin(), replicas.end(), root),
+              replicas.end());
+    // All replicas are either the root or its leaf neighbours.
+    const auto& leaves = net.leaf_set(root);
+    for (const auto r : replicas) {
+        if (r == root) continue;
+        const auto all = leaves.all();
+        EXPECT_NE(std::find(all.begin(), all.end(), r), all.end());
+    }
+}
+
+TEST_F(DhtFixture, ValuesSurviveSingleReplicaLoss) {
+    // The union-read over the replica set tolerates one silent replica.
+    const auto key = util::NodeId::from_hex("55aa");
+    const auto put = dht.put(0, key, blob("replicated"));
+    ASSERT_GE(put.replicas.size(), 2u);
+    // Simulate one replica losing its store: read from the others only.
+    std::size_t holding = 0;
+    for (const auto r : put.replicas) {
+        if (dht.stored_at(r) > 0) ++holding;
+    }
+    EXPECT_GE(holding, 2u);
+}
+
+TEST_F(DhtFixture, RoutesAreSecureOverlayRoutes) {
+    const auto key = util::NodeId::from_hex("31337");
+    const auto put = dht.put(5, key, blob("x"));
+    EXPECT_EQ(put.route.front(), 5u);
+    EXPECT_EQ(put.route.back(), net.root_of(key));
+    const auto get = dht.get(6, key);
+    EXPECT_EQ(get.route.front(), 6u);
+    EXPECT_EQ(get.route.back(), net.root_of(key));
+}
+
+TEST_F(DhtFixture, StorageBalancesAcrossKeys) {
+    util::Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        dht.put(0, util::NodeId::random(rng), blob("v" + std::to_string(i)));
+    }
+    std::size_t total = 0;
+    std::size_t max_at_one = 0;
+    for (overlay::MemberIndex m = 0; m < net.size(); ++m) {
+        total += dht.stored_at(m);
+        max_at_one = std::max(max_at_one, dht.stored_at(m));
+    }
+    EXPECT_EQ(total, 200u * 4u);  // replication factor 4
+    // No single node should hold a wildly disproportionate share.
+    EXPECT_LT(max_at_one, 60u);
+}
+
+TEST(DhtConstruction, RejectsZeroReplication) {
+    const auto net = concilium::testing::make_overlay(20, 56);
+    EXPECT_THROW(Dht(net, 0), std::invalid_argument);
+}
+
+TEST(DhtConstruction, TinyOverlayCapsReplicaSet) {
+    const auto net = concilium::testing::make_overlay(3, 57);
+    Dht dht(net, 10);
+    const auto replicas = dht.replica_set(util::NodeId::from_hex("1"));
+    EXPECT_LE(replicas.size(), 3u);
+    EXPECT_GE(replicas.size(), 1u);
+}
+
+}  // namespace
+}  // namespace concilium::dht

@@ -1,0 +1,94 @@
+#include "net/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace concilium::net {
+namespace {
+
+TEST(EventSim, FiresInTimeOrder) {
+    EventSim sim;
+    std::vector<int> order;
+    sim.schedule_at(30, [&] { order.push_back(3); });
+    sim.schedule_at(10, [&] { order.push_back(1); });
+    sim.schedule_at(20, [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(EventSim, EqualTimesFireInScheduleOrder) {
+    EventSim sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule_at(42, [&order, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSim, ScheduleAfterUsesCurrentTime) {
+    EventSim sim;
+    util::SimTime observed = -1;
+    sim.schedule_at(100, [&] {
+        sim.schedule_after(50, [&] { observed = sim.now(); });
+    });
+    sim.run_all();
+    EXPECT_EQ(observed, 150);
+}
+
+TEST(EventSim, PastEventsClampToNow) {
+    EventSim sim;
+    sim.schedule_at(100, [] {});
+    sim.run_all();
+    util::SimTime fired_at = -1;
+    sim.schedule_at(10, [&] { fired_at = sim.now(); });  // in the past
+    sim.run_all();
+    EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventSim, RunUntilAdvancesClockEvenWhenIdle) {
+    EventSim sim;
+    sim.run_until(500);
+    EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(EventSim, RunUntilStopsAtBoundary) {
+    EventSim sim;
+    bool early = false;
+    bool late = false;
+    sim.schedule_at(10, [&] { early = true; });
+    sim.schedule_at(20, [&] { late = true; });
+    sim.run_until(15);
+    EXPECT_TRUE(early);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(sim.now(), 15);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run_until(20);  // boundary inclusive
+    EXPECT_TRUE(late);
+}
+
+TEST(EventSim, EventsMayScheduleMoreEvents) {
+    EventSim sim;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 100) sim.schedule_after(1, step);
+    };
+    sim.schedule_at(0, step);
+    sim.run_all();
+    EXPECT_EQ(chain, 100);
+    EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(EventSim, StepReturnsFalseWhenEmpty) {
+    EventSim sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule_at(1, [] {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_TRUE(sim.empty());
+}
+
+}  // namespace
+}  // namespace concilium::net

@@ -1,0 +1,103 @@
+// Wire-format and bookkeeping tests for routing-state advertisements.
+
+#include "overlay/advertisement.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace concilium::overlay {
+namespace {
+
+struct AdvertisementFixture : ::testing::Test {
+    AdvertisementFixture() : net(concilium::testing::make_overlay(120, 81)) {}
+
+    overlay::OverlayNetwork net;
+    util::SimTime now = 20 * util::kMinute;
+};
+
+TEST_F(AdvertisementFixture, SignedPayloadIsDeterministic) {
+    const auto ad1 = make_advertisement(
+        net, 4, now, [&](MemberIndex) { return now - util::kSecond; });
+    const auto ad2 = make_advertisement(
+        net, 4, now, [&](MemberIndex) { return now - util::kSecond; });
+    EXPECT_EQ(ad1.signed_payload(), ad2.signed_payload());
+    EXPECT_EQ(ad1.signature, ad2.signature);
+}
+
+TEST_F(AdvertisementFixture, PayloadBindsEveryField) {
+    const auto base = make_advertisement(
+        net, 4, now, [&](MemberIndex) { return now - util::kSecond; });
+    auto mutate = base;
+    mutate.issued_at += 1;
+    EXPECT_NE(base.signed_payload(), mutate.signed_payload());
+    mutate = base;
+    mutate.population_estimate += 1.0;
+    EXPECT_NE(base.signed_payload(), mutate.signed_payload());
+    mutate = base;
+    ASSERT_FALSE(mutate.entries.empty());
+    mutate.entries[0].freshness.at += 1;
+    EXPECT_NE(base.signed_payload(), mutate.signed_payload());
+}
+
+TEST_F(AdvertisementFixture, WireBytesScaleWithEntries) {
+    const auto ad = make_advertisement(
+        net, 4, now, [&](MemberIndex) { return now; });
+    auto half = ad;
+    half.entries.resize(ad.entries.size() / 2);
+    EXPECT_EQ(ad.wire_bytes() - half.wire_bytes(),
+              (ad.entries.size() - half.entries.size()) *
+                  AdvertisedEntry::kWireBytes);
+}
+
+TEST_F(AdvertisementFixture, PopulationEstimateTravelsInAdvertisement) {
+    const auto ad = make_advertisement(
+        net, 9, now, [&](MemberIndex) { return now; });
+    EXPECT_NEAR(ad.population_estimate, net.estimate_population(9), 1e-12);
+}
+
+TEST_F(AdvertisementFixture, LeafAdvertisementSidesMatchLeafSet) {
+    const auto ad = make_leaf_advertisement(
+        net, 6, now, [&](MemberIndex) { return now; });
+    const auto& ls = net.leaf_set(6);
+    ASSERT_EQ(ad.successors.size(), ls.successors().size());
+    ASSERT_EQ(ad.predecessors.size(), ls.predecessors().size());
+    for (std::size_t i = 0; i < ad.successors.size(); ++i) {
+        EXPECT_EQ(ad.successors[i].peer,
+                  net.member(ls.successors()[i]).id());
+    }
+    for (std::size_t i = 0; i < ad.predecessors.size(); ++i) {
+        EXPECT_EQ(ad.predecessors[i].peer,
+                  net.member(ls.predecessors()[i]).id());
+    }
+}
+
+TEST_F(AdvertisementFixture, LeafPayloadBindsBothSides) {
+    const auto base = make_leaf_advertisement(
+        net, 6, now, [&](MemberIndex) { return now; });
+    auto mutate = base;
+    ASSERT_FALSE(mutate.predecessors.empty());
+    mutate.predecessors[0].freshness.at += 1;
+    EXPECT_NE(base.signed_payload(), mutate.signed_payload());
+    mutate = base;
+    std::swap(mutate.successors.front(), mutate.successors.back());
+    EXPECT_NE(base.signed_payload(), mutate.signed_payload());
+}
+
+TEST_F(AdvertisementFixture, LeafWireBytesMatchEntryModel) {
+    const auto ad = make_leaf_advertisement(
+        net, 6, now, [&](MemberIndex) { return now; });
+    EXPECT_EQ(ad.wire_bytes(),
+              (ad.successors.size() + ad.predecessors.size()) *
+                      AdvertisedEntry::kWireBytes +
+                  util::NodeId::kBytes + 8 + crypto::Signature::kWireBytes);
+}
+
+TEST_F(AdvertisementFixture, EmptyLeafAdvertisementHasUnitSpacing) {
+    LeafSetAdvertisement empty;
+    empty.owner = net.member(0).id();
+    EXPECT_DOUBLE_EQ(empty.mean_spacing(), 1.0);
+}
+
+}  // namespace
+}  // namespace concilium::overlay

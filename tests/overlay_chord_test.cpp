@@ -1,0 +1,172 @@
+// Chord substrate + the occupancy test's Chord analogue (Section 3.1:
+// "the test can be extended to other overlays in a straightforward manner").
+
+#include "overlay/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_helpers.h"
+
+namespace concilium::overlay {
+namespace {
+
+ChordNetwork make_chord(std::size_t count, std::uint64_t seed = 71) {
+    crypto::CertificateAuthority ca(seed);
+    return ChordNetwork(concilium::testing::make_members(ca, count),
+                        ChordNetwork::ChordParams{});
+}
+
+TEST(Chord, SuccessorListsFollowTheRing) {
+    const auto chord = make_chord(100);
+    for (MemberIndex m = 0; m < chord.size(); ++m) {
+        const auto& succ = chord.successors(m);
+        ASSERT_EQ(succ.size(), 8u);
+        // Each successor is the ring-wise next after the previous.
+        util::NodeId prev = chord.member(m).id();
+        for (const MemberIndex s : succ) {
+            // No member lies strictly between prev and this successor.
+            const auto& sid = chord.member(s).id();
+            for (MemberIndex other = 0; other < chord.size(); ++other) {
+                if (other == m || other == s) continue;
+                const auto& oid = chord.member(other).id();
+                const auto d_o = util::clockwise_distance(prev, oid);
+                const auto d_s = util::clockwise_distance(prev, sid);
+                EXPECT_FALSE(d_o < d_s && oid != prev)
+                    << "member skipped in successor list";
+            }
+            prev = sid;
+        }
+    }
+}
+
+TEST(Chord, SuccessorOfIsFirstClockwiseOwner) {
+    const auto chord = make_chord(64);
+    util::Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto key = util::NodeId::random(rng);
+        const MemberIndex owner = chord.successor_of(key);
+        const auto d_owner =
+            util::clockwise_distance(key, chord.member(owner).id());
+        for (MemberIndex m = 0; m < chord.size(); ++m) {
+            EXPECT_FALSE(util::clockwise_distance(key, chord.member(m).id()) <
+                         d_owner);
+        }
+    }
+}
+
+TEST(Chord, FingersPointAtTargetsSuccessors) {
+    const auto chord = make_chord(64);
+    // Spot-check: finger 159 of any node is the successor of the antipode.
+    for (MemberIndex m = 0; m < 10; ++m) {
+        const MemberIndex f = chord.finger(m, 159);
+        EXPECT_LT(f, chord.size());
+        EXPECT_THROW((void)chord.finger(m, 160), std::out_of_range);
+    }
+}
+
+TEST(Chord, RoutingConvergesInLogHops) {
+    const auto chord = make_chord(256);
+    util::Rng rng(5);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto key = util::NodeId::random(rng);
+        const auto from =
+            static_cast<MemberIndex>(rng.uniform_index(chord.size()));
+        const auto hops = chord.route(from, key);
+        EXPECT_EQ(hops.front(), from);
+        EXPECT_EQ(hops.back(), chord.successor_of(key));
+        // O(log N): log2(256) = 8; generous cap.
+        EXPECT_LE(hops.size(), 14u);
+        std::unordered_set<MemberIndex> seen(hops.begin(), hops.end());
+        EXPECT_EQ(seen.size(), hops.size()) << "routing loop";
+    }
+}
+
+TEST(Chord, DistinctFingersNearLog2N) {
+    // The well-known Chord property: ~log2(N) distinct fingers.
+    const auto chord = make_chord(512);
+    util::OnlineMoments distinct;
+    for (MemberIndex m = 0; m < chord.size(); ++m) {
+        distinct.add(chord.distinct_fingers(m));
+    }
+    EXPECT_NEAR(distinct.mean(), 9.0, 2.0);  // log2(512) = 9
+}
+
+TEST(Chord, FingerModelMatchesMonteCarlo) {
+    // The Poisson-binomial distinct-finger model vs real rings -- the Chord
+    // twin of Figure 1.
+    for (const std::size_t n : {128u, 512u, 2048u}) {
+        const auto model = chord_finger_model(static_cast<double>(n));
+        const auto chord = make_chord(n, 100 + n);
+        util::OnlineMoments mc;
+        for (MemberIndex m = 0; m < chord.size(); ++m) {
+            mc.add(chord.distinct_fingers(m));
+        }
+        EXPECT_NEAR(mc.mean(), model.mean_count(), 0.15 * model.mean_count())
+            << "N=" << n;
+    }
+}
+
+TEST(Chord, FingerProbabilityMonotoneAndBounded) {
+    double prev = 0.0;
+    for (int i = 1; i < ChordNetwork::kFingers; ++i) {
+        const double p = chord_finger_distinct_probability(i, 10000);
+        EXPECT_GE(p, prev - 1e-12);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+    EXPECT_DOUBLE_EQ(chord_finger_distinct_probability(0, 10000), 1.0);
+    EXPECT_EQ(chord_finger_distinct_probability(5, 1.0), 0.0);
+}
+
+TEST(Chord, DensityTestErrorsBehaveLikePastrys) {
+    // FP falls with gamma, FN rises; larger collusion pools are harder to
+    // catch -- the same structure as Figures 2(a)-(b).
+    const double n = 10000;
+    double prev_fp = 1.1;
+    double prev_fn = -0.1;
+    for (const double gamma : {1.0, 1.2, 1.5, 2.0}) {
+        const double fp = chord_density_false_positive(gamma, n, n);
+        const double fn = chord_density_false_negative(gamma, n, 0.2 * n);
+        EXPECT_LE(fp, prev_fp + 1e-9);
+        EXPECT_GE(fn, prev_fn - 1e-9);
+        prev_fp = fp;
+        prev_fn = fn;
+    }
+    EXPECT_GT(chord_density_false_negative(1.3, n, 0.3 * n),
+              chord_density_false_negative(1.3, n, 0.1 * n));
+}
+
+TEST(Chord, SuppressionAttackOnChordDetectable) {
+    // A 20%-pool attacker's ring has log2(0.2 N) ~ log2(N) - 2.3 distinct
+    // fingers: close, so the test needs a tight gamma -- but at gamma just
+    // above 1 the separation is real.
+    const double n = 100000;
+    const double fp = chord_density_false_positive(1.10, n, n);
+    const double fn = chord_density_false_negative(1.10, n, 0.2 * n);
+    EXPECT_LT(fp, 0.35);
+    EXPECT_LT(fn, 0.35);
+}
+
+TEST(Chord, RejectsDegenerateConstruction) {
+    EXPECT_THROW(ChordNetwork({}, ChordNetwork::ChordParams{}),
+                 std::invalid_argument);
+    crypto::CertificateAuthority ca(9);
+    EXPECT_THROW(ChordNetwork(concilium::testing::make_members(ca, 3),
+                              ChordNetwork::ChordParams{
+                                  .successor_list_length = 0}),
+                 std::invalid_argument);
+}
+
+TEST(Chord, SingleMemberRingIsItsOwnWorld) {
+    const auto chord = make_chord(1);
+    EXPECT_EQ(chord.distinct_fingers(0), 0);
+    EXPECT_TRUE(chord.successors(0).empty());
+    const auto hops = chord.route(0, util::NodeId::from_hex("aa"));
+    EXPECT_EQ(hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace concilium::overlay

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "overlay/jump_table.h"
+#include "overlay/leaf_set.h"
+#include "util/rng.h"
+
+namespace concilium::overlay {
+namespace {
+
+util::OverlayGeometry geom32() { return util::OverlayGeometry{.digits = 32}; }
+
+TEST(JumpTable, StartsEmpty) {
+    const JumpTable t(util::NodeId::from_hex("ab"), geom32());
+    EXPECT_EQ(t.occupancy(), 0);
+    EXPECT_DOUBLE_EQ(t.density(), 0.0);
+    EXPECT_FALSE(t.slot(0, 0).has_value());
+    EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(JumpTable, SetClearAndOccupancy) {
+    JumpTable t(util::NodeId::from_hex("ab"), geom32());
+    t.set_slot(0, 3, 7);
+    t.set_slot(1, 5, 9);
+    EXPECT_EQ(t.occupancy(), 2);
+    EXPECT_EQ(t.slot(0, 3).value(), 7u);
+    // Overwriting does not double-count.
+    t.set_slot(0, 3, 8);
+    EXPECT_EQ(t.occupancy(), 2);
+    EXPECT_EQ(t.slot(0, 3).value(), 8u);
+    t.clear_slot(0, 3);
+    EXPECT_EQ(t.occupancy(), 1);
+    t.clear_slot(0, 3);  // clearing empty slot is harmless
+    EXPECT_EQ(t.occupancy(), 1);
+    EXPECT_DOUBLE_EQ(t.density(), 1.0 / geom32().table_slots());
+}
+
+TEST(JumpTable, SlotIndexValidation) {
+    JumpTable t(util::NodeId::from_hex("ab"), geom32());
+    EXPECT_THROW((void)t.slot(-1, 0), std::out_of_range);
+    EXPECT_THROW((void)t.slot(32, 0), std::out_of_range);
+    EXPECT_THROW((void)t.slot(0, 16), std::out_of_range);
+    EXPECT_THROW(t.set_slot(0, -1, 1), std::out_of_range);
+}
+
+TEST(JumpTable, EntriesEnumerationIsRowMajor) {
+    JumpTable t(util::NodeId::from_hex("ab"), geom32());
+    t.set_slot(2, 1, 10);
+    t.set_slot(0, 5, 11);
+    t.set_slot(0, 2, 12);
+    const auto entries = t.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].member, 12u);
+    EXPECT_EQ(entries[1].member, 11u);
+    EXPECT_EQ(entries[2].member, 10u);
+}
+
+TEST(JumpTable, StandardConstraint) {
+    // Owner abc...; slot (2, 7) requires prefix "ab" and third digit 7.
+    const util::NodeId owner = util::NodeId::from_hex("abc123");
+    const JumpTable t(owner, geom32());
+    EXPECT_TRUE(t.satisfies_standard_constraint(
+        2, 7, util::NodeId::from_hex("ab7999")));
+    EXPECT_FALSE(t.satisfies_standard_constraint(
+        2, 7, util::NodeId::from_hex("ac7999")));  // wrong prefix
+    EXPECT_FALSE(t.satisfies_standard_constraint(
+        2, 8, util::NodeId::from_hex("ab7999")));  // wrong digit
+    EXPECT_FALSE(t.satisfies_standard_constraint(2, 0xc, owner));  // self
+}
+
+TEST(JumpTable, ConstraintPointSubstitutesOneDigit) {
+    const util::NodeId owner = util::NodeId::from_hex("abc123");
+    const JumpTable t(owner, geom32());
+    const util::NodeId p = t.constraint_point(1, 0xf);
+    EXPECT_EQ(p.digit(0), 0xa);
+    EXPECT_EQ(p.digit(1), 0xf);
+    EXPECT_EQ(p.digit(2), 0xc);
+}
+
+TEST(JumpTable, RejectsBadGeometry) {
+    EXPECT_THROW(JumpTable(util::NodeId(),
+                           util::OverlayGeometry{.digits = 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(JumpTable(util::NodeId(),
+                           util::OverlayGeometry{.digits = 41}),
+                 std::invalid_argument);
+}
+
+TEST(LeafSet, HoldsBothSides) {
+    LeafSet ls(util::NodeId::from_hex("80"), 3);
+    ls.set_successors({1, 2, 3});
+    ls.set_predecessors({4, 5});
+    EXPECT_EQ(ls.size(), 5u);
+    EXPECT_EQ(ls.successors().size(), 3u);
+    EXPECT_EQ(ls.predecessors().size(), 2u);
+    const auto all = ls.all();
+    EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(LeafSet, RejectsOverfill) {
+    LeafSet ls(util::NodeId::from_hex("80"), 2);
+    EXPECT_THROW(ls.set_successors({1, 2, 3}), std::invalid_argument);
+    EXPECT_THROW(LeafSet(util::NodeId(), 0), std::invalid_argument);
+}
+
+TEST(LeafSet, MeanSpacingOfUniformRing) {
+    // Ids at exact 1/8 intervals around the ring; owner at 0x80....
+    std::vector<util::NodeId> ids;
+    for (int i = 0; i < 8; ++i) {
+        std::string hex(40, '0');
+        hex[0] = "0123456789abcdef"[i * 2];
+        ids.push_back(util::NodeId::from_hex(hex));
+    }
+    // Owner is ids[4] (0x8...); successors 5,6; predecessors 3,2.
+    LeafSet ls(ids[4], 2);
+    ls.set_successors({5, 6});
+    ls.set_predecessors({3, 2});
+    const auto resolver = [&](MemberIndex m) { return ids[m]; };
+    // Span covers ids[2]..ids[6]: 4/8 of the ring over 4 members.
+    EXPECT_NEAR(ls.mean_spacing(resolver), 0.125, 1e-9);
+    EXPECT_NEAR(ls.estimate_population(resolver), 8.0, 1e-6);
+}
+
+TEST(LeafSet, PopulationEstimateTracksOverlaySize) {
+    util::Rng rng(5);
+    const int n = 4000;
+    std::vector<util::NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(util::NodeId::random(rng));
+    std::vector<int> order(n);
+    for (int i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return ids[a] < ids[b]; });
+    // Build the leaf set of the node at sorted position 2000.
+    const int center = 2000;
+    LeafSet ls(ids[order[center]], 8);
+    std::vector<MemberIndex> cw;
+    std::vector<MemberIndex> ccw;
+    for (int k = 1; k <= 8; ++k) {
+        cw.push_back(static_cast<MemberIndex>(order[center + k]));
+        ccw.push_back(static_cast<MemberIndex>(order[center - k]));
+    }
+    ls.set_successors(cw);
+    ls.set_predecessors(ccw);
+    const double estimate =
+        ls.estimate_population([&](MemberIndex m) { return ids[m]; });
+    // Leaf-spacing estimates are noisy but unbiased to within a factor.
+    EXPECT_GT(estimate, n * 0.4);
+    EXPECT_LT(estimate, n * 2.5);
+}
+
+}  // namespace
+}  // namespace concilium::overlay

@@ -1,0 +1,216 @@
+// Parameterized property sweeps over the core mathematical machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/blame.h"
+#include "core/verdicts.h"
+#include "overlay/density.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace concilium {
+namespace {
+
+// ---------------------------------------------------------- binomial tails
+
+class BinomialTailProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BinomialTailProperty, TailsPartitionAndAreMonotone) {
+    const auto [n, p] = GetParam();
+    double prev_upper = 1.0 + 1e-12;
+    for (int k = 0; k <= n + 1; ++k) {
+        const double upper = util::binomial_upper_tail(n, k, p);
+        const double lower = util::binomial_lower_tail_exclusive(n, k, p);
+        EXPECT_NEAR(upper + lower, 1.0, 1e-9);
+        EXPECT_LE(upper, prev_upper + 1e-12);
+        EXPECT_GE(upper, -1e-12);
+        prev_upper = upper;
+    }
+}
+
+TEST_P(BinomialTailProperty, MeanFromTailsMatchesNP) {
+    const auto [n, p] = GetParam();
+    // E[X] = sum_{k>=1} Pr(X >= k).
+    double mean = 0.0;
+    for (int k = 1; k <= n; ++k) mean += util::binomial_upper_tail(n, k, p);
+    EXPECT_NEAR(mean, n * p, 1e-6 * n + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialTailProperty,
+    ::testing::Combine(::testing::Values(1, 5, 20, 100),
+                       ::testing::Values(0.0, 0.02, 0.3, 0.5, 0.9, 1.0)));
+
+// ----------------------------------------------------- occupancy model
+
+class OccupancyModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancyModelProperty, ModelTracksMonteCarlo) {
+    const int n = GetParam();
+    const util::OverlayGeometry geom{.digits = 32};
+    const auto model = overlay::occupancy_model(n, geom);
+    util::Rng rng(1000 + n);
+    const auto mc = overlay::simulate_table_occupancy(n, geom, 150, rng);
+    EXPECT_NEAR(mc.mean(), model.mean_count(),
+                0.2 * model.mean_count() + 1.5)
+        << "N=" << n;
+}
+
+TEST_P(OccupancyModelProperty, MeanIncreasesWithPopulation) {
+    const int n = GetParam();
+    const util::OverlayGeometry geom{.digits = 32};
+    EXPECT_LT(overlay::occupancy_model(n, geom).mean_count(),
+              overlay::occupancy_model(4 * n, geom).mean_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OccupancyModelProperty,
+                         ::testing::Values(100, 500, 1131, 4000, 20000));
+
+// ------------------------------------------------- density test errors
+
+class DensityErrorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensityErrorProperty, ErrorsAreProbabilitiesAndMoveOppositeWays) {
+    const double gamma = GetParam();
+    const util::OverlayGeometry geom{.digits = 32};
+    const double n = 5000;
+    const double fp = overlay::density_false_positive(gamma, n, n, geom);
+    const double fn =
+        overlay::density_false_negative(gamma, n, 0.2 * n, geom);
+    EXPECT_GE(fp, 0.0);
+    EXPECT_LE(fp, 1.0);
+    EXPECT_GE(fn, 0.0);
+    EXPECT_LE(fn, 1.0);
+    // Tightening gamma by 0.3 raises FP and lowers FN (weak monotonicity).
+    const double fp2 =
+        overlay::density_false_positive(gamma + 0.3, n, n, geom);
+    const double fn2 =
+        overlay::density_false_negative(gamma + 0.3, n, 0.2 * n, geom);
+    EXPECT_LE(fp2, fp + 1e-9);
+    EXPECT_GE(fn2, fn - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DensityErrorProperty,
+                         ::testing::Values(1.0, 1.2, 1.5, 1.8, 2.2, 3.0));
+
+// ------------------------------------------------------------ blame
+
+class BlameAccuracyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlameAccuracyProperty, BlameIsBoundedAndAccuracySharpensIt) {
+    const double a = GetParam();
+    core::BlameParams params;
+    params.probe_accuracy = a;
+    const std::vector<net::LinkId> path{1};
+    // One down-vote: blame = 1 - a.
+    const std::vector<core::ProbeResult> down{
+        {util::NodeId::from_hex("01"), 1, false, 0}};
+    const auto b_down = core::compute_blame(path, down, 0,
+                                            util::NodeId::from_hex("bb"),
+                                            params);
+    EXPECT_NEAR(b_down.blame, 1.0 - a, 1e-12);
+    // One up-vote: blame = a.
+    const std::vector<core::ProbeResult> up{
+        {util::NodeId::from_hex("01"), 1, true, 0}};
+    const auto b_up = core::compute_blame(path, up, 0,
+                                          util::NodeId::from_hex("bb"),
+                                          params);
+    EXPECT_NEAR(b_up.blame, a, 1e-12);
+    EXPECT_GE(b_up.blame, b_down.blame);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlameAccuracyProperty,
+                         ::testing::Values(0.5, 0.6, 0.75, 0.9, 0.99, 1.0));
+
+class BlameMixProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlameMixProperty, MatchesClosedFormVoteAverage) {
+    const auto [downs, ups] = GetParam();
+    if (downs + ups == 0) GTEST_SKIP();
+    core::BlameParams params;  // a = 0.9
+    const std::vector<net::LinkId> path{1};
+    std::vector<core::ProbeResult> probes;
+    for (int i = 0; i < downs; ++i) {
+        probes.push_back({util::NodeId::from_hex("a" + std::to_string(i)), 1,
+                          false, 0});
+    }
+    for (int i = 0; i < ups; ++i) {
+        probes.push_back({util::NodeId::from_hex("b" + std::to_string(i)), 1,
+                          true, 0});
+    }
+    const auto b = core::compute_blame(path, probes, 0,
+                                       util::NodeId::from_hex("ee"), params);
+    const double expected_confidence =
+        (downs * 0.9 + ups * 0.1) / static_cast<double>(downs + ups);
+    EXPECT_NEAR(b.path_bad_confidence, expected_confidence, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlameMixProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 9),
+                                            ::testing::Values(0, 1, 3, 9)));
+
+// ----------------------------------------------- accusation window errors
+
+class AccusationWindowProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(AccusationWindowProperty, MinimalThresholdIsActuallyMinimal) {
+    const auto [w, p_good, p_faulty] = GetParam();
+    const double bound = 0.01;
+    const auto m = core::minimal_accusation_threshold(w, p_good, p_faulty,
+                                                      bound);
+    if (!m.has_value()) GTEST_SKIP();
+    EXPECT_LT(core::accusation_false_positive(w, *m, p_good), bound);
+    EXPECT_LT(core::accusation_false_negative(w, *m, p_faulty), bound);
+    if (*m > 1) {
+        const bool prev_ok =
+            core::accusation_false_positive(w, *m - 1, p_good) < bound &&
+            core::accusation_false_negative(w, *m - 1, p_faulty) < bound;
+        EXPECT_FALSE(prev_ok);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AccusationWindowProperty,
+    ::testing::Combine(::testing::Values(50, 100, 200),
+                       ::testing::Values(0.018, 0.084, 0.15),
+                       ::testing::Values(0.938, 0.713, 0.5)));
+
+// -------------------------------------------- Monte Carlo window checks
+
+TEST(AccusationWindowMonteCarlo, BinomialModelMatchesSimulatedLedger) {
+    // Feed a VerdictLedger i.i.d. guilty verdicts at rate p and compare the
+    // accusation frequency after w verdicts with the binomial prediction.
+    const int w = 60;
+    const int m = 8;
+    const double p = 0.1;
+    util::Rng rng(123);
+    core::VerdictParams params;
+    params.window = w;
+    params.accusation_threshold = m;
+    int triggered = 0;
+    const int trials = 3000;
+    const auto suspect = util::NodeId::from_hex("bb");
+    for (int trial = 0; trial < trials; ++trial) {
+        core::VerdictLedger ledger(params);
+        bool fired = false;
+        for (int i = 0; i < w; ++i) {
+            const double blame = rng.bernoulli(p) ? 1.0 : 0.0;
+            if (ledger.record(suspect, blame, i).accusation_triggered) {
+                fired = true;
+            }
+        }
+        if (fired) ++triggered;
+    }
+    const double predicted = util::binomial_upper_tail(w, m, p);
+    EXPECT_NEAR(static_cast<double>(triggered) / trials, predicted,
+                3.0 * std::sqrt(predicted * (1 - predicted) / trials) + 0.01);
+}
+
+}  // namespace
+}  // namespace concilium

@@ -1,0 +1,92 @@
+#include "runtime/archive.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/keys.h"
+
+namespace concilium::runtime {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+tomography::TomographicSnapshot snap(const util::NodeId& origin,
+                                     util::SimTime at,
+                                     std::vector<std::pair<net::LinkId, bool>>
+                                         links) {
+    tomography::TomographicSnapshot s;
+    s.origin = origin;
+    s.probed_at = at;
+    for (const auto& [l, up] : links) {
+        s.links.push_back(tomography::LinkObservation{l, up});
+    }
+    return s;
+}
+
+const util::NodeId kAlice = util::NodeId::from_hex("0a");
+const util::NodeId kBob = util::NodeId::from_hex("0b");
+
+TEST(SnapshotArchive, StoresAndCounts) {
+    SnapshotArchive archive;
+    EXPECT_EQ(archive.size(), 0u);
+    archive.add(snap(kAlice, 10 * kSecond, {{1, true}}), 10 * kSecond);
+    archive.add(snap(kAlice, 20 * kSecond, {{1, false}}), 20 * kSecond);
+    archive.add(snap(kBob, 15 * kSecond, {{2, true}}), 20 * kSecond);
+    EXPECT_EQ(archive.size(), 3u);
+    EXPECT_EQ(archive.snapshots_from(kAlice).size(), 2u);
+    EXPECT_EQ(archive.snapshots_from(kBob).size(), 1u);
+    EXPECT_TRUE(archive.snapshots_from(util::NodeId::from_hex("0c")).empty());
+}
+
+TEST(SnapshotArchive, PrunesOldSnapshots) {
+    SnapshotArchive archive(/*retention=*/2 * kMinute);
+    archive.add(snap(kAlice, 0, {{1, true}}), 0);
+    archive.add(snap(kAlice, 1 * kMinute, {{1, true}}), 1 * kMinute);
+    EXPECT_EQ(archive.size(), 2u);
+    // Inserting at t=3min prunes the t=0 snapshot (older than 2 min).
+    archive.add(snap(kBob, 3 * kMinute, {{2, true}}), 3 * kMinute);
+    EXPECT_EQ(archive.size(), 2u);
+    EXPECT_EQ(archive.snapshots_from(kAlice).size(), 1u);
+}
+
+TEST(SnapshotArchive, ProbesForFiltersByLinkWindowAndOrigin) {
+    SnapshotArchive archive;
+    archive.add(snap(kAlice, 100 * kSecond, {{1, true}, {9, false}}),
+                100 * kSecond);
+    archive.add(snap(kBob, 100 * kSecond, {{1, false}}), 100 * kSecond);
+    archive.add(snap(kAlice, 300 * kSecond, {{1, true}}), 300 * kSecond);
+
+    const std::vector<net::LinkId> links{1};
+    // Window around t=100s: both snapshots at 100s qualify; link 9 excluded.
+    auto probes = archive.probes_for(links, 110 * kSecond, 60 * kSecond,
+                                     util::NodeId::from_hex("ff"));
+    ASSERT_EQ(probes.size(), 2u);
+    for (const auto& p : probes) EXPECT_EQ(p.link, 1u);
+
+    // Excluding Bob removes its probe.
+    probes = archive.probes_for(links, 110 * kSecond, 60 * kSecond, kBob);
+    ASSERT_EQ(probes.size(), 1u);
+    EXPECT_EQ(probes[0].reporter, kAlice);
+    EXPECT_TRUE(probes[0].link_up);
+
+    // A tight window around t=300s sees only the late snapshot.
+    probes = archive.probes_for(links, 300 * kSecond, 10 * kSecond,
+                                util::NodeId::from_hex("ff"));
+    EXPECT_EQ(probes.size(), 1u);
+}
+
+TEST(SnapshotArchive, EvidenceForReturnsWholeTouchingSnapshots) {
+    SnapshotArchive archive;
+    archive.add(snap(kAlice, 100 * kSecond, {{1, true}, {9, false}}),
+                100 * kSecond);
+    archive.add(snap(kBob, 100 * kSecond, {{7, true}}), 100 * kSecond);
+    const std::vector<net::LinkId> links{1, 2};
+    const auto evidence = archive.evidence_for(
+        links, 100 * kSecond, 60 * kSecond, util::NodeId::from_hex("ff"));
+    ASSERT_EQ(evidence.size(), 1u);  // Bob's snapshot touches no path link
+    EXPECT_EQ(evidence[0].origin, kAlice);
+    EXPECT_EQ(evidence[0].links.size(), 2u);  // the whole snapshot, signed
+}
+
+}  // namespace
+}  // namespace concilium::runtime

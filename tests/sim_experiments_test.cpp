@@ -1,0 +1,125 @@
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace concilium::sim {
+namespace {
+
+ScenarioParams test_scenario(double malicious = 0.0,
+                             std::uint64_t seed = 21) {
+    ScenarioParams p;
+    p.topology = net::small_params();
+    p.topology.end_hosts = 400;
+    p.overlay_nodes_override = 60;
+    p.duration = 60 * util::kMinute;
+    p.malicious_fraction = malicious;
+    p.seed = seed;
+    return p;
+}
+
+TEST(CoverageExperiment, OwnTreeCoversMinorityAndGrowsToOne) {
+    const Scenario scenario(test_scenario());
+    util::Rng rng(1);
+    const auto curve = run_coverage_experiment(scenario, 30, 20, rng);
+    ASSERT_GE(curve.coverage.size(), 31u);
+    // Figure 4's shape: own tree covers a minority of the forest...
+    EXPECT_LT(curve.coverage[0], 0.7);
+    EXPECT_GT(curve.coverage[0], 0.02);
+    // ...coverage is monotone in included trees...
+    for (std::size_t k = 1; k < curve.coverage.size(); ++k) {
+        if (curve.hosts_counted[k] == 0) break;
+        EXPECT_GE(curve.coverage[k] + 1e-12, curve.coverage[k - 1]);
+    }
+    // ...with diminishing returns: the first 5 trees add more than the
+    // next 5.
+    const double early = curve.coverage[5] - curve.coverage[0];
+    const double late = curve.coverage[10] - curve.coverage[5];
+    EXPECT_GT(early, late);
+    // Vouching peers grow as more trees are included.
+    EXPECT_GT(curve.vouchers[10], curve.vouchers[0]);
+}
+
+TEST(BlameExperiment, HonestPdfsSeparate) {
+    const Scenario scenario(test_scenario());
+    util::Rng rng(2);
+    BlameExperimentParams params;
+    params.samples = 4000;
+    const auto result = run_blame_experiment(scenario, params, rng);
+    ASSERT_GT(result.faulty_samples, 100u);
+    ASSERT_GT(result.nonfaulty_samples, 100u);
+    // Faulty nodes usually convicted, innocent nodes usually acquitted.
+    EXPECT_GT(result.p_faulty, 0.75);
+    EXPECT_LT(result.p_good, 0.15);
+    // The pdfs concentrate at opposite ends: most faulty-node mass above
+    // 0.5, most innocent mass below.
+    EXPECT_GT(result.faulty_pdf.fraction_below(0.5), 0.0);
+    EXPECT_LT(result.faulty_pdf.fraction_below(0.5), 0.3);
+    EXPECT_GT(result.nonfaulty_pdf.fraction_below(0.5), 0.7);
+}
+
+TEST(BlameExperiment, ColludersBlurTheSeparation) {
+    const Scenario honest(test_scenario(0.0));
+    const Scenario colluding(test_scenario(0.2));
+    util::Rng rng1(3);
+    util::Rng rng2(3);
+    BlameExperimentParams params;
+    params.samples = 4000;
+    const auto clean = run_blame_experiment(honest, params, rng1);
+    const auto dirty = run_blame_experiment(colluding, params, rng2);
+    // Section 4.3: collusion raises the innocent conviction rate and lowers
+    // the faulty conviction rate.
+    EXPECT_GT(dirty.p_good, clean.p_good);
+    EXPECT_LT(dirty.p_faulty, clean.p_faulty);
+    // But thresholding still separates usefully.
+    EXPECT_GT(dirty.p_faulty, 0.5);
+    EXPECT_LT(dirty.p_good, 0.4);
+}
+
+TEST(BlameExperiment, MeanOperatorDilutesBlame) {
+    // Ablation: averaging across path links (instead of fuzzy max) weakens
+    // the single-bad-link signal, reducing network blame and thus raising
+    // blame on innocent forwarders.
+    const Scenario scenario(test_scenario());
+    util::Rng rng1(4);
+    util::Rng rng2(4);
+    BlameExperimentParams max_params;
+    max_params.samples = 3000;
+    BlameExperimentParams mean_params = max_params;
+    mean_params.or_operator = core::BlameParams::OrOperator::kMean;
+    const auto with_max = run_blame_experiment(scenario, max_params, rng1);
+    const auto with_mean = run_blame_experiment(scenario, mean_params, rng2);
+    EXPECT_GT(with_mean.p_good, with_max.p_good);
+}
+
+TEST(AttributionExperiment, RevisionFindsDownstreamCulprits) {
+    const Scenario scenario(test_scenario());
+    util::Rng rng(5);
+    AttributionExperimentParams params;
+    params.samples = 400;
+    const auto result = run_attribution_experiment(scenario, params, rng);
+    EXPECT_EQ(result.samples, 400u);
+    EXPECT_GT(result.cause_forwarder, 0u);
+    EXPECT_GT(result.cause_network, 0u);
+    // The full protocol should land blame correctly most of the time.
+    // (Per-judge conviction accuracy compounds along the chain, so this is
+    // below the single-hop p_faulty of Figure 5.)
+    EXPECT_GT(result.accuracy(), 0.6);
+}
+
+TEST(AttributionExperiment, DisablingRevisionHurtsAccuracy) {
+    const Scenario scenario(test_scenario());
+    util::Rng rng1(6);
+    util::Rng rng2(6);
+    AttributionExperimentParams with;
+    with.samples = 400;
+    with.min_route_length = 4;  // deep chains showcase revision
+    AttributionExperimentParams without = with;
+    without.enable_revision = false;
+    const auto recursive = run_attribution_experiment(scenario, with, rng1);
+    const auto flat = run_attribution_experiment(scenario, without, rng2);
+    // Without revision, drops beyond the first hop are misattributed to it.
+    EXPECT_GT(recursive.accuracy(), flat.accuracy());
+}
+
+}  // namespace
+}  // namespace concilium::sim

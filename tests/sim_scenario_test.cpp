@@ -1,0 +1,208 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace concilium::sim {
+namespace {
+
+ScenarioParams small_scenario(std::uint64_t seed = 1) {
+    ScenarioParams p;
+    p.topology = net::small_params();
+    p.overlay_nodes_override = 40;
+    p.duration = 30 * util::kMinute;
+    p.seed = seed;
+    return p;
+}
+
+struct ScenarioFixture : ::testing::Test {
+    ScenarioFixture() : scenario(small_scenario()) {}
+    Scenario scenario;
+};
+
+TEST_F(ScenarioFixture, BuildsOverlayOfRequestedSize) {
+    EXPECT_EQ(scenario.overlay_net().size(), 40u);
+    EXPECT_TRUE(scenario.topology().connected());
+}
+
+TEST_F(ScenarioFixture, OverlayNodesSitOnEndHosts) {
+    for (overlay::MemberIndex m = 0; m < scenario.overlay_net().size(); ++m) {
+        const auto ip = scenario.overlay_net().member(m).ip();
+        EXPECT_EQ(scenario.topology().tier(ip), net::RouterTier::kEndHost);
+    }
+}
+
+TEST_F(ScenarioFixture, TreesRootAtMembersAndReachPeers) {
+    for (overlay::MemberIndex m = 0; m < scenario.overlay_net().size(); ++m) {
+        const auto& tree = scenario.tree(m);
+        EXPECT_EQ(tree.root(), scenario.overlay_net().member(m).ip());
+        // Every routing peer with a leaf slot appears as a tree leaf.
+        for (const auto p : scenario.overlay_net().routing_peers(m)) {
+            const auto slot = scenario.leaf_slot(m, p);
+            if (!slot.has_value()) continue;
+            EXPECT_EQ(tree.leaves().at(static_cast<std::size_t>(*slot)),
+                      scenario.overlay_net().member(p).ip());
+        }
+    }
+}
+
+TEST_F(ScenarioFixture, PathLinksMatchTreePaths) {
+    const auto& peers = scenario.overlay_net().routing_peers(0);
+    ASSERT_FALSE(peers.empty());
+    const auto peer = peers.front();
+    const auto links = scenario.path_links(0, peer);
+    EXPECT_FALSE(links.empty());
+    // Every path link is a link of the member's tree.
+    const auto& tree_links = scenario.tree(0).links();
+    for (const auto l : links) {
+        EXPECT_NE(std::find(tree_links.begin(), tree_links.end(), l),
+                  tree_links.end());
+    }
+}
+
+TEST_F(ScenarioFixture, ReportersOfLinkAreTreeOwners) {
+    const auto& tree = scenario.tree(7);
+    for (const auto l : tree.links()) {
+        const auto reporters = scenario.reporters_of_link(l);
+        EXPECT_NE(std::find(reporters.begin(), reporters.end(), 7u),
+                  reporters.end());
+    }
+}
+
+TEST_F(ScenarioFixture, GatherProbesRespectsJudgeVisibility) {
+    // All probes must come from the judge or its routing peers.
+    const auto& peers = scenario.overlay_net().routing_peers(0);
+    const auto path = scenario.path_links(0, peers.front());
+    const auto probes = scenario.gather_probes(
+        0, path, 10 * util::kMinute, Scenario::CollusionStance::kNone, 1);
+    std::unordered_set<util::NodeId, util::NodeIdHash> allowed;
+    allowed.insert(scenario.overlay_net().member(0).id());
+    for (const auto p : peers) {
+        allowed.insert(scenario.overlay_net().member(p).id());
+    }
+    for (const auto& probe : probes) {
+        EXPECT_TRUE(allowed.contains(probe.reporter));
+        EXPECT_GE(probe.at, 10 * util::kMinute - 60 * util::kSecond);
+        EXPECT_LE(probe.at, 10 * util::kMinute + 60 * util::kSecond);
+        EXPECT_NE(std::find(path.begin(), path.end(), probe.link),
+                  path.end());
+    }
+    EXPECT_FALSE(probes.empty());
+}
+
+TEST_F(ScenarioFixture, GatherProbesIsDeterministicPerQueryId) {
+    const auto& peers = scenario.overlay_net().routing_peers(0);
+    const auto path = scenario.path_links(0, peers.front());
+    const auto a = scenario.gather_probes(
+        0, path, 10 * util::kMinute, Scenario::CollusionStance::kNone, 7);
+    const auto b = scenario.gather_probes(
+        0, path, 10 * util::kMinute, Scenario::CollusionStance::kNone, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].reporter, b[i].reporter);
+        EXPECT_EQ(a[i].link, b[i].link);
+        EXPECT_EQ(a[i].link_up, b[i].link_up);
+        EXPECT_EQ(a[i].at, b[i].at);
+    }
+    const auto c = scenario.gather_probes(
+        0, path, 10 * util::kMinute, Scenario::CollusionStance::kNone, 8);
+    bool identical = c.size() == a.size();
+    if (identical) {
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            identical = identical && c[i].at == a[i].at &&
+                        c[i].link_up == a[i].link_up;
+        }
+    }
+    EXPECT_FALSE(identical);
+}
+
+TEST_F(ScenarioFixture, HonestProbesTrackGroundTruthAtConfiguredAccuracy) {
+    util::Rng rng(9);
+    int agree = 0;
+    int total = 0;
+    for (std::uint64_t q = 0; q < 400; ++q) {
+        const auto triple = scenario.sample_triple(rng);
+        if (!triple) continue;
+        const auto path = scenario.path_links(triple->b, triple->c);
+        const util::SimTime t = 10 * util::kMinute;
+        const auto probes = scenario.gather_probes(
+            triple->a, path, t, Scenario::CollusionStance::kNone, 1000 + q);
+        for (const auto& p : probes) {
+            const bool truth = scenario.timeline().is_up(p.link, p.at);
+            if (p.link_up == truth) ++agree;
+            ++total;
+        }
+    }
+    ASSERT_GT(total, 500);
+    EXPECT_NEAR(static_cast<double>(agree) / total, 0.9, 0.03);
+}
+
+TEST_F(ScenarioFixture, SampleTripleSatisfiesRoutingConstraints) {
+    util::Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const auto triple = scenario.sample_triple(rng);
+        ASSERT_TRUE(triple.has_value());
+        const auto& peers_a = scenario.overlay_net().routing_peers(triple->a);
+        EXPECT_NE(std::find(peers_a.begin(), peers_a.end(), triple->b),
+                  peers_a.end());
+        const auto& peers_b = scenario.overlay_net().routing_peers(triple->b);
+        EXPECT_NE(std::find(peers_b.begin(), peers_b.end(), triple->c),
+                  peers_b.end());
+        EXPECT_TRUE(scenario.leaf_slot(triple->b, triple->c).has_value());
+    }
+}
+
+TEST(ScenarioMalicious, ColludersFollowStance) {
+    auto params = small_scenario(3);
+    params.malicious_fraction = 0.5;  // make colluder probes plentiful
+    const Scenario scenario(params);
+    EXPECT_EQ(scenario.malicious_count(), 20u);
+
+    util::Rng rng(5);
+    const auto triple = scenario.sample_triple(rng);
+    ASSERT_TRUE(triple.has_value());
+    const auto path = scenario.path_links(triple->b, triple->c);
+    const util::SimTime t = 10 * util::kMinute;
+
+    const auto incr = scenario.gather_probes(
+        triple->a, path, t, Scenario::CollusionStance::kIncriminate, 1);
+    const auto exon = scenario.gather_probes(
+        triple->a, path, t, Scenario::CollusionStance::kExonerate, 1);
+    ASSERT_EQ(incr.size(), exon.size());
+    int colluder_probes = 0;
+    for (std::size_t i = 0; i < incr.size(); ++i) {
+        const auto member =
+            scenario.overlay_net().index_of(incr[i].reporter);
+        ASSERT_TRUE(member.has_value());
+        if (scenario.is_malicious(*member)) {
+            ++colluder_probes;
+            EXPECT_TRUE(incr[i].link_up);   // claim up to frame the innocent
+            EXPECT_FALSE(exon[i].link_up);  // claim down to shield the guilty
+        } else {
+            EXPECT_EQ(incr[i].link_up, exon[i].link_up);  // honest unchanged
+        }
+    }
+    EXPECT_GT(colluder_probes, 0);
+}
+
+TEST(ScenarioDeterminism, SameSeedSameWorld) {
+    const Scenario a(small_scenario(11));
+    const Scenario b(small_scenario(11));
+    ASSERT_EQ(a.overlay_net().size(), b.overlay_net().size());
+    for (overlay::MemberIndex m = 0; m < a.overlay_net().size(); ++m) {
+        EXPECT_EQ(a.overlay_net().member(m).id(),
+                  b.overlay_net().member(m).id());
+        EXPECT_EQ(a.tree(m).links().size(), b.tree(m).links().size());
+    }
+}
+
+TEST(ScenarioValidation, RejectsOversizedOverlay) {
+    ScenarioParams p;
+    p.topology = net::small_params();
+    p.overlay_nodes_override = 100000;
+    EXPECT_THROW(Scenario{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concilium::sim

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "net/paths.h"
+#include "tomography/probing.h"
+#include "tomography/tree.h"
+#include "tomography/verification.h"
+#include "util/rng.h"
+
+namespace concilium::tomography {
+namespace {
+
+struct ProbeFixture : ::testing::Test {
+    ProbeFixture() {
+        for (int i = 0; i < 7; ++i) topo.add_router(net::RouterTier::kCore);
+        links[0] = topo.add_link(0, 1);
+        links[1] = topo.add_link(1, 2);
+        links[2] = topo.add_link(1, 3);
+        links[3] = topo.add_link(2, 4);
+        links[4] = topo.add_link(2, 5);
+        links[5] = topo.add_link(3, 6);
+        const net::PathOracle oracle(topo);
+        const std::vector<net::RouterId> dsts{4, 5, 6};
+        tree.emplace(0, oracle.paths_from(0, dsts));
+    }
+
+    /// Pass-probability function: perfect except for listed lossy links.
+    PassProbabilityFn make_pass_fn(
+        std::unordered_map<net::LinkId, double> loss = {}) {
+        return [loss](net::LinkId l, util::SimTime) {
+            const auto it = loss.find(l);
+            return it == loss.end() ? 1.0 : 1.0 - it->second;
+        };
+    }
+
+    net::Topology topo;
+    net::LinkId links[6];
+    std::optional<ProbeTree> tree;
+};
+
+TEST_F(ProbeFixture, PerfectNetworkAllLeavesAck) {
+    util::Rng rng(1);
+    const auto rec =
+        sample_striped_probe(*tree, make_pass_fn(), 0, {}, rng);
+    for (std::size_t leaf = 0; leaf < 3; ++leaf) {
+        EXPECT_TRUE(rec.received[leaf]);
+        EXPECT_TRUE(rec.acked[leaf]);
+        EXPECT_TRUE(rec.nonce_valid[leaf]);
+    }
+}
+
+TEST_F(ProbeFixture, DeadRootLinkSilencesEveryLeaf) {
+    util::Rng rng(2);
+    const auto rec = sample_striped_probe(
+        *tree, make_pass_fn({{links[0], 1.0}}), 0, {}, rng);
+    for (std::size_t leaf = 0; leaf < 3; ++leaf) {
+        EXPECT_FALSE(rec.received[leaf]);
+        EXPECT_FALSE(rec.acked[leaf]);
+    }
+}
+
+TEST_F(ProbeFixture, SharedLinkLossIsCorrelatedAcrossLeaves) {
+    // Leaves 4 and 5 share links[1]; their outcomes under its loss must be
+    // identical in every stripe -- the multicast-emulation property.
+    util::Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto rec = sample_striped_probe(
+            *tree, make_pass_fn({{links[1], 0.5}}), 0, {}, rng);
+        EXPECT_EQ(rec.received[0], rec.received[1]) << "trial " << trial;
+        EXPECT_TRUE(rec.received[2]);  // leaf 6 unaffected
+    }
+}
+
+TEST_F(ProbeFixture, LastMileLossAffectsOneLeafOnly) {
+    util::Rng rng(4);
+    int lost4 = 0;
+    const int n = 500;
+    for (int trial = 0; trial < n; ++trial) {
+        const auto rec = sample_striped_probe(
+            *tree, make_pass_fn({{links[3], 0.3}}), 0, {}, rng);
+        if (!rec.received[0]) ++lost4;
+        EXPECT_TRUE(rec.received[1]);
+        EXPECT_TRUE(rec.received[2]);
+    }
+    EXPECT_NEAR(lost4, 150, 45);
+}
+
+TEST_F(ProbeFixture, SuppressorDropsAcksButReceives) {
+    util::Rng rng(5);
+    std::vector<LeafBehavior> behaviors(3);
+    behaviors[1].suppress_ack_probability = 1.0;
+    const auto rec =
+        sample_striped_probe(*tree, make_pass_fn(), 0, behaviors, rng);
+    EXPECT_TRUE(rec.received[1]);
+    EXPECT_FALSE(rec.acked[1]);
+}
+
+TEST_F(ProbeFixture, FabricatorAcksWithInvalidNonce) {
+    util::Rng rng(6);
+    std::vector<LeafBehavior> behaviors(3);
+    behaviors[2].fabricate_acks = true;
+    const auto rec = sample_striped_probe(
+        *tree, make_pass_fn({{links[5], 1.0}}), 0, behaviors, rng);
+    EXPECT_FALSE(rec.received[2]);
+    EXPECT_TRUE(rec.acked[2]);
+    EXPECT_FALSE(rec.nonce_valid[2]);  // cannot echo an unseen nonce
+}
+
+TEST_F(ProbeFixture, BehaviorSizeMismatchThrows) {
+    util::Rng rng(7);
+    std::vector<LeafBehavior> behaviors(2);
+    EXPECT_THROW(
+        sample_striped_probe(*tree, make_pass_fn(), 0, behaviors, rng),
+        std::invalid_argument);
+}
+
+TEST_F(ProbeFixture, HeavyweightSessionCountsAcks) {
+    util::Rng rng(8);
+    HeavyweightParams params;
+    params.probe_count = 400;
+    const auto result = run_heavyweight_session(
+        *tree, make_pass_fn({{links[3], 0.25}}), 0, params, {}, rng);
+    EXPECT_EQ(result.probes.size(), 400u);
+    EXPECT_NEAR(result.ack_rate(0), 0.75, 0.07);
+    EXPECT_NEAR(result.ack_rate(1), 1.0, 1e-12);
+    EXPECT_NEAR(result.ack_rate(2), 1.0, 1e-12);
+    EXPECT_GT(result.finished_at, result.started_at);
+    EXPECT_THROW(run_heavyweight_session(*tree, make_pass_fn(), 0,
+                                         HeavyweightParams{.probe_count = 0},
+                                         {}, rng),
+                 std::invalid_argument);
+}
+
+TEST_F(ProbeFixture, LightweightRetriesRecoverLossyLeaves) {
+    util::Rng rng(9);
+    // 50% lossy last mile: retries almost always get through eventually.
+    int responsive = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto result = run_lightweight_probe(
+            *tree, make_pass_fn({{links[3], 0.5}}), 0, 6, {}, rng);
+        if (result.responsive[0]) ++responsive;
+    }
+    EXPECT_GT(responsive, 95);
+}
+
+TEST_F(ProbeFixture, LightweightCannotRecoverDeadLink) {
+    util::Rng rng(10);
+    const auto result = run_lightweight_probe(
+        *tree, make_pass_fn({{links[5], 1.0}}), 0, 5, {}, rng);
+    EXPECT_FALSE(result.responsive[2]);
+    EXPECT_TRUE(result.responsive[0]);
+    EXPECT_TRUE(result.responsive[1]);
+}
+
+TEST_F(ProbeFixture, DetectFabricatorsFlagsOnlyGuiltyLeaf) {
+    util::Rng rng(11);
+    std::vector<LeafBehavior> behaviors(3);
+    behaviors[0].fabricate_acks = true;
+    const auto session = run_heavyweight_session(
+        *tree, make_pass_fn({{links[3], 0.4}}), 0,
+        HeavyweightParams{.probe_count = 200}, behaviors, rng);
+    const auto flagged = detect_fabricators(3, session.probes);
+    EXPECT_TRUE(flagged[0]);
+    EXPECT_FALSE(flagged[1]);
+    EXPECT_FALSE(flagged[2]);
+}
+
+TEST_F(ProbeFixture, DetectSuppressorsFlagsAckDropper) {
+    util::Rng rng(12);
+    std::vector<LeafBehavior> behaviors(3);
+    behaviors[0].suppress_ack_probability = 0.95;
+    const auto session = run_heavyweight_session(
+        *tree, make_pass_fn(), 0, HeavyweightParams{.probe_count = 300},
+        behaviors, rng);
+    const auto flagged =
+        detect_suppressors(*tree, session.probes, SuppressionTestParams{});
+    EXPECT_TRUE(flagged[0]);
+    EXPECT_FALSE(flagged[1]);
+    EXPECT_FALSE(flagged[2]);
+}
+
+TEST_F(ProbeFixture, HonestLeavesUnderModerateLossNotFlagged) {
+    util::Rng rng(13);
+    const auto session = run_heavyweight_session(
+        *tree, make_pass_fn({{links[3], 0.2}, {links[1], 0.1}}), 0,
+        HeavyweightParams{.probe_count = 300}, {}, rng);
+    const auto flagged =
+        detect_suppressors(*tree, session.probes, SuppressionTestParams{});
+    EXPECT_FALSE(flagged[0]);
+    EXPECT_FALSE(flagged[1]);
+    EXPECT_FALSE(flagged[2]);
+}
+
+TEST_F(ProbeFixture, ExcludeLeavesSilencesFlaggedFeedback) {
+    util::Rng rng(14);
+    const auto session = run_heavyweight_session(
+        *tree, make_pass_fn(), 0, HeavyweightParams{.probe_count = 10}, {},
+        rng);
+    const auto cleaned =
+        exclude_leaves(session.probes, {true, false, false});
+    for (const auto& rec : cleaned) {
+        EXPECT_FALSE(rec.acked[0]);
+        EXPECT_TRUE(rec.acked[1]);
+    }
+    EXPECT_THROW(exclude_leaves(session.probes, {true}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concilium::tomography

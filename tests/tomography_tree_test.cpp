@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/paths.h"
+#include "net/topology.h"
+#include "net/topology_gen.h"
+#include "tomography/tree.h"
+#include "util/rng.h"
+
+namespace concilium::tomography {
+namespace {
+
+/// The canonical small tree used across tomography tests:
+///        0 (root)
+///        |
+///        1
+///       / \
+///      2   3
+///     / \   \
+///    4   5   6        (4, 5, 6 are probed leaves)
+struct TreeFixture {
+    TreeFixture() {
+        for (int i = 0; i < 7; ++i) topo.add_router(net::RouterTier::kCore);
+        links[0] = topo.add_link(0, 1);
+        links[1] = topo.add_link(1, 2);
+        links[2] = topo.add_link(1, 3);
+        links[3] = topo.add_link(2, 4);
+        links[4] = topo.add_link(2, 5);
+        links[5] = topo.add_link(3, 6);
+        const net::PathOracle oracle(topo);
+        const std::vector<net::RouterId> dsts{4, 5, 6};
+        paths = oracle.paths_from(0, dsts);
+    }
+
+    net::Topology topo;
+    net::LinkId links[6];
+    std::vector<net::Path> paths;
+};
+
+TEST(ProbeTree, MergesPathsIntoSharedTree) {
+    TreeFixture f;
+    const ProbeTree tree(0, f.paths);
+    EXPECT_EQ(tree.root(), 0u);
+    EXPECT_EQ(tree.nodes().size(), 7u);
+    EXPECT_EQ(tree.links().size(), 6u);
+    ASSERT_EQ(tree.leaves().size(), 3u);
+    EXPECT_EQ(tree.leaves()[0], 4u);
+    EXPECT_EQ(tree.leaves()[1], 5u);
+    EXPECT_EQ(tree.leaves()[2], 6u);
+}
+
+TEST(ProbeTree, PathLinksReconstructRootPaths) {
+    TreeFixture f;
+    const ProbeTree tree(0, f.paths);
+    const auto to4 = tree.path_links(0);
+    ASSERT_EQ(to4.size(), 3u);
+    EXPECT_EQ(to4[0], f.links[0]);
+    EXPECT_EQ(to4[1], f.links[1]);
+    EXPECT_EQ(to4[2], f.links[3]);
+    const auto to6 = tree.path_links(2);
+    ASSERT_EQ(to6.size(), 3u);
+    EXPECT_EQ(to6[2], f.links[5]);
+    EXPECT_THROW((void)tree.path_links(3), std::out_of_range);
+}
+
+TEST(ProbeTree, NodeOfAndSubtreeLeaves) {
+    TreeFixture f;
+    const ProbeTree tree(0, f.paths);
+    const auto n2 = tree.node_of(2);
+    ASSERT_TRUE(n2.has_value());
+    const auto under2 = tree.leaf_slots_under(*n2);
+    EXPECT_EQ(under2, (std::vector<int>{0, 1}));  // leaves 4 and 5
+    const auto under_root = tree.leaf_slots_under(0);
+    EXPECT_EQ(under_root, (std::vector<int>{0, 1, 2}));
+    EXPECT_FALSE(tree.node_of(99).has_value());
+}
+
+TEST(ProbeTree, SkipsEmptyPaths) {
+    TreeFixture f;
+    f.paths.push_back(net::Path{});  // unreachable peer
+    const ProbeTree tree(0, f.paths);
+    EXPECT_EQ(tree.leaves().size(), 3u);
+}
+
+TEST(ProbeTree, InteriorEndpointGetsLeafSlot) {
+    TreeFixture f;
+    // Also probe router 2, which lies on the way to 4 and 5.
+    const net::PathOracle oracle(f.topo);
+    const std::vector<net::RouterId> dsts{4, 5, 2};
+    const auto paths = oracle.paths_from(0, dsts);
+    const ProbeTree tree(0, paths);
+    ASSERT_EQ(tree.leaves().size(), 3u);
+    const auto n2 = tree.node_of(2);
+    ASSERT_TRUE(n2.has_value());
+    EXPECT_TRUE(tree.nodes()[static_cast<std::size_t>(*n2)]
+                    .leaf_slot.has_value());
+}
+
+TEST(ProbeTree, RejectsForeignPaths) {
+    TreeFixture f;
+    const net::PathOracle oracle(f.topo);
+    std::vector<net::Path> wrong{oracle.path(1, 4)};  // starts at 1, not 0
+    EXPECT_THROW(ProbeTree(0, wrong), std::invalid_argument);
+}
+
+TEST(ProbeTree, RejectsInconsistentParents) {
+    TreeFixture f;
+    // Add a second route to router 4 through 3 to fabricate a disagreement.
+    const net::LinkId alt = f.topo.add_link(3, 4);
+    net::Path bogus;
+    bogus.routers = {0, 1, 3, 4};
+    bogus.links = {f.links[0], f.links[2], alt};
+    auto paths = f.paths;
+    paths.push_back(bogus);
+    EXPECT_THROW(ProbeTree(0, paths), std::invalid_argument);
+}
+
+TEST(Forest, CoverageGrowsMonotonically) {
+    TreeFixture f;
+    const net::PathOracle oracle(f.topo);
+    const ProbeTree t0(0, f.paths);
+    // Peer trees rooted at 4 and 6, probing the other hosts.
+    const std::vector<net::RouterId> d4{0, 5, 6};
+    const auto p4 = oracle.paths_from(4, d4);
+    const ProbeTree t4(4, p4);
+    const std::vector<net::RouterId> d6{0, 4, 5};
+    const auto p6 = oracle.paths_from(6, d6);
+    const ProbeTree t6(6, p6);
+
+    const Forest forest({&t0, &t4, &t6});
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= 3; ++k) {
+        const double c = forest.coverage(k);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(forest.coverage(3), 1.0);  // trees cover same links here
+    EXPECT_GE(forest.mean_vouchers(3), forest.mean_vouchers(1));
+}
+
+TEST(Forest, SingleTreeCoversItself) {
+    TreeFixture f;
+    const ProbeTree t0(0, f.paths);
+    const Forest forest({&t0});
+    EXPECT_DOUBLE_EQ(forest.coverage(1), 1.0);
+    EXPECT_DOUBLE_EQ(forest.mean_vouchers(1), 1.0);
+    EXPECT_THROW(Forest({}), std::invalid_argument);
+}
+
+TEST(Forest, GeneratedTopologyOwnTreeCoversMinority) {
+    // On a realistic topology a node's own tree is a sliver of its forest
+    // (Figure 4 starts near 25%).
+    util::Rng rng(3);
+    const net::Topology topo = net::generate_topology(net::small_params(), rng);
+    const net::PathOracle oracle(topo);
+    auto hosts = topo.end_hosts();
+    ASSERT_GE(hosts.size(), 12u);
+    // Tree per host: paths to 8 other random hosts.
+    std::vector<ProbeTree> trees;
+    for (std::size_t h = 0; h < 10; ++h) {
+        std::vector<net::RouterId> dsts;
+        for (std::size_t k = 1; k <= 8; ++k) {
+            dsts.push_back(hosts[(h + k * 7) % hosts.size()]);
+        }
+        trees.emplace_back(hosts[h], oracle.paths_from(hosts[h], dsts));
+    }
+    std::vector<const ProbeTree*> ptrs;
+    for (const auto& t : trees) ptrs.push_back(&t);
+    const Forest forest(ptrs);
+    EXPECT_LT(forest.coverage(1), 0.9);
+    EXPECT_GT(forest.coverage(1), 0.05);
+    EXPECT_DOUBLE_EQ(forest.coverage(10), 1.0);
+}
+
+}  // namespace
+}  // namespace concilium::tomography

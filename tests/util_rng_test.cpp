@@ -1,0 +1,140 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace concilium::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_u64(), b.uniform_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform_u64() == b.uniform_u64()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+    Rng parent(99);
+    Rng c1 = parent.fork();
+    Rng c2 = parent.fork();
+    EXPECT_NE(c1.uniform_u64(), c2.uniform_u64());
+    // Forking does not perturb the parent's own stream relative to a replay.
+    Rng parent2(99);
+    (void)parent2.fork();
+    (void)parent2.fork();
+    EXPECT_EQ(parent.uniform_u64(), parent2.uniform_u64());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenInterval) {
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+    Rng rng(6);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, BetaMomentsMatchTheory) {
+    // Beta(0.9, 0.6) is the paper's failure-depth distribution; its mean is
+    // alpha / (alpha + beta) = 0.6.
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.beta(0.9, 0.6);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.6, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(10);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+    Rng rng(11);
+    const auto sample = rng.sample_indices(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::vector<std::size_t> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    EXPECT_LT(sorted.back(), 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+    Rng rng(12);
+    auto sample = rng.sample_indices(10, 10);
+    std::sort(sample.begin(), sample.end());
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversizedRequest) {
+    Rng rng(13);
+    EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concilium::util

@@ -1,0 +1,190 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace concilium::util {
+namespace {
+
+TEST(NormalDistribution, CdfKnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normal_cdf(-1.96), 0.024997895, 1e-6);
+    EXPECT_NEAR(normal_cdf(1.0) + normal_cdf(-1.0), 1.0, 1e-12);
+}
+
+TEST(NormalDistribution, ParameterizedCdf) {
+    EXPECT_NEAR(normal_cdf(10.0, 10.0, 2.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(12.0, 10.0, 2.0), normal_cdf(1.0), 1e-12);
+}
+
+TEST(NormalDistribution, ZeroStddevIsStep) {
+    EXPECT_EQ(normal_cdf(0.99, 1.0, 0.0), 0.0);
+    EXPECT_EQ(normal_cdf(1.0, 1.0, 0.0), 1.0);
+}
+
+TEST(NormalDistribution, QuantileInvertsTheCdf) {
+    for (const double p : {0.001, 0.01, 0.25, 0.5, 0.9, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7) << "p=" << p;
+    }
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(NormalDistribution, PdfIntegratesToOneApprox) {
+    double sum = 0.0;
+    const double dx = 0.01;
+    for (double x = -8.0; x <= 8.0; x += dx) sum += normal_pdf(x) * dx;
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+    for (const double p : {0.1, 0.5, 0.93}) {
+        double sum = 0.0;
+        for (int k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, p);
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+    }
+}
+
+TEST(Binomial, PmfKnownValue) {
+    // C(10, 3) * 0.5^10 = 120/1024
+    EXPECT_NEAR(binomial_pmf(10, 3, 0.5), 120.0 / 1024.0, 1e-12);
+}
+
+TEST(Binomial, DegenerateP) {
+    EXPECT_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+    EXPECT_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+    EXPECT_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+}
+
+TEST(Binomial, TailsArePartitions) {
+    for (int m = 0; m <= 11; ++m) {
+        EXPECT_NEAR(binomial_upper_tail(10, m, 0.3) +
+                        binomial_lower_tail_exclusive(10, m, 0.3),
+                    1.0, 1e-12)
+            << "m=" << m;
+    }
+}
+
+TEST(Binomial, UpperTailBoundaries) {
+    EXPECT_EQ(binomial_upper_tail(10, 0, 0.3), 1.0);
+    EXPECT_EQ(binomial_upper_tail(10, 11, 0.3), 0.0);
+    // Pr(X >= 1) = 1 - (1-p)^n.
+    EXPECT_NEAR(binomial_upper_tail(10, 1, 0.1),
+                1.0 - std::pow(0.9, 10), 1e-12);
+}
+
+TEST(Binomial, Section43ErrorRatesAreSmallAtPaperOperatingPoint) {
+    // Sanity on the paper's headline: w=100, honest pdfs give roughly
+    // p_good ~ 1.8% and p_faulty ~ 93.8%; m = 6 should push both error
+    // rates below 1% (Figure 6a).
+    const double fp = binomial_upper_tail(100, 6, 0.018);
+    const double fn = binomial_lower_tail_exclusive(100, 6, 0.938);
+    EXPECT_LT(fp, 0.01);
+    EXPECT_LT(fn, 0.01);
+}
+
+TEST(PoissonBinomial, MatchesBinomialWhenUniform) {
+    std::vector<double> probs(50, 0.3);
+    const PoissonBinomialNormal pb(probs);
+    EXPECT_NEAR(pb.mean_count(), 15.0, 1e-12);
+    EXPECT_NEAR(pb.stddev_count(), std::sqrt(50 * 0.3 * 0.7), 1e-12);
+    EXPECT_NEAR(pb.grid_mean(), 0.3, 1e-12);
+    EXPECT_NEAR(pb.grid_variance(), 0.0, 1e-12);
+}
+
+TEST(PoissonBinomial, VarianceIdentityHolds) {
+    // sigma_phi^2 = S*mu*(1-mu) - S*sigma^2 must equal sum p(1-p).
+    std::vector<double> probs{0.1, 0.9, 0.5, 0.25, 0.75, 1.0, 0.0};
+    const PoissonBinomialNormal pb(probs);
+    double direct = 0.0;
+    double mean = 0.0;
+    for (const double p : probs) {
+        direct += p * (1.0 - p);
+        mean += p;
+    }
+    EXPECT_NEAR(pb.mean_count(), mean, 1e-12);
+    EXPECT_NEAR(pb.stddev_count() * pb.stddev_count(), direct, 1e-12);
+}
+
+TEST(PoissonBinomial, PmfSumsToOneOverSupport) {
+    std::vector<double> probs(100, 0.4);
+    const PoissonBinomialNormal pb(probs);
+    double sum = 0.0;
+    for (int d = 0; d <= 100; ++d) sum += pb.pmf(d);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PoissonBinomial, RejectsBadInput) {
+    EXPECT_THROW(PoissonBinomialNormal(std::vector<double>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(PoissonBinomialNormal(std::vector<double>{1.5}),
+                 std::domain_error);
+}
+
+TEST(OnlineMoments, BasicStatistics) {
+    OnlineMoments m;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+    EXPECT_EQ(m.count(), 8);
+    EXPECT_NEAR(m.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(m.variance(), 4.0, 1e-12);  // classic population-variance set
+    EXPECT_NEAR(m.stddev(), 2.0, 1e-12);
+    EXPECT_EQ(m.min(), 2.0);
+    EXPECT_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMoments, MergeEqualsBulk) {
+    Rng rng(77);
+    OnlineMoments bulk;
+    OnlineMoments left;
+    OnlineMoments right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        bulk.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), bulk.count());
+    EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), bulk.variance(), 1e-9);
+}
+
+TEST(Histogram, CountsAndDensity) {
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(0.05);  // all in bin 0
+    EXPECT_EQ(h.count(0), 100);
+    EXPECT_EQ(h.total(), 100);
+    EXPECT_NEAR(h.density(0), 10.0, 1e-12);  // mass 1 over width 0.1
+    EXPECT_NEAR(h.bin_center(0), 0.05, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    h.add(1.0);  // the hi edge lands in the last bin
+    EXPECT_EQ(h.count(0), 1);
+    EXPECT_EQ(h.count(3), 2);
+}
+
+TEST(Histogram, FractionBelow) {
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 50; ++i) h.add(0.15);  // bin 1
+    for (int i = 0; i < 50; ++i) h.add(0.85);  // bin 8
+    EXPECT_NEAR(h.fraction_below(0.5), 0.5, 1e-9);
+    EXPECT_NEAR(h.fraction_below(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(h.fraction_below(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(h.fraction_below(2.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concilium::util

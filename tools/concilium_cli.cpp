@@ -1,0 +1,224 @@
+// concilium — command-line front end to the library.
+//
+//   concilium topology   [--full] [--seed N]    generated-topology statistics
+//   concilium occupancy  --nodes N              Equation-1 occupancy model
+//   concilium gamma      --nodes N --collusion C   density-test tuning
+//   concilium bandwidth  --nodes N              Section 4.4 cost model
+//   concilium coverage   [--full] [--seed N]    Figure-4 style coverage curve
+//   concilium run        [--seed N] [--messages M] [--droppers F]
+//                                               event-driven protocol demo
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/bandwidth.h"
+#include "net/topology_gen.h"
+#include "overlay/density.h"
+#include "runtime/cluster.h"
+#include "sim/experiments.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace concilium;
+
+struct Options {
+    bool full = false;
+    std::uint64_t seed = 1;
+    double nodes = 10000;
+    double collusion = 0.2;
+    std::size_t messages = 100;
+    double droppers = 0.1;
+};
+
+Options parse(int argc, char** argv, int first) {
+    Options o;
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--full") {
+            o.full = true;
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--nodes") {
+            o.nodes = std::strtod(next(), nullptr);
+        } else if (a == "--collusion") {
+            o.collusion = std::strtod(next(), nullptr);
+        } else if (a == "--messages") {
+            o.messages = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--droppers") {
+            o.droppers = std::strtod(next(), nullptr);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+int cmd_topology(const Options& o) {
+    util::Rng rng(o.seed);
+    const auto params =
+        o.full ? net::scan_like_params() : net::medium_params();
+    const auto topo = net::generate_topology(params, rng);
+    const auto stats = net::summarize(topo);
+    std::printf("routers            %zu\n", stats.routers);
+    std::printf("links              %zu\n", stats.links);
+    std::printf("core routers       %zu\n", stats.core_routers);
+    std::printf("stub routers       %zu\n", stats.stub_routers);
+    std::printf("end hosts          %zu\n", stats.end_hosts);
+    std::printf("links/routers      %.3f   (SCAN: 1.608)\n",
+                stats.link_router_ratio);
+    std::printf("mean interior deg  %.2f\n", stats.mean_interior_degree);
+    std::printf("connected          %s\n", topo.connected() ? "yes" : "NO");
+    return 0;
+}
+
+int cmd_occupancy(const Options& o) {
+    const util::OverlayGeometry geom{.digits = 32};
+    const auto model = overlay::occupancy_model(o.nodes, geom);
+    std::printf("N                  %.0f\n", o.nodes);
+    std::printf("mu_phi (entries)   %.2f\n", model.mean_count());
+    std::printf("sigma_phi          %.2f\n", model.stddev_count());
+    std::printf("routing peers      %.2f  (mu_phi + 16 leaves)\n",
+                model.mean_count() + 16);
+    std::printf("\nrow fill probabilities (Equation 1):\n");
+    for (int row = 0; row < 8; ++row) {
+        std::printf("  row %d: %.4f\n", row,
+                    overlay::slot_fill_probability(row, o.nodes, geom));
+    }
+    return 0;
+}
+
+int cmd_gamma(const Options& o) {
+    const util::OverlayGeometry geom{.digits = 32};
+    const auto best = overlay::optimal_gamma(
+        o.nodes, o.nodes, o.collusion * o.nodes, geom, 1.0, 4.0, 301);
+    std::printf("N = %.0f, colluding fraction c = %.2f\n", o.nodes,
+                o.collusion);
+    std::printf("optimal gamma      %.3f\n", best.gamma);
+    std::printf("false positives    %.4f\n", best.false_positive);
+    std::printf("false negatives    %.4f\n", best.false_negative);
+    return 0;
+}
+
+int cmd_bandwidth(const Options& o) {
+    const core::BandwidthModel model;
+    const double peers = model.expected_routing_peers(o.nodes);
+    std::printf("N                    %.0f\n", o.nodes);
+    std::printf("routing peers        %.2f\n", peers);
+    std::printf("advertisement        %.2f kB\n",
+                model.advertisement_bytes(o.nodes) / 1000.0);
+    std::printf("heavyweight probe    %.2f MB\n",
+                core::BandwidthModel::heavyweight_probe_bytes(peers) /
+                    (1024.0 * 1024.0));
+    return 0;
+}
+
+int cmd_coverage(const Options& o) {
+    sim::ScenarioParams p;
+    p.topology = o.full ? net::scan_like_params() : net::medium_params();
+    p.seed = o.seed;
+    const sim::Scenario world(p);
+    util::Rng rng(o.seed + 17);
+    const auto curve = sim::run_coverage_experiment(world, 40, 60, rng);
+    std::printf("%-12s %-12s %-12s\n", "peer_trees", "coverage",
+                "vouchers");
+    for (std::size_t k = 0; k < curve.coverage.size(); k += 5) {
+        if (curve.hosts_counted[k] == 0) break;
+        std::printf("%-12zu %-12.4f %-12.3f\n", k, curve.coverage[k],
+                    curve.vouchers[k]);
+    }
+    return 0;
+}
+
+int cmd_run(const Options& o) {
+    sim::ScenarioParams p;
+    p.topology = net::small_params();
+    p.topology.end_hosts = 500;
+    p.overlay_nodes_override = 80;
+    p.duration = 2 * util::kHour;
+    p.seed = o.seed;
+    const sim::Scenario world(p);
+    util::Rng rng(o.seed + 71);
+    std::vector<runtime::NodeBehavior> behaviors(world.overlay_net().size());
+    for (const auto d : rng.sample_indices(
+             behaviors.size(),
+             static_cast<std::size_t>(o.droppers * behaviors.size()))) {
+        behaviors[d].drop_forward_probability = 0.5;
+    }
+    net::EventSim sim;
+    runtime::Cluster cluster(sim, world.timeline(), world.overlay_net(),
+                             world.trees(), runtime::RuntimeParams{},
+                             behaviors, rng.fork());
+    cluster.start();
+    sim.run_until(3 * util::kMinute);
+    std::size_t delivered = 0;
+    std::size_t correct = 0;
+    std::size_t judged = 0;
+    for (std::size_t i = 0; i < o.messages; ++i) {
+        const auto from = static_cast<overlay::MemberIndex>(
+            rng.uniform_index(world.overlay_net().size()));
+        cluster.send(from, util::NodeId::random(rng),
+                     [&](const runtime::Cluster::MessageOutcome& out) {
+                         if (out.delivered) {
+                             ++delivered;
+                             return;
+                         }
+                         ++judged;
+                         if (out.true_drop_hop.has_value()) {
+                             if (out.blamed ==
+                                 world.overlay_net()
+                                     .member(out.route[*out.true_drop_hop])
+                                     .id()) {
+                                 ++correct;
+                             }
+                         } else if (out.true_network_drop &&
+                                    out.network_blamed) {
+                             ++correct;
+                         }
+                     });
+        sim.run_until(sim.now() + 20 * util::kSecond);
+    }
+    sim.run_until(sim.now() + 5 * util::kMinute);
+    const auto& s = cluster.stats();
+    std::printf("messages %zu | delivered %zu | diagnosed correctly %zu/%zu\n",
+                s.messages, delivered, correct, judged);
+    std::printf("snapshots %zu | heavyweight sessions %zu | accusations %zu\n",
+                s.snapshots_published, s.heavyweight_sessions,
+                s.accusations_filed);
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: concilium <topology|occupancy|gamma|bandwidth|"
+                 "coverage|run> [options]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Options o = parse(argc, argv, 2);
+    if (cmd == "topology") return cmd_topology(o);
+    if (cmd == "occupancy") return cmd_occupancy(o);
+    if (cmd == "gamma") return cmd_gamma(o);
+    if (cmd == "bandwidth") return cmd_bandwidth(o);
+    if (cmd == "coverage") return cmd_coverage(o);
+    if (cmd == "run") return cmd_run(o);
+    usage();
+    return 2;
+}
