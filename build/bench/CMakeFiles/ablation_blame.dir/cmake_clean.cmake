@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blame.dir/ablation_blame.cpp.o"
+  "CMakeFiles/ablation_blame.dir/ablation_blame.cpp.o.d"
+  "ablation_blame"
+  "ablation_blame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tomography.dir/ablation_tomography.cpp.o"
+  "CMakeFiles/ablation_tomography.dir/ablation_tomography.cpp.o.d"
+  "ablation_tomography"
+  "ablation_tomography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/concilium_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/concilium_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/concilium_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/tomography/CMakeFiles/concilium_tomography.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/concilium_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/concilium_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/concilium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

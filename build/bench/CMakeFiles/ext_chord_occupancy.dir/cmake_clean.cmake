@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chord_occupancy.dir/ext_chord_occupancy.cpp.o"
+  "CMakeFiles/ext_chord_occupancy.dir/ext_chord_occupancy.cpp.o.d"
+  "ext_chord_occupancy"
+  "ext_chord_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chord_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_occupancy.dir/fig1_occupancy.cpp.o"
+  "CMakeFiles/fig1_occupancy.dir/fig1_occupancy.cpp.o.d"
+  "fig1_occupancy"
+  "fig1_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

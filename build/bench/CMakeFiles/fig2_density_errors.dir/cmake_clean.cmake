@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_density_errors.dir/fig2_density_errors.cpp.o"
+  "CMakeFiles/fig2_density_errors.dir/fig2_density_errors.cpp.o.d"
+  "fig2_density_errors"
+  "fig2_density_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_density_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_density_suppression.dir/fig3_density_suppression.cpp.o"
+  "CMakeFiles/fig3_density_suppression.dir/fig3_density_suppression.cpp.o.d"
+  "fig3_density_suppression"
+  "fig3_density_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_density_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_density_suppression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_blame_pdf.dir/fig5_blame_pdf.cpp.o"
+  "CMakeFiles/fig5_blame_pdf.dir/fig5_blame_pdf.cpp.o.d"
+  "fig5_blame_pdf"
+  "fig5_blame_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_blame_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_e2e.dir/runtime_e2e.cpp.o"
+  "CMakeFiles/runtime_e2e.dir/runtime_e2e.cpp.o.d"
+  "runtime_e2e"
+  "runtime_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_bandwidth.dir/tab_bandwidth.cpp.o"
+  "CMakeFiles/tab_bandwidth.dir/tab_bandwidth.cpp.o.d"
+  "tab_bandwidth"
+  "tab_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

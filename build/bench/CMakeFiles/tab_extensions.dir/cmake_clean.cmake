@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_extensions.dir/tab_extensions.cpp.o"
+  "CMakeFiles/tab_extensions.dir/tab_extensions.cpp.o.d"
+  "tab_extensions"
+  "tab_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

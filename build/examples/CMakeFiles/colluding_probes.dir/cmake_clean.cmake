@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colluding_probes.dir/colluding_probes.cpp.o"
+  "CMakeFiles/colluding_probes.dir/colluding_probes.cpp.o.d"
+  "colluding_probes"
+  "colluding_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colluding_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_downstream.dir/diagnose_downstream.cpp.o"
+  "CMakeFiles/diagnose_downstream.dir/diagnose_downstream.cpp.o.d"
+  "diagnose_downstream"
+  "diagnose_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

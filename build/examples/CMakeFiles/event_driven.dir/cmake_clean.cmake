@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven.dir/event_driven.cpp.o"
+  "CMakeFiles/event_driven.dir/event_driven.cpp.o.d"
+  "event_driven"
+  "event_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_audit.dir/routing_audit.cpp.o"
+  "CMakeFiles/routing_audit.dir/routing_audit.cpp.o.d"
+  "routing_audit"
+  "routing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

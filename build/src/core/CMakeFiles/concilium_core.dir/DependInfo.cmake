@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accusation.cpp" "src/core/CMakeFiles/concilium_core.dir/accusation.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/accusation.cpp.o.d"
+  "/root/repo/src/core/bandwidth.cpp" "src/core/CMakeFiles/concilium_core.dir/bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/core/blame.cpp" "src/core/CMakeFiles/concilium_core.dir/blame.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/blame.cpp.o.d"
+  "/root/repo/src/core/commitments.cpp" "src/core/CMakeFiles/concilium_core.dir/commitments.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/commitments.cpp.o.d"
+  "/root/repo/src/core/extensions.cpp" "src/core/CMakeFiles/concilium_core.dir/extensions.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/extensions.cpp.o.d"
+  "/root/repo/src/core/reputation.cpp" "src/core/CMakeFiles/concilium_core.dir/reputation.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/reputation.cpp.o.d"
+  "/root/repo/src/core/steward.cpp" "src/core/CMakeFiles/concilium_core.dir/steward.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/steward.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/concilium_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/validation.cpp.o.d"
+  "/root/repo/src/core/verdicts.cpp" "src/core/CMakeFiles/concilium_core.dir/verdicts.cpp.o" "gcc" "src/core/CMakeFiles/concilium_core.dir/verdicts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/concilium_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/tomography/CMakeFiles/concilium_tomography.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/concilium_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/concilium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_core.dir/accusation.cpp.o"
+  "CMakeFiles/concilium_core.dir/accusation.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/bandwidth.cpp.o"
+  "CMakeFiles/concilium_core.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/blame.cpp.o"
+  "CMakeFiles/concilium_core.dir/blame.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/commitments.cpp.o"
+  "CMakeFiles/concilium_core.dir/commitments.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/extensions.cpp.o"
+  "CMakeFiles/concilium_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/reputation.cpp.o"
+  "CMakeFiles/concilium_core.dir/reputation.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/steward.cpp.o"
+  "CMakeFiles/concilium_core.dir/steward.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/validation.cpp.o"
+  "CMakeFiles/concilium_core.dir/validation.cpp.o.d"
+  "CMakeFiles/concilium_core.dir/verdicts.cpp.o"
+  "CMakeFiles/concilium_core.dir/verdicts.cpp.o.d"
+  "libconcilium_core.a"
+  "libconcilium_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

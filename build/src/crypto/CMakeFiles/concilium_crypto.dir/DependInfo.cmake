@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/certificates.cpp" "src/crypto/CMakeFiles/concilium_crypto.dir/certificates.cpp.o" "gcc" "src/crypto/CMakeFiles/concilium_crypto.dir/certificates.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/concilium_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/concilium_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/tokens.cpp" "src/crypto/CMakeFiles/concilium_crypto.dir/tokens.cpp.o" "gcc" "src/crypto/CMakeFiles/concilium_crypto.dir/tokens.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_crypto.dir/certificates.cpp.o"
+  "CMakeFiles/concilium_crypto.dir/certificates.cpp.o.d"
+  "CMakeFiles/concilium_crypto.dir/keys.cpp.o"
+  "CMakeFiles/concilium_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/concilium_crypto.dir/tokens.cpp.o"
+  "CMakeFiles/concilium_crypto.dir/tokens.cpp.o.d"
+  "libconcilium_crypto.a"
+  "libconcilium_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

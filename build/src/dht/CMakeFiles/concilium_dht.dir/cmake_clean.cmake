@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_dht.dir/dht.cpp.o"
+  "CMakeFiles/concilium_dht.dir/dht.cpp.o.d"
+  "libconcilium_dht.a"
+  "libconcilium_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_sim.cpp" "src/net/CMakeFiles/concilium_net.dir/event_sim.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/event_sim.cpp.o.d"
+  "/root/repo/src/net/link_state.cpp" "src/net/CMakeFiles/concilium_net.dir/link_state.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/link_state.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "src/net/CMakeFiles/concilium_net.dir/paths.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/paths.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/concilium_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_gen.cpp" "src/net/CMakeFiles/concilium_net.dir/topology_gen.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/topology_gen.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/concilium_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/concilium_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_net.dir/event_sim.cpp.o"
+  "CMakeFiles/concilium_net.dir/event_sim.cpp.o.d"
+  "CMakeFiles/concilium_net.dir/link_state.cpp.o"
+  "CMakeFiles/concilium_net.dir/link_state.cpp.o.d"
+  "CMakeFiles/concilium_net.dir/paths.cpp.o"
+  "CMakeFiles/concilium_net.dir/paths.cpp.o.d"
+  "CMakeFiles/concilium_net.dir/topology.cpp.o"
+  "CMakeFiles/concilium_net.dir/topology.cpp.o.d"
+  "CMakeFiles/concilium_net.dir/topology_gen.cpp.o"
+  "CMakeFiles/concilium_net.dir/topology_gen.cpp.o.d"
+  "CMakeFiles/concilium_net.dir/transport.cpp.o"
+  "CMakeFiles/concilium_net.dir/transport.cpp.o.d"
+  "libconcilium_net.a"
+  "libconcilium_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/advertisement.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/advertisement.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/advertisement.cpp.o.d"
+  "/root/repo/src/overlay/chord.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/chord.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/chord.cpp.o.d"
+  "/root/repo/src/overlay/density.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/density.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/density.cpp.o.d"
+  "/root/repo/src/overlay/jump_table.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/jump_table.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/jump_table.cpp.o.d"
+  "/root/repo/src/overlay/leaf_set.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/leaf_set.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/leaf_set.cpp.o.d"
+  "/root/repo/src/overlay/network.cpp" "src/overlay/CMakeFiles/concilium_overlay.dir/network.cpp.o" "gcc" "src/overlay/CMakeFiles/concilium_overlay.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/concilium_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/concilium_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_overlay.dir/advertisement.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/advertisement.cpp.o.d"
+  "CMakeFiles/concilium_overlay.dir/chord.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/concilium_overlay.dir/density.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/density.cpp.o.d"
+  "CMakeFiles/concilium_overlay.dir/jump_table.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/jump_table.cpp.o.d"
+  "CMakeFiles/concilium_overlay.dir/leaf_set.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/leaf_set.cpp.o.d"
+  "CMakeFiles/concilium_overlay.dir/network.cpp.o"
+  "CMakeFiles/concilium_overlay.dir/network.cpp.o.d"
+  "libconcilium_overlay.a"
+  "libconcilium_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_runtime.dir/archive.cpp.o"
+  "CMakeFiles/concilium_runtime.dir/archive.cpp.o.d"
+  "CMakeFiles/concilium_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/concilium_runtime.dir/cluster.cpp.o.d"
+  "libconcilium_runtime.a"
+  "libconcilium_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

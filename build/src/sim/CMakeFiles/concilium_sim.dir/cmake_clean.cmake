@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_sim.dir/experiments.cpp.o"
+  "CMakeFiles/concilium_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/concilium_sim.dir/scenario.cpp.o"
+  "CMakeFiles/concilium_sim.dir/scenario.cpp.o.d"
+  "libconcilium_sim.a"
+  "libconcilium_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

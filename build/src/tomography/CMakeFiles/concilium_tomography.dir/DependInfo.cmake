@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tomography/inference.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/inference.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/inference.cpp.o.d"
+  "/root/repo/src/tomography/overlay_trees.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/overlay_trees.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/overlay_trees.cpp.o.d"
+  "/root/repo/src/tomography/probing.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/probing.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/probing.cpp.o.d"
+  "/root/repo/src/tomography/snapshot.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/snapshot.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/snapshot.cpp.o.d"
+  "/root/repo/src/tomography/tree.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/tree.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/tree.cpp.o.d"
+  "/root/repo/src/tomography/verification.cpp" "src/tomography/CMakeFiles/concilium_tomography.dir/verification.cpp.o" "gcc" "src/tomography/CMakeFiles/concilium_tomography.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/concilium_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/concilium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/concilium_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_tomography.dir/inference.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/inference.cpp.o.d"
+  "CMakeFiles/concilium_tomography.dir/overlay_trees.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/overlay_trees.cpp.o.d"
+  "CMakeFiles/concilium_tomography.dir/probing.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/probing.cpp.o.d"
+  "CMakeFiles/concilium_tomography.dir/snapshot.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/snapshot.cpp.o.d"
+  "CMakeFiles/concilium_tomography.dir/tree.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/tree.cpp.o.d"
+  "CMakeFiles/concilium_tomography.dir/verification.cpp.o"
+  "CMakeFiles/concilium_tomography.dir/verification.cpp.o.d"
+  "libconcilium_tomography.a"
+  "libconcilium_tomography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

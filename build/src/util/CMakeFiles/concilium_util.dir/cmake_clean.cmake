@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium_util.dir/ids.cpp.o"
+  "CMakeFiles/concilium_util.dir/ids.cpp.o.d"
+  "CMakeFiles/concilium_util.dir/logging.cpp.o"
+  "CMakeFiles/concilium_util.dir/logging.cpp.o.d"
+  "CMakeFiles/concilium_util.dir/rng.cpp.o"
+  "CMakeFiles/concilium_util.dir/rng.cpp.o.d"
+  "CMakeFiles/concilium_util.dir/serialize.cpp.o"
+  "CMakeFiles/concilium_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/concilium_util.dir/stats.cpp.o"
+  "CMakeFiles/concilium_util.dir/stats.cpp.o.d"
+  "libconcilium_util.a"
+  "libconcilium_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

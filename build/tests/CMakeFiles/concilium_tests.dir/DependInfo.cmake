@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_accusation_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_accusation_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_accusation_test.cpp.o.d"
+  "/root/repo/tests/core_blame_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_blame_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_blame_test.cpp.o.d"
+  "/root/repo/tests/core_commitment_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_commitment_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_commitment_test.cpp.o.d"
+  "/root/repo/tests/core_extensions_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_extensions_test.cpp.o.d"
+  "/root/repo/tests/core_fuzz_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core_leaf_validation_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_leaf_validation_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_leaf_validation_test.cpp.o.d"
+  "/root/repo/tests/core_misc_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_misc_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_misc_test.cpp.o.d"
+  "/root/repo/tests/core_steward_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_steward_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_steward_test.cpp.o.d"
+  "/root/repo/tests/core_validation_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_validation_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_validation_test.cpp.o.d"
+  "/root/repo/tests/core_verdicts_test.cpp" "tests/CMakeFiles/concilium_tests.dir/core_verdicts_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/core_verdicts_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/concilium_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/dht_test.cpp" "tests/CMakeFiles/concilium_tests.dir/dht_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/dht_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/concilium_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/net_event_sim_test.cpp" "tests/CMakeFiles/concilium_tests.dir/net_event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/net_event_sim_test.cpp.o.d"
+  "/root/repo/tests/net_failure_test.cpp" "tests/CMakeFiles/concilium_tests.dir/net_failure_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/net_failure_test.cpp.o.d"
+  "/root/repo/tests/net_topology_test.cpp" "tests/CMakeFiles/concilium_tests.dir/net_topology_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/net_topology_test.cpp.o.d"
+  "/root/repo/tests/overlay_advertisement_test.cpp" "tests/CMakeFiles/concilium_tests.dir/overlay_advertisement_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/overlay_advertisement_test.cpp.o.d"
+  "/root/repo/tests/overlay_chord_test.cpp" "tests/CMakeFiles/concilium_tests.dir/overlay_chord_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/overlay_chord_test.cpp.o.d"
+  "/root/repo/tests/overlay_density_test.cpp" "tests/CMakeFiles/concilium_tests.dir/overlay_density_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/overlay_density_test.cpp.o.d"
+  "/root/repo/tests/overlay_network_test.cpp" "tests/CMakeFiles/concilium_tests.dir/overlay_network_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/overlay_network_test.cpp.o.d"
+  "/root/repo/tests/overlay_table_test.cpp" "tests/CMakeFiles/concilium_tests.dir/overlay_table_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/overlay_table_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/concilium_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/runtime_archive_test.cpp" "tests/CMakeFiles/concilium_tests.dir/runtime_archive_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/runtime_archive_test.cpp.o.d"
+  "/root/repo/tests/runtime_cluster_test.cpp" "tests/CMakeFiles/concilium_tests.dir/runtime_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/runtime_cluster_test.cpp.o.d"
+  "/root/repo/tests/sim_experiments_test.cpp" "tests/CMakeFiles/concilium_tests.dir/sim_experiments_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/sim_experiments_test.cpp.o.d"
+  "/root/repo/tests/sim_scenario_test.cpp" "tests/CMakeFiles/concilium_tests.dir/sim_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/sim_scenario_test.cpp.o.d"
+  "/root/repo/tests/steward_property_test.cpp" "tests/CMakeFiles/concilium_tests.dir/steward_property_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/steward_property_test.cpp.o.d"
+  "/root/repo/tests/tomography_inference_test.cpp" "tests/CMakeFiles/concilium_tests.dir/tomography_inference_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/tomography_inference_test.cpp.o.d"
+  "/root/repo/tests/tomography_probe_test.cpp" "tests/CMakeFiles/concilium_tests.dir/tomography_probe_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/tomography_probe_test.cpp.o.d"
+  "/root/repo/tests/tomography_property_test.cpp" "tests/CMakeFiles/concilium_tests.dir/tomography_property_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/tomography_property_test.cpp.o.d"
+  "/root/repo/tests/tomography_snapshot_test.cpp" "tests/CMakeFiles/concilium_tests.dir/tomography_snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/tomography_snapshot_test.cpp.o.d"
+  "/root/repo/tests/tomography_tree_test.cpp" "tests/CMakeFiles/concilium_tests.dir/tomography_tree_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/tomography_tree_test.cpp.o.d"
+  "/root/repo/tests/util_ids_test.cpp" "tests/CMakeFiles/concilium_tests.dir/util_ids_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/util_ids_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/concilium_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_serialize_test.cpp" "tests/CMakeFiles/concilium_tests.dir/util_serialize_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/util_serialize_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/concilium_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/concilium_tests.dir/util_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/concilium_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/concilium_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/concilium_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/concilium_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/tomography/CMakeFiles/concilium_tomography.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/concilium_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/concilium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/concilium_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/concilium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concilium.dir/concilium_cli.cpp.o"
+  "CMakeFiles/concilium.dir/concilium_cli.cpp.o.d"
+  "concilium"
+  "concilium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concilium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
