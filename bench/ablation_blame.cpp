@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
             sim::BlameExperimentParams exp;
             exp.samples = samples;
             exp.or_operator = op;
-            util::Rng rng(args.seed + 41);
-            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            const auto driver = bench::make_driver(args, 41);
+            const auto r = sim::run_blame_experiment(scenario, exp, driver);
             std::printf("%-10s %-10.4f %-10.4f\n",
                         op == core::BlameParams::OrOperator::kMax ? "max"
                                                                   : "mean",
@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
             const sim::Scenario scenario(p);
             sim::BlameExperimentParams exp;
             exp.samples = samples;
-            util::Rng rng(args.seed + 43);
-            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            const auto driver = bench::make_driver(args, 43);
+            const auto r = sim::run_blame_experiment(scenario, exp, driver);
             std::printf("%-10.2f %-10.4f %-10.4f\n", a, r.p_good, r.p_faulty);
         }
     }
@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
             const sim::Scenario scenario(p);
             sim::BlameExperimentParams exp;
             exp.samples = samples;
-            util::Rng rng(args.seed + 47);
-            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            const auto driver = bench::make_driver(args, 47);
+            const auto r = sim::run_blame_experiment(scenario, exp, driver);
             std::printf("%-10d %-10.4f %-10.4f\n", delta_s, r.p_good,
                         r.p_faulty);
         }
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
             sim::BlameExperimentParams exp;
             exp.samples = samples;
             exp.guilty_threshold = thr;
-            util::Rng rng(args.seed + 53);
-            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            const auto driver = bench::make_driver(args, 53);
+            const auto r = sim::run_blame_experiment(scenario, exp, driver);
             std::printf("%-10.2f %-10.4f %-10.4f\n", thr, r.p_good,
                         r.p_faulty);
         }
@@ -106,8 +106,8 @@ int main(int argc, char** argv) {
             sim::BlameExperimentParams exp;
             exp.samples = samples;
             exp.reporter_cap = cap;
-            util::Rng rng(args.seed + 61);
-            const auto r = sim::run_blame_experiment(scenario, exp, rng);
+            const auto driver = bench::make_driver(args, 61);
+            const auto r = sim::run_blame_experiment(scenario, exp, driver);
             if (cap == SIZE_MAX) {
                 std::printf("%-12s %-10.4f %-10.4f\n", "all", r.p_good,
                             r.p_faulty);
@@ -129,9 +129,9 @@ int main(int argc, char** argv) {
             exp.samples = args.full ? 2000 : 600;
             exp.enable_revision = enabled;
             exp.min_route_length = 4;
-            util::Rng rng(args.seed + 59);
+            const auto driver = bench::make_driver(args, 59);
             const auto r =
-                sim::run_attribution_experiment(scenario, exp, rng);
+                sim::run_attribution_experiment(scenario, exp, driver);
             std::printf("%-10s %-10.4f %-14zu %-16zu %-16zu\n",
                         enabled ? "on" : "off", r.accuracy(),
                         r.blamed_wrong_node, r.blamed_node_wrongly,

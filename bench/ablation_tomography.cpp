@@ -36,46 +36,68 @@ int main(int argc, char** argv) {
         return world.timeline().is_up(l, t) ? 1.0 : 0.0;
     };
 
-    util::Rng rng(args.seed + 61);
-    std::printf("%-10s %-12s %-12s %-12s %-12s\n", "stripes", "acc_up",
-                "acc_down", "overall", "down_frac");
-    for (const int stripes : {20, 50, 100, 200}) {
+    // One trial = one striped session at a random instant.  Each stripes
+    // value gets its own driver (disjoint seed offsets) so the sessions'
+    // substreams never overlap across table rows.
+    struct SessionScore {
         long up_right = 0;
         long up_total = 0;
         long down_right = 0;
         long down_total = 0;
-        for (std::size_t s = 0; s < sessions; ++s) {
-            const auto m = static_cast<overlay::MemberIndex>(
-                rng.uniform_index(world.overlay_net().size()));
-            const auto& tree = world.tree(m);
-            if (tree.leaves().empty()) continue;
-            const auto t = static_cast<util::SimTime>(rng.uniform(
-                0.0, static_cast<double>(world.params().duration)));
-            tomography::HeavyweightParams hw;
-            hw.probe_count = stripes;
-            const auto session = tomography::run_heavyweight_session(
-                tree, pass, t, hw, {}, rng);
-            const auto inference =
-                tomography::infer_link_loss(tree, session.probes);
-            // Classify with the snapshot layer's down threshold and score
-            // against ground truth at the session midpoint.
-            const util::SimTime mid = (session.started_at + session.finished_at) / 2;
-            for (const auto& e : inference.links) {
-                // Snapshots omit unobservable links (no probe evidence);
-                // they are neither right nor wrong.
-                if (!e.observable) continue;
-                const bool classified_up =
-                    e.loss < tomography::SnapshotParams{}.down_loss_threshold;
-                const bool truly_up = world.timeline().is_up(e.link, mid);
-                if (truly_up) {
-                    ++up_total;
-                    if (classified_up) ++up_right;
-                } else {
-                    ++down_total;
-                    if (!classified_up) ++down_right;
+    };
+    std::printf("%-10s %-12s %-12s %-12s %-12s\n", "stripes", "acc_up",
+                "acc_down", "overall", "down_frac");
+    for (const int stripes : {20, 50, 100, 200}) {
+        const auto driver =
+            bench::make_driver(args, 61 + static_cast<std::uint64_t>(stripes));
+        long up_right = 0;
+        long up_total = 0;
+        long down_right = 0;
+        long down_total = 0;
+        driver.run(
+            sessions,
+            [&](std::uint64_t, util::Rng& rng) {
+                SessionScore score;
+                const auto m = static_cast<overlay::MemberIndex>(
+                    rng.uniform_index(world.overlay_net().size()));
+                const auto& tree = world.tree(m);
+                if (tree.leaves().empty()) return score;
+                const auto t = static_cast<util::SimTime>(rng.uniform(
+                    0.0, static_cast<double>(world.params().duration)));
+                tomography::HeavyweightParams hw;
+                hw.probe_count = stripes;
+                const auto session = tomography::run_heavyweight_session(
+                    tree, pass, t, hw, {}, rng);
+                const auto inference =
+                    tomography::infer_link_loss(tree, session.probes);
+                // Classify with the snapshot layer's down threshold and score
+                // against ground truth at the session midpoint.
+                const util::SimTime mid =
+                    (session.started_at + session.finished_at) / 2;
+                for (const auto& e : inference.links) {
+                    // Snapshots omit unobservable links (no probe evidence);
+                    // they are neither right nor wrong.
+                    if (!e.observable) continue;
+                    const bool classified_up =
+                        e.loss <
+                        tomography::SnapshotParams{}.down_loss_threshold;
+                    const bool truly_up = world.timeline().is_up(e.link, mid);
+                    if (truly_up) {
+                        ++score.up_total;
+                        if (classified_up) ++score.up_right;
+                    } else {
+                        ++score.down_total;
+                        if (!classified_up) ++score.down_right;
+                    }
                 }
-            }
-        }
+                return score;
+            },
+            [&](std::uint64_t, SessionScore&& score) {
+                up_right += score.up_right;
+                up_total += score.up_total;
+                down_right += score.down_right;
+                down_total += score.down_total;
+            });
         const double acc_up =
             up_total == 0 ? 0.0 : static_cast<double>(up_right) / up_total;
         const double acc_down = down_total == 0

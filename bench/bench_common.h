@@ -3,16 +3,22 @@
 // Every bench prints a self-describing, machine-parsable table to stdout:
 // a `# figure:` header, `# param:` lines recording the configuration, and
 // whitespace-separated columns.  Pass --full to run at the paper's SCAN
-// scale (slower); pass --seed N to change the deterministic seed.
+// scale (slower); pass --seed N to change the deterministic seed; pass
+// --jobs N to set the experiment-driver worker count (default: all cores).
+// Output is byte-identical for any --jobs value, so figures regenerated on
+// different machines diff clean.
 
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "net/topology_gen.h"
+#include "sim/experiment_driver.h"
 #include "sim/scenario.h"
 
 namespace concilium::bench {
@@ -22,7 +28,36 @@ struct BenchArgs {
     std::uint64_t seed = 1;
     /// 0 = per-bench default.
     std::size_t samples = 0;
+    /// Experiment-driver workers; 0 = hardware_concurrency.
+    std::size_t jobs = 0;
 };
+
+[[noreturn]] inline void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--full] [--seed N] [--samples N] [--jobs N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+/// Strict non-negative integer parse; rejects the empty string, trailing
+/// junk, signs, and overflow (strtoull would silently yield 0 or wrap).
+inline std::uint64_t parse_u64(const char* argv0, const char* flag,
+                               const char* text) {
+    if (text[0] == '\0' || text[0] == '-' || text[0] == '+') {
+        std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+    }
+    return value;
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
     BenchArgs args;
@@ -30,17 +65,44 @@ inline BenchArgs parse_args(int argc, char** argv) {
         if (std::strcmp(argv[i], "--full") == 0) {
             args.full = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            args.seed = std::strtoull(argv[++i], nullptr, 10);
+            args.seed = parse_u64(argv[0], "--seed", argv[++i]);
         } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-            args.samples = std::strtoull(argv[++i], nullptr, 10);
+            args.samples = parse_u64(argv[0], "--samples", argv[++i]);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            args.jobs = parse_u64(argv[0], "--jobs", argv[++i]);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--full] [--seed N] [--samples N]\n",
-                         argv[0]);
-            std::exit(2);
+            usage(argv[0]);
         }
     }
     return args;
+}
+
+/// The experiment driver for one bench section.  `seed_offset` keeps the
+/// sections' trial substreams disjoint, mirroring the per-section seed
+/// offsets the bespoke loops used.  Note: the driver seed feeds the trial
+/// substreams but the worker count never reaches the output, preserving
+/// the byte-identical-across---jobs guarantee.
+inline sim::ExperimentDriver make_driver(const BenchArgs& args,
+                                         std::uint64_t seed_offset) {
+    return sim::ExperimentDriver(args.seed + seed_offset, args.jobs);
+}
+
+/// Fans `rows` independent row computations out over the driver and prints
+/// the formatted lines back in row order.  `format_row(row)` returns the
+/// complete text of one row (including its newline); it runs on a worker
+/// thread and must only read shared state.  Used by the analytic sweeps,
+/// where each row is an expensive numeric integral.
+template <typename RowFn>
+inline void print_rows(const sim::ExperimentDriver& driver, std::size_t rows,
+                       RowFn&& format_row) {
+    driver.run(
+        rows,
+        [&](std::uint64_t row, util::Rng&) {
+            return format_row(static_cast<std::size_t>(row));
+        },
+        [](std::uint64_t, std::string&& line) {
+            std::fputs(line.c_str(), stdout);
+        });
 }
 
 /// The Section 4.2 world: Pastry on 3% of the end hosts of a SCAN-shaped

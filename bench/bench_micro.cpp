@@ -11,6 +11,7 @@
 #include "overlay/advertisement.h"
 #include "overlay/density.h"
 #include "overlay/network.h"
+#include "sim/experiment_driver.h"
 #include "tomography/inference.h"
 #include "tomography/probing.h"
 #include "util/rng.h"
@@ -163,6 +164,26 @@ void BM_DhtPutGet(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DhtPutGet);
+
+void BM_ExperimentDriver(benchmark::State& state) {
+    // Fan-out overhead of the experiment driver: 256 small trials (draw and
+    // sum 1k uniforms each) merged in order, at the worker count in range(0).
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    const sim::ExperimentDriver driver(1, jobs);
+    for (auto _ : state) {
+        double total = 0.0;
+        driver.run(
+            256,
+            [](std::uint64_t, util::Rng& rng) {
+                double s = 0.0;
+                for (int i = 0; i < 1000; ++i) s += rng.uniform(0.0, 1.0);
+                return s;
+            },
+            [&](std::uint64_t, double&& s) { total += s; });
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_ExperimentDriver)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_AdvertisementValidation(benchmark::State& state) {
     crypto::CertificateAuthority ca(10);

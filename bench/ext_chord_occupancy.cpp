@@ -6,6 +6,8 @@
 // the same normal approximation, gamma test, and error analysis carry over.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "overlay/chord.h"
@@ -19,10 +21,16 @@ int main(int argc, char** argv) {
                         "occupancy test generalized to Chord fingers");
     bench::print_param("seed", static_cast<double>(args.seed));
 
+    const auto driver = bench::make_driver(args, 67);
+
     // --- model vs Monte Carlo (the Chord twin of Figure 1) -----------------
+    // One row = one Chord network build; the networks are independent, so
+    // rows fan out across driver workers and print back in N order.
     std::printf("%-8s %-12s %-12s %-12s %-12s\n", "N", "model_mean",
                 "model_sd", "mc_mean", "mc_sd");
-    for (const std::size_t n : {128u, 512u, 2048u, 8192u}) {
+    const std::vector<std::size_t> populations{128, 512, 2048, 8192};
+    bench::print_rows(driver, populations.size(), [&](std::size_t row) {
+        const std::size_t n = populations[row];
         const auto model = overlay::chord_finger_model(static_cast<double>(n));
         crypto::CertificateAuthority ca(args.seed + n);
         const overlay::ChordNetwork chord(
@@ -31,26 +39,29 @@ int main(int argc, char** argv) {
         for (overlay::MemberIndex m = 0; m < chord.size(); ++m) {
             mc.add(chord.distinct_fingers(m));
         }
-        std::printf("%-8zu %-12.3f %-12.3f %-12.3f %-12.3f\n", n,
-                    model.mean_count(), model.stddev_count(), mc.mean(),
-                    mc.stddev());
-    }
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%-8zu %-12.3f %-12.3f %-12.3f %-12.3f\n",
+                      n, model.mean_count(), model.stddev_count(), mc.mean(),
+                      mc.stddev());
+        return std::string(buf);
+    });
 
     // --- density-test error rates (the Chord twin of Figure 2) -------------
     const double big_n = 100000;
     std::printf("\n# section: density-test errors, N = %.0f\n", big_n);
     std::printf("%-8s %-12s %-12s %-12s %-12s\n", "gamma", "fp", "fn_c10",
                 "fn_c20", "fn_c30");
-    for (double gamma = 1.0; gamma <= 1.501; gamma += 0.05) {
-        std::printf("%-8.2f %-12.5f %-12.5f %-12.5f %-12.5f\n", gamma,
-                    overlay::chord_density_false_positive(gamma, big_n, big_n),
-                    overlay::chord_density_false_negative(gamma, big_n,
-                                                          0.1 * big_n),
-                    overlay::chord_density_false_negative(gamma, big_n,
-                                                          0.2 * big_n),
-                    overlay::chord_density_false_negative(gamma, big_n,
-                                                          0.3 * big_n));
-    }
+    bench::print_rows(driver, 11, [&](std::size_t row) {
+        const double gamma = 1.0 + 0.05 * static_cast<double>(row);
+        char buf[96];
+        std::snprintf(
+            buf, sizeof buf, "%-8.2f %-12.5f %-12.5f %-12.5f %-12.5f\n", gamma,
+            overlay::chord_density_false_positive(gamma, big_n, big_n),
+            overlay::chord_density_false_negative(gamma, big_n, 0.1 * big_n),
+            overlay::chord_density_false_negative(gamma, big_n, 0.2 * big_n),
+            overlay::chord_density_false_negative(gamma, big_n, 0.3 * big_n));
+        return std::string(buf);
+    });
     std::printf(
         "# note: Chord's distinct-finger count grows only as log2(N), so a\n"
         "# colluder pool of c*N sits log2(1/c) ~ 2.3 fingers below honest\n"

@@ -30,13 +30,21 @@ int main(int argc, char** argv) {
     std::vector<int> populations{250, 500, 1131, 2500, 5000, 10000, 20000};
     if (args.full) populations.push_back(100000);
 
-    util::Rng rng(args.seed);
     std::printf("%-8s %-12s %-12s %-12s %-12s %-10s\n", "N", "model_mean",
                 "model_sd", "mc_mean", "mc_sd", "rel_err");
     for (const int n : populations) {
         const auto model = overlay::occupancy_model(n, geometry);
-        const auto mc =
-            overlay::simulate_table_occupancy(n, geometry, samples, rng);
+        // One trial = one simulated table; per-population driver seeds keep
+        // the populations' substreams disjoint.
+        const auto driver =
+            bench::make_driver(args, static_cast<std::uint64_t>(n));
+        util::OnlineMoments mc;
+        driver.run(
+            static_cast<std::size_t>(samples),
+            [&](std::uint64_t, util::Rng& rng) {
+                return overlay::simulate_table_occupancy(n, geometry, 1, rng);
+            },
+            [&](std::uint64_t, util::OnlineMoments&& one) { mc.merge(one); });
         const double rel_err =
             std::abs(mc.mean() - model.mean_count()) /
             std::max(1.0, model.mean_count());

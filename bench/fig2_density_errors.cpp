@@ -9,6 +9,7 @@
 // with c = 20%, FN drops to 3.5%.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -27,32 +28,42 @@ int main(int argc, char** argv) {
     bench::print_param("digits", geometry.digits);
 
     const std::vector<double> collusion{0.10, 0.20, 0.30};
+    const auto driver = bench::make_driver(args, 2);
 
     std::printf("\n# section: (a)+(b) error rates vs gamma\n");
     std::printf("%-8s %-12s", "gamma", "fp");
     for (const double c : collusion) std::printf(" fn_c%-9.0f", c * 100);
     std::printf("\n");
-    for (double gamma = 1.0; gamma <= 3.001; gamma += 0.1) {
+    bench::print_rows(driver, 21, [&](std::size_t row) {
+        const double gamma = 1.0 + 0.1 * static_cast<double>(row);
         const double fp =
             overlay::density_false_positive(gamma, n, n, geometry);
-        std::printf("%-8.2f %-12.5f", gamma, fp);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%-8.2f %-12.5f", gamma, fp);
+        std::string line = buf;
         for (const double c : collusion) {
-            std::printf(" %-12.5f", overlay::density_false_negative(
-                                        gamma, n, c * n, geometry));
+            std::snprintf(buf, sizeof buf, " %-12.5f",
+                          overlay::density_false_negative(gamma, n, c * n,
+                                                          geometry));
+            line += buf;
         }
-        std::printf("\n");
-    }
+        line += '\n';
+        return line;
+    });
 
     std::printf("\n# section: (c) optimal gamma per colluding fraction\n");
     std::printf("%-8s %-10s %-12s %-12s %-12s\n", "c", "gamma*", "fp", "fn",
                 "fp+fn");
-    for (const double c : collusion) {
+    bench::print_rows(driver, collusion.size(), [&](std::size_t row) {
+        const double c = collusion[row];
         const auto best =
             overlay::optimal_gamma(n, n, c * n, geometry, 1.0, 4.0, 301);
-        std::printf("%-8.2f %-10.3f %-12.5f %-12.5f %-12.5f\n", c,
-                    best.gamma, best.false_positive, best.false_negative,
-                    best.total_error());
-    }
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%-8.2f %-10.3f %-12.5f %-12.5f %-12.5f\n",
+                      c, best.gamma, best.false_positive, best.false_negative,
+                      best.total_error());
+        return std::string(buf);
+    });
     std::printf("# paper: c=0.30 -> fp 0.085, fn 0.148; c=0.20 -> fn 0.035\n");
     return 0;
 }

@@ -11,6 +11,7 @@
 // c = 20% are "not very reliable".
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -26,32 +27,41 @@ int main(int argc, char** argv) {
     bench::print_param("N", n);
 
     const std::vector<double> collusion{0.10, 0.20, 0.30};
+    const auto driver = bench::make_driver(args, 3);
 
     std::printf("\n# section: (a)+(b) error rates vs gamma\n");
     std::printf("%-8s", "gamma");
     for (const double c : collusion) std::printf(" fp_c%-9.0f", c * 100);
     for (const double c : collusion) std::printf(" fn_c%-9.0f", c * 100);
     std::printf("\n");
-    for (double gamma = 1.0; gamma <= 3.001; gamma += 0.1) {
-        std::printf("%-8.2f", gamma);
+    bench::print_rows(driver, 21, [&](std::size_t row) {
+        const double gamma = 1.0 + 0.1 * static_cast<double>(row);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%-8.2f", gamma);
+        std::string line = buf;
         for (const double c : collusion) {
             // Honest peer's table misses the c colluders that hide from it.
-            std::printf(" %-12.5f", overlay::density_false_positive(
-                                        gamma, n, (1.0 - c) * n, geometry));
+            std::snprintf(buf, sizeof buf, " %-12.5f",
+                          overlay::density_false_positive(
+                              gamma, n, (1.0 - c) * n, geometry));
+            line += buf;
         }
         for (const double c : collusion) {
             // Victim's local reference is skewed down; attacker pool is cN.
-            std::printf(" %-12.5f",
-                        overlay::density_false_negative(
-                            gamma, (1.0 - c) * n, c * n, geometry));
+            std::snprintf(buf, sizeof buf, " %-12.5f",
+                          overlay::density_false_negative(
+                              gamma, (1.0 - c) * n, c * n, geometry));
+            line += buf;
         }
-        std::printf("\n");
-    }
+        line += '\n';
+        return line;
+    });
 
     std::printf("\n# section: (c) optimal gamma per colluding fraction\n");
     std::printf("%-8s %-10s %-12s %-12s %-12s\n", "c", "gamma*", "fp", "fn",
                 "fp+fn");
-    for (const double c : collusion) {
+    bench::print_rows(driver, collusion.size(), [&](std::size_t row) {
+        const double c = collusion[row];
         overlay::GammaChoice best;
         bool have = false;
         for (int s = 0; s < 301; ++s) {
@@ -67,10 +77,12 @@ int main(int argc, char** argv) {
                 have = true;
             }
         }
-        std::printf("%-8.2f %-10.3f %-12.5f %-12.5f %-12.5f\n", c,
-                    best.gamma, best.false_positive, best.false_negative,
-                    best.total_error());
-    }
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%-8.2f %-10.3f %-12.5f %-12.5f %-12.5f\n",
+                      c, best.gamma, best.false_positive, best.false_negative,
+                      best.total_error());
+        return std::string(buf);
+    });
     std::printf("# paper: c=0.20 -> fp 0.101, fn 0.211\n");
     return 0;
 }

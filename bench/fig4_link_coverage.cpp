@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
                              scenario.overlay_net().routing_peers(m).size());
     }
 
-    util::Rng rng(args.seed + 17);
-    const auto curve =
-        sim::run_coverage_experiment(scenario, max_peers, sample_hosts, rng);
+    const auto driver = bench::make_driver(args, 17);
+    const auto curve = sim::run_coverage_experiment(scenario, max_peers,
+                                                    sample_hosts, driver);
 
     std::printf("%-12s %-14s %-14s %-8s\n", "peer_trees", "coverage",
                 "mean_vouchers", "hosts");

@@ -24,8 +24,8 @@ void run_case(const char* label, double malicious,
     exp.samples = args.samples != 0 ? args.samples
                                     : (args.full ? 200000 : 40000);
     exp.histogram_bins = 20;
-    util::Rng rng(args.seed + 29);
-    const auto result = sim::run_blame_experiment(scenario, exp, rng);
+    const auto driver = bench::make_driver(args, 29);
+    const auto result = sim::run_blame_experiment(scenario, exp, driver);
 
     std::printf("\n# section: %s (overlay=%zu, samples=%zu)\n", label,
                 scenario.overlay_net().size(), exp.samples);

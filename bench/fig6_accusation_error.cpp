@@ -27,8 +27,8 @@ CasePs measure(double malicious, const concilium::bench::BenchArgs& args) {
     sim::BlameExperimentParams exp;
     exp.samples =
         args.samples != 0 ? args.samples : (args.full ? 100000 : 25000);
-    util::Rng rng(args.seed + 31);
-    const auto result = sim::run_blame_experiment(scenario, exp, rng);
+    const auto driver = bench::make_driver(args, 31);
+    const auto result = sim::run_blame_experiment(scenario, exp, driver);
     return CasePs{result.p_good, result.p_faulty};
 }
 

@@ -7,13 +7,15 @@
 // "16.7 MB of outgoing network traffic" for the average 100k-overlay node.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/bandwidth.h"
 
 int main(int argc, char** argv) {
     using namespace concilium;
-    (void)bench::parse_args(argc, argv);
+    const auto args = bench::parse_args(argc, argv);
     const core::BandwidthModel model;
 
     bench::print_header("table-4.4", "protocol bandwidth model");
@@ -25,14 +27,19 @@ int main(int argc, char** argv) {
 
     std::printf("%-10s %-14s %-14s %-16s %-18s\n", "N", "jump_entries",
                 "routing_peers", "advert_bytes", "heavyweight_bytes");
-    for (const double n :
-         {1000.0, 5000.0, 10000.0, 50000.0, 100000.0, 500000.0}) {
+    const std::vector<double> populations{1000.0,   5000.0,   10000.0,
+                                          50000.0,  100000.0, 500000.0};
+    const auto driver = bench::make_driver(args, 7);
+    bench::print_rows(driver, populations.size(), [&](std::size_t row) {
+        const double n = populations[row];
         const double peers = model.expected_routing_peers(n);
-        std::printf("%-10.0f %-14.2f %-14.2f %-16.0f %-18.0f\n", n,
-                    model.expected_jump_entries(n), peers,
-                    model.advertisement_bytes(n),
-                    core::BandwidthModel::heavyweight_probe_bytes(peers));
-    }
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "%-10.0f %-14.2f %-14.2f %-16.0f %-18.0f\n",
+                      n, model.expected_jump_entries(n), peers,
+                      model.advertisement_bytes(n),
+                      core::BandwidthModel::heavyweight_probe_bytes(peers));
+        return std::string(buf);
+    });
     const double peers100k = model.expected_routing_peers(100000);
     std::printf(
         "# at N=100000: %.1f peers, advertisement %.2f kB (paper: ~11.5 kB), "

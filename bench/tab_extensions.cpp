@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/extensions.h"
@@ -47,7 +49,10 @@ int main(int argc, char** argv) {
         std::printf("%-12s %-16s %-16s %-16s\n", "messages", "per_message",
                     "counter", "hash_list");
         const auto keys = crypto::KeyPair::from_seed(1);
-        for (const std::size_t n : {1u, 10u, 100u, 1000u}) {
+        const std::vector<std::size_t> batch_sizes{1, 10, 100, 1000};
+        const auto driver = bench::make_driver(args, 37);
+        bench::print_rows(driver, batch_sizes.size(), [&](std::size_t row) {
+            const std::size_t n = batch_sizes[row];
             core::AckBatcher counter_batch(util::NodeId::from_hex("0a"),
                                            util::NodeId::from_hex("0b"));
             core::AckBatcher hash_batch(util::NodeId::from_hex("0a"),
@@ -56,11 +61,13 @@ int main(int argc, char** argv) {
                 counter_batch.record(id);
                 hash_batch.record(id * 2);  // gaps force the hash encoding
             }
-            std::printf("%-12zu %-16zu %-16zu %-16zu\n", n,
-                        core::BatchedAck::per_message_wire_bytes(n),
-                        counter_batch.flush(0, keys).wire_bytes(),
-                        hash_batch.flush(0, keys).wire_bytes());
-        }
+            char buf[96];
+            std::snprintf(buf, sizeof buf, "%-12zu %-16zu %-16zu %-16zu\n", n,
+                          core::BatchedAck::per_message_wire_bytes(n),
+                          counter_batch.flush(0, keys).wire_bytes(),
+                          hash_batch.flush(0, keys).wire_bytes());
+            return std::string(buf);
+        });
     }
 
     // --- advertisement diffs ------------------------------------------------

@@ -28,8 +28,8 @@ sim::BlameExperimentResult measure(double malicious, std::uint64_t seed) {
     const sim::Scenario world(params);
     sim::BlameExperimentParams exp;
     exp.samples = 8000;
-    util::Rng rng(seed + 5);
-    return sim::run_blame_experiment(world, exp, rng);
+    const sim::ExperimentDriver driver({.seed = seed + 5});
+    return sim::run_blame_experiment(world, exp, driver);
 }
 
 }  // namespace

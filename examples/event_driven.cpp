@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     wp.overlay_nodes_override = 70;
     wp.duration = 2 * util::kHour;
     wp.seed = seed;
-    const sim::Scenario world(wp);
+    sim::Scenario world(wp);
     const auto& overlay = world.overlay_net();
     std::printf("world: %zu routers, %zu overlay nodes, 5%% of links "
                 "failing at any moment\n",

@@ -1,0 +1,11 @@
+#include "sim/experiment_driver.h"
+
+namespace concilium::sim {
+
+std::size_t ExperimentDriver::jobs() const noexcept {
+    if (options_.jobs != 0) return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace concilium::sim

@@ -1,0 +1,197 @@
+// Parallel experiment engine.
+//
+// Every figure of the evaluation is a Monte-Carlo aggregate over thousands
+// of independent trials, and trials share no state: each one reads the
+// (const, immutable-after-construction) Scenario and draws from its own RNG.
+// ExperimentDriver owns the fan-out of those trials over a fixed-size
+// worker pool and the ordered merge of their results, with two guarantees:
+//
+//   1. Determinism: trial i always runs with util::Rng::substream(seed, i),
+//      a pure function of (seed, i), and results are merged strictly in
+//      trial-index order.  The merged output is therefore byte-identical
+//      for any worker count, including jobs = 1.
+//   2. Safety: trial callbacks run concurrently and must only read shared
+//      state; the merge callback runs on the calling thread only, so
+//      accumulators (util::Histogram, util::OnlineMoments, counters) need
+//      no synchronization.
+//
+// Two shapes cover every experiment in the repo:
+//
+//   run(trials, trial, merge)        -- a fixed trial count, e.g. Monte
+//                                       Carlo tables or per-row sweeps;
+//   run_until(target, trial, merge)  -- rejection sampling: attempts are
+//                                       issued in waves and merge() reports
+//                                       whether each attempt was accepted,
+//                                       until `target` acceptances.  The
+//                                       accept/reject decision happens in
+//                                       attempt order, so the accepted set
+//                                       is again independent of the worker
+//                                       count.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace concilium::sim {
+
+struct DriverOptions {
+    std::uint64_t seed = 1;
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    std::size_t jobs = 0;
+};
+
+class ExperimentDriver {
+  public:
+    ExperimentDriver() = default;
+    explicit ExperimentDriver(DriverOptions options) : options_(options) {}
+    ExperimentDriver(std::uint64_t seed, std::size_t jobs)
+        : options_{seed, jobs} {}
+
+    [[nodiscard]] std::uint64_t seed() const noexcept {
+        return options_.seed;
+    }
+
+    /// The resolved worker count (never zero).
+    [[nodiscard]] std::size_t jobs() const noexcept;
+
+    /// The deterministic generator for one trial index.
+    [[nodiscard]] util::Rng trial_rng(std::uint64_t trial) const {
+        return util::Rng::substream(options_.seed, trial);
+    }
+
+    /// A generator for experiment setup that is disjoint from every trial
+    /// substream (trial indices are dense from 0; tags live in the top
+    /// half of the index space).
+    [[nodiscard]] util::Rng setup_rng(std::uint64_t tag = 0) const {
+        return util::Rng::substream(options_.seed,
+                                    kSetupStreamBase + tag);
+    }
+
+    /// Runs `trial(i, rng)` for i in [0, trials) across the worker pool and
+    /// calls `merge(i, result)` on this thread in increasing i.
+    template <typename TrialFn, typename MergeFn>
+    void run(std::size_t trials, TrialFn&& trial, MergeFn&& merge) const {
+        run_range(0, trials, trial, [&](std::uint64_t i, auto&& r) {
+            merge(i, std::forward<decltype(r)>(r));
+            return true;
+        });
+    }
+
+    /// Issues attempts 0, 1, 2, ... in waves until `merge` has returned
+    /// true (accepted) `target` times.  Attempts computed beyond the target
+    /// inside the final wave are discarded without being merged, in attempt
+    /// order, so the accepted prefix is exactly what a sequential
+    /// `for (q = 0; accepted < target; ++q)` loop would keep.  Returns the
+    /// number of attempts issued.
+    template <typename TrialFn, typename MergeFn>
+    std::uint64_t run_until(std::size_t target, TrialFn&& trial,
+                            MergeFn&& merge) const {
+        std::uint64_t next_attempt = 0;
+        std::size_t accepted = 0;
+        while (accepted < target) {
+            // Wave sizing depends only on already-merged history, so the
+            // attempt schedule is itself deterministic.  Overshoot the
+            // observed acceptance rate slightly to usually finish in one
+            // extra wave.
+            const std::size_t remaining = target - accepted;
+            double rate = next_attempt == 0
+                              ? 1.0
+                              : static_cast<double>(accepted) /
+                                    static_cast<double>(next_attempt);
+            if (rate < 0.05) rate = 0.05;
+            std::size_t wave = static_cast<std::size_t>(
+                static_cast<double>(remaining) / rate * 1.1);
+            wave = std::max(wave, std::max<std::size_t>(64, 4 * jobs()));
+            run_range(next_attempt, wave, trial,
+                      [&](std::uint64_t i, auto&& r) {
+                          if (accepted >= target) return false;
+                          if (merge(i, std::forward<decltype(r)>(r))) {
+                              ++accepted;
+                          }
+                          return accepted < target;
+                      });
+            next_attempt += wave;
+        }
+        return next_attempt;
+    }
+
+  private:
+    // Setup tags sit far above any realistic trial count.
+    static constexpr std::uint64_t kSetupStreamBase = 0xC011'EC70'0000'0000ULL;
+
+    /// Runs trial indices [base, base + count) on the pool and consumes
+    /// results in index order; `consume` returns false to stop consuming
+    /// (remaining computed results are dropped).
+    template <typename TrialFn, typename ConsumeFn>
+    void run_range(std::uint64_t base, std::size_t count, TrialFn& trial,
+                   ConsumeFn&& consume) const {
+        using Result =
+            std::invoke_result_t<TrialFn&, std::uint64_t, util::Rng&>;
+        static_assert(!std::is_void_v<Result>,
+                      "trial functions must return their result");
+        if (count == 0) return;
+
+        const std::size_t workers = std::min(jobs(), count);
+        if (workers <= 1) {
+            for (std::uint64_t i = base; i < base + count; ++i) {
+                util::Rng rng = trial_rng(i);
+                if (!consume(i, trial(i, rng))) break;
+            }
+            return;
+        }
+
+        std::vector<std::optional<Result>> results(count);
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> stop{false};
+        std::exception_ptr failure;
+        std::mutex failure_mutex;
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w) {
+                pool.emplace_back([&] {
+                    for (;;) {
+                        const std::size_t slot =
+                            next.fetch_add(1, std::memory_order_relaxed);
+                        if (slot >= count ||
+                            stop.load(std::memory_order_relaxed)) {
+                            return;
+                        }
+                        const std::uint64_t i = base + slot;
+                        try {
+                            util::Rng rng = trial_rng(i);
+                            results[slot].emplace(trial(i, rng));
+                        } catch (...) {
+                            const std::lock_guard<std::mutex> lock(
+                                failure_mutex);
+                            if (!failure) {
+                                failure = std::current_exception();
+                            }
+                            stop.store(true, std::memory_order_relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+        }  // jthreads join here
+        if (failure) std::rethrow_exception(failure);
+        for (std::size_t slot = 0; slot < count; ++slot) {
+            if (!consume(base + slot, std::move(*results[slot]))) break;
+        }
+    }
+
+    DriverOptions options_;
+};
+
+}  // namespace concilium::sim

@@ -5,35 +5,81 @@
 
 namespace concilium::sim {
 
+namespace {
+
+/// Per-host result of one Figure-4 trial: the coverage / voucher values
+/// for every forest size this host can contribute to.
+struct CoverageTrial {
+    std::vector<double> coverage;
+    std::vector<double> vouchers;
+};
+
+/// One Figure-5 judgment attempt.  `valid` is false when no routing triple
+/// was found for this substream (the attempt is rejected, exactly as the
+/// sequential loop `continue`d past it).
+struct BlameTrial {
+    bool valid = false;
+    bool path_bad = false;
+    bool guilty = false;
+    double blame = 0.0;
+};
+
+/// One end-to-end attribution attempt (rejected unless a drop occurred on
+/// a qualifying route).
+struct AttributionTrial {
+    bool valid = false;
+    bool network_cause = false;
+    bool network_blamed = false;
+    bool blamed_locus = false;
+};
+
+}  // namespace
+
 CoverageCurve run_coverage_experiment(const Scenario& scenario,
                                       std::size_t max_peer_trees,
                                       std::size_t sample_hosts,
-                                      util::Rng& rng) {
+                                      const ExperimentDriver& driver) {
     const auto& net = scenario.overlay_net();
     sample_hosts = std::min(sample_hosts, net.size());
-    const auto hosts = rng.sample_indices(net.size(), sample_hosts);
+    // Host selection draws from a setup substream disjoint from every
+    // per-trial substream.
+    util::Rng setup = driver.setup_rng();
+    const auto hosts = setup.sample_indices(net.size(), sample_hosts);
 
     CoverageCurve curve;
     curve.coverage.assign(max_peer_trees + 1, 0.0);
     curve.vouchers.assign(max_peer_trees + 1, 0.0);
     curve.hosts_counted.assign(max_peer_trees + 1, 0);
 
-    for (const std::size_t h : hosts) {
-        const auto m = static_cast<overlay::MemberIndex>(h);
-        std::vector<const tomography::ProbeTree*> trees{&scenario.tree(m)};
-        std::vector<overlay::MemberIndex> peers = net.routing_peers(m);
-        rng.shuffle(peers);
-        for (const overlay::MemberIndex p : peers) {
-            trees.push_back(&scenario.tree(p));
-        }
-        const tomography::Forest forest(trees);
-        for (std::size_t k = 0; k <= max_peer_trees; ++k) {
-            if (k + 1 > trees.size()) break;
-            curve.coverage[k] += forest.coverage(k + 1);
-            curve.vouchers[k] += forest.mean_vouchers(k + 1);
-            ++curve.hosts_counted[k];
-        }
-    }
+    driver.run(
+        hosts.size(),
+        [&](std::uint64_t trial, util::Rng& rng) {
+            const auto m =
+                static_cast<overlay::MemberIndex>(hosts[trial]);
+            std::vector<const tomography::ProbeTree*> trees{
+                &scenario.tree(m)};
+            std::vector<overlay::MemberIndex> peers = net.routing_peers(m);
+            rng.shuffle(peers);
+            for (const overlay::MemberIndex p : peers) {
+                trees.push_back(&scenario.tree(p));
+            }
+            const tomography::Forest forest(trees);
+            CoverageTrial out;
+            for (std::size_t k = 0; k <= max_peer_trees; ++k) {
+                if (k + 1 > trees.size()) break;
+                out.coverage.push_back(forest.coverage(k + 1));
+                out.vouchers.push_back(forest.mean_vouchers(k + 1));
+            }
+            return out;
+        },
+        [&](std::uint64_t, CoverageTrial&& out) {
+            for (std::size_t k = 0; k < out.coverage.size(); ++k) {
+                curve.coverage[k] += out.coverage[k];
+                curve.vouchers[k] += out.vouchers[k];
+                ++curve.hosts_counted[k];
+            }
+        });
+
     for (std::size_t k = 0; k <= max_peer_trees; ++k) {
         if (curve.hosts_counted[k] == 0) continue;
         curve.coverage[k] /= curve.hosts_counted[k];
@@ -44,7 +90,7 @@ CoverageCurve run_coverage_experiment(const Scenario& scenario,
 
 BlameExperimentResult run_blame_experiment(const Scenario& scenario,
                                            const BlameExperimentParams& params,
-                                           util::Rng& rng) {
+                                           const ExperimentDriver& driver) {
     BlameExperimentResult result{
         util::Histogram(0.0, 1.0,
                         static_cast<std::size_t>(params.histogram_bins)),
@@ -59,39 +105,48 @@ BlameExperimentResult run_blame_experiment(const Scenario& scenario,
 
     std::size_t guilty_faulty = 0;
     std::size_t guilty_nonfaulty = 0;
-    for (std::uint64_t q = 0; result.faulty_samples +
-                                  result.nonfaulty_samples <
-                              params.samples;
-         ++q) {
-        const auto triple = scenario.sample_triple(rng);
-        if (!triple.has_value()) continue;
-        const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
-            static_cast<double>(blame_params.delta),
-            static_cast<double>(duration - blame_params.delta)));
-        const auto path = scenario.path_links(triple->b, triple->c);
-        const bool path_bad = scenario.path_bad(path, t);
-        // "B was a faulty node if it dropped a message despite B -> C being
-        // good; it was non-faulty if at least one link in B -> C was bad."
-        const auto stance =
-            !colluders_active ? Scenario::CollusionStance::kNone
-            : path_bad        ? Scenario::CollusionStance::kIncriminate
-                              : Scenario::CollusionStance::kExonerate;
-        const auto probes = scenario.gather_probes(triple->a, path, t, stance,
-                                                   q, params.reporter_cap);
-        const auto breakdown = core::compute_blame(
-            path, probes, t, scenario.overlay_net().member(triple->b).id(),
-            blame_params);
-        const bool guilty = breakdown.blame >= params.guilty_threshold;
-        if (path_bad) {
-            result.nonfaulty_pdf.add(breakdown.blame);
-            ++result.nonfaulty_samples;
-            if (guilty) ++guilty_nonfaulty;
-        } else {
-            result.faulty_pdf.add(breakdown.blame);
-            ++result.faulty_samples;
-            if (guilty) ++guilty_faulty;
-        }
-    }
+    driver.run_until(
+        params.samples,
+        [&](std::uint64_t q, util::Rng& rng) {
+            BlameTrial out;
+            const auto triple = scenario.sample_triple(rng);
+            if (!triple.has_value()) return out;
+            const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
+                static_cast<double>(blame_params.delta),
+                static_cast<double>(duration - blame_params.delta)));
+            const auto path = scenario.path_links(triple->b, triple->c);
+            out.path_bad = scenario.path_bad(path, t);
+            // "B was a faulty node if it dropped a message despite B -> C
+            // being good; it was non-faulty if at least one link in B -> C
+            // was bad."
+            const auto stance =
+                !colluders_active ? Scenario::CollusionStance::kNone
+                : out.path_bad    ? Scenario::CollusionStance::kIncriminate
+                                  : Scenario::CollusionStance::kExonerate;
+            const auto probes = scenario.gather_probes(
+                triple->a, path, t, stance, q, params.reporter_cap);
+            const auto breakdown = core::compute_blame(
+                path, probes, t,
+                scenario.overlay_net().member(triple->b).id(), blame_params);
+            out.valid = true;
+            out.blame = breakdown.blame;
+            out.guilty = breakdown.blame >= params.guilty_threshold;
+            return out;
+        },
+        [&](std::uint64_t, BlameTrial&& out) {
+            if (!out.valid) return false;
+            if (out.path_bad) {
+                result.nonfaulty_pdf.add(out.blame);
+                ++result.nonfaulty_samples;
+                if (out.guilty) ++guilty_nonfaulty;
+            } else {
+                result.faulty_pdf.add(out.blame);
+                ++result.faulty_samples;
+                if (out.guilty) ++guilty_faulty;
+            }
+            return true;
+        });
+
     if (result.nonfaulty_samples > 0) {
         result.p_good = static_cast<double>(guilty_nonfaulty) /
                         static_cast<double>(result.nonfaulty_samples);
@@ -105,121 +160,134 @@ BlameExperimentResult run_blame_experiment(const Scenario& scenario,
 
 AttributionExperimentResult run_attribution_experiment(
     const Scenario& scenario, const AttributionExperimentParams& params,
-    util::Rng& rng) {
+    const ExperimentDriver& driver) {
     AttributionExperimentResult result;
     const auto& net = scenario.overlay_net();
     const core::BlameParams& blame_params = scenario.params().blame;
     const util::SimTime duration = scenario.params().duration;
 
-    std::uint64_t query_id = 0x41545452u;  // disjoint stream from Figure 5
-    while (result.samples < params.samples) {
-        // A random end-to-end route of at least one intermediate hop.
-        const auto a = static_cast<overlay::MemberIndex>(
-            rng.uniform_index(net.size()));
-        const util::NodeId key = util::NodeId::random(rng);
-        std::vector<overlay::MemberIndex> hops;
-        try {
-            hops = net.route(a, key);
-        } catch (const std::runtime_error&) {
-            continue;
-        }
-        if (hops.size() < params.min_route_length) continue;
-        // Hop-to-hop IP paths must exist for stewardship to judge them.
-        bool paths_ok = true;
-        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-            if (!scenario.leaf_slot(hops[i], hops[i + 1]).has_value()) {
-                paths_ok = false;
-                break;
+    driver.run_until(
+        params.samples,
+        [&](std::uint64_t attempt, util::Rng& rng) {
+            AttributionTrial out;
+            // A random end-to-end route of at least one intermediate hop.
+            const auto a = static_cast<overlay::MemberIndex>(
+                rng.uniform_index(net.size()));
+            const util::NodeId key = util::NodeId::random(rng);
+            std::vector<overlay::MemberIndex> hops;
+            try {
+                hops = net.route(a, key);
+            } catch (const std::runtime_error&) {
+                return out;
             }
-        }
-        if (!paths_ok) continue;
-
-        const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
-            static_cast<double>(blame_params.delta),
-            static_cast<double>(duration - blame_params.delta)));
-
-        // Ground truth: first route segment with a down IP link, if any.
-        std::optional<std::size_t> bad_segment;
-        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-            const auto path = scenario.path_links(hops[i], hops[i + 1]);
-            if (scenario.path_bad(path, t)) {
-                bad_segment = i;
-                break;
+            if (hops.size() < params.min_route_length) return out;
+            // Hop-to-hop IP paths must exist for stewardship to judge them.
+            for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+                if (!scenario.leaf_slot(hops[i], hops[i + 1]).has_value()) {
+                    return out;
+                }
             }
-        }
-        // Optionally inject a faulty forwarder at a random interior hop.
-        std::optional<std::size_t> dropper;
-        if (rng.bernoulli(params.forwarder_drop_probability)) {
-            dropper = 1 + rng.uniform_index(hops.size() - 2);
-        }
 
-        // Which cause fires first along the route?
-        bool network_cause;
-        std::size_t locus;
-        if (bad_segment.has_value() &&
-            (!dropper.has_value() || *bad_segment < *dropper)) {
-            network_cause = true;
-            locus = *bad_segment;
-        } else if (dropper.has_value()) {
-            network_cause = false;
-            locus = *dropper;
-        } else {
-            continue;  // message would have been delivered; nothing to judge
-        }
-        // For a network drop on segment locus -> locus+1, position locus
-        // still forwarded the packet (it died in transit), so that judge's
-        // tomographic evidence enters the chain.  A faulty forwarder at
-        // locus never forwarded, so judges stop one position earlier.
-        const std::size_t forwarder_count =
-            network_cause ? locus + 1 : locus;
+            const util::SimTime t = static_cast<util::SimTime>(rng.uniform(
+                static_cast<double>(blame_params.delta),
+                static_cast<double>(duration - blame_params.delta)));
 
-        const auto blame_fn = [&](std::size_t judge, std::size_t suspect) {
-            const auto path =
-                scenario.path_links(hops[judge], hops[suspect]);
-            const auto probes = scenario.gather_probes(
-                hops[judge], path, t, Scenario::CollusionStance::kNone,
-                query_id++);
-            return core::compute_blame(path, probes, t,
-                                       net.member(hops[suspect]).id(),
-                                       blame_params)
-                .blame;
-        };
+            // Ground truth: first route segment with a down IP link, if any.
+            std::optional<std::size_t> bad_segment;
+            for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+                const auto path = scenario.path_links(hops[i], hops[i + 1]);
+                if (scenario.path_bad(path, t)) {
+                    bad_segment = i;
+                    break;
+                }
+            }
+            // Optionally inject a faulty forwarder at a random interior hop.
+            std::optional<std::size_t> dropper;
+            if (rng.bernoulli(params.forwarder_drop_probability)) {
+                dropper = 1 + rng.uniform_index(hops.size() - 2);
+            }
 
-        core::AttributionOutcome outcome;
-        if (params.enable_revision) {
-            outcome = core::attribute_fault(hops.size(), forwarder_count,
-                                            blame_fn, params.verdicts);
-        } else {
-            // Non-recursive baseline: the sender's verdict on its first hop
-            // is final.
-            const double blame = blame_fn(0, 1);
-            if (core::is_guilty_verdict(blame, params.verdicts)) {
-                outcome.blamed_hop = 1;
+            // Which cause fires first along the route?
+            std::size_t locus;
+            if (bad_segment.has_value() &&
+                (!dropper.has_value() || *bad_segment < *dropper)) {
+                out.network_cause = true;
+                locus = *bad_segment;
+            } else if (dropper.has_value()) {
+                out.network_cause = false;
+                locus = *dropper;
             } else {
-                outcome.network_blamed = true;
-                outcome.faulted_segment = 0;
+                return out;  // delivered; nothing to judge
             }
-        }
+            // For a network drop on segment locus -> locus+1, position locus
+            // still forwarded the packet (it died in transit), so that
+            // judge's tomographic evidence enters the chain.  A faulty
+            // forwarder at locus never forwarded, so judges stop one
+            // position earlier.
+            const std::size_t forwarder_count =
+                out.network_cause ? locus + 1 : locus;
 
-        ++result.samples;
-        if (network_cause) {
-            ++result.cause_network;
-            if (outcome.network_blamed) {
-                ++result.correct;
+            // Query ids are striped per attempt so every judgment in every
+            // attempt draws a distinct probe-evidence stream, disjoint from
+            // Figure 5's (which uses the bare attempt index).
+            std::uint64_t query_id = 0x41545452ULL + (attempt << 20);
+            const auto blame_fn = [&](std::size_t judge,
+                                      std::size_t suspect) {
+                const auto path =
+                    scenario.path_links(hops[judge], hops[suspect]);
+                const auto probes = scenario.gather_probes(
+                    hops[judge], path, t, Scenario::CollusionStance::kNone,
+                    query_id++);
+                return core::compute_blame(path, probes, t,
+                                           net.member(hops[suspect]).id(),
+                                           blame_params)
+                    .blame;
+            };
+
+            core::AttributionOutcome outcome;
+            if (params.enable_revision) {
+                outcome = core::attribute_fault(hops.size(), forwarder_count,
+                                                blame_fn, params.verdicts);
             } else {
-                ++result.blamed_node_wrongly;
+                // Non-recursive baseline: the sender's verdict on its first
+                // hop is final.
+                const double blame = blame_fn(0, 1);
+                if (core::is_guilty_verdict(blame, params.verdicts)) {
+                    outcome.blamed_hop = 1;
+                } else {
+                    outcome.network_blamed = true;
+                    outcome.faulted_segment = 0;
+                }
             }
-        } else {
-            ++result.cause_forwarder;
-            if (outcome.network_blamed) {
-                ++result.blamed_network_wrongly;
-            } else if (outcome.blamed_hop == locus) {
-                ++result.correct;
+
+            out.valid = true;
+            out.network_blamed = outcome.network_blamed;
+            out.blamed_locus =
+                !outcome.network_blamed && outcome.blamed_hop == locus;
+            return out;
+        },
+        [&](std::uint64_t, AttributionTrial&& out) {
+            if (!out.valid) return false;
+            ++result.samples;
+            if (out.network_cause) {
+                ++result.cause_network;
+                if (out.network_blamed) {
+                    ++result.correct;
+                } else {
+                    ++result.blamed_node_wrongly;
+                }
             } else {
-                ++result.blamed_wrong_node;
+                ++result.cause_forwarder;
+                if (out.network_blamed) {
+                    ++result.blamed_network_wrongly;
+                } else if (out.blamed_locus) {
+                    ++result.correct;
+                } else {
+                    ++result.blamed_wrong_node;
+                }
             }
-        }
-    }
+            return true;
+        });
     return result;
 }
 

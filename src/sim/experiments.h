@@ -1,5 +1,10 @@
 // The paper's simulation experiments (Sections 4.2-4.3) plus this repo's
 // ablations, all driven off a Scenario.
+//
+// Every experiment fans its trials out over an ExperimentDriver: trial i
+// draws from util::Rng::substream(driver.seed(), i) and results are merged
+// in trial order, so a given driver seed produces bit-identical results at
+// any worker count.
 
 #pragma once
 
@@ -8,6 +13,7 @@
 #include "core/blame.h"
 #include "core/steward.h"
 #include "core/verdicts.h"
+#include "sim/experiment_driver.h"
 #include "sim/scenario.h"
 #include "util/stats.h"
 
@@ -26,11 +32,11 @@ struct CoverageCurve {
 };
 
 /// Averages forest coverage over `sample_hosts` random members, including
-/// peer trees in random order (Figure 4).
+/// peer trees in random order (Figure 4).  One trial = one sampled host.
 CoverageCurve run_coverage_experiment(const Scenario& scenario,
                                       std::size_t max_peer_trees,
                                       std::size_t sample_hosts,
-                                      util::Rng& rng);
+                                      const ExperimentDriver& driver);
 
 // ---------------------------------------------------------------- Figure 5
 
@@ -69,7 +75,7 @@ struct BlameExperimentResult {
 /// a link in B -> C was down.
 BlameExperimentResult run_blame_experiment(const Scenario& scenario,
                                            const BlameExperimentParams& params,
-                                           util::Rng& rng);
+                                           const ExperimentDriver& driver);
 
 // ------------------------------------------- end-to-end attribution (ours)
 
@@ -109,6 +115,6 @@ struct AttributionExperimentResult {
 /// final blame against ground truth.
 AttributionExperimentResult run_attribution_experiment(
     const Scenario& scenario, const AttributionExperimentParams& params,
-    util::Rng& rng);
+    const ExperimentDriver& driver);
 
 }  // namespace concilium::sim

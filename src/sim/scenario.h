@@ -53,6 +53,12 @@ struct ScenarioParams {
     std::uint64_t seed = 1;
 };
 
+// Thread-safety: a constructed Scenario is immutable, and every const
+// member function below is safe to call concurrently from experiment-driver
+// workers.  gather_probes derives all of its randomness locally from
+// (seed, query_id), sample_triple draws only from the caller's generator,
+// and no const path touches rng_root_ (fork_rng is non-const for exactly
+// that reason).
 class Scenario {
   public:
     explicit Scenario(const ScenarioParams& params);
@@ -133,11 +139,15 @@ class Scenario {
     };
     [[nodiscard]] std::optional<Triple> sample_triple(util::Rng& rng) const;
 
-    [[nodiscard]] util::Rng fork_rng() const { return rng_root_.fork(); }
+    /// Forks the scenario's root generator.  Deliberately non-const: each
+    /// fork advances the root stream, so concurrent callers would race and
+    /// break replayability.  Parallel experiments derive per-trial streams
+    /// with util::Rng::substream instead.
+    [[nodiscard]] util::Rng fork_rng() { return rng_root_.fork(); }
 
   private:
     ScenarioParams params_;
-    mutable util::Rng rng_root_;
+    util::Rng rng_root_;
     net::Topology topology_;
     crypto::CertificateAuthority ca_;
     std::optional<overlay::OverlayNetwork> overlay_;

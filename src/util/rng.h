@@ -24,6 +24,23 @@ class Rng {
         return Rng(splitmix(seed_ ^ (0x9e3779b97f4a7c15ULL * ++forks_)));
     }
 
+    /// Seed of substream `stream` of `seed`: the splitmix64 output for state
+    /// seed + (stream + 1) * golden-gamma.  Unlike fork(), the derivation is
+    /// a pure function of (seed, stream) -- no generator state is consumed --
+    /// so any thread can reconstruct the exact generator for a trial index,
+    /// which is what lets the parallel ExperimentDriver produce identical
+    /// results regardless of worker count.
+    [[nodiscard]] static std::uint64_t substream_seed(
+        std::uint64_t seed, std::uint64_t stream) noexcept {
+        return splitmix(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
+    }
+
+    /// The independent generator for substream `stream` of `seed`.
+    [[nodiscard]] static Rng substream(std::uint64_t seed,
+                                       std::uint64_t stream) {
+        return Rng(substream_seed(seed, stream));
+    }
+
     [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
     std::uint64_t uniform_u64() { return engine_(); }

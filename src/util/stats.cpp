@@ -194,6 +194,17 @@ void Histogram::add(double x) noexcept {
     ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("Histogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+}
+
 double Histogram::bin_center(std::size_t bin) const {
     if (bin >= counts_.size()) {
         throw std::out_of_range("Histogram::bin_center");

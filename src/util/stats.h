@@ -117,6 +117,11 @@ class Histogram {
 
     void add(double x) noexcept;
 
+    /// Adds every count of `other` into this histogram.  The two must have
+    /// identical geometry (range and bin count); merging per-worker
+    /// histograms in trial order reproduces the sequential fill exactly.
+    void merge(const Histogram& other);
+
     [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
     [[nodiscard]] std::int64_t total() const noexcept { return total_; }
     [[nodiscard]] std::int64_t count(std::size_t bin) const {

@@ -81,6 +81,53 @@ TEST(EventSim, EventsMayScheduleMoreEvents) {
     EXPECT_EQ(sim.now(), 99);
 }
 
+TEST(EventSim, PastScheduleFromCallbackFiresAtCurrentTime) {
+    // A callback that schedules into the past must see the new event fire
+    // at the *current* time, inside the same run, not warp the clock back.
+    EventSim sim;
+    util::SimTime fired_at = -1;
+    sim.schedule_at(50, [&] {
+        sim.schedule_at(10, [&] { fired_at = sim.now(); });
+    });
+    sim.run_until(60);
+    EXPECT_EQ(fired_at, 50);
+    EXPECT_EQ(sim.now(), 60);
+}
+
+TEST(EventSim, CallbackSchedulingEqualTimeRunsAfterExistingPeers) {
+    // An event scheduled *during* the tick for its own timestamp joins the
+    // back of that timestamp's queue: insertion order is global, not
+    // per-batch.
+    EventSim sim;
+    std::vector<int> order;
+    sim.schedule_at(7, [&] {
+        order.push_back(0);
+        sim.schedule_at(7, [&] { order.push_back(2); });
+    });
+    sim.schedule_at(7, [&] { order.push_back(1); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventSim, RunUntilHonorsEventsScheduledDuringTheRun) {
+    // Events a callback schedules inside run_until(h) still fire in the
+    // same call when they land on or before the horizon, and are retained
+    // (not dropped) when they land beyond it.
+    EventSim sim;
+    bool within = false;
+    bool beyond = false;
+    sim.schedule_at(10, [&] {
+        sim.schedule_after(5, [&] { within = true; });
+        sim.schedule_after(500, [&] { beyond = true; });
+    });
+    sim.run_until(100);
+    EXPECT_TRUE(within);
+    EXPECT_FALSE(beyond);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run_until(510);
+    EXPECT_TRUE(beyond);
+}
+
 TEST(EventSim, StepReturnsFalseWhenEmpty) {
     EventSim sim;
     EXPECT_FALSE(sim.step());

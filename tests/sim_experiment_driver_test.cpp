@@ -1,0 +1,148 @@
+#include "sim/experiment_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace concilium::sim {
+namespace {
+
+// A deterministic stand-in for a Monte-Carlo trial: a few draws, one value.
+double noisy_trial(std::uint64_t trial, util::Rng& rng) {
+    double acc = static_cast<double>(trial);
+    for (int i = 0; i < 8; ++i) acc += rng.uniform(0.0, 1.0);
+    return acc;
+}
+
+TEST(ExperimentDriver, ResolvedJobsIsNeverZero) {
+    EXPECT_GE(ExperimentDriver(1, 0).jobs(), 1u);
+    EXPECT_EQ(ExperimentDriver(1, 3).jobs(), 3u);
+}
+
+TEST(ExperimentDriver, MergeSeesTrialsInOrderAtAnyWorkerCount) {
+    for (const std::size_t jobs : {1u, 2u, 4u, 7u}) {
+        const ExperimentDriver driver(11, jobs);
+        std::vector<std::uint64_t> order;
+        driver.run(100, noisy_trial,
+                   [&](std::uint64_t i, double&&) { order.push_back(i); });
+        ASSERT_EQ(order.size(), 100u);
+        for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(ExperimentDriver, MergedResultsIdenticalJobs1VsJobs4) {
+    // The tentpole guarantee: the merged aggregate is bit-identical no
+    // matter how the trials were scheduled across workers.
+    const auto aggregate = [](std::size_t jobs) {
+        const ExperimentDriver driver(42, jobs);
+        util::OnlineMoments moments;
+        util::Histogram hist(0.0, 60.0, 30);
+        driver.run(500, noisy_trial, [&](std::uint64_t, double&& v) {
+            moments.add(v);
+            hist.add(v);
+        });
+        return std::pair(moments, hist);
+    };
+    const auto [m1, h1] = aggregate(1);
+    const auto [m4, h4] = aggregate(4);
+    EXPECT_EQ(m1.count(), m4.count());
+    EXPECT_EQ(m1.mean(), m4.mean());          // bitwise, not approximate
+    EXPECT_EQ(m1.variance(), m4.variance());
+    ASSERT_EQ(h1.bins(), h4.bins());
+    EXPECT_EQ(h1.total(), h4.total());
+    for (std::size_t b = 0; b < h1.bins(); ++b) {
+        EXPECT_EQ(h1.count(b), h4.count(b)) << "bin " << b;
+    }
+}
+
+TEST(ExperimentDriver, TrialRngIsAPureFunctionOfSeedAndIndex) {
+    const ExperimentDriver driver(7, 4);
+    std::vector<double> first_draw(64);
+    driver.run(
+        64,
+        [](std::uint64_t, util::Rng& rng) { return rng.uniform(0.0, 1.0); },
+        [&](std::uint64_t i, double&& v) { first_draw[i] = v; });
+    // Any thread (here: the test thread) can reconstruct trial i's stream.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        util::Rng replay = driver.trial_rng(i);
+        EXPECT_EQ(first_draw[i], replay.uniform(0.0, 1.0)) << "trial " << i;
+    }
+}
+
+TEST(ExperimentDriver, SetupStreamDisjointFromTrialStreams) {
+    const ExperimentDriver driver(3, 1);
+    const auto setup_seed =
+        util::Rng::substream_seed(3, 0xC011'EC70'0000'0000ULL);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        ASSERT_NE(util::Rng::substream_seed(3, i), setup_seed);
+    }
+}
+
+TEST(ExperimentDriver, RunUntilAcceptsSameSetAsSequentialLoop) {
+    // Reference: the bespoke sequential rejection loop the benches used.
+    const std::uint64_t seed = 99;
+    const std::size_t target = 50;
+    const auto accept = [](util::Rng& rng) { return rng.bernoulli(0.3); };
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t q = 0; expected.size() < target; ++q) {
+        util::Rng rng = util::Rng::substream(seed, q);
+        if (accept(rng)) expected.push_back(q);
+    }
+
+    for (const std::size_t jobs : {1u, 4u}) {
+        const ExperimentDriver driver(seed, jobs);
+        std::vector<std::uint64_t> accepted;
+        driver.run_until(
+            target,
+            [&](std::uint64_t, util::Rng& rng) { return accept(rng); },
+            [&](std::uint64_t i, bool&& ok) {
+                if (ok) accepted.push_back(i);
+                return ok;
+            });
+        EXPECT_EQ(accepted, expected) << "jobs=" << jobs;
+    }
+}
+
+TEST(ExperimentDriver, MergeRunsOnTheCallingThread) {
+    const ExperimentDriver driver(5, 4);
+    const auto caller = std::this_thread::get_id();
+    bool all_on_caller = true;
+    driver.run(
+        64, [](std::uint64_t, util::Rng&) { return 0; },
+        [&](std::uint64_t, int&&) {
+            all_on_caller &= std::this_thread::get_id() == caller;
+        });
+    EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ExperimentDriver, TrialExceptionsPropagateFromWorkers) {
+    const ExperimentDriver driver(5, 4);
+    const auto boom = [](std::uint64_t i, util::Rng&) -> int {
+        if (i == 17) throw std::runtime_error("trial 17 failed");
+        return 0;
+    };
+    EXPECT_THROW(
+        driver.run(64, boom, [](std::uint64_t, int&&) {}),
+        std::runtime_error);
+}
+
+TEST(ExperimentDriver, ZeroTrialsIsANoOp) {
+    const ExperimentDriver driver(5, 4);
+    bool touched = false;
+    driver.run(
+        0,
+        [&](std::uint64_t, util::Rng&) {
+            touched = true;
+            return 0;
+        },
+        [&](std::uint64_t, int&&) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace concilium::sim

@@ -19,8 +19,8 @@ ScenarioParams test_scenario(double malicious = 0.0,
 
 TEST(CoverageExperiment, OwnTreeCoversMinorityAndGrowsToOne) {
     const Scenario scenario(test_scenario());
-    util::Rng rng(1);
-    const auto curve = run_coverage_experiment(scenario, 30, 20, rng);
+    const ExperimentDriver driver({.seed = 1});
+    const auto curve = run_coverage_experiment(scenario, 30, 20, driver);
     ASSERT_GE(curve.coverage.size(), 31u);
     // Figure 4's shape: own tree covers a minority of the forest...
     EXPECT_LT(curve.coverage[0], 0.7);
@@ -41,10 +41,10 @@ TEST(CoverageExperiment, OwnTreeCoversMinorityAndGrowsToOne) {
 
 TEST(BlameExperiment, HonestPdfsSeparate) {
     const Scenario scenario(test_scenario());
-    util::Rng rng(2);
+    const ExperimentDriver driver({.seed = 2});
     BlameExperimentParams params;
     params.samples = 4000;
-    const auto result = run_blame_experiment(scenario, params, rng);
+    const auto result = run_blame_experiment(scenario, params, driver);
     ASSERT_GT(result.faulty_samples, 100u);
     ASSERT_GT(result.nonfaulty_samples, 100u);
     // Faulty nodes usually convicted, innocent nodes usually acquitted.
@@ -60,12 +60,11 @@ TEST(BlameExperiment, HonestPdfsSeparate) {
 TEST(BlameExperiment, ColludersBlurTheSeparation) {
     const Scenario honest(test_scenario(0.0));
     const Scenario colluding(test_scenario(0.2));
-    util::Rng rng1(3);
-    util::Rng rng2(3);
+    const ExperimentDriver driver({.seed = 3});
     BlameExperimentParams params;
     params.samples = 4000;
-    const auto clean = run_blame_experiment(honest, params, rng1);
-    const auto dirty = run_blame_experiment(colluding, params, rng2);
+    const auto clean = run_blame_experiment(honest, params, driver);
+    const auto dirty = run_blame_experiment(colluding, params, driver);
     // Section 4.3: collusion raises the innocent conviction rate and lowers
     // the faulty conviction rate.
     EXPECT_GT(dirty.p_good, clean.p_good);
@@ -80,23 +79,22 @@ TEST(BlameExperiment, MeanOperatorDilutesBlame) {
     // the single-bad-link signal, reducing network blame and thus raising
     // blame on innocent forwarders.
     const Scenario scenario(test_scenario());
-    util::Rng rng1(4);
-    util::Rng rng2(4);
+    const ExperimentDriver driver({.seed = 4});
     BlameExperimentParams max_params;
     max_params.samples = 3000;
     BlameExperimentParams mean_params = max_params;
     mean_params.or_operator = core::BlameParams::OrOperator::kMean;
-    const auto with_max = run_blame_experiment(scenario, max_params, rng1);
-    const auto with_mean = run_blame_experiment(scenario, mean_params, rng2);
+    const auto with_max = run_blame_experiment(scenario, max_params, driver);
+    const auto with_mean = run_blame_experiment(scenario, mean_params, driver);
     EXPECT_GT(with_mean.p_good, with_max.p_good);
 }
 
 TEST(AttributionExperiment, RevisionFindsDownstreamCulprits) {
     const Scenario scenario(test_scenario());
-    util::Rng rng(5);
+    const ExperimentDriver driver({.seed = 5});
     AttributionExperimentParams params;
     params.samples = 400;
-    const auto result = run_attribution_experiment(scenario, params, rng);
+    const auto result = run_attribution_experiment(scenario, params, driver);
     EXPECT_EQ(result.samples, 400u);
     EXPECT_GT(result.cause_forwarder, 0u);
     EXPECT_GT(result.cause_network, 0u);
@@ -108,15 +106,14 @@ TEST(AttributionExperiment, RevisionFindsDownstreamCulprits) {
 
 TEST(AttributionExperiment, DisablingRevisionHurtsAccuracy) {
     const Scenario scenario(test_scenario());
-    util::Rng rng1(6);
-    util::Rng rng2(6);
+    const ExperimentDriver driver({.seed = 6});
     AttributionExperimentParams with;
     with.samples = 400;
     with.min_route_length = 4;  // deep chains showcase revision
     AttributionExperimentParams without = with;
     without.enable_revision = false;
-    const auto recursive = run_attribution_experiment(scenario, with, rng1);
-    const auto flat = run_attribution_experiment(scenario, without, rng2);
+    const auto recursive = run_attribution_experiment(scenario, with, driver);
+    const auto flat = run_attribution_experiment(scenario, without, driver);
     // Without revision, drops beyond the first hop are misattributed to it.
     EXPECT_GT(recursive.accuracy(), flat.accuracy());
 }

@@ -181,6 +181,30 @@ TEST(Histogram, FractionBelow) {
     EXPECT_NEAR(h.fraction_below(2.0), 1.0, 1e-12);
 }
 
+TEST(Histogram, MergeEqualsBulk) {
+    Rng rng(78);
+    Histogram bulk(0.0, 1.0, 20);
+    Histogram left(0.0, 1.0, 20);
+    Histogram right(0.0, 1.0, 20);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform();
+        bulk.add(x);
+        (i % 3 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), bulk.total());
+    for (std::size_t b = 0; b < bulk.bins(); ++b) {
+        EXPECT_EQ(left.count(b), bulk.count(b)) << "bin " << b;
+    }
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch) {
+    Histogram base(0.0, 1.0, 10);
+    EXPECT_THROW(base.merge(Histogram(0.0, 1.0, 20)), std::invalid_argument);
+    EXPECT_THROW(base.merge(Histogram(0.0, 2.0, 10)), std::invalid_argument);
+    EXPECT_THROW(base.merge(Histogram(-1.0, 1.0, 10)), std::invalid_argument);
+}
+
 TEST(Histogram, RejectsDegenerateConstruction) {
     EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
     EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);

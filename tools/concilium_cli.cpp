@@ -4,7 +4,8 @@
 //   concilium occupancy  --nodes N              Equation-1 occupancy model
 //   concilium gamma      --nodes N --collusion C   density-test tuning
 //   concilium bandwidth  --nodes N              Section 4.4 cost model
-//   concilium coverage   [--full] [--seed N]    Figure-4 style coverage curve
+//   concilium coverage   [--full] [--seed N] [--jobs N]
+//                                               Figure-4 style coverage curve
 //   concilium run        [--seed N] [--messages M] [--droppers F]
 //                                               event-driven protocol demo
 
@@ -31,6 +32,8 @@ struct Options {
     double collusion = 0.2;
     std::size_t messages = 100;
     double droppers = 0.1;
+    /// Experiment-driver workers; 0 = hardware_concurrency.
+    std::size_t jobs = 0;
 };
 
 Options parse(int argc, char** argv, int first) {
@@ -56,6 +59,8 @@ Options parse(int argc, char** argv, int first) {
             o.messages = std::strtoull(next(), nullptr, 10);
         } else if (a == "--droppers") {
             o.droppers = std::strtod(next(), nullptr);
+        } else if (a == "--jobs") {
+            o.jobs = std::strtoull(next(), nullptr, 10);
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             std::exit(2);
@@ -128,8 +133,8 @@ int cmd_coverage(const Options& o) {
     p.topology = o.full ? net::scan_like_params() : net::medium_params();
     p.seed = o.seed;
     const sim::Scenario world(p);
-    util::Rng rng(o.seed + 17);
-    const auto curve = sim::run_coverage_experiment(world, 40, 60, rng);
+    const sim::ExperimentDriver driver(o.seed + 17, o.jobs);
+    const auto curve = sim::run_coverage_experiment(world, 40, 60, driver);
     std::printf("%-12s %-12s %-12s\n", "peer_trees", "coverage",
                 "vouchers");
     for (std::size_t k = 0; k < curve.coverage.size(); k += 5) {
