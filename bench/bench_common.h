@@ -6,7 +6,10 @@
 // scale (slower); pass --seed N to change the deterministic seed; pass
 // --jobs N to set the experiment-driver worker count (default: all cores).
 // Output is byte-identical for any --jobs value, so figures regenerated on
-// different machines diff clean.
+// different machines diff clean.  Pass --metrics-out FILE to additionally
+// dump the process metrics registry as JSON at exit; the table on stdout is
+// unaffected, and the snapshot's "metrics" section is itself byte-identical
+// across --jobs values (only the "timing" section varies).
 
 #pragma once
 
@@ -20,6 +23,7 @@
 #include "net/topology_gen.h"
 #include "sim/experiment_driver.h"
 #include "sim/scenario.h"
+#include "util/metrics.h"
 
 namespace concilium::bench {
 
@@ -30,13 +34,47 @@ struct BenchArgs {
     std::size_t samples = 0;
     /// Experiment-driver workers; 0 = hardware_concurrency.
     std::size_t jobs = 0;
+    /// Empty = no metrics dump.
+    std::string metrics_out;
 };
 
 [[noreturn]] inline void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--full] [--seed N] [--samples N] [--jobs N]\n",
+                 "usage: %s [--full] [--seed N] [--samples N] [--jobs N] "
+                 "[--metrics-out FILE]\n",
                  argv0);
     std::exit(2);
+}
+
+namespace detail {
+
+inline std::string g_metrics_out;  // NOLINT: set once in main, read at exit
+
+inline void write_metrics_file() {
+    if (detail::g_metrics_out.empty()) return;
+    const std::string json =
+        util::metrics::Registry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(detail::g_metrics_out.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "--metrics-out: cannot open '%s'\n",
+                     detail::g_metrics_out.c_str());
+        return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+}  // namespace detail
+
+/// Arms the at-exit metrics dump.  The registry is snapshotted after main
+/// returns, so every metric the bench touched is included; Registry::global()
+/// is deliberately leaked, making the atexit hook safe during static
+/// destruction.
+inline void set_metrics_out(const std::string& path) {
+    if (path.empty()) return;
+    const bool first = detail::g_metrics_out.empty();
+    detail::g_metrics_out = path;
+    if (first) std::atexit(&detail::write_metrics_file);
 }
 
 /// Strict non-negative integer parse; rejects the empty string, trailing
@@ -70,10 +108,14 @@ inline BenchArgs parse_args(int argc, char** argv) {
             args.samples = parse_u64(argv[0], "--samples", argv[++i]);
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             args.jobs = parse_u64(argv[0], "--jobs", argv[++i]);
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                   i + 1 < argc) {
+            args.metrics_out = argv[++i];
         } else {
             usage(argv[0]);
         }
     }
+    set_metrics_out(args.metrics_out);
     return args;
 }
 

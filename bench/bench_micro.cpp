@@ -2,6 +2,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/blame.h"
 #include "core/validation.h"
 #include "crypto/certificates.h"
@@ -224,4 +228,23 @@ BENCHMARK(BM_AdvertisementValidation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so we can strip --metrics-out (google-benchmark
+// rejects flags it does not recognise) before handing argv over.
+int main(int argc, char** argv) {
+    std::vector<char*> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+            concilium::bench::set_metrics_out(argv[++i]);
+            continue;
+        }
+        kept.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::core {
 
 namespace {
@@ -272,27 +274,38 @@ AccusationCheck AccusationVerifier::verify_evidence(
 
 AccusationCheck AccusationVerifier::verify(
     const FaultAccusation& accusation) const {
-    if (accusation.evidence.empty()) return AccusationCheck::kEmptyEvidence;
-    const auto accuser_key = key_of_(accusation.accuser);
-    if (!accuser_key.has_value() ||
-        !registry_->verify(*accuser_key, accusation.signed_payload(),
-                           accusation.signature)) {
-        return AccusationCheck::kBadAccuserSignature;
-    }
-    if (!(accusation.evidence.front().judge == accusation.accuser)) {
-        return AccusationCheck::kBrokenChain;
-    }
-    for (std::size_t i = 1; i < accusation.evidence.size(); ++i) {
-        if (!(accusation.evidence[i].judge ==
-              accusation.evidence[i - 1].suspect)) {
+    const AccusationCheck result = [&]() -> AccusationCheck {
+        if (accusation.evidence.empty()) return AccusationCheck::kEmptyEvidence;
+        const auto accuser_key = key_of_(accusation.accuser);
+        if (!accuser_key.has_value() ||
+            !registry_->verify(*accuser_key, accusation.signed_payload(),
+                               accusation.signature)) {
+            return AccusationCheck::kBadAccuserSignature;
+        }
+        if (!(accusation.evidence.front().judge == accusation.accuser)) {
             return AccusationCheck::kBrokenChain;
         }
+        for (std::size_t i = 1; i < accusation.evidence.size(); ++i) {
+            if (!(accusation.evidence[i].judge ==
+                  accusation.evidence[i - 1].suspect)) {
+                return AccusationCheck::kBrokenChain;
+            }
+        }
+        for (const BlameEvidence& ev : accusation.evidence) {
+            const AccusationCheck check = verify_evidence(ev);
+            if (check != AccusationCheck::kOk) return check;
+        }
+        return AccusationCheck::kOk;
+    }();
+    {
+        using util::metrics::Registry;
+        static auto& verified =
+            Registry::global().counter("core.accusations_verified");
+        static auto& failed =
+            Registry::global().counter("core.accusation_checks_failed");
+        result == AccusationCheck::kOk ? verified.add(1) : failed.add(1);
     }
-    for (const BlameEvidence& ev : accusation.evidence) {
-        const AccusationCheck check = verify_evidence(ev);
-        if (check != AccusationCheck::kOk) return check;
-    }
-    return AccusationCheck::kOk;
+    return result;
 }
 
 }  // namespace concilium::core

@@ -1,10 +1,14 @@
 #include "core/bandwidth.h"
 
 #include "overlay/advertisement.h"
+#include "util/metrics.h"
 
 namespace concilium::core {
 
 double BandwidthModel::expected_jump_entries(double n) const {
+    static auto& evals =
+        util::metrics::Registry::global().counter("core.bandwidth_evaluations");
+    evals.add(1);
     return overlay::occupancy_model(n, geometry_).mean_count();
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/metrics.h"
+
 namespace concilium::core {
 
 double probe_vote(bool link_up, double probe_accuracy) {
@@ -69,6 +71,20 @@ BlameBreakdown compute_blame(std::span<const net::LinkId> path_links,
     }
     out.path_bad_confidence = agg;
     out.blame = 1.0 - agg;
+
+    {
+        using util::metrics::Registry;
+        static auto& evals = Registry::global().counter("core.blame_evaluations");
+        static auto& admitted =
+            Registry::global().counter("core.blame_probes_admitted");
+        static auto& score =
+            Registry::global().histogram("core.blame_score", 0.0, 1.0, 20);
+        evals.add(1);
+        std::int64_t admitted_count = 0;
+        for (const LinkConfidence& lc : out.links) admitted_count += lc.probes_used;
+        admitted.add(admitted_count);
+        score.observe(out.blame);
+    }
     return out;
 }
 

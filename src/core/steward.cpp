@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::core {
+
+namespace {
+
+void record_attribution(bool network_blamed) {
+    using util::metrics::Registry;
+    static auto& attributions = Registry::global().counter("core.attributions");
+    static auto& node_blamed =
+        Registry::global().counter("core.attribution_node_blamed");
+    static auto& net_blamed =
+        Registry::global().counter("core.attribution_network_blamed");
+    attributions.add(1);
+    network_blamed ? net_blamed.add(1) : node_blamed.add(1);
+}
+
+}  // namespace
 
 AttributionOutcome attribute_fault(
     std::size_t route_length, std::size_t forwarder_count,
@@ -32,6 +49,7 @@ AttributionOutcome attribute_fault(
         // The sender itself dropped or never sent; nothing to attribute.
         out.network_blamed = false;
         out.blamed_hop = forwarder_count;
+        record_attribution(out.network_blamed);
         return out;
     }
 
@@ -43,12 +61,14 @@ AttributionOutcome attribute_fault(
         if (!j.guilty) {
             out.network_blamed = true;
             out.faulted_segment = j.judge_hop;
+            record_attribution(out.network_blamed);
             return out;
         }
     }
     // Every steward pushed guilt one hop further; it sticks at the first
     // node that issued no (verifiable) judgment -- the apparent drop point.
     out.blamed_hop = forwarder_count;
+    record_attribution(out.network_blamed);
     return out;
 }
 

@@ -1,0 +1,134 @@
+#include "core/trace.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace concilium::core {
+
+const char* to_string(DiagnosisRecord::Verdict verdict) {
+    switch (verdict) {
+        case DiagnosisRecord::Verdict::kUnjudged: return "unjudged";
+        case DiagnosisRecord::Verdict::kNetworkBlamed: return "network";
+        case DiagnosisRecord::Verdict::kNodeBlamed: return "node";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string judgment_json(const TraceJudgment& j) {
+    using util::json_number;
+    using util::json_quote;
+    std::string out = "{\"judge\": " + json_quote(j.judge.to_hex()) +
+                      ", \"suspect\": " + json_quote(j.suspect.to_hex()) +
+                      ", \"judged_at\": " +
+                      json_number(util::to_seconds(j.judged_at)) +
+                      ", \"revision\": " + (j.revision ? "true" : "false") +
+                      ", \"guilty\": " + (j.guilty ? "true" : "false") +
+                      ", \"blame\": " + json_number(j.breakdown.blame) +
+                      ", \"path_bad_confidence\": " +
+                      json_number(j.breakdown.path_bad_confidence) +
+                      ", \"path_links\": [";
+    for (std::size_t i = 0; i < j.path_links.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_number(static_cast<std::int64_t>(j.path_links[i]));
+    }
+    out += "], \"links\": [";
+    for (std::size_t i = 0; i < j.breakdown.links.size(); ++i) {
+        const LinkConfidence& lc = j.breakdown.links[i];
+        if (i > 0) out += ", ";
+        out += "{\"link\": " +
+               json_number(static_cast<std::int64_t>(lc.link)) +
+               ", \"bad_confidence\": " + json_number(lc.bad_confidence) +
+               ", \"probes_used\": " +
+               json_number(static_cast<std::int64_t>(lc.probes_used)) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace
+
+std::string DiagnosisRecord::to_json() const {
+    using util::json_number;
+    using util::json_quote;
+    std::string out =
+        "{\"message_id\": " + json_number(message_id) +
+        ", \"sent_at\": " + json_number(util::to_seconds(sent_at)) +
+        ", \"completed_at\": " + json_number(util::to_seconds(completed_at)) +
+        ", \"verdict\": " + json_quote(to_string(verdict)) + ", \"blamed\": ";
+    out += blamed.has_value() ? json_quote(blamed->to_hex()) : "null";
+    out += ", \"forwarder_chain\": [";
+    for (std::size_t i = 0; i < forwarder_chain.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_quote(forwarder_chain[i].to_hex());
+    }
+    out += "], \"judgments\": [";
+    for (std::size_t i = 0; i < judgments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += judgment_json(judgments[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+DiagnosisTrace::DiagnosisTrace(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+        throw std::invalid_argument("DiagnosisTrace: capacity must be >= 1");
+    }
+}
+
+void DiagnosisTrace::record(DiagnosisRecord rec) {
+    static auto& recorded =
+        util::metrics::Registry::global().counter("runtime.trace_records");
+    recorded.add(1);
+    const std::lock_guard lock(mutex_);
+    ++total_;
+    ring_.push_back(std::move(rec));
+    while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::size_t DiagnosisTrace::size() const {
+    const std::lock_guard lock(mutex_);
+    return ring_.size();
+}
+
+std::uint64_t DiagnosisTrace::total_recorded() const {
+    const std::lock_guard lock(mutex_);
+    return total_;
+}
+
+std::vector<DiagnosisRecord> DiagnosisTrace::records() const {
+    const std::lock_guard lock(mutex_);
+    return {ring_.begin(), ring_.end()};
+}
+
+std::string DiagnosisTrace::records_json() const {
+    const std::lock_guard lock(mutex_);
+    std::string out = "[";
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out += (i == 0) ? "\n" : ",\n";
+        out += ring_[i].to_json();
+    }
+    out += ring_.empty() ? "]" : "\n]";
+    return out;
+}
+
+std::string DiagnosisTrace::to_json() const {
+    std::string out = "{\"total_recorded\": ";
+    out += util::json_number(total_recorded());
+    out += ", \"records\": ";
+    out += records_json();
+    out += "}\n";
+    return out;
+}
+
+void DiagnosisTrace::clear() {
+    const std::lock_guard lock(mutex_);
+    ring_.clear();
+}
+
+}  // namespace concilium::core

@@ -1,0 +1,100 @@
+// Diagnosis tracing: the "explain this accusation" journal.
+//
+// Concilium's output is a verdict — "hop 2 dropped your message" — but the
+// paper's protocol derives it from a pile of intermediate state: the
+// forwarder chain, each steward's tomographic snapshots, the per-link
+// bad-confidence terms of Equations 2-3, and the revision chain that walks
+// blame downstream.  DiagnosisTrace is an opt-in ring buffer that captures
+// all of it per diagnosed message, so a surprising verdict can be audited
+// instead of re-simulated.  Attach one to a runtime::Cluster with
+// set_trace(); dump with to_json() (the `concilium trace` subcommand).
+//
+// The journal holds the last `capacity` records; older diagnoses are
+// evicted FIFO.  All methods are thread-safe (a single mutex — tracing is
+// an offline debugging tool, not a hot path).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/blame.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace concilium::core {
+
+/// One steward's verdict about its next hop, with the fuzzy blame inputs
+/// (Equation 2's per-link confidences, Equation 3's aggregate) preserved.
+struct TraceJudgment {
+    util::NodeId judge;
+    util::NodeId suspect;
+    util::SimTime judged_at = 0;
+    /// IP links of the judged segment, in path order.
+    std::vector<net::LinkId> path_links;
+    /// Equations 2-3 terms: per-link bad confidences, the fuzzy-OR
+    /// aggregate, and the resulting blame.
+    BlameBreakdown breakdown;
+    bool guilty = false;
+    /// True when this verdict reached the sender as an upstream revision
+    /// (Section 3.5) rather than being the sender's own judgment.
+    bool revision = false;
+};
+
+/// Everything the protocol knew when it closed the book on one message.
+struct DiagnosisRecord {
+    enum class Verdict {
+        kUnjudged,       ///< no verifiable judgment was ever produced
+        kNetworkBlamed,  ///< tomography exonerated every forwarder
+        kNodeBlamed,     ///< the revision chain settled on `blamed`
+    };
+
+    std::uint64_t message_id = 0;
+    util::SimTime sent_at = 0;
+    util::SimTime completed_at = 0;
+    /// The route's member ids, sender first.
+    std::vector<util::NodeId> forwarder_chain;
+    /// Judgments in hop order: index 0 is the sender's own verdict, the
+    /// rest arrived as revisions.
+    std::vector<TraceJudgment> judgments;
+    Verdict verdict = Verdict::kUnjudged;
+    std::optional<util::NodeId> blamed;
+
+    /// Compact single-object JSON (no trailing newline).
+    [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] const char* to_string(DiagnosisRecord::Verdict verdict);
+
+class DiagnosisTrace {
+  public:
+    explicit DiagnosisTrace(std::size_t capacity = 256);
+
+    void record(DiagnosisRecord rec);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    /// Records ever seen, including ones the ring has since evicted.
+    [[nodiscard]] std::uint64_t total_recorded() const;
+    /// Copy of the retained records, oldest first.
+    [[nodiscard]] std::vector<DiagnosisRecord> records() const;
+
+    /// The retained records as a JSON array, one record per line.
+    [[nodiscard]] std::string records_json() const;
+    /// `{"total_recorded": N, "records": [...]}` (ends with a newline).
+    [[nodiscard]] std::string to_json() const;
+
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    std::deque<DiagnosisRecord> ring_;
+};
+
+}  // namespace concilium::core

@@ -3,8 +3,70 @@
 #include <unordered_set>
 
 #include "crypto/tokens.h"
+#include "util/metrics.h"
 
 namespace concilium::core {
+
+namespace {
+
+// Validation outcomes live in the `overlay.` namespace: they describe the
+// overlay's routing-state exchange, regardless of which layer runs the check.
+void record_validation_outcome(AdvertisementCheck check) {
+    using util::metrics::Counter;
+    using util::metrics::Registry;
+    static auto& validated = Registry::global().counter("overlay.ads_validated");
+    static auto& accepted = Registry::global().counter("overlay.ads_accepted");
+    static auto& rejected = Registry::global().counter("overlay.ads_rejected");
+    validated.add(1);
+    if (check == AdvertisementCheck::kOk) {
+        accepted.add(1);
+        return;
+    }
+    rejected.add(1);
+    Counter* reason = nullptr;
+    switch (check) {
+        case AdvertisementCheck::kOk: break;
+        case AdvertisementCheck::kBadOwnerSignature: {
+            static auto& c = Registry::global().counter(
+                "overlay.ad_reject.bad_owner_signature");
+            reason = &c;
+            break;
+        }
+        case AdvertisementCheck::kMalformedEntry: {
+            static auto& c =
+                Registry::global().counter("overlay.ad_reject.malformed_entry");
+            reason = &c;
+            break;
+        }
+        case AdvertisementCheck::kConstraintViolation: {
+            static auto& c = Registry::global().counter(
+                "overlay.ad_reject.constraint_violation");
+            reason = &c;
+            break;
+        }
+        case AdvertisementCheck::kBadEntryTimestamp: {
+            static auto& c = Registry::global().counter(
+                "overlay.ad_reject.bad_entry_timestamp");
+            reason = &c;
+            break;
+        }
+        case AdvertisementCheck::kStaleEntry: {
+            static auto& c =
+                Registry::global().counter("overlay.ad_reject.stale_entry");
+            reason = &c;
+            break;
+        }
+        case AdvertisementCheck::kTooSparse: {
+            static auto& c =
+                Registry::global().counter("overlay.ad_reject.too_sparse");
+            reason = &c;
+            break;
+        }
+    }
+    if (reason != nullptr) reason->add(1);
+}
+
+}  // namespace
 
 const char* to_string(AdvertisementCheck check) {
     switch (check) {
@@ -28,6 +90,7 @@ AdvertisementCheck validate_advertisement(
     const std::function<std::optional<crypto::PublicKey>(const util::NodeId&)>&
         key_of,
     const crypto::KeyRegistry& registry) {
+    const AdvertisementCheck result = [&]() -> AdvertisementCheck {
     const auto owner_key = key_of(ad.owner);
     if (!owner_key.has_value() ||
         !registry.verify(*owner_key, ad.signed_payload(), ad.signature)) {
@@ -67,6 +130,9 @@ AdvertisementCheck validate_advertisement(
         return AdvertisementCheck::kTooSparse;
     }
     return AdvertisementCheck::kOk;
+    }();
+    record_validation_outcome(result);
+    return result;
 }
 
 AdvertisementCheck validate_leaf_advertisement(
@@ -75,6 +141,7 @@ AdvertisementCheck validate_leaf_advertisement(
     const std::function<std::optional<crypto::PublicKey>(const util::NodeId&)>&
         key_of,
     const crypto::KeyRegistry& registry) {
+    const AdvertisementCheck result = [&]() -> AdvertisementCheck {
     const auto owner_key = key_of(ad.owner);
     if (!owner_key.has_value() ||
         !registry.verify(*owner_key, ad.signed_payload(), ad.signature)) {
@@ -126,6 +193,9 @@ AdvertisementCheck validate_leaf_advertisement(
         return AdvertisementCheck::kTooSparse;
     }
     return AdvertisementCheck::kOk;
+    }();
+    record_validation_outcome(result);
+    return result;
 }
 
 }  // namespace concilium::core

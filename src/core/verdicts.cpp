@@ -2,10 +2,20 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::core {
 
 bool is_guilty_verdict(double blame, const VerdictParams& params) {
-    return blame >= params.guilty_blame_threshold;
+    using util::metrics::Registry;
+    static auto& evals = Registry::global().counter("core.verdict_evaluations");
+    static auto& guilty_c = Registry::global().counter("core.verdicts_guilty");
+    static auto& innocent_c =
+        Registry::global().counter("core.verdicts_innocent");
+    evals.add(1);
+    const bool guilty = blame >= params.guilty_blame_threshold;
+    guilty ? guilty_c.add(1) : innocent_c.add(1);
+    return guilty;
 }
 
 VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
@@ -23,6 +33,14 @@ VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
     out.guilty = guilty;
     out.guilty_in_window = win.guilty;
     out.accusation_triggered = win.guilty >= params_.accusation_threshold;
+    {
+        using util::metrics::Registry;
+        static auto& recorded = Registry::global().counter("core.ledger_verdicts");
+        static auto& triggered =
+            Registry::global().counter("core.accusations_triggered");
+        recorded.add(1);
+        if (out.accusation_triggered) triggered.add(1);
+    }
     return out;
 }
 
@@ -41,6 +59,9 @@ double accusation_false_positive(int window, int threshold_m, double p_good) {
     if (window < 1 || threshold_m < 0) {
         throw std::invalid_argument("accusation_false_positive: bad window/m");
     }
+    static auto& evals = util::metrics::Registry::global().counter(
+        "core.accusation_model_evaluations");
+    evals.add(1);
     return util::binomial_upper_tail(window, threshold_m, p_good);
 }
 
@@ -49,6 +70,9 @@ double accusation_false_negative(int window, int threshold_m,
     if (window < 1 || threshold_m < 0) {
         throw std::invalid_argument("accusation_false_negative: bad window/m");
     }
+    static auto& evals = util::metrics::Registry::global().counter(
+        "core.accusation_model_evaluations");
+    evals.add(1);
     return util::binomial_lower_tail_exclusive(window, threshold_m, p_faulty);
 }
 

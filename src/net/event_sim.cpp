@@ -2,10 +2,36 @@
 
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace concilium::net {
+
+namespace {
+
+util::metrics::Counter& events_scheduled() {
+    static auto& c =
+        util::metrics::Registry::global().counter("net.events_scheduled");
+    return c;
+}
+
+util::metrics::Counter& events_executed() {
+    static auto& c =
+        util::metrics::Registry::global().counter("net.events_executed");
+    return c;
+}
+
+util::metrics::Gauge& queue_depth_max() {
+    static auto& g =
+        util::metrics::Registry::global().gauge("net.queue_depth_max");
+    return g;
+}
+
+}  // namespace
 
 void EventSim::schedule_at(util::SimTime t, Callback fn) {
     queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+    events_scheduled().add(1);
+    queue_depth_max().set_max(static_cast<double>(queue_.size()));
 }
 
 void EventSim::schedule_after(util::SimTime delay, Callback fn) {
@@ -20,6 +46,7 @@ bool EventSim::step() {
     queue_.pop();
     now_ = ev.at;
     ev.fn();
+    events_executed().add(1);
     return true;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace concilium::net {
 
 double Transport::pass_probability(LinkId link, util::SimTime t) const {
@@ -11,11 +13,22 @@ double Transport::pass_probability(LinkId link, util::SimTime t) const {
 
 bool Transport::sample_traversal(std::span<const LinkId> links,
                                  util::SimTime t) {
+    static auto& sent =
+        util::metrics::Registry::global().counter("net.packets_sent");
+    static auto& delivered =
+        util::metrics::Registry::global().counter("net.packets_delivered");
+    static auto& dropped =
+        util::metrics::Registry::global().counter("net.packets_dropped");
+    sent.add(1);
     util::SimTime cross = t;
     for (const LinkId link : links) {
-        if (!rng_.bernoulli(pass_probability(link, cross))) return false;
+        if (!rng_.bernoulli(pass_probability(link, cross))) {
+            dropped.add(1);
+            return false;
+        }
         cross += params_.per_hop_latency;
     }
+    delivered.add(1);
     return true;
 }
 

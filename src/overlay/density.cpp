@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::overlay {
 
 double slot_fill_probability(int row, double n_nodes,
@@ -43,7 +45,14 @@ bool jump_table_too_sparse(double local_density, double peer_density,
     if (gamma < 1.0) {
         throw std::invalid_argument("jump_table_too_sparse: gamma must be >= 1");
     }
-    return gamma * peer_density < local_density;
+    using util::metrics::Registry;
+    static auto& tests = Registry::global().counter("overlay.density_tests");
+    static auto& rejections =
+        Registry::global().counter("overlay.density_rejections");
+    tests.add(1);
+    const bool sparse = gamma * peer_density < local_density;
+    if (sparse) rejections.add(1);
+    return sparse;
 }
 
 bool leaf_set_too_sparse(double local_mean_spacing, double peer_mean_spacing,
@@ -51,14 +60,24 @@ bool leaf_set_too_sparse(double local_mean_spacing, double peer_mean_spacing,
     if (gamma < 1.0) {
         throw std::invalid_argument("leaf_set_too_sparse: gamma must be >= 1");
     }
+    using util::metrics::Registry;
+    static auto& tests = Registry::global().counter("overlay.leaf_density_tests");
+    static auto& rejections =
+        Registry::global().counter("overlay.leaf_density_rejections");
+    tests.add(1);
     // Sparse leaf set == large spacing; suspicious when the peer's spacing
     // exceeds gamma times ours.
-    return peer_mean_spacing > gamma * local_mean_spacing;
+    const bool sparse = peer_mean_spacing > gamma * local_mean_spacing;
+    if (sparse) rejections.add(1);
+    return sparse;
 }
 
 double density_false_positive(double gamma, double n_local,
                               double n_peer_view,
                               const util::OverlayGeometry& geometry) {
+    static auto& evals = util::metrics::Registry::global().counter(
+        "overlay.density_model_evaluations");
+    evals.add(1);
     const auto local = occupancy_model(n_local, geometry);
     const auto peer = occupancy_model(n_peer_view, geometry);
     const int slots = geometry.table_slots();
@@ -74,6 +93,9 @@ double density_false_positive(double gamma, double n_local,
 double density_false_negative(double gamma, double n_local,
                               double n_attacker_pool,
                               const util::OverlayGeometry& geometry) {
+    static auto& evals = util::metrics::Registry::global().counter(
+        "overlay.density_model_evaluations");
+    evals.add(1);
     const auto local = occupancy_model(n_local, geometry);
     const auto malicious = occupancy_model(n_attacker_pool, geometry);
     const int slots = geometry.table_slots();
@@ -118,6 +140,9 @@ util::OnlineMoments simulate_table_occupancy(
     if (n_nodes < 2 || samples < 1) {
         throw std::invalid_argument("simulate_table_occupancy: bad arguments");
     }
+    static auto& sampled =
+        util::metrics::Registry::global().counter("overlay.occupancy_samples");
+    sampled.add(samples);
     util::OnlineMoments occupancy;
     std::vector<bool> filled(
         static_cast<std::size_t>(geometry.table_slots()));

@@ -1,8 +1,10 @@
 #include "runtime/cluster.h"
 
 #include "tomography/verification.h"
+#include "util/metrics.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace concilium::runtime {
@@ -10,6 +12,12 @@ namespace concilium::runtime {
 namespace {
 
 const NodeBehavior kHonest{};
+
+// Mirrors a Stats increment into the process metrics registry.  Cluster
+// events run at human-auditable rates, so the per-call name lookup is fine.
+void bump(const char* name, std::int64_t delta = 1) {
+    util::metrics::Registry::global().counter(name).add(delta);
+}
 
 }  // namespace
 
@@ -247,6 +255,7 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
     snapshot.signature =
         net_->member(m).keys.sign(snapshot.signed_payload());
     ++stats_.snapshots_published;
+    bump("runtime.snapshots_published");
     nodes_[m].archive.add(snapshot, sim_->now());
     for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
         sim_->schedule_after(
@@ -255,6 +264,7 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
                 if (!key.has_value() ||
                     !tomography::verify_snapshot(snapshot, *key, registry_)) {
                     ++stats_.snapshots_rejected;
+    bump("runtime.snapshots_rejected");
                     return;
                 }
                 nodes_[peer].archive.add(snapshot, sim_->now());
@@ -274,6 +284,7 @@ std::uint64_t Cluster::send(overlay::MemberIndex from,
     ctx.stewards.resize(ctx.route.size());
     ctx.on_complete = std::move(on_complete);
     ++stats_.messages;
+    bump("runtime.messages_sent");
     const std::uint64_t id = ctx.id;
     messages_.emplace(id, std::move(ctx));
     deliver_to_hop(id, 0);
@@ -303,6 +314,7 @@ void Cluster::deliver_to_hop(std::uint64_t msg_id, std::size_t hop) {
             // Sender is already the destination.
             ctx.completed = true;
             ++stats_.delivered;
+    bump("runtime.messages_delivered");
             if (ctx.on_complete) {
                 MessageOutcome outcome;
                 outcome.delivered = true;
@@ -333,11 +345,13 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
     // Forwarding commitment (Section 3.6), issued by the next hop.
     if (behavior(next).refuse_commitments) {
         ++stats_.commitments_refused;
+    bump("runtime.commitments_refused");
         ++stats_.reputation_votes;
         reputation_.cast_vote(net_->member(m).id(), net_->member(next).id(),
                               sim_->now());
     } else {
         ++stats_.commitments_issued;
+    bump("runtime.commitments_issued");
         ctx.stewards[hop].commitment = core::make_forwarding_commitment(
             net_->member(m).id(), net_->member(next).id(),
             net_->member(ctx.route.back()).id(), msg_id, ctx.sent_at,
@@ -380,6 +394,7 @@ void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
         if (!ctx.completed) {
             ctx.completed = true;
             ++stats_.delivered;
+    bump("runtime.messages_delivered");
             if (ctx.on_complete) {
                 MessageOutcome outcome;
                 outcome.delivered = true;
@@ -439,8 +454,9 @@ void Cluster::on_ack_timeout(std::uint64_t msg_id, std::size_t hop) {
     });
 }
 
-core::BlameEvidence Cluster::build_evidence(const MessageContext& ctx,
-                                            std::size_t judge_hop) const {
+core::BlameEvidence Cluster::build_evidence(
+    const MessageContext& ctx, std::size_t judge_hop,
+    core::BlameBreakdown* breakdown_out) const {
     const overlay::MemberIndex m = ctx.route[judge_hop];
     const overlay::MemberIndex suspect = ctx.route[judge_hop + 1];
     core::BlameEvidence ev;
@@ -454,11 +470,12 @@ core::BlameEvidence Cluster::build_evidence(const MessageContext& ctx,
     if (ctx.stewards[judge_hop].commitment.has_value()) {
         ev.commitment = *ctx.stewards[judge_hop].commitment;
     }
-    ev.claimed_blame =
+    core::BlameBreakdown breakdown =
         core::compute_blame(ev.path_links,
                             core::probes_from_snapshots(ev.snapshots),
-                            ctx.sent_at, ev.suspect, params_.blame)
-            .blame;
+                            ctx.sent_at, ev.suspect, params_.blame);
+    ev.claimed_blame = breakdown.blame;
+    if (breakdown_out != nullptr) *breakdown_out = std::move(breakdown);
     ev.judge_signature = net_->member(m).keys.sign(ev.signed_payload());
     return ev;
 }
@@ -470,7 +487,8 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
     steward.judged = true;
 
     const overlay::MemberIndex m = ctx.route[hop];
-    core::BlameEvidence ev = build_evidence(ctx, hop);
+    core::BlameBreakdown breakdown;
+    core::BlameEvidence ev = build_evidence(ctx, hop, &breakdown);
     const bool guilty = core::is_guilty_verdict(ev.claimed_blame,
                                                 params_.verdicts);
     nodes_[m].ledger.record(ev.suspect, ev.claimed_blame, sim_->now());
@@ -479,6 +497,9 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
     } else {
         ++stats_.innocent_verdicts;
     }
+    steward.breakdown = std::move(breakdown);
+    steward.judged_at = sim_->now();
+    steward.judgment_guilty = guilty;
     steward.judgment = std::move(ev);
     if (hop > 0) push_revision_upstream(msg_id, hop);
     if (hop == 0) {
@@ -498,6 +519,7 @@ void Cluster::push_revision_upstream(std::uint64_t msg_id, std::size_t hop) {
     if (behavior(m).refuse_revisions) return;  // at its own peril
     if (!ctx.stewards[hop].judgment.has_value()) return;
     ++stats_.revisions_pushed;
+    bump("runtime.revisions_pushed");
     // Each steward presents the verdict to its upstream neighbor, which
     // relays it further unless it withholds revisions itself (Section 3.5).
     const core::BlameEvidence evidence = *ctx.stewards[hop].judgment;
@@ -513,6 +535,7 @@ void Cluster::relay_revision(std::uint64_t msg_id,
     auto& ctx = messages_.at(msg_id);
     ctx.stewards[to_hop].pushed.push_back(evidence);
     ++stats_.revisions_applied;
+    bump("runtime.revisions_applied");
     if (to_hop == 0) return;
     if (behavior(ctx.route[to_hop]).refuse_revisions) return;
     sim_->schedule_after(params_.control_latency,
@@ -527,8 +550,10 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
     ctx.completed = true;
     if (ctx.dropped_by_hop.has_value()) {
         ++stats_.dropped_by_forwarder;
+    bump("runtime.messages_dropped_by_forwarder");
     } else if (ctx.dropped_by_network) {
         ++stats_.dropped_by_network;
+    bump("runtime.messages_dropped_by_network");
     }
 
     MessageOutcome outcome;
@@ -539,12 +564,14 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
     const auto& sender = ctx.stewards[0];
     if (!sender.judgment.has_value()) {
         // Sender never judged (e.g. it never forwarded); nothing to report.
+        record_trace(ctx, outcome);
         if (ctx.on_complete) ctx.on_complete(outcome);
         return;
     }
     if (!core::is_guilty_verdict(sender.judgment->claimed_blame,
                                  params_.verdicts)) {
         outcome.network_blamed = true;
+        record_trace(ctx, outcome);
         if (ctx.on_complete) ctx.on_complete(outcome);
         return;
     }
@@ -606,11 +633,46 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
                                      .keys.public_key()),
                              accusation.serialize());
                     ++stats_.accusations_filed;
+    bump("runtime.accusations_filed");
                 }
             }
         }
     }
+    record_trace(ctx, outcome);
     if (ctx.on_complete) ctx.on_complete(outcome);
+}
+
+void Cluster::record_trace(const MessageContext& ctx,
+                           const MessageOutcome& outcome) {
+    if (trace_ == nullptr) return;
+    core::DiagnosisRecord rec;
+    rec.message_id = ctx.id;
+    rec.sent_at = ctx.sent_at;
+    rec.completed_at = sim_->now();
+    rec.forwarder_chain.reserve(ctx.route.size());
+    for (const overlay::MemberIndex m : ctx.route) {
+        rec.forwarder_chain.push_back(net_->member(m).id());
+    }
+    for (std::size_t hop = 0; hop < ctx.stewards.size(); ++hop) {
+        const StewardRecord& s = ctx.stewards[hop];
+        if (!s.judgment.has_value()) continue;
+        core::TraceJudgment j;
+        j.judge = s.judgment->judge;
+        j.suspect = s.judgment->suspect;
+        j.judged_at = s.judged_at;
+        j.path_links = s.judgment->path_links;
+        if (s.breakdown.has_value()) j.breakdown = *s.breakdown;
+        j.guilty = s.judgment_guilty;
+        j.revision = hop > 0;
+        rec.judgments.push_back(std::move(j));
+    }
+    if (outcome.network_blamed) {
+        rec.verdict = core::DiagnosisRecord::Verdict::kNetworkBlamed;
+    } else if (outcome.blamed.has_value()) {
+        rec.verdict = core::DiagnosisRecord::Verdict::kNodeBlamed;
+        rec.blamed = outcome.blamed;
+    }
+    trace_->record(std::move(rec));
 }
 
 std::vector<core::FaultAccusation> Cluster::accusations_against(

@@ -30,6 +30,7 @@
 #include "core/accusation.h"
 #include "core/blame.h"
 #include "core/reputation.h"
+#include "core/trace.h"
 #include "core/validation.h"
 #include "core/verdicts.h"
 #include "dht/dht.h"
@@ -190,12 +191,23 @@ class Cluster {
     [[nodiscard]] core::AccusationCheck verify(
         const core::FaultAccusation& accusation) const;
 
+    /// Attaches an opt-in diagnosis journal: every message that completes
+    /// via diagnosis (i.e. was not acknowledged) appends one record with
+    /// its forwarder chain, every judgment's Equation 2-3 blame inputs,
+    /// and the final verdict.  Pass nullptr to detach.  The trace must
+    /// outlive the cluster (or be detached first).
+    void set_trace(core::DiagnosisTrace* trace) noexcept { trace_ = trace; }
+
   private:
     struct StewardRecord {
         bool forwarded = false;
         bool acked = false;
         std::optional<core::ForwardingCommitment> commitment;  ///< from next
         std::optional<core::BlameEvidence> judgment;  ///< own verdict vs next
+        /// The Equation 2-3 terms behind `judgment` (kept for the trace).
+        std::optional<core::BlameBreakdown> breakdown;
+        util::SimTime judged_at = 0;
+        bool judgment_guilty = false;
         /// Revision evidence pushed up from downstream stewards, in chain
         /// order (next hop's judgment first).
         std::vector<core::BlameEvidence> pushed;
@@ -245,7 +257,11 @@ class Cluster {
     void maybe_complete(std::uint64_t msg_id);
 
     core::BlameEvidence build_evidence(const MessageContext& ctx,
-                                       std::size_t judge_hop) const;
+                                       std::size_t judge_hop,
+                                       core::BlameBreakdown* breakdown_out =
+                                           nullptr) const;
+    void record_trace(const MessageContext& ctx,
+                      const MessageOutcome& outcome);
     void file_accusation(const MessageContext& ctx);
 
     [[nodiscard]] std::vector<net::LinkId> hop_path(
@@ -275,6 +291,7 @@ class Cluster {
     std::vector<bool> online_;
     std::vector<std::vector<overlay::MemberIndex>> ad_rejecters_;
     Stats stats_;
+    core::DiagnosisTrace* trace_ = nullptr;
 };
 
 }  // namespace concilium::runtime

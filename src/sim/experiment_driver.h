@@ -9,7 +9,12 @@
 //   1. Determinism: trial i always runs with util::Rng::substream(seed, i),
 //      a pure function of (seed, i), and results are merged strictly in
 //      trial-index order.  The merged output is therefore byte-identical
-//      for any worker count, including jobs = 1.
+//      for any worker count, including jobs = 1.  This extends to metric
+//      counters incremented inside trials: every issued trial index is
+//      fully computed on every path (results past an early merge stop are
+//      discarded, not skipped), so the set of computed trials — and hence
+//      every deterministic counter — is also independent of the worker
+//      count.
 //   2. Safety: trial callbacks run concurrently and must only read shared
 //      state; the merge callback runs on the calling thread only, so
 //      accumulators (util::Histogram, util::OnlineMoments, counters) need
@@ -27,11 +32,16 @@
 //                                       attempt order, so the accepted set
 //                                       is again independent of the worker
 //                                       count.
+//
+// Both return a RunStats (trials issued, wall/busy seconds, worker count)
+// and report it to the process metrics registry (`sim.driver_*`; wall-time
+// derived values land in the registry's timing section).
 
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -41,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace concilium::sim {
@@ -50,6 +61,34 @@ struct DriverOptions {
     /// Worker threads; 0 = std::thread::hardware_concurrency().
     std::size_t jobs = 0;
 };
+
+/// What one run()/run_until() call actually did.  `trials` counts every
+/// trial index issued (for run_until, attempts including rejected and
+/// discarded ones); `accepted` counts merged acceptances (== trials for
+/// plain run).  Wall/busy seconds come from steady_clock and are NOT
+/// deterministic; everything else is.
+struct RunStats {
+    std::uint64_t trials = 0;
+    std::uint64_t accepted = 0;
+    std::size_t jobs = 0;
+    double wall_seconds = 0.0;
+    /// Summed execution time of the trial callbacks across all workers.
+    double busy_seconds = 0.0;
+
+    /// Fraction of the pool's wall-clock capacity spent inside trials.
+    [[nodiscard]] double utilization() const noexcept {
+        const double capacity = wall_seconds * static_cast<double>(jobs);
+        return capacity > 0.0 ? busy_seconds / capacity : 0.0;
+    }
+};
+
+/// Publishes one run's stats to the global metrics registry.
+void report_run(const RunStats& stats);
+
+namespace detail {
+util::metrics::Counter& driver_wave_counter();
+util::metrics::HistogramMetric& driver_trial_seconds();
+}  // namespace detail
 
 class ExperimentDriver {
   public:
@@ -81,22 +120,36 @@ class ExperimentDriver {
     /// Runs `trial(i, rng)` for i in [0, trials) across the worker pool and
     /// calls `merge(i, result)` on this thread in increasing i.
     template <typename TrialFn, typename MergeFn>
-    void run(std::size_t trials, TrialFn&& trial, MergeFn&& merge) const {
-        run_range(0, trials, trial, [&](std::uint64_t i, auto&& r) {
-            merge(i, std::forward<decltype(r)>(r));
-            return true;
-        });
+    RunStats run(std::size_t trials, TrialFn&& trial, MergeFn&& merge) const {
+        const auto start = std::chrono::steady_clock::now();
+        RunStats stats;
+        stats.jobs = jobs();
+        stats.busy_seconds =
+            run_range(0, trials, trial, [&](std::uint64_t i, auto&& r) {
+                merge(i, std::forward<decltype(r)>(r));
+                return true;
+            });
+        stats.trials = trials;
+        stats.accepted = trials;
+        stats.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        report_run(stats);
+        return stats;
     }
 
     /// Issues attempts 0, 1, 2, ... in waves until `merge` has returned
     /// true (accepted) `target` times.  Attempts computed beyond the target
     /// inside the final wave are discarded without being merged, in attempt
     /// order, so the accepted prefix is exactly what a sequential
-    /// `for (q = 0; accepted < target; ++q)` loop would keep.  Returns the
-    /// number of attempts issued.
+    /// `for (q = 0; accepted < target; ++q)` loop would keep.
     template <typename TrialFn, typename MergeFn>
-    std::uint64_t run_until(std::size_t target, TrialFn&& trial,
-                            MergeFn&& merge) const {
+    RunStats run_until(std::size_t target, TrialFn&& trial,
+                       MergeFn&& merge) const {
+        const auto start = std::chrono::steady_clock::now();
+        RunStats stats;
+        stats.jobs = jobs();
         std::uint64_t next_attempt = 0;
         std::size_t accepted = 0;
         while (accepted < target) {
@@ -113,17 +166,26 @@ class ExperimentDriver {
             std::size_t wave = static_cast<std::size_t>(
                 static_cast<double>(remaining) / rate * 1.1);
             wave = std::max(wave, std::max<std::size_t>(64, 4 * jobs()));
-            run_range(next_attempt, wave, trial,
-                      [&](std::uint64_t i, auto&& r) {
-                          if (accepted >= target) return false;
-                          if (merge(i, std::forward<decltype(r)>(r))) {
-                              ++accepted;
-                          }
-                          return accepted < target;
-                      });
+            detail::driver_wave_counter().add(1);
+            stats.busy_seconds +=
+                run_range(next_attempt, wave, trial,
+                          [&](std::uint64_t i, auto&& r) {
+                              if (accepted >= target) return false;
+                              if (merge(i, std::forward<decltype(r)>(r))) {
+                                  ++accepted;
+                              }
+                              return accepted < target;
+                          });
             next_attempt += wave;
         }
-        return next_attempt;
+        stats.trials = next_attempt;
+        stats.accepted = accepted;
+        stats.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        report_run(stats);
+        return stats;
     }
 
   private:
@@ -132,28 +194,41 @@ class ExperimentDriver {
 
     /// Runs trial indices [base, base + count) on the pool and consumes
     /// results in index order; `consume` returns false to stop consuming
-    /// (remaining computed results are dropped).
+    /// (remaining computed results are dropped).  Every index in the range
+    /// is computed regardless — see determinism guarantee 1 above.
+    /// Returns the summed trial execution time in seconds.
     template <typename TrialFn, typename ConsumeFn>
-    void run_range(std::uint64_t base, std::size_t count, TrialFn& trial,
-                   ConsumeFn&& consume) const {
+    double run_range(std::uint64_t base, std::size_t count, TrialFn& trial,
+                     ConsumeFn&& consume) const {
         using Result =
             std::invoke_result_t<TrialFn&, std::uint64_t, util::Rng&>;
         static_assert(!std::is_void_v<Result>,
                       "trial functions must return their result");
-        if (count == 0) return;
+        if (count == 0) return 0.0;
+        auto& trial_seconds = detail::driver_trial_seconds();
 
         const std::size_t workers = std::min(jobs(), count);
         if (workers <= 1) {
+            double busy = 0.0;
+            bool consuming = true;
             for (std::uint64_t i = base; i < base + count; ++i) {
                 util::Rng rng = trial_rng(i);
-                if (!consume(i, trial(i, rng))) break;
+                const auto t0 = std::chrono::steady_clock::now();
+                Result r = trial(i, rng);
+                const double sec = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() - t0)
+                                       .count();
+                trial_seconds.observe(sec);
+                busy += sec;
+                if (consuming) consuming = consume(i, std::move(r));
             }
-            return;
+            return busy;
         }
 
         std::vector<std::optional<Result>> results(count);
         std::atomic<std::size_t> next{0};
         std::atomic<bool> stop{false};
+        std::atomic<double> busy{0.0};
         std::exception_ptr failure;
         std::mutex failure_mutex;
         {
@@ -161,17 +236,33 @@ class ExperimentDriver {
             pool.reserve(workers);
             for (std::size_t w = 0; w < workers; ++w) {
                 pool.emplace_back([&] {
+                    double local_busy = 0.0;
+                    const auto flush_busy = [&] {
+                        double cur = busy.load(std::memory_order_relaxed);
+                        while (!busy.compare_exchange_weak(
+                            cur, cur + local_busy,
+                            std::memory_order_relaxed)) {
+                        }
+                    };
                     for (;;) {
                         const std::size_t slot =
                             next.fetch_add(1, std::memory_order_relaxed);
                         if (slot >= count ||
                             stop.load(std::memory_order_relaxed)) {
+                            flush_busy();
                             return;
                         }
                         const std::uint64_t i = base + slot;
                         try {
                             util::Rng rng = trial_rng(i);
+                            const auto t0 = std::chrono::steady_clock::now();
                             results[slot].emplace(trial(i, rng));
+                            const double sec =
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+                            trial_seconds.observe(sec);
+                            local_busy += sec;
                         } catch (...) {
                             const std::lock_guard<std::mutex> lock(
                                 failure_mutex);
@@ -179,6 +270,7 @@ class ExperimentDriver {
                                 failure = std::current_exception();
                             }
                             stop.store(true, std::memory_order_relaxed);
+                            flush_busy();
                             return;
                         }
                     }
@@ -186,9 +278,11 @@ class ExperimentDriver {
             }
         }  // jthreads join here
         if (failure) std::rethrow_exception(failure);
-        for (std::size_t slot = 0; slot < count; ++slot) {
-            if (!consume(base + slot, std::move(*results[slot]))) break;
+        bool consuming = true;
+        for (std::size_t slot = 0; slot < count && consuming; ++slot) {
+            consuming = consume(base + slot, std::move(*results[slot]));
         }
+        return busy.load(std::memory_order_relaxed);
     }
 
     DriverOptions options_;

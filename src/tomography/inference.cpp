@@ -4,15 +4,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::tomography {
 
 namespace {
 
 constexpr double kEps = 1e-9;
 
+util::metrics::Counter& solver_iterations() {
+    static auto& c =
+        util::metrics::Registry::global().counter("tomography.solver_iterations");
+    return c;
+}
+
 /// Solves (1 - gamma_k / A) = prod_j (1 - gamma_j / A) for A in (lo, 1].
 /// Returns 1.0 when the data show no shared loss above the branch point.
 double solve_branch(double gamma_self, const std::vector<double>& gamma_children) {
+    static auto& calls =
+        util::metrics::Registry::global().counter("tomography.solver_calls");
+    calls.add(1);
     double lo = gamma_self;
     for (const double g : gamma_children) lo = std::max(lo, g);
     lo = std::max(lo, kEps);
@@ -38,6 +49,7 @@ double solve_branch(double gamma_self, const std::vector<double>& gamma_children
             b = mid;
         }
     }
+    solver_iterations().add(80);
     return 0.5 * (a + b);
 }
 
@@ -55,6 +67,9 @@ InferenceResult infer_link_loss(const ProbeTree& tree,
     if (probes.empty()) {
         throw std::invalid_argument("infer_link_loss: no probes");
     }
+    static auto& runs =
+        util::metrics::Registry::global().counter("tomography.inference_runs");
+    runs.add(1);
     const auto& nodes = tree.nodes();
     const std::size_t n = nodes.size();
 
@@ -146,6 +161,11 @@ InferenceResult infer_link_loss(const ProbeTree& tree,
         const double chain_pass =
             observable ? std::clamp(a_k / a_parent, 0.0, 1.0) : 1.0;
         const double chain_loss = observable ? 1.0 - chain_pass : 0.0;
+        if (observable) {
+            static auto& loss_hist = util::metrics::Registry::global().histogram(
+                "tomography.link_loss_estimate", 0.0, 1.0, 20);
+            loss_hist.observe(chain_loss);
+        }
 
         // Record the estimate on every physical link of the chain, and give
         // intermediate chain nodes interpolated cumulative passes.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/metrics.h"
+
 namespace concilium::tomography {
 
 namespace {
@@ -62,18 +64,48 @@ ProbeRecord sample_striped_probe(const ProbeTree& tree,
         }
     }
 
+    std::int64_t lost = 0;
+    std::int64_t acks = 0;
+    std::int64_t suppressed_acks = 0;
+    std::int64_t fabricated_acks = 0;
     for (std::size_t leaf = 0; leaf < n; ++leaf) {
         const LeafBehavior& b = behavior_of(behaviors, leaf);
         if (record.received[leaf]) {
             const bool suppressed = rng.bernoulli(b.suppress_ack_probability);
             record.acked[leaf] = !suppressed;
             record.nonce_valid[leaf] = !suppressed;
-        } else if (b.fabricate_acks) {
-            // The nonce travelled inside the lost probe; a fabricated ack
-            // cannot echo it (Section 3.3).
-            record.acked[leaf] = true;
-            record.nonce_valid[leaf] = false;
+            suppressed ? ++suppressed_acks : ++acks;
+        } else {
+            ++lost;
+            if (b.fabricate_acks) {
+                // The nonce travelled inside the lost probe; a fabricated ack
+                // cannot echo it (Section 3.3).
+                record.acked[leaf] = true;
+                record.nonce_valid[leaf] = false;
+                ++fabricated_acks;
+            }
         }
+    }
+
+    {
+        using util::metrics::Registry;
+        static auto& stripes =
+            Registry::global().counter("tomography.stripes_sampled");
+        static auto& issued =
+            Registry::global().counter("tomography.probes_issued");
+        static auto& lost_c =
+            Registry::global().counter("tomography.probes_lost");
+        static auto& acks_c = Registry::global().counter("tomography.probe_acks");
+        static auto& supp_c =
+            Registry::global().counter("tomography.acks_suppressed");
+        static auto& fab_c =
+            Registry::global().counter("tomography.acks_fabricated");
+        stripes.add(1);
+        issued.add(static_cast<std::int64_t>(n));
+        lost_c.add(lost);
+        acks_c.add(acks);
+        supp_c.add(suppressed_acks);
+        fab_c.add(fabricated_acks);
     }
     return record;
 }
@@ -86,6 +118,9 @@ HeavyweightResult run_heavyweight_session(
         throw std::invalid_argument(
             "run_heavyweight_session: probe_count must be positive");
     }
+    static auto& sessions = util::metrics::Registry::global().counter(
+        "tomography.heavyweight_sessions");
+    sessions.add(1);
     HeavyweightResult result;
     result.started_at = t0;
     result.ack_counts.assign(tree.leaves().size(), 0);
@@ -109,6 +144,9 @@ LightweightResult run_lightweight_probe(
     const ProbeTree& tree, const PassProbabilityFn& pass_probability,
     util::SimTime t, int retries, std::span<const LeafBehavior> behaviors,
     util::Rng& rng) {
+    static auto& rounds = util::metrics::Registry::global().counter(
+        "tomography.lightweight_rounds");
+    rounds.add(1);
     LightweightResult result;
     result.first_stripe =
         sample_striped_probe(tree, pass_probability, t, behaviors, rng);

@@ -1,0 +1,24 @@
+// Minimal JSON emission helpers shared by the metrics exporter and the
+// diagnosis trace.  Formatting is locale-independent and deterministic:
+// the same value always renders to the same bytes, which the metrics
+// byte-stability guarantees (EXPERIMENTS.md) rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace concilium::util {
+
+/// `s` escaped and wrapped in double quotes, ready to splice into JSON.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of `v` ("0.4", not "0.40000000000000002").
+/// Non-finite values (invalid JSON) render as quoted strings.
+[[nodiscard]] std::string json_number(double v);
+
+[[nodiscard]] std::string json_number(std::int64_t v);
+[[nodiscard]] std::string json_number(std::uint64_t v);
+
+}  // namespace concilium::util

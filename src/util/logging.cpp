@@ -1,13 +1,17 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 
 namespace concilium::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -20,15 +24,49 @@ const char* level_name(LogLevel level) {
     return "?";
 }
 
+double seconds_since_start() {
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_timestamps(bool enabled) { g_timestamps.store(enabled); }
+
+bool log_timestamps() { return g_timestamps.load(); }
+
 void log_line(LogLevel level, const std::string& message) {
+    log_line(level, {}, message);
+}
+
+void log_line(LogLevel level, std::string_view subsystem,
+              const std::string& message) {
     if (level < log_level()) return;
-    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+    std::string line;
+    line.reserve(message.size() + subsystem.size() + 32);
+    line += '[';
+    line += level_name(level);
+    line += "] ";
+    if (log_timestamps()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6f ", seconds_since_start());
+        line += buf;
+    }
+    if (!subsystem.empty()) {
+        line += '(';
+        line += subsystem;
+        line += ") ";
+    }
+    line += message;
+    line += '\n';
+    const std::lock_guard lock(g_write_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace concilium::util

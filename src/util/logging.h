@@ -4,11 +4,16 @@
 // logging is therefore off by default and enabled per-run (examples use Info,
 // debugging uses Debug).  The logger writes to stderr so benchmark stdout
 // stays machine-parsable.
+//
+// Thread safety: each call formats its whole line into one buffer and emits
+// it with a single fwrite under a mutex, so lines from the experiment
+// driver's worker pool never interleave mid-line.
 
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace concilium::util {
 
@@ -18,34 +23,63 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// When enabled, each line carries seconds-since-process-start with
+/// microsecond resolution ("[info] 12.345678 message").  Off by default:
+/// wall-clock stamps would break byte-identical output comparisons.
+void set_log_timestamps(bool enabled);
+bool log_timestamps();
+
 /// Emits one line to stderr ("[level] message").  Prefer the LOG_* helpers.
 void log_line(LogLevel level, const std::string& message);
 
+/// Tagged form: "[level] (subsystem) message".  Use the short subsystem
+/// names from the metrics convention (net, overlay, tomography, core, sim).
+void log_line(LogLevel level, std::string_view subsystem,
+              const std::string& message);
+
 namespace detail {
 template <typename... Args>
-void log_fmt(LogLevel level, const Args&... args) {
+void log_fmt(LogLevel level, std::string_view subsystem, const Args&... args) {
     if (level < log_level()) return;
     std::ostringstream oss;
     (oss << ... << args);
-    log_line(level, oss.str());
+    log_line(level, subsystem, oss.str());
 }
 }  // namespace detail
 
 template <typename... Args>
 void log_debug(const Args&... args) {
-    detail::log_fmt(LogLevel::kDebug, args...);
+    detail::log_fmt(LogLevel::kDebug, {}, args...);
 }
 template <typename... Args>
 void log_info(const Args&... args) {
-    detail::log_fmt(LogLevel::kInfo, args...);
+    detail::log_fmt(LogLevel::kInfo, {}, args...);
 }
 template <typename... Args>
 void log_warn(const Args&... args) {
-    detail::log_fmt(LogLevel::kWarn, args...);
+    detail::log_fmt(LogLevel::kWarn, {}, args...);
 }
 template <typename... Args>
 void log_error(const Args&... args) {
-    detail::log_fmt(LogLevel::kError, args...);
+    detail::log_fmt(LogLevel::kError, {}, args...);
+}
+
+// Subsystem-tagged variants; first argument is the tag.
+template <typename... Args>
+void log_debug_in(std::string_view subsystem, const Args&... args) {
+    detail::log_fmt(LogLevel::kDebug, subsystem, args...);
+}
+template <typename... Args>
+void log_info_in(std::string_view subsystem, const Args&... args) {
+    detail::log_fmt(LogLevel::kInfo, subsystem, args...);
+}
+template <typename... Args>
+void log_warn_in(std::string_view subsystem, const Args&... args) {
+    detail::log_fmt(LogLevel::kWarn, subsystem, args...);
+}
+template <typename... Args>
+void log_error_in(std::string_view subsystem, const Args&... args) {
+    detail::log_fmt(LogLevel::kError, subsystem, args...);
 }
 
 }  // namespace concilium::util

@@ -1,0 +1,413 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace concilium::util::metrics {
+
+namespace detail {
+
+std::size_t this_thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// HistogramMetric
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
+    if (!(hi > lo) || bins == 0) {
+        throw std::invalid_argument("HistogramMetric: bad geometry");
+    }
+    width_ = (hi - lo) / static_cast<double>(bins);
+    counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bins);
+    for (std::size_t i = 0; i < bins_; ++i) {
+        counts_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void HistogramMetric::observe(double x) noexcept {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    if (bin < 0) bin = 0;
+    if (bin >= static_cast<std::ptrdiff_t>(bins_)) {
+        bin = static_cast<std::ptrdiff_t>(bins_) - 1;
+    }
+    counts_[static_cast<std::size_t>(bin)].fetch_add(1,
+                                                     std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(static_cast<std::int64_t>(std::llround(x * 1e9)),
+                         std::memory_order_relaxed);
+}
+
+std::int64_t HistogramMetric::count(std::size_t bin) const noexcept {
+    return counts_[bin].load(std::memory_order_relaxed);
+}
+
+std::int64_t HistogramMetric::total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::sum() const noexcept {
+    // 1e9 is exactly representable, so e.g. 250000000 nanos divides to an
+    // exact 0.25 (multiplying by the inexact 1e-9 would not).
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) /
+           1e9;
+}
+
+double HistogramMetric::upper_edge(std::size_t bin) const noexcept {
+    return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+void HistogramMetric::reset() noexcept {
+    for (std::size_t i = 0; i < bins_; ++i) {
+        counts_[i].store(0, std::memory_order_relaxed);
+    }
+    total_.store(0, std::memory_order_relaxed);
+    sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+double Snapshot::HistogramValue::upper_edge(std::size_t bin) const noexcept {
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(bin + 1);
+}
+
+// --------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+    // Intentionally leaked: atexit-registered exporters (bench --metrics-out)
+    // must be able to snapshot after static destructors start running.
+    static Registry* instance = new Registry(/*preregister_well_known=*/true);
+    return *instance;
+}
+
+namespace {
+
+// The well-known instrument catalogue.  Every name the codebase's
+// instrumentation sites use is listed here so a snapshot from *any* binary
+// exposes the full `tomography/overlay/core/net/runtime/sim` namespace set
+// with zeros rather than omitting untouched subsystems.  Keep in sync with
+// OBSERVABILITY.md.
+struct WellKnown {
+    enum Kind { kCounter, kGauge, kHistogram } kind;
+    const char* name;
+    bool timing = false;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::size_t bins = 20;
+};
+
+constexpr WellKnown kWellKnown[] = {
+    // net — event queue and transport.
+    {WellKnown::kCounter, "net.events_scheduled"},
+    {WellKnown::kCounter, "net.events_executed"},
+    {WellKnown::kGauge, "net.queue_depth_max"},
+    {WellKnown::kCounter, "net.packets_sent"},
+    {WellKnown::kCounter, "net.packets_delivered"},
+    {WellKnown::kCounter, "net.packets_dropped"},
+    // tomography — probing and MINC inference.
+    {WellKnown::kCounter, "tomography.stripes_sampled"},
+    {WellKnown::kCounter, "tomography.probes_issued"},
+    {WellKnown::kCounter, "tomography.probes_lost"},
+    {WellKnown::kCounter, "tomography.probe_acks"},
+    {WellKnown::kCounter, "tomography.acks_suppressed"},
+    {WellKnown::kCounter, "tomography.acks_fabricated"},
+    {WellKnown::kCounter, "tomography.lightweight_rounds"},
+    {WellKnown::kCounter, "tomography.heavyweight_sessions"},
+    {WellKnown::kCounter, "tomography.inference_runs"},
+    {WellKnown::kCounter, "tomography.solver_calls"},
+    {WellKnown::kCounter, "tomography.solver_iterations"},
+    {WellKnown::kHistogram, "tomography.link_loss_estimate", false, 0.0, 1.0,
+     20},
+    // overlay — density tests and advertisement validation.
+    {WellKnown::kCounter, "overlay.density_tests"},
+    {WellKnown::kCounter, "overlay.density_rejections"},
+    {WellKnown::kCounter, "overlay.leaf_density_tests"},
+    {WellKnown::kCounter, "overlay.leaf_density_rejections"},
+    {WellKnown::kCounter, "overlay.density_model_evaluations"},
+    {WellKnown::kCounter, "overlay.occupancy_samples"},
+    {WellKnown::kCounter, "overlay.ads_validated"},
+    {WellKnown::kCounter, "overlay.ads_accepted"},
+    {WellKnown::kCounter, "overlay.ads_rejected"},
+    {WellKnown::kCounter, "overlay.ad_reject.bad_owner_signature"},
+    {WellKnown::kCounter, "overlay.ad_reject.malformed_entry"},
+    {WellKnown::kCounter, "overlay.ad_reject.constraint_violation"},
+    {WellKnown::kCounter, "overlay.ad_reject.bad_entry_timestamp"},
+    {WellKnown::kCounter, "overlay.ad_reject.stale_entry"},
+    {WellKnown::kCounter, "overlay.ad_reject.too_sparse"},
+    // core — blame, verdicts, attribution, accusations.
+    {WellKnown::kCounter, "core.blame_evaluations"},
+    {WellKnown::kCounter, "core.blame_probes_admitted"},
+    {WellKnown::kHistogram, "core.blame_score", false, 0.0, 1.0, 20},
+    {WellKnown::kCounter, "core.verdict_evaluations"},
+    {WellKnown::kCounter, "core.verdicts_guilty"},
+    {WellKnown::kCounter, "core.verdicts_innocent"},
+    {WellKnown::kCounter, "core.ledger_verdicts"},
+    {WellKnown::kCounter, "core.accusations_triggered"},
+    {WellKnown::kCounter, "core.accusation_model_evaluations"},
+    {WellKnown::kCounter, "core.attributions"},
+    {WellKnown::kCounter, "core.attribution_node_blamed"},
+    {WellKnown::kCounter, "core.attribution_network_blamed"},
+    {WellKnown::kCounter, "core.accusations_verified"},
+    {WellKnown::kCounter, "core.accusation_checks_failed"},
+    {WellKnown::kCounter, "core.bandwidth_evaluations"},
+    // runtime — the event-driven cluster.
+    {WellKnown::kCounter, "runtime.messages_sent"},
+    {WellKnown::kCounter, "runtime.messages_delivered"},
+    {WellKnown::kCounter, "runtime.messages_dropped_by_forwarder"},
+    {WellKnown::kCounter, "runtime.messages_dropped_by_network"},
+    {WellKnown::kCounter, "runtime.snapshots_published"},
+    {WellKnown::kCounter, "runtime.snapshots_rejected"},
+    {WellKnown::kCounter, "runtime.revisions_pushed"},
+    {WellKnown::kCounter, "runtime.revisions_applied"},
+    {WellKnown::kCounter, "runtime.accusations_filed"},
+    {WellKnown::kCounter, "runtime.commitments_issued"},
+    {WellKnown::kCounter, "runtime.commitments_refused"},
+    {WellKnown::kCounter, "runtime.trace_records"},
+    // sim — the experiment driver.  Trial *counts* are deterministic;
+    // wall-clock derived instruments live in the timing section.
+    {WellKnown::kCounter, "sim.driver_runs"},
+    {WellKnown::kCounter, "sim.driver_trials"},
+    {WellKnown::kCounter, "sim.driver_waves"},
+    {WellKnown::kGauge, "sim.driver_jobs", true},
+    {WellKnown::kGauge, "sim.driver_worker_utilization", true},
+    {WellKnown::kGauge, "sim.driver_busy_seconds", true},
+    {WellKnown::kHistogram, "sim.driver_run_seconds", true, 0.0, 60.0, 24},
+    {WellKnown::kHistogram, "sim.driver_trial_seconds", true, 0.0, 0.05, 50},
+};
+
+}  // namespace
+
+Registry::Registry(bool preregister_well_known) {
+    if (!preregister_well_known) return;
+    for (const WellKnown& m : kWellKnown) {
+        switch (m.kind) {
+            case WellKnown::kCounter:
+                m.timing ? timing_counter(m.name) : counter(m.name);
+                break;
+            case WellKnown::kGauge:
+                m.timing ? timing_gauge(m.name) : gauge(m.name);
+                break;
+            case WellKnown::kHistogram:
+                m.timing ? timing_histogram(m.name, m.lo, m.hi, m.bins)
+                         : histogram(m.name, m.lo, m.hi, m.bins);
+                break;
+        }
+    }
+}
+
+void Registry::require_unique(std::string_view name, const void* home) const {
+    // Caller holds mutex_.  Kinds share one namespace.
+    if (home != &counters_ && counters_.find(name) != counters_.end()) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' already registered as a counter");
+    }
+    if (home != &gauges_ && gauges_.find(name) != gauges_.end()) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' already registered as a gauge");
+    }
+    if (home != &histograms_ && histograms_.find(name) != histograms_.end()) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' already registered as a histogram");
+    }
+}
+
+Counter& Registry::counter_impl(std::string_view name, bool timing) {
+    const std::lock_guard lock(mutex_);
+    if (auto it = counters_.find(name); it != counters_.end()) {
+        return *it->second.metric;
+    }
+    require_unique(name, &counters_);
+    auto& entry = counters_[std::string(name)];
+    entry.metric = std::make_unique<Counter>();
+    entry.timing = timing;
+    return *entry.metric;
+}
+
+Gauge& Registry::gauge_impl(std::string_view name, bool timing) {
+    const std::lock_guard lock(mutex_);
+    if (auto it = gauges_.find(name); it != gauges_.end()) {
+        return *it->second.metric;
+    }
+    require_unique(name, &gauges_);
+    auto& entry = gauges_[std::string(name)];
+    entry.metric = std::make_unique<Gauge>();
+    entry.timing = timing;
+    return *entry.metric;
+}
+
+HistogramMetric& Registry::histogram_impl(std::string_view name, double lo,
+                                          double hi, std::size_t bins,
+                                          bool timing) {
+    const std::lock_guard lock(mutex_);
+    if (auto it = histograms_.find(name); it != histograms_.end()) {
+        HistogramMetric& h = *it->second.metric;
+        if (h.lo() != lo || h.hi() != hi || h.bins() != bins) {
+            throw std::logic_error("histogram '" + std::string(name) +
+                                   "' re-registered with different geometry");
+        }
+        return h;
+    }
+    require_unique(name, &histograms_);
+    auto& entry = histograms_[std::string(name)];
+    entry.metric = std::make_unique<HistogramMetric>(lo, hi, bins);
+    entry.timing = timing;
+    return *entry.metric;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    return counter_impl(name, /*timing=*/false);
+}
+Gauge& Registry::gauge(std::string_view name) {
+    return gauge_impl(name, /*timing=*/false);
+}
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t bins) {
+    return histogram_impl(name, lo, hi, bins, /*timing=*/false);
+}
+Counter& Registry::timing_counter(std::string_view name) {
+    return counter_impl(name, /*timing=*/true);
+}
+Gauge& Registry::timing_gauge(std::string_view name) {
+    return gauge_impl(name, /*timing=*/true);
+}
+HistogramMetric& Registry::timing_histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+    return histogram_impl(name, lo, hi, bins, /*timing=*/true);
+}
+
+Snapshot Registry::snapshot() const {
+    const std::lock_guard lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, entry] : counters_) {
+        snap.counters.push_back({name, entry.metric->value(), entry.timing});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, entry] : gauges_) {
+        snap.gauges.push_back({name, entry.metric->value(), entry.timing});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, entry] : histograms_) {
+        const HistogramMetric& h = *entry.metric;
+        Snapshot::HistogramValue v;
+        v.name = name;
+        v.lo = h.lo();
+        v.hi = h.hi();
+        v.counts.resize(h.bins());
+        for (std::size_t i = 0; i < h.bins(); ++i) v.counts[i] = h.count(i);
+        v.total = h.total();
+        v.sum = h.sum();
+        v.timing = entry.timing;
+        snap.histograms.push_back(std::move(v));
+    }
+    return snap;
+}
+
+void Registry::reset() {
+    const std::lock_guard lock(mutex_);
+    for (auto& [name, entry] : counters_) entry.metric->reset();
+    for (auto& [name, entry] : gauges_) entry.metric->reset();
+    for (auto& [name, entry] : histograms_) entry.metric->reset();
+}
+
+// --------------------------------------------------------------------------
+// Exporters
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+    std::string out = "concilium_";
+    for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
+    return out;
+}
+
+std::string histogram_json(const Snapshot::HistogramValue& h) {
+    std::string out = "{\"lo\": " + json_number(h.lo) +
+                      ", \"hi\": " + json_number(h.hi) +
+                      ", \"total\": " + json_number(h.total) +
+                      ", \"sum\": " + json_number(h.sum) + ", \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_number(h.counts[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_text() const {
+    std::string out;
+    const auto header = [&out](const std::string& pname, const char* type,
+                               bool timing) {
+        if (timing) out += "# TIMING (excluded from determinism checks)\n";
+        out += "# TYPE " + pname + " " + type + "\n";
+    };
+    for (const CounterValue& c : counters) {
+        const std::string pname = prometheus_name(c.name);
+        header(pname, "counter", c.timing);
+        out += pname + " " + json_number(c.value) + "\n";
+    }
+    for (const GaugeValue& g : gauges) {
+        const std::string pname = prometheus_name(g.name);
+        header(pname, "gauge", g.timing);
+        out += pname + " " + json_number(g.value) + "\n";
+    }
+    for (const HistogramValue& h : histograms) {
+        const std::string pname = prometheus_name(h.name);
+        header(pname, "histogram", h.timing);
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cumulative += h.counts[i];
+            out += pname + "_bucket{le=\"" + json_number(h.upper_edge(i)) +
+                   "\"} " + json_number(cumulative) + "\n";
+        }
+        out += pname + "_bucket{le=\"+Inf\"} " + json_number(h.total) + "\n";
+        out += pname + "_sum " + json_number(h.sum) + "\n";
+        out += pname + "_count " + json_number(h.total) + "\n";
+    }
+    return out;
+}
+
+std::string Snapshot::to_json() const {
+    // Two name-sorted sections: "metrics" (deterministic for a fixed seed,
+    // byte-comparable across --jobs) and "timing" (wall-clock dependent).
+    std::vector<std::pair<std::string, std::string>> lines[2];
+    for (const CounterValue& c : counters) {
+        lines[c.timing ? 1 : 0].emplace_back(c.name, json_number(c.value));
+    }
+    for (const GaugeValue& g : gauges) {
+        lines[g.timing ? 1 : 0].emplace_back(g.name, json_number(g.value));
+    }
+    for (const HistogramValue& h : histograms) {
+        lines[h.timing ? 1 : 0].emplace_back(h.name, histogram_json(h));
+    }
+    std::string out = "{\n";
+    const char* section_name[2] = {"metrics", "timing"};
+    for (int s = 0; s < 2; ++s) {
+        std::sort(lines[s].begin(), lines[s].end());
+        out += "  ";
+        out += json_quote(section_name[s]);
+        out += ": {\n";
+        for (std::size_t i = 0; i < lines[s].size(); ++i) {
+            out += "    " + json_quote(lines[s][i].first) + ": " +
+                   lines[s][i].second;
+            if (i + 1 < lines[s].size()) out += ',';
+            out += '\n';
+        }
+        out += (s == 0) ? "  },\n" : "  }\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace concilium::util::metrics

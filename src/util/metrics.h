@@ -1,0 +1,237 @@
+// Process-wide metrics: named counters, gauges, and value histograms with
+// a lock-free update path, a consistent snapshot, and text/JSON exporters.
+//
+// Design goals, in order:
+//
+//  1. Hot-path updates must be cheap enough to leave enabled everywhere —
+//     counters are sharded cache-line-aligned relaxed atomics, so worker
+//     threads touching the same counter do not ping-pong one line.
+//  2. Deterministic values stay deterministic.  Everything a simulation
+//     increments is a pure function of the seed (trial schedules are
+//     jobs-independent, see sim::ExperimentDriver), so exporters split the
+//     snapshot into a "metrics" section that must be byte-identical across
+//     `--jobs` values and a "timing" section (wall time, utilization,
+//     worker counts) that legitimately is not.  Register wall-clock-
+//     dependent instruments through the `timing_*` accessors.
+//  3. One naming convention: `subsystem.metric` (e.g. `core.blame_score`,
+//     `net.events_scheduled`).  See OBSERVABILITY.md for the catalogue.
+//
+// Instrumentation sites should cache the handle once:
+//
+//     static auto& probes = util::metrics::Registry::global()
+//                               .counter("tomography.probes_issued");
+//     probes.add(stripe.size());
+//
+// Handles returned by the registry are valid for the registry's lifetime;
+// registration never invalidates previously returned references.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concilium::util::metrics {
+
+namespace detail {
+/// Small per-thread slot used to spread counter updates across shards;
+/// assigned round-robin at first use so a worker pool lands on distinct
+/// shards.
+std::size_t this_thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotonic (well, signed — deltas may be negative) event counter.
+/// Updates are relaxed atomics on a per-thread shard; `value()` sums the
+/// shards and is exact once concurrent writers have quiesced.
+class Counter {
+  public:
+    void add(std::int64_t delta = 1) noexcept {
+        shards_[detail::this_thread_slot() & (kShards - 1)].v.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::int64_t value() const noexcept {
+        std::int64_t sum = 0;
+        for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void reset() noexcept {
+        for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;  // power of two
+    struct alignas(64) Shard {
+        std::atomic<std::int64_t> v{0};
+    };
+    std::array<Shard, kShards> shards_{};
+};
+
+/// Last-written / accumulated floating-point value.
+class Gauge {
+  public:
+    void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+    void add(double delta) noexcept {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value (running
+    /// maximum; commutative, so the result is order-independent).
+    void set_max(double v) noexcept {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (cur < v &&
+               !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    [[nodiscard]] double value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Fixed-geometry value histogram (same bin layout as util::Histogram:
+/// `bins` equal-width bins over [lo, hi], out-of-range observations clamp
+/// to the edge bins).  Bin counts are relaxed atomics; `sum` tracks the
+/// total of observed values for mean computation.  The sum accumulates in
+/// nano-unit fixed point: integer addition commutes exactly, so the
+/// exported value is independent of the thread interleaving (floating-point
+/// accumulation would drift by an ulp per reordering and break the
+/// byte-stable snapshot guarantee).
+class HistogramMetric {
+  public:
+    HistogramMetric(double lo, double hi, std::size_t bins);
+
+    void observe(double x) noexcept;
+
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+    [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+    [[nodiscard]] std::int64_t count(std::size_t bin) const noexcept;
+    [[nodiscard]] std::int64_t total() const noexcept;
+    [[nodiscard]] double sum() const noexcept;
+    /// Upper edge of `bin` (used by the Prometheus exporter's `le` labels).
+    [[nodiscard]] double upper_edge(std::size_t bin) const noexcept;
+
+    void reset() noexcept;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::size_t bins_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+    std::atomic<std::int64_t> total_{0};
+    /// Sum of observations in nano-units (value * 1e9, rounded to nearest).
+    std::atomic<std::int64_t> sum_nanos_{0};
+};
+
+/// Point-in-time copy of every registered metric.  Plain data: safe to
+/// keep, compare, or export after the registry has moved on.
+struct Snapshot {
+    struct CounterValue {
+        std::string name;
+        std::int64_t value = 0;
+        bool timing = false;
+    };
+    struct GaugeValue {
+        std::string name;
+        double value = 0.0;
+        bool timing = false;
+    };
+    struct HistogramValue {
+        std::string name;
+        double lo = 0.0;
+        double hi = 1.0;
+        std::vector<std::int64_t> counts;
+        std::int64_t total = 0;
+        double sum = 0.0;
+        bool timing = false;
+        [[nodiscard]] double upper_edge(std::size_t bin) const noexcept;
+    };
+
+    std::vector<CounterValue> counters;      // sorted by name
+    std::vector<GaugeValue> gauges;          // sorted by name
+    std::vector<HistogramValue> histograms;  // sorted by name
+
+    /// Prometheus-style exposition text (`concilium_` prefix, dots
+    /// flattened to underscores, histograms as cumulative `_bucket`
+    /// series).  Timing metrics carry a `# TIMING` marker comment.
+    [[nodiscard]] std::string to_text() const;
+
+    /// Machine-readable JSON, one metric per line, split into a
+    /// deterministic `"metrics"` object and a wall-clock `"timing"`
+    /// object.  Compare only `"metrics"` across runs/job counts.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Registry of named metrics.  Lookup/registration takes a mutex (cache
+/// the returned reference at the call site); updates through the returned
+/// handles are lock-free.  Metric kinds share one namespace: registering
+/// `x` as a counter and again as a gauge throws std::logic_error, as does
+/// re-registering a histogram with different geometry.
+class Registry {
+  public:
+    /// The process-wide registry.  Pre-seeded with the well-known metric
+    /// set (see OBSERVABILITY.md) so snapshots always expose every
+    /// subsystem namespace, even ones a given binary never exercises.
+    static Registry& global();
+
+    /// `preregister_well_known` seeds the instrument catalogue the global
+    /// registry uses; tests construct bare registries with `false`.
+    explicit Registry(bool preregister_well_known = false);
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                               std::size_t bins);
+
+    /// Like the above, but the instrument is classified as wall-clock
+    /// dependent and excluded from the deterministic export section.
+    Counter& timing_counter(std::string_view name);
+    Gauge& timing_gauge(std::string_view name);
+    HistogramMetric& timing_histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins);
+
+    [[nodiscard]] Snapshot snapshot() const;
+
+    /// Zeroes every value but keeps all registrations (and handle
+    /// validity).  Used between repeated experiments in one process.
+    void reset();
+
+  private:
+    template <typename T>
+    struct Entry {
+        std::unique_ptr<T> metric;
+        bool timing = false;
+    };
+
+    Counter& counter_impl(std::string_view name, bool timing);
+    Gauge& gauge_impl(std::string_view name, bool timing);
+    HistogramMetric& histogram_impl(std::string_view name, double lo,
+                                    double hi, std::size_t bins, bool timing);
+    void require_unique(std::string_view name, const void* home) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry<Counter>, std::less<>> counters_;
+    std::map<std::string, Entry<Gauge>, std::less<>> gauges_;
+    std::map<std::string, Entry<HistogramMetric>, std::less<>> histograms_;
+};
+
+}  // namespace concilium::util::metrics

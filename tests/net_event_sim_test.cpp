@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace concilium::net {
 namespace {
 
@@ -126,6 +128,22 @@ TEST(EventSim, RunUntilHonorsEventsScheduledDuringTheRun) {
     EXPECT_EQ(sim.pending(), 1u);
     sim.run_until(510);
     EXPECT_TRUE(beyond);
+}
+
+TEST(EventSim, CountsScheduledAndExecutedEvents) {
+    auto& registry = util::metrics::Registry::global();
+    registry.reset();
+    EventSim sim;
+    sim.schedule_at(10, [] {});
+    sim.schedule_at(20, [] {});
+    sim.schedule_at(30, [] {});
+    EXPECT_EQ(registry.counter("net.events_scheduled").value(), 3);
+    EXPECT_EQ(registry.counter("net.events_executed").value(), 0);
+    EXPECT_DOUBLE_EQ(registry.gauge("net.queue_depth_max").value(), 3.0);
+    sim.run_until(20);
+    EXPECT_EQ(registry.counter("net.events_executed").value(), 2);
+    sim.run_all();
+    EXPECT_EQ(registry.counter("net.events_executed").value(), 3);
 }
 
 TEST(EventSim, StepReturnsFalseWhenEmpty) {

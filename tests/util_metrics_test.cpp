@@ -1,0 +1,240 @@
+// Unit tests for the process-wide metrics registry and its exporters.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace concilium::util::metrics {
+namespace {
+
+TEST(Counter, AddAndValue) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counter, ConcurrentUpdatesAreExact) {
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) c.add();
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAddAndMax) {
+    Gauge g;
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.add(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);
+    g.set_max(4.0);  // lower: no effect
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);
+    g.set_max(9.0);
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentSetMaxKeepsMaximum) {
+    Gauge g;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&g, t] {
+            for (int i = 0; i < 5000; ++i) {
+                g.set_max(static_cast<double>(t * 10000 + i));
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_DOUBLE_EQ(g.value(), 74999.0);
+}
+
+TEST(HistogramMetric, ObservationsLandInBinsAndClamp) {
+    HistogramMetric h(0.0, 1.0, 10);
+    h.observe(0.05);   // bin 0
+    h.observe(0.55);   // bin 5
+    h.observe(-3.0);   // clamps to bin 0
+    h.observe(7.0);    // clamps to bin 9
+    EXPECT_EQ(h.count(0), 2);
+    EXPECT_EQ(h.count(5), 1);
+    EXPECT_EQ(h.count(9), 1);
+    EXPECT_EQ(h.total(), 4);
+    EXPECT_NEAR(h.sum(), 0.05 + 0.55 - 3.0 + 7.0, 1e-6);
+    EXPECT_DOUBLE_EQ(h.upper_edge(0), 0.1);
+    EXPECT_DOUBLE_EQ(h.upper_edge(9), 1.0);
+}
+
+TEST(HistogramMetric, SumIsFixedPointExact) {
+    // The sum accumulates in integer nano-units so it is independent of
+    // update order (the cross---jobs byte-stability guarantee).
+    HistogramMetric h(0.0, 1.0, 4);
+    constexpr int kThreads = 8;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h] {
+            for (int i = 0; i < 10000; ++i) h.observe(0.1);
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(h.total(), 80000);
+    // 0.1 rounds to exactly 100000000 nanos, so the sum is exactly 8000.
+    EXPECT_DOUBLE_EQ(h.sum(), 8000.0);
+}
+
+TEST(HistogramMetric, RejectsBadGeometry) {
+    EXPECT_THROW(HistogramMetric(1.0, 1.0, 10), std::invalid_argument);
+    EXPECT_THROW(HistogramMetric(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+    Registry reg;
+    Counter& a = reg.counter("x.count");
+    Counter& b = reg.counter("x.count");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3);
+}
+
+TEST(Registry, CrossKindNameCollisionThrows) {
+    Registry reg;
+    reg.counter("x.metric");
+    EXPECT_THROW(reg.gauge("x.metric"), std::logic_error);
+    EXPECT_THROW(reg.histogram("x.metric", 0.0, 1.0, 4), std::logic_error);
+    reg.gauge("y.metric");
+    EXPECT_THROW(reg.counter("y.metric"), std::logic_error);
+}
+
+TEST(Registry, HistogramGeometryMismatchThrows) {
+    Registry reg;
+    reg.histogram("h", 0.0, 1.0, 10);
+    EXPECT_NO_THROW(reg.histogram("h", 0.0, 1.0, 10));
+    EXPECT_THROW(reg.histogram("h", 0.0, 2.0, 10), std::logic_error);
+    EXPECT_THROW(reg.histogram("h", 0.0, 1.0, 5), std::logic_error);
+}
+
+TEST(Registry, SnapshotIsIsolatedFromLaterUpdates) {
+    Registry reg;
+    Counter& c = reg.counter("a.count");
+    c.add(5);
+    const Snapshot snap = reg.snapshot();
+    c.add(100);
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 5);
+    EXPECT_EQ(reg.snapshot().counters[0].value, 105);
+}
+
+TEST(Registry, ResetZeroesEverything) {
+    Registry reg;
+    reg.counter("c").add(7);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h", 0.0, 1.0, 4).observe(0.4);
+    reg.reset();
+    const Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, 0);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.0);
+    EXPECT_EQ(snap.histograms[0].total, 0);
+}
+
+TEST(Registry, GlobalPreregistersAllNamespaces) {
+    const Snapshot snap = Registry::global().snapshot();
+    bool seen_net = false;
+    bool seen_tomography = false;
+    bool seen_overlay = false;
+    bool seen_core = false;
+    bool seen_runtime = false;
+    bool seen_sim = false;
+    for (const auto& c : snap.counters) {
+        seen_net = seen_net || c.name.starts_with("net.");
+        seen_tomography =
+            seen_tomography || c.name.starts_with("tomography.");
+        seen_overlay = seen_overlay || c.name.starts_with("overlay.");
+        seen_core = seen_core || c.name.starts_with("core.");
+        seen_runtime = seen_runtime || c.name.starts_with("runtime.");
+        seen_sim = seen_sim || c.name.starts_with("sim.");
+    }
+    EXPECT_TRUE(seen_net);
+    EXPECT_TRUE(seen_tomography);
+    EXPECT_TRUE(seen_overlay);
+    EXPECT_TRUE(seen_core);
+    EXPECT_TRUE(seen_runtime);
+    EXPECT_TRUE(seen_sim);
+}
+
+TEST(Exporters, PrometheusTextGolden) {
+    Registry reg;  // bare: no well-known catalogue
+    reg.counter("demo.count").add(3);
+    reg.gauge("demo.level").set(1.5);
+    reg.histogram("demo.hist", 0.0, 1.0, 2).observe(0.25);
+    const std::string expected =
+        "# TYPE concilium_demo_count counter\n"
+        "concilium_demo_count 3\n"
+        "# TYPE concilium_demo_level gauge\n"
+        "concilium_demo_level 1.5\n"
+        "# TYPE concilium_demo_hist histogram\n"
+        "concilium_demo_hist_bucket{le=\"0.5\"} 1\n"
+        "concilium_demo_hist_bucket{le=\"1\"} 1\n"
+        "concilium_demo_hist_bucket{le=\"+Inf\"} 1\n"
+        "concilium_demo_hist_sum 0.25\n"
+        "concilium_demo_hist_count 1\n";
+    EXPECT_EQ(reg.snapshot().to_text(), expected);
+}
+
+TEST(Exporters, TimingInstrumentsAreFlaggedInText) {
+    Registry reg;
+    reg.timing_gauge("demo.wall_seconds").set(2.0);
+    const std::string text = reg.snapshot().to_text();
+    EXPECT_NE(text.find("# TIMING (excluded from determinism checks)\n"
+                        "# TYPE concilium_demo_wall_seconds gauge\n"),
+              std::string::npos);
+}
+
+TEST(Exporters, JsonGoldenSplitsSections) {
+    Registry reg;
+    reg.counter("demo.count").add(2);
+    reg.timing_gauge("demo.seconds").set(0.5);
+    reg.histogram("demo.hist", 0.0, 1.0, 2).observe(0.75);
+    const std::string expected =
+        "{\n"
+        "  \"metrics\": {\n"
+        "    \"demo.count\": 2,\n"
+        "    \"demo.hist\": {\"lo\": 0, \"hi\": 1, \"total\": 1, "
+        "\"sum\": 0.75, \"counts\": [0, 1]}\n"
+        "  },\n"
+        "  \"timing\": {\n"
+        "    \"demo.seconds\": 0.5\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(reg.snapshot().to_json(), expected);
+}
+
+TEST(Exporters, JsonIsByteStableAcrossRegistrationOrder) {
+    Registry a;
+    a.counter("z.count").add(1);
+    a.counter("a.count").add(2);
+    Registry b;
+    b.counter("a.count").add(2);
+    b.counter("z.count").add(1);
+    EXPECT_EQ(a.snapshot().to_json(), b.snapshot().to_json());
+}
+
+}  // namespace
+}  // namespace concilium::util::metrics

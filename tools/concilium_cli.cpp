@@ -8,6 +8,11 @@
 //                                               Figure-4 style coverage curve
 //   concilium run        [--seed N] [--messages M] [--droppers F]
 //                                               event-driven protocol demo
+//   concilium metrics    [--seed N] [--messages M] [--droppers F] [--json]
+//                                               run demo, dump metric registry
+//   concilium trace      [--seed N] [--messages M]
+//                                               diagnose a known dropper and
+//                                               print the JSON blame journal
 
 #include <cstdio>
 #include <cstring>
@@ -15,11 +20,14 @@
 #include <string>
 
 #include "core/bandwidth.h"
+#include "core/trace.h"
 #include "net/topology_gen.h"
 #include "overlay/density.h"
 #include "runtime/cluster.h"
 #include "sim/experiments.h"
 #include "sim/scenario.h"
+#include "util/json.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -34,6 +42,8 @@ struct Options {
     double droppers = 0.1;
     /// Experiment-driver workers; 0 = hardware_concurrency.
     std::size_t jobs = 0;
+    /// `metrics`: emit the JSON snapshot instead of Prometheus text.
+    bool json = false;
 };
 
 Options parse(int argc, char** argv, int first) {
@@ -61,6 +71,8 @@ Options parse(int argc, char** argv, int first) {
             o.droppers = std::strtod(next(), nullptr);
         } else if (a == "--jobs") {
             o.jobs = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--json") {
+            o.json = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             std::exit(2);
@@ -145,7 +157,11 @@ int cmd_coverage(const Options& o) {
     return 0;
 }
 
-int cmd_run(const Options& o) {
+int run_demo(const Options& o, bool print_summary);
+
+int cmd_run(const Options& o) { return run_demo(o, true); }
+
+int run_demo(const Options& o, bool print_summary) {
     sim::ScenarioParams p;
     p.topology = net::small_params();
     p.topology.end_hosts = 500;
@@ -195,18 +211,120 @@ int cmd_run(const Options& o) {
     }
     sim.run_until(sim.now() + 5 * util::kMinute);
     const auto& s = cluster.stats();
-    std::printf("messages %zu | delivered %zu | diagnosed correctly %zu/%zu\n",
-                s.messages, delivered, correct, judged);
-    std::printf("snapshots %zu | heavyweight sessions %zu | accusations %zu\n",
-                s.snapshots_published, s.heavyweight_sessions,
-                s.accusations_filed);
+    if (print_summary) {
+        std::printf(
+            "messages %zu | delivered %zu | diagnosed correctly %zu/%zu\n",
+            s.messages, delivered, correct, judged);
+        std::printf(
+            "snapshots %zu | heavyweight sessions %zu | accusations %zu\n",
+            s.snapshots_published, s.heavyweight_sessions,
+            s.accusations_filed);
+    }
+    return 0;
+}
+
+int cmd_metrics(const Options& o) {
+    // Exercise the full protocol (same world as `concilium run`), then dump
+    // everything the instrumentation saw.
+    run_demo(o, false);
+    const auto snapshot = util::metrics::Registry::global().snapshot();
+    const std::string out = o.json ? snapshot.to_json() : snapshot.to_text();
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
+int cmd_trace(const Options& o) {
+    // A known-guilty world: one node on a predictable route drops every
+    // message it should forward.  The journal printed at the end shows the
+    // full diagnosis — forwarder chain, per-link Equation 2 confidences,
+    // Equation 3 blame, and the revision chain that converged on the
+    // dropper.
+    sim::ScenarioParams p;
+    p.topology = net::small_params();
+    p.topology.end_hosts = 500;
+    p.overlay_nodes_override = 80;
+    p.duration = 2 * util::kHour;
+    // No background link failures: the dropper should be the only fault,
+    // so every lost message traces back to it.
+    p.failures.fraction_bad = 0.0;
+    p.seed = o.seed;
+    const sim::Scenario world(p);
+    const auto& overlay_net = world.overlay_net();
+
+    // Find a sender/key pair whose route is long enough to bury the dropper
+    // two hops downstream (so diagnosing it exercises the revision chain).
+    util::Rng search(o.seed + 99);
+    std::vector<overlay::MemberIndex> hops;
+    overlay::MemberIndex from = 0;
+    util::NodeId key;
+    for (int attempt = 0; attempt < 20000 && hops.size() < 4; ++attempt) {
+        from = static_cast<overlay::MemberIndex>(
+            search.uniform_index(overlay_net.size()));
+        key = util::NodeId::random(search);
+        try {
+            hops = overlay_net.route(from, key);
+        } catch (const std::exception&) {
+            hops.clear();
+        }
+    }
+    std::size_t drop_pos = 2;
+    if (hops.size() < 4) {
+        // Fall back to any 3-hop route with the middle hop guilty.
+        for (int attempt = 0; attempt < 20000 && hops.size() < 3; ++attempt) {
+            from = static_cast<overlay::MemberIndex>(
+                search.uniform_index(overlay_net.size()));
+            key = util::NodeId::random(search);
+            try {
+                hops = overlay_net.route(from, key);
+            } catch (const std::exception&) {
+                hops.clear();
+            }
+        }
+        drop_pos = 1;
+    }
+    if (hops.size() < 3) {
+        std::fprintf(stderr,
+                     "trace: no multi-hop route found for seed %llu\n",
+                     static_cast<unsigned long long>(o.seed));
+        return 1;
+    }
+    const overlay::MemberIndex dropper = hops[drop_pos];
+
+    std::vector<runtime::NodeBehavior> behaviors(overlay_net.size());
+    behaviors[dropper].drop_forward_probability = 1.0;
+    util::Rng rng(o.seed + 71);
+    net::EventSim sim;
+    runtime::Cluster cluster(sim, world.timeline(), overlay_net,
+                             world.trees(), runtime::RuntimeParams{},
+                             behaviors, rng.fork());
+    core::DiagnosisTrace trace;
+    cluster.set_trace(&trace);
+    cluster.start();
+    sim.run_until(3 * util::kMinute);
+    const std::size_t messages = o.messages == 100 ? 8 : o.messages;
+    for (std::size_t i = 0; i < messages; ++i) {
+        cluster.send(from, key);
+        sim.run_until(sim.now() + 30 * util::kSecond);
+    }
+    sim.run_until(sim.now() + 2 * util::kMinute);
+
+    std::string out = "{\"scenario\": {\"seed\": ";
+    out += util::json_number(static_cast<std::uint64_t>(o.seed));
+    out += ", \"dropper\": ";
+    out += util::json_quote(overlay_net.member(dropper).id().to_hex());
+    out += ", \"messages\": ";
+    out += util::json_number(static_cast<std::uint64_t>(messages));
+    out += "},\n\"records\": ";
+    out += trace.records_json();
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
     return 0;
 }
 
 void usage() {
     std::fprintf(stderr,
                  "usage: concilium <topology|occupancy|gamma|bandwidth|"
-                 "coverage|run> [options]\n");
+                 "coverage|run|metrics|trace> [options]\n");
 }
 
 }  // namespace
@@ -224,6 +342,8 @@ int main(int argc, char** argv) {
     if (cmd == "bandwidth") return cmd_bandwidth(o);
     if (cmd == "coverage") return cmd_coverage(o);
     if (cmd == "run") return cmd_run(o);
+    if (cmd == "metrics") return cmd_metrics(o);
+    if (cmd == "trace") return cmd_trace(o);
     usage();
     return 2;
 }
