@@ -20,6 +20,9 @@
 #include <cstring>
 #include <string>
 
+#include <stdexcept>
+
+#include "net/chaos.h"
 #include "net/topology_gen.h"
 #include "sim/experiment_driver.h"
 #include "sim/scenario.h"
@@ -36,12 +39,18 @@ struct BenchArgs {
     std::size_t jobs = 0;
     /// Empty = no metrics dump.
     std::string metrics_out;
+    /// Parsed --chaos spec (see net/chaos.h); empty = no fault injection.
+    net::FaultSpec chaos;
 };
 
 [[noreturn]] inline void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--full] [--seed N] [--samples N] [--jobs N] "
-                 "[--metrics-out FILE]\n",
+                 "[--metrics-out FILE] [--chaos SPEC]\n"
+                 "  SPEC: comma-separated kind:rate pairs, e.g. "
+                 "flap:0.02,churn:0.01\n"
+                 "  kinds: flap corr loss reorder dup churn ackdrop "
+                 "ackdelay; rates in [0, 1]\n",
                  argv0);
     std::exit(2);
 }
@@ -111,6 +120,15 @@ inline BenchArgs parse_args(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
                    i + 1 < argc) {
             args.metrics_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+            // Strict: unknown fault kinds and out-of-range rates are
+            // rejected here, not at scenario-construction time.
+            try {
+                args.chaos = net::FaultSpec::parse(argv[++i]);
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                usage(argv[0]);
+            }
         } else {
             usage(argv[0]);
         }
@@ -156,6 +174,7 @@ inline sim::ScenarioParams paper_scenario(const BenchArgs& args,
     p.overlay_fraction = 0.03;
     p.duration = 2 * util::kHour;
     p.malicious_fraction = malicious_fraction;
+    p.chaos = args.chaos;
     p.seed = args.seed;
     return p;
 }

@@ -1,0 +1,303 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/metrics.h"
+
+namespace concilium::net {
+
+namespace {
+
+struct KindName {
+    FaultKind kind;
+    std::string_view name;
+};
+
+// Parse-order table; also the canonical to_string() order.
+constexpr KindName kKinds[] = {
+    {FaultKind::kFlap, "flap"},         {FaultKind::kCorrelated, "corr"},
+    {FaultKind::kLossSpike, "loss"},    {FaultKind::kReorder, "reorder"},
+    {FaultKind::kDuplicate, "dup"},     {FaultKind::kChurn, "churn"},
+    {FaultKind::kAckDrop, "ackdrop"},   {FaultKind::kAckDelay, "ackdelay"},
+};
+
+[[noreturn]] void bad_spec(const std::string& what) {
+    throw std::invalid_argument("--chaos: " + what);
+}
+
+std::string known_kinds() {
+    std::string out;
+    for (const KindName& k : kKinds) {
+        if (!out.empty()) out += ", ";
+        out += k.name;
+    }
+    return out;
+}
+
+/// Strict [0, 1] rate parse; rejects empty text, trailing junk, and
+/// non-finite values (strtod alone would accept "1e3x" prefixes or "nan").
+double parse_rate(std::string_view kind, std::string_view text) {
+    const std::string owned(text);
+    if (owned.empty()) {
+        bad_spec("fault '" + std::string(kind) + "' has an empty rate");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size() || !std::isfinite(value)) {
+        bad_spec("fault '" + std::string(kind) + "' has a malformed rate '" +
+                 owned + "'");
+    }
+    if (value < 0.0 || value > 1.0) {
+        bad_spec("fault '" + std::string(kind) + "' rate " + owned +
+                 " is outside [0, 1]");
+    }
+    return value;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+    for (const KindName& k : kKinds) {
+        if (k.kind == kind) return k.name;
+    }
+    return "?";
+}
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+    FaultSpec spec;
+    bool seen[static_cast<std::size_t>(FaultKind::kCount_)] = {};
+    while (!text.empty()) {
+        const std::size_t comma = text.find(',');
+        const std::string_view pair = text.substr(0, comma);
+        if (comma != std::string_view::npos &&
+            text.substr(comma + 1).empty()) {
+            bad_spec("trailing ',' after '" + std::string(pair) + "'");
+        }
+        text = comma == std::string_view::npos ? std::string_view{}
+                                               : text.substr(comma + 1);
+        const std::size_t colon = pair.find(':');
+        if (pair.empty() || colon == std::string_view::npos) {
+            bad_spec("expected 'kind:rate', got '" + std::string(pair) + "'");
+        }
+        const std::string_view name = pair.substr(0, colon);
+        const KindName* match = nullptr;
+        for (const KindName& k : kKinds) {
+            if (k.name == name) {
+                match = &k;
+                break;
+            }
+        }
+        if (match == nullptr) {
+            bad_spec("unknown fault kind '" + std::string(name) +
+                     "' (known: " + known_kinds() + ")");
+        }
+        const auto slot = static_cast<std::size_t>(match->kind);
+        if (seen[slot]) {
+            bad_spec("fault '" + std::string(name) + "' given twice");
+        }
+        seen[slot] = true;
+        spec.rates_[slot] = parse_rate(name, pair.substr(colon + 1));
+    }
+    return spec;
+}
+
+void FaultSpec::set_rate(FaultKind kind, double rate) {
+    if (!(rate >= 0.0) || rate > 1.0) {
+        bad_spec("rate " + std::to_string(rate) + " is outside [0, 1]");
+    }
+    rates_[static_cast<std::size_t>(kind)] = rate;
+}
+
+bool FaultSpec::empty() const noexcept {
+    for (const double r : rates_) {
+        if (r != 0.0) return false;
+    }
+    return true;
+}
+
+FaultSpec FaultSpec::scaled(double factor) const {
+    FaultSpec out;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(FaultKind::kCount_);
+         ++i) {
+        out.rates_[i] = std::min(1.0, rates_[i] * factor);
+    }
+    return out;
+}
+
+std::string FaultSpec::to_string() const {
+    std::string out;
+    for (const KindName& k : kKinds) {
+        const double r = rate(k.kind);
+        if (r == 0.0) continue;
+        if (!out.empty()) out += ',';
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s:%g", std::string(k.name).c_str(),
+                      r);
+        out += buf;
+    }
+    return out;
+}
+
+double FaultPlan::loss_at(LinkId link, util::SimTime t) const {
+    // Spikes are rare (per-minute events); the linear scan is fine and
+    // keeps the structure trivially copyable across threads.
+    double loss = 0.0;
+    for (const LossSpike& s : spikes) {
+        if (s.link == link && t >= s.start && t < s.end) {
+            loss = std::max(loss, s.loss);
+        }
+    }
+    return loss;
+}
+
+FaultPlan build_fault_plan(const FaultSpec& spec, util::SimTime duration,
+                           std::span<const Path> candidate_paths,
+                           std::size_t node_count, util::Rng& rng) {
+    auto& registry = util::metrics::Registry::global();
+    static auto& plans = registry.counter("chaos.plans_built");
+    static auto& flaps = registry.counter("chaos.flap_intervals");
+    static auto& outages = registry.counter("chaos.correlated_outages");
+    static auto& spikes = registry.counter("chaos.loss_spikes");
+    static auto& churns = registry.counter("chaos.churn_events");
+    plans.add(1);
+
+    FaultPlan plan;
+    plan.reorder_rate = spec.rate(FaultKind::kReorder);
+    plan.duplicate_rate = spec.rate(FaultKind::kDuplicate);
+    plan.ack_drop_rate = spec.rate(FaultKind::kAckDrop);
+    plan.ack_delay_rate = spec.rate(FaultKind::kAckDelay);
+
+    const double minutes = util::to_seconds(duration) / 60.0;
+    const auto pick_link = [&](util::Rng& r) -> LinkId {
+        const Path& path = candidate_paths[r.uniform_index(
+            candidate_paths.size())];
+        return path.links[r.uniform_index(path.links.size())];
+    };
+    const auto event_count = [&](double per_minute_mean) {
+        // Poisson arrivals via exponential gaps would also work; a binomial
+        // draw per whole minute keeps the count bounded and the stream
+        // consumption simple.
+        std::size_t events = 0;
+        const auto whole = static_cast<std::size_t>(minutes);
+        for (std::size_t i = 0; i < whole; ++i) {
+            if (rng.uniform() < per_minute_mean) ++events;
+        }
+        if (rng.uniform() < per_minute_mean * (minutes - static_cast<double>(
+                                                             whole))) {
+            ++events;
+        }
+        return events;
+    };
+
+    // --- link flaps: short independent down intervals -----------------------
+    const double flap_rate = spec.rate(FaultKind::kFlap);
+    if (flap_rate > 0.0 && !candidate_paths.empty()) {
+        // Expected flap_rate * #links flaps per minute; 5-20 s downtime.
+        std::size_t distinct_links = 0;
+        for (const Path& p : candidate_paths) distinct_links += p.hops();
+        const double per_minute =
+            flap_rate * static_cast<double>(distinct_links) /
+            std::max<double>(1.0, static_cast<double>(candidate_paths.size()));
+        const auto n = static_cast<std::size_t>(per_minute * minutes);
+        for (std::size_t i = 0; i < n; ++i) {
+            const LinkId link = pick_link(rng);
+            const auto start = static_cast<util::SimTime>(
+                rng.uniform(0.0, static_cast<double>(duration)));
+            const auto down = static_cast<util::SimTime>(
+                rng.uniform(5.0, 20.0) * static_cast<double>(util::kSecond));
+            plan.downs.add_down(link, {start, start + down});
+            flaps.add(1);
+        }
+    }
+
+    // --- correlated outages: a contiguous run of links on one path ----------
+    const double corr_rate = spec.rate(FaultKind::kCorrelated);
+    if (corr_rate > 0.0 && !candidate_paths.empty()) {
+        const double per_minute =
+            corr_rate * static_cast<double>(candidate_paths.size()) / 100.0;
+        const std::size_t n = event_count(std::min(1.0, per_minute));
+        for (std::size_t i = 0; i < n; ++i) {
+            const Path& path = candidate_paths[rng.uniform_index(
+                candidate_paths.size())];
+            if (path.links.empty()) continue;
+            const std::size_t width = std::min<std::size_t>(
+                path.links.size(),
+                static_cast<std::size_t>(rng.uniform_int(2, 5)));
+            const std::size_t first =
+                rng.uniform_index(path.links.size() - width + 1);
+            const auto start = static_cast<util::SimTime>(
+                rng.uniform(0.0, static_cast<double>(duration)));
+            const auto down = static_cast<util::SimTime>(
+                rng.uniform(30.0, 120.0) *
+                static_cast<double>(util::kSecond));
+            for (std::size_t l = 0; l < width; ++l) {
+                plan.downs.add_down(path.links[first + l],
+                                    {start, start + down});
+            }
+            outages.add(1);
+        }
+    }
+
+    // --- loss spikes ---------------------------------------------------------
+    const double loss_rate = spec.rate(FaultKind::kLossSpike);
+    if (loss_rate > 0.0 && !candidate_paths.empty()) {
+        const double per_minute =
+            loss_rate * static_cast<double>(candidate_paths.size()) / 100.0;
+        const std::size_t n = event_count(std::min(1.0, per_minute));
+        for (std::size_t i = 0; i < n; ++i) {
+            LossSpike spike;
+            spike.link = pick_link(rng);
+            spike.start = static_cast<util::SimTime>(
+                rng.uniform(0.0, static_cast<double>(duration)));
+            spike.end = spike.start + static_cast<util::SimTime>(
+                                          rng.uniform(10.0, 60.0) *
+                                          static_cast<double>(util::kSecond));
+            spike.loss = rng.uniform(0.2, 0.8);
+            plan.spikes.push_back(spike);
+            spikes.add(1);
+        }
+        std::sort(plan.spikes.begin(), plan.spikes.end(),
+                  [](const LossSpike& a, const LossSpike& b) {
+                      if (a.link != b.link) return a.link < b.link;
+                      return a.start < b.start;
+                  });
+    }
+
+    // --- churn ---------------------------------------------------------------
+    const double churn_rate = spec.rate(FaultKind::kChurn);
+    if (churn_rate > 0.0 && node_count > 0) {
+        // Per node: a leave each minute with probability churn_rate,
+        // downtime 30 s - 5 min, never overlapping its own previous cycle.
+        for (std::size_t node = 0; node < node_count; ++node) {
+            util::SimTime t = 0;
+            while (t < duration) {
+                t += util::kMinute;
+                if (rng.uniform() >= churn_rate) continue;
+                const auto down = static_cast<util::SimTime>(
+                    rng.uniform(30.0, 300.0) *
+                    static_cast<double>(util::kSecond));
+                if (t >= duration) break;
+                plan.churn.push_back(
+                    {node, t, std::min(duration, t + down)});
+                churns.add(1);
+                t += down;
+            }
+        }
+        std::sort(plan.churn.begin(), plan.churn.end(),
+                  [](const ChurnEvent& a, const ChurnEvent& b) {
+                      if (a.leave != b.leave) return a.leave < b.leave;
+                      return a.node < b.node;
+                  });
+    }
+
+    plan.downs.finalize();
+    return plan;
+}
+
+}  // namespace concilium::net

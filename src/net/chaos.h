@@ -1,0 +1,153 @@
+// Deterministic fault injection ("chaos") for simulations.
+//
+// The paper's evaluation bakes one static fault pattern into each figure's
+// scenario; the robustness claims of Section 5, however, live in the regime
+// where failures are correlated, bursty, and entangled with membership
+// churn.  This module supplies that regime as data: a FaultSpec names the
+// fault processes and their rates (parsed from a `--chaos flap:0.02,...`
+// spec string), and build_fault_plan() expands it into a FaultPlan -- a
+// fully materialized, immutable schedule of link flaps, correlated
+// multi-link outages, loss-rate spikes, and node churn, plus per-packet
+// reorder/duplicate/ack rates.
+//
+// Everything is generated up front from one util::Rng, exactly like
+// net::generate_failure_timeline: a plan is a pure function of
+// (spec, duration, candidate paths, node count, rng seed), so any chaos run
+// is byte-reproducible at any --jobs count.  Consumers only ever read a
+// finished plan: net::Transport consults link_up()/loss_at() on every
+// packet, runtime::Cluster schedules the churn events and draws the
+// per-packet effects from its own (single-threaded) generator.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/link_state.h"
+#include "net/paths.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace concilium::net {
+
+/// The fault processes a chaos spec may enable.  Rates are probabilities
+/// (or per-minute intensities, see FaultSpec) and must lie in [0, 1].
+enum class FaultKind : std::size_t {
+    kFlap = 0,     ///< short independent link down intervals
+    kCorrelated,   ///< multi-link outages along one overlay path
+    kLossSpike,    ///< transient elevated loss on a healthy link
+    kReorder,      ///< per-packet extra delivery delay (reordering)
+    kDuplicate,    ///< per-packet duplication
+    kChurn,        ///< node leave/rejoin
+    kAckDrop,      ///< dropped tomography probe acknowledgments
+    kAckDelay,     ///< delayed end-to-end acknowledgment relays
+    kCount_,       // sentinel
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// A parsed `--chaos` spec: which fault processes run and how hard.
+///
+/// Grammar (see CHAOS.md):   spec  := pair ("," pair)*
+///                           pair  := kind ":" rate
+///                           kind  := flap | corr | loss | reorder | dup |
+///                                    churn | ackdrop | ackdelay
+///                           rate  := decimal in [0, 1]
+///
+/// Semantics: `flap`, `corr`, and `loss` are per-minute event intensities
+/// (flap: expected fraction of candidate links flapped per minute; corr /
+/// loss: expected events per minute per 100 candidate links); `churn` is a
+/// per-node per-minute leave probability; the rest are per-packet (or
+/// per-ack) probabilities.
+class FaultSpec {
+  public:
+    FaultSpec() = default;
+
+    /// Strict parser.  Throws std::invalid_argument naming the offending
+    /// token on an unknown fault kind, a malformed rate, a rate outside
+    /// [0, 1], or a duplicated kind.  The empty string is the empty spec.
+    [[nodiscard]] static FaultSpec parse(std::string_view text);
+
+    [[nodiscard]] double rate(FaultKind kind) const noexcept {
+        return rates_[static_cast<std::size_t>(kind)];
+    }
+    void set_rate(FaultKind kind, double rate);
+
+    /// True when every rate is zero.
+    [[nodiscard]] bool empty() const noexcept;
+
+    /// The spec with every rate multiplied by `factor` (clamped to 1.0);
+    /// soak sweeps scale one base spec through intensity levels.
+    [[nodiscard]] FaultSpec scaled(double factor) const;
+
+    /// Canonical re-serialization (enabled kinds in enum order); parsing
+    /// the result reproduces the spec.
+    [[nodiscard]] std::string to_string() const;
+
+  private:
+    double rates_[static_cast<std::size_t>(FaultKind::kCount_)] = {};
+};
+
+/// One transient elevated-loss window on a link.
+struct LossSpike {
+    LinkId link = 0;
+    util::SimTime start = 0;
+    util::SimTime end = 0;  ///< exclusive
+    double loss = 0.0;      ///< residual loss rate while active
+};
+
+/// One node leave/rejoin cycle.
+struct ChurnEvent {
+    std::size_t node = 0;
+    util::SimTime leave = 0;
+    util::SimTime rejoin = 0;
+};
+
+/// A materialized chaos schedule.  Plain data plus read-only queries; safe
+/// to share by const reference across experiment-driver workers.
+struct FaultPlan {
+    /// Flap + correlated-outage down intervals, merged and finalized.
+    FailureTimeline downs;
+    /// Loss spikes, grouped per link and sorted by start time.
+    std::vector<LossSpike> spikes;
+    /// Churn schedule, sorted by leave time.
+    std::vector<ChurnEvent> churn;
+    // Per-packet effect rates, copied from the spec.
+    double reorder_rate = 0.0;
+    double duplicate_rate = 0.0;
+    double ack_drop_rate = 0.0;
+    double ack_delay_rate = 0.0;
+    /// Extra delay drawn (uniformly in (0, this]) for a reordered packet or
+    /// a delayed acknowledgment relay.
+    util::SimTime max_extra_delay = 500 * util::kMillisecond;
+
+    /// False when a flap or correlated outage has the link down at t.
+    [[nodiscard]] bool link_up(LinkId link, util::SimTime t) const {
+        return downs.is_up(link, t);
+    }
+
+    /// The residual loss injected on `link` at time t (0 outside spikes;
+    /// overlapping spikes yield the maximum).
+    [[nodiscard]] double loss_at(LinkId link, util::SimTime t) const;
+
+    [[nodiscard]] bool has_packet_effects() const noexcept {
+        return reorder_rate > 0.0 || duplicate_rate > 0.0;
+    }
+};
+
+/// Expands a spec into a plan for [0, duration).  `candidate_paths` plays
+/// the same role as in generate_failure_timeline: flaps pick a uniform
+/// (path, link) position, correlated outages take down a contiguous run of
+/// links along one path, loss spikes pick single links.  `node_count` is
+/// the overlay size the churn process draws from.  Deterministic: the plan
+/// is a pure function of the arguments and the rng's seed.
+[[nodiscard]] FaultPlan build_fault_plan(const FaultSpec& spec,
+                                         util::SimTime duration,
+                                         std::span<const Path> candidate_paths,
+                                         std::size_t node_count,
+                                         util::Rng& rng);
+
+}  // namespace concilium::net

@@ -1,5 +1,6 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/metrics.h"
@@ -8,7 +9,12 @@ namespace concilium::net {
 
 double Transport::pass_probability(LinkId link, util::SimTime t) const {
     if (!timeline_->is_up(link, t)) return 0.0;
-    return 1.0 - params_.healthy_link_loss;
+    double loss = params_.healthy_link_loss;
+    if (chaos_ != nullptr) {
+        if (!chaos_->link_up(link, t)) return 0.0;
+        loss = std::max(loss, chaos_->loss_at(link, t));
+    }
+    return 1.0 - loss;
 }
 
 bool Transport::sample_traversal(std::span<const LinkId> links,

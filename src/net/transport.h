@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 
+#include "net/chaos.h"
 #include "net/event_sim.h"
 #include "net/link_state.h"
 #include "net/paths.h"
@@ -54,11 +55,19 @@ class Transport {
         return params_;
     }
 
+    /// Attaches a chaos plan: flap / correlated-outage intervals and loss
+    /// spikes fold into pass_probability, so every packet -- probes and
+    /// application traffic alike -- sees the injected faults.  The plan
+    /// must outlive the transport; pass nullptr to detach.
+    void set_chaos(const FaultPlan* plan) noexcept { chaos_ = plan; }
+    [[nodiscard]] const FaultPlan* chaos() const noexcept { return chaos_; }
+
   private:
     const FailureTimeline* timeline_;
     EventSim* sim_;
     util::Rng rng_;
     TransportParams params_;
+    const FaultPlan* chaos_ = nullptr;
 };
 
 }  // namespace concilium::net

@@ -50,6 +50,33 @@ void Cluster::set_online(overlay::MemberIndex m, bool online) {
     online_.at(m) = online;
 }
 
+void Cluster::schedule_churn() {
+    for (const net::ChurnEvent& ev : chaos_->churn) {
+        if (ev.node >= net_->size()) continue;
+        const auto node = static_cast<overlay::MemberIndex>(ev.node);
+        sim_->schedule_at(ev.leave, [this, node] {
+            ++stats_.churn_leaves;
+            bump("runtime.churn_leaves");
+            set_online(node, false);
+        });
+        sim_->schedule_at(ev.rejoin, [this, node] {
+            ++stats_.churn_rejoins;
+            bump("runtime.churn_rejoins");
+            set_online(node, true);
+        });
+    }
+}
+
+util::SimTime Cluster::chaos_extra_delay(double rate,
+                                         const char* counter_name) {
+    if (chaos_ == nullptr || rate <= 0.0) return 0;
+    if (!rng_.bernoulli(rate)) return 0;
+    bump(counter_name);
+    return std::max<util::SimTime>(
+        1, static_cast<util::SimTime>(rng_.uniform(
+               0.0, static_cast<double>(chaos_->max_extra_delay))));
+}
+
 const NodeBehavior& Cluster::behavior(overlay::MemberIndex m) const {
     if (behaviors_.empty()) return kHonest;
     return behaviors_[m];
@@ -65,13 +92,24 @@ std::optional<crypto::PublicKey> Cluster::key_of(
 std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
     overlay::MemberIndex m) const {
     std::vector<tomography::LeafBehavior> out;
+    const double chaos_ack_drop =
+        chaos_ != nullptr ? chaos_->ack_drop_rate : 0.0;
     bool all_online = true;
     for (const bool b : online_) all_online = all_online && b;
-    if (behaviors_.empty() && all_online) return out;  // all honest+online
+    if (behaviors_.empty() && all_online && chaos_ack_drop == 0.0) {
+        return out;  // all honest + online, no injected ack loss
+    }
     for (const overlay::MemberIndex leaf : trees_->leaf_members(m)) {
         tomography::LeafBehavior b;
         b.suppress_ack_probability = behavior(leaf).suppress_probe_acks;
         b.fabricate_acks = behavior(leaf).fabricate_probe_acks;
+        if (chaos_ack_drop > 0.0) {
+            // Environmental ack loss composes with any adversarial
+            // suppression: the ack survives only if both spare it.
+            b.suppress_ack_probability =
+                1.0 - (1.0 - b.suppress_ack_probability) *
+                          (1.0 - chaos_ack_drop);
+        }
         if (!online_[leaf]) {
             // Offline machines answer nothing, honestly.
             b.suppress_ack_probability = 1.0;
@@ -86,6 +124,7 @@ std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
 
 void Cluster::start() {
     exchange_routing_state();
+    if (chaos_ != nullptr) schedule_churn();
     for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
         schedule_probe_round(m);
     }
@@ -258,18 +297,59 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
     bump("runtime.snapshots_published");
     nodes_[m].archive.add(snapshot, sim_->now());
     for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
-        sim_->schedule_after(
-            params_.control_latency, [this, peer, snapshot] {
-                const auto key = key_of(snapshot.origin);
-                if (!key.has_value() ||
-                    !tomography::verify_snapshot(snapshot, *key, registry_)) {
-                    ++stats_.snapshots_rejected;
-    bump("runtime.snapshots_rejected");
-                    return;
-                }
-                nodes_[peer].archive.add(snapshot, sim_->now());
-            });
+        send_snapshot(m, peer, snapshot, 1);
     }
+}
+
+void Cluster::send_snapshot(overlay::MemberIndex m,
+                            overlay::MemberIndex peer,
+                            const tomography::TomographicSnapshot& snapshot,
+                            int attempt) {
+    const auto deliver = [this, peer, snapshot] {
+        const auto key = key_of(snapshot.origin);
+        if (!key.has_value() ||
+            !tomography::verify_snapshot(snapshot, *key, registry_)) {
+            ++stats_.snapshots_rejected;
+            bump("runtime.snapshots_rejected");
+            return;
+        }
+        nodes_[peer].archive.add(snapshot, sim_->now());
+    };
+    if (chaos_ == nullptr) {
+        // Lossless control plane (the paper's assumption).
+        sim_->schedule_after(params_.control_latency, deliver);
+        return;
+    }
+    // Under chaos the control plane shares the faulty IP network: the
+    // snapshot is one packet over the member-to-peer path, retried with
+    // exponential backoff, and abandoned once the budget is spent -- the
+    // peer then simply lacks this snapshot, so the blame evidence it can
+    // contribute degrades instead of the diagnosis wedging on it.
+    if (!online_[m]) return;  // an offline origin stops retrying
+    bump("runtime.retry.snapshot_attempts");
+    util::SimTime latency = params_.control_latency;
+    bool delivered = true;
+    if (trees_->leaf_slot(m, peer).has_value()) {
+        const auto path = trees_->path_links(m, peer);
+        delivered = transport_.sample_traversal(path, sim_->now());
+        latency = std::max(latency, transport_.latency(path.size()));
+    }
+    if (delivered) {
+        sim_->schedule_after(latency, deliver);
+        return;
+    }
+    const int next = attempt + 1;
+    if (!params_.snapshot_retry.allows(next)) {
+        ++stats_.snapshot_deliveries_failed;
+        bump("runtime.retry.snapshot_exhausted");
+        return;
+    }
+    ++stats_.snapshot_retries;
+    bump("runtime.retry.snapshot_retries");
+    const auto backoff = params_.snapshot_retry.delay_before(next, rng_);
+    sim_->schedule_after(backoff, [this, m, peer, snapshot, next] {
+        send_snapshot(m, peer, snapshot, next);
+    });
 }
 
 // -------------------------------------------------------------- messaging
@@ -303,6 +383,24 @@ std::vector<net::LinkId> Cluster::hop_path(const MessageContext& ctx,
 
 void Cluster::deliver_to_hop(std::uint64_t msg_id, std::size_t hop) {
     auto& ctx = messages_.at(msg_id);
+    if (hop > 0) {
+        // Dedupe: a node that already saw this message (retransmission or
+        // chaos-duplicated packet) ignores further copies -- except the
+        // destination, which re-acknowledges so that a retransmitted
+        // message also heals a lost acknowledgment.
+        if (ctx.stewards[hop].received) {
+            if (hop + 1 == ctx.route.size() && !ctx.completed &&
+                online_[ctx.route[hop]] && ctx.route.size() > 1) {
+                bump("runtime.retry.reacks");
+                start_ack_return(msg_id);
+                return;
+            }
+            ++stats_.duplicates_suppressed;
+            bump("chaos.duplicates_suppressed");
+            return;
+        }
+        ctx.stewards[hop].received = true;
+    }
     if (hop > 0 && hop + 1 == ctx.route.size() &&
         !online_[ctx.route[hop]]) {
         // The destination is down: no acknowledgment will ever come.
@@ -363,22 +461,58 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
         on_ack_timeout(msg_id, hop);
     });
 
+    transmit_to_next(msg_id, hop, 1);
+}
+
+void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
+                               int attempt) {
+    auto& ctx = messages_.at(msg_id);
     const auto path = hop_path(ctx, hop);
     if (path.empty()) {
         ctx.dropped_by_network = true;
         ctx.network_drop_segment = hop;
-        return;
+        return;  // no IP path exists; retrying cannot help
     }
-    // One packet over the IP path; loss kills the message.
+    // One packet over the IP path; loss kills this copy.
     if (transport_.sample_traversal(path, sim_->now())) {
-        sim_->schedule_after(transport_.latency(path.size()),
+        const util::SimTime jitter =
+            chaos_extra_delay(chaos_ != nullptr ? chaos_->reorder_rate : 0.0,
+                              "chaos.packets_reordered");
+        sim_->schedule_after(transport_.latency(path.size()) + jitter,
                              [this, msg_id, hop] {
                                  deliver_to_hop(msg_id, hop + 1);
                              });
+        if (chaos_ != nullptr && rng_.bernoulli(chaos_->duplicate_rate)) {
+            // A duplicated packet arrives slightly later; the receiving
+            // steward dedupes it.
+            bump("chaos.packets_duplicated");
+            const util::SimTime extra = std::max<util::SimTime>(
+                1, static_cast<util::SimTime>(rng_.uniform(
+                       0.0,
+                       static_cast<double>(chaos_->max_extra_delay))));
+            sim_->schedule_after(
+                transport_.latency(path.size()) + jitter + extra,
+                [this, msg_id, hop] { deliver_to_hop(msg_id, hop + 1); });
+        }
     } else if (!ctx.dropped_by_hop.has_value()) {
         ctx.dropped_by_network = true;
         ctx.network_drop_segment = hop;
     }
+    // Steward retransmission (bounded backoff + jitter): the steward
+    // cannot observe the loss, only the missing acknowledgment, so the
+    // retry timer is armed regardless of this copy's fate and checks the
+    // ack when it fires.  Downstream nodes dedupe spurious re-sends.
+    const int next = attempt + 1;
+    if (!params_.forward_retry.allows(next)) return;
+    const auto backoff = params_.forward_retry.delay_before(next, rng_);
+    sim_->schedule_after(backoff, [this, msg_id, hop, next] {
+        auto& c = messages_.at(msg_id);
+        if (c.completed || c.stewards[hop].acked) return;
+        if (!online_[c.route[hop]]) return;  // churned out mid-retry
+        ++stats_.forward_retransmissions;
+        bump("runtime.retry.forward_attempts");
+        transmit_to_next(msg_id, hop, next);
+    });
 }
 
 void Cluster::start_ack_return(std::uint64_t msg_id) {
@@ -411,8 +545,14 @@ void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
         return;
     }
     if (transport_.sample_traversal(path, sim_->now())) {
+        // Chaos may hold the relayed acknowledgment back; a delay long
+        // enough to cross the upstream steward's timeout looks exactly
+        // like a loss until the ack lands.
+        const util::SimTime delay =
+            chaos_extra_delay(chaos_ != nullptr ? chaos_->ack_delay_rate : 0.0,
+                              "chaos.acks_delayed");
         sim_->schedule_after(
-            transport_.latency(path.size()),
+            transport_.latency(path.size()) + delay,
             [this, msg_id, hop] { deliver_ack_to_hop(msg_id, hop - 1); });
     } else {
         // Lost acknowledgment: upstream stewards will time out and a chain

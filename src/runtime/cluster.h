@@ -34,11 +34,13 @@
 #include "core/validation.h"
 #include "core/verdicts.h"
 #include "dht/dht.h"
+#include "net/chaos.h"
 #include "net/event_sim.h"
 #include "net/link_state.h"
 #include "net/transport.h"
 #include "overlay/network.h"
 #include "runtime/archive.h"
+#include "runtime/retry.h"
 #include "tomography/overlay_trees.h"
 #include "tomography/probing.h"
 #include "tomography/snapshot.h"
@@ -98,6 +100,18 @@ struct RuntimeParams {
     /// Reputation votes needed before a peer is considered poor.
     int reputation_threshold = 3;
     net::TransportParams transport;
+    /// Steward retransmission of an unacknowledged message before judging:
+    /// attempts beyond the first re-send over the same IP path with
+    /// exponential backoff + jitter.  The default (1) preserves the
+    /// paper's judge-on-first-timeout behavior; chaos runs raise it so
+    /// transient IP loss does not masquerade as a malicious drop.
+    RetryPolicy forward_retry{};
+    /// Snapshot-exchange retry, used when a chaos plan makes the control
+    /// plane lossy (see set_chaos).  A peer whose delivery exhausts the
+    /// budget simply lacks that snapshot -- the judge's evidence degrades
+    /// gracefully instead of wedging diagnosis.
+    RetryPolicy snapshot_retry{.max_attempts = 3,
+                               .base_delay = 300 * util::kMillisecond};
 };
 
 class Cluster {
@@ -110,6 +124,21 @@ class Cluster {
     /// Schedules every node's first probe round.  Call once, then drive the
     /// EventSim.
     void start();
+
+    /// Attaches a chaos plan (see net/chaos.h).  Link flaps, correlated
+    /// outages, and loss spikes fold into every packet via the transport;
+    /// the churn schedule drives set_online(); snapshot dissemination
+    /// becomes lossy (sampled over the member-to-peer IP path, retried per
+    /// snapshot_retry); probe acknowledgments drop at ack_drop_rate; and
+    /// forwarded packets may be reordered or duplicated.  Call before
+    /// start().  The plan must outlive the cluster; nullptr detaches.
+    void set_chaos(const net::FaultPlan* plan) noexcept {
+        chaos_ = plan;
+        transport_.set_chaos(plan);
+    }
+    [[nodiscard]] const net::FaultPlan* chaos() const noexcept {
+        return chaos_;
+    }
 
     /// Takes a node off the network / brings it back (our extension: the
     /// paper "did not model fluctuating machine availability").  An offline
@@ -163,6 +192,12 @@ class Cluster {
         std::size_t reputation_votes = 0;
         std::size_t advertisements_accepted = 0;
         std::size_t advertisements_rejected = 0;
+        std::size_t forward_retransmissions = 0;
+        std::size_t snapshot_retries = 0;
+        std::size_t snapshot_deliveries_failed = 0;  ///< retry budget spent
+        std::size_t duplicates_suppressed = 0;
+        std::size_t churn_leaves = 0;
+        std::size_t churn_rejoins = 0;
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -202,6 +237,9 @@ class Cluster {
     struct StewardRecord {
         bool forwarded = false;
         bool acked = false;
+        /// Message copy seen at this hop (dedupes retransmissions and
+        /// chaos-duplicated packets).
+        bool received = false;
         std::optional<core::ForwardingCommitment> commitment;  ///< from next
         std::optional<core::BlameEvidence> judgment;  ///< own verdict vs next
         /// The Equation 2-3 terms behind `judgment` (kept for the trace).
@@ -242,10 +280,22 @@ class Cluster {
     void run_heavyweight(overlay::MemberIndex m);
     void publish_snapshot(overlay::MemberIndex m,
                           tomography::TomographicSnapshot snapshot);
+    void send_snapshot(overlay::MemberIndex m, overlay::MemberIndex peer,
+                       const tomography::TomographicSnapshot& snapshot,
+                       int attempt);
+
+    // --- chaos -------------------------------------------------------------
+    void schedule_churn();
+    /// Extra delivery delay when a per-packet chaos effect fires (0 when no
+    /// plan is attached or the draw misses).
+    util::SimTime chaos_extra_delay(double rate, const char* counter_name);
 
     // --- messaging ---------------------------------------------------------
     void deliver_to_hop(std::uint64_t msg_id, std::size_t hop);
     void forward_from_hop(std::uint64_t msg_id, std::size_t hop);
+    /// One physical transmission of the message from `hop` toward hop + 1;
+    /// schedules bounded backoff retransmissions while the ack is missing.
+    void transmit_to_next(std::uint64_t msg_id, std::size_t hop, int attempt);
     void start_ack_return(std::uint64_t msg_id);
     void deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop);
     void on_ack_timeout(std::uint64_t msg_id, std::size_t hop);
@@ -292,6 +342,7 @@ class Cluster {
     std::vector<std::vector<overlay::MemberIndex>> ad_rejecters_;
     Stats stats_;
     core::DiagnosisTrace* trace_ = nullptr;
+    const net::FaultPlan* chaos_ = nullptr;
 };
 
 }  // namespace concilium::runtime

@@ -1,0 +1,29 @@
+#include "runtime/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/metrics.h"
+
+namespace concilium::runtime {
+
+util::SimTime RetryPolicy::delay_before(int next_attempt,
+                                        util::Rng& rng) const {
+    static auto& backoff =
+        util::metrics::Registry::global().histogram(
+            "runtime.retry.backoff_seconds", 0.0, 16.0, 32);
+    const int retries = std::max(0, next_attempt - 2);
+    double nominal = static_cast<double>(base_delay) *
+                     std::pow(multiplier, static_cast<double>(retries));
+    nominal = std::min(nominal, static_cast<double>(max_delay));
+    const double jitter =
+        jitter_fraction > 0.0
+            ? rng.uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction)
+            : 1.0;
+    const auto delay = std::max<util::SimTime>(
+        1, static_cast<util::SimTime>(nominal * jitter));
+    backoff.observe(util::to_seconds(delay));
+    return delay;
+}
+
+}  // namespace concilium::runtime

@@ -1,0 +1,44 @@
+// Bounded retry with exponential backoff and jitter.
+//
+// The protocol runtime retries two kinds of exchanges when chaos makes the
+// network lossy: steward retransmission of an unacknowledged message before
+// judgment, and signed-snapshot delivery to routing peers.  Both use this
+// policy: attempt k (1-based) waits base_delay * multiplier^(k-1), capped
+// at max_delay, then jittered by a uniform +/- jitter_fraction so repeated
+// failures from many nodes do not synchronize into retry storms.
+//
+// Delays are computed in simulated time from a caller-supplied util::Rng,
+// so the whole retry schedule is deterministic given the seed: tests drive
+// it against net::EventSim as a fake clock and assert exact firing times.
+
+#pragma once
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace concilium::runtime {
+
+struct RetryPolicy {
+    /// Total tries including the first (1 = never retry).
+    int max_attempts = 1;
+    util::SimTime base_delay = 500 * util::kMillisecond;
+    double multiplier = 2.0;
+    /// Uniform jitter of +/- this fraction around the nominal delay.
+    double jitter_fraction = 0.1;
+    util::SimTime max_delay = 8 * util::kSecond;
+
+    /// True when `next_attempt` (1-based; the first retry is attempt 2) is
+    /// still within budget.
+    [[nodiscard]] bool allows(int next_attempt) const noexcept {
+        return next_attempt <= max_attempts;
+    }
+
+    /// Backoff before retry `next_attempt` (>= 2): exponential in the
+    /// retry index, capped, then jittered.  Always at least one
+    /// microsecond, so a scheduled retry never fires in the same event as
+    /// the failure that caused it.
+    [[nodiscard]] util::SimTime delay_before(int next_attempt,
+                                             util::Rng& rng) const;
+};
+
+}  // namespace concilium::runtime

@@ -172,6 +172,30 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "runtime.commitments_issued"},
     {WellKnown::kCounter, "runtime.commitments_refused"},
     {WellKnown::kCounter, "runtime.trace_records"},
+    {WellKnown::kCounter, "runtime.churn_leaves"},
+    {WellKnown::kCounter, "runtime.churn_rejoins"},
+    // runtime.retry — bounded backoff for forwarding and snapshot exchange.
+    {WellKnown::kCounter, "runtime.retry.forward_attempts"},
+    {WellKnown::kCounter, "runtime.retry.reacks"},
+    {WellKnown::kCounter, "runtime.retry.snapshot_attempts"},
+    {WellKnown::kCounter, "runtime.retry.snapshot_retries"},
+    {WellKnown::kCounter, "runtime.retry.snapshot_exhausted"},
+    {WellKnown::kHistogram, "runtime.retry.backoff_seconds", false, 0.0,
+     16.0, 32},
+    // chaos — deterministic fault injection (net/chaos.h).
+    {WellKnown::kCounter, "chaos.plans_built"},
+    {WellKnown::kCounter, "chaos.flap_intervals"},
+    {WellKnown::kCounter, "chaos.correlated_outages"},
+    {WellKnown::kCounter, "chaos.loss_spikes"},
+    {WellKnown::kCounter, "chaos.churn_events"},
+    {WellKnown::kCounter, "chaos.packets_reordered"},
+    {WellKnown::kCounter, "chaos.packets_duplicated"},
+    {WellKnown::kCounter, "chaos.duplicates_suppressed"},
+    {WellKnown::kCounter, "chaos.acks_delayed"},
+    // chaos soak scoring (bench/soak_chaos).
+    {WellKnown::kCounter, "chaos.diagnosed_messages"},
+    {WellKnown::kCounter, "chaos.false_accusations"},
+    {WellKnown::kCounter, "chaos.correct_accusations"},
     // sim — the experiment driver.  Trial *counts* are deterministic;
     // wall-clock derived instruments live in the timing section.
     {WellKnown::kCounter, "sim.driver_runs"},

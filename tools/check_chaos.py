@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regression gate on the chaos soak's false-accusation rate.
+
+The nightly workflow runs `soak_chaos --metrics-out chaos.json` and feeds
+the snapshot here.  The bench scores every diagnosed message against
+simulation ground truth in an all-honest cluster, so chaos.false_accusations
+counts messages where an IP-level fault was pinned on an innocent node.
+This script fails the build when that rate exceeds the threshold -- the
+check that keeps retry/backoff and graceful snapshot degradation honest.
+
+Usage:
+  check_chaos.py SNAPSHOT.json [--max-rate R] [--min-diagnosed N]
+
+  --max-rate R       fail when false_accusations / diagnosed > R
+                     (default 0.05)
+  --min-diagnosed N  fail when fewer than N messages were diagnosed at
+                     all -- a silently idle soak must not pass (default 10)
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    print(f"check_chaos: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshot")
+    parser.add_argument("--max-rate", type=float, default=0.05)
+    parser.add_argument("--min-diagnosed", type=int, default=10)
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{args.snapshot}: {e}")
+    metrics = snap.get("metrics")
+    if not isinstance(metrics, dict):
+        die(f"{args.snapshot}: missing 'metrics' section")
+
+    def counter(name):
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)):
+            die(f"{args.snapshot}: missing counter '{name}' "
+                "(was this snapshot produced by soak_chaos?)")
+        return value
+
+    diagnosed = counter("chaos.diagnosed_messages")
+    false_acc = counter("chaos.false_accusations")
+    correct = counter("chaos.correct_accusations")
+
+    if diagnosed < args.min_diagnosed:
+        die(f"only {diagnosed} messages diagnosed "
+            f"(need >= {args.min_diagnosed}); the soak ran effectively idle")
+    rate = false_acc / diagnosed
+    print(f"{args.snapshot}: diagnosed={diagnosed} correct={correct} "
+          f"false={false_acc} rate={rate:.4f} (max {args.max_rate})")
+    if rate > args.max_rate:
+        die(f"false-accusation rate {rate:.4f} exceeds {args.max_rate}")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

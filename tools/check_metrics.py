@@ -17,7 +17,8 @@ Usage:
 import json
 import sys
 
-NAMESPACES = ("net.", "tomography.", "overlay.", "core.", "runtime.", "sim.")
+NAMESPACES = ("net.", "tomography.", "overlay.", "core.", "runtime.",
+              "sim.", "chaos.")
 
 
 def die(msg):
