@@ -24,6 +24,7 @@
 
 #include "net/chaos.h"
 #include "net/topology_gen.h"
+#include "runtime/attack.h"
 #include "sim/experiment_driver.h"
 #include "sim/scenario.h"
 #include "util/metrics.h"
@@ -41,16 +42,22 @@ struct BenchArgs {
     std::string metrics_out;
     /// Parsed --chaos spec (see net/chaos.h); empty = no fault injection.
     net::FaultSpec chaos;
+    /// Parsed --attack spec (see runtime/attack.h); empty = all honest.
+    runtime::AttackCampaign attack;
 };
 
 [[noreturn]] inline void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--full] [--seed N] [--samples N] [--jobs N] "
-                 "[--metrics-out FILE] [--chaos SPEC]\n"
-                 "  SPEC: comma-separated kind:rate pairs, e.g. "
+                 "[--metrics-out FILE] [--chaos SPEC] [--attack SPEC]\n"
+                 "  --chaos SPEC: comma-separated kind:rate pairs, e.g. "
                  "flap:0.02,churn:0.01\n"
-                 "  kinds: flap corr loss reorder dup churn ackdrop "
-                 "ackdelay; rates in [0, 1]\n",
+                 "    kinds: flap corr loss reorder dup churn ackdrop "
+                 "ackdelay; rates in [0, 1]\n"
+                 "  --attack SPEC: comma-separated kind:rate pairs, e.g. "
+                 "equivocate:0.05,replay:0.1\n"
+                 "    kinds: equivocate replay slander spam collude; "
+                 "rates in [0, 1]\n",
                  argv0);
     std::exit(2);
 }
@@ -125,6 +132,13 @@ inline BenchArgs parse_args(int argc, char** argv) {
             // rejected here, not at scenario-construction time.
             try {
                 args.chaos = net::FaultSpec::parse(argv[++i]);
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                usage(argv[0]);
+            }
+        } else if (std::strcmp(argv[i], "--attack") == 0 && i + 1 < argc) {
+            try {
+                args.attack = runtime::AttackCampaign::parse(argv[++i]);
             } catch (const std::invalid_argument& e) {
                 std::fprintf(stderr, "%s\n", e.what());
                 usage(argv[0]);

@@ -1,0 +1,229 @@
+// Attack soak: the full protocol runtime under a Byzantine campaign.
+//
+// Sweeps a base `--attack` spec (default recruits equivocators, replayers,
+// slanderers, spammers, and colluders) through intensity multipliers and, at
+// each level, runs the event-driven cluster and scores the evidence-
+// integrity defenses against ground truth:
+//
+//   evasion   - an attacker that actually dropped a message but was never
+//               blamed, never received a verified accusation, and has no
+//               equivocation proof on file.  Should stay near zero.
+//   slander   - an accusation filed by a slanderer that a third party
+//               verifies as kOk.  Must be exactly zero: cherry-picked
+//               bundles fail the freshness/sufficiency checks.
+//   false_acc - a diagnosed message whose final blame landed on an honest
+//               node.  Should stay near zero.
+//
+// tools/check_attacks.py gates the nightly build on these columns.  One
+// driver trial per intensity level; recruitment and the workload are pure
+// functions of the trial substream, so the table and the deterministic
+// metrics section are byte-identical at any --jobs count.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/trace.h"
+#include "runtime/cluster.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace concilium;
+
+void append(std::string& out, const char* fmt, auto... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+}
+
+constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+
+    runtime::AttackCampaign base = args.attack;
+    if (base.empty()) {
+        base = runtime::AttackCampaign::parse(
+            "equivocate:0.06,replay:0.06,slander:0.06,spam:0.04,collude:0.05");
+    }
+
+    // The runtime simulates every probe packet, so the world stays small
+    // (the soak_chaos scale).
+    sim::ScenarioParams world_params;
+    world_params.topology = net::small_params();
+    world_params.topology.end_hosts = args.full ? 1500 : 600;
+    world_params.topology.stub_domains = args.full ? 40 : 16;
+    world_params.overlay_nodes_override = args.full ? 220 : 90;
+    world_params.duration = 2 * util::kHour;
+    world_params.seed = args.seed;
+    const sim::Scenario world(world_params);
+    const auto& overlay_net = world.overlay_net();
+
+    const std::size_t message_count =
+        args.samples != 0 ? args.samples : (args.full ? 300 : 120);
+
+    bench::print_header("soak-attacks",
+                        "evidence-integrity defenses vs campaign intensity");
+    bench::print_param("base_spec", base.to_string());
+    bench::print_param("overlay_nodes",
+                       static_cast<double>(overlay_net.size()));
+    bench::print_param("messages", static_cast<double>(message_count));
+    bench::print_param("seed", static_cast<double>(args.seed));
+    std::printf("%-10s %-10s %-10s %-10s %-8s %-8s %-12s %-10s %-10s %-8s\n",
+                "intensity", "attackers", "delivered", "diagnosed", "caught",
+                "evaded", "evasion_rate", "slander_ok", "false_acc",
+                "proofs");
+
+    const auto driver = bench::make_driver(args, 107);
+    const std::size_t levels = std::size(kIntensities);
+
+    const auto run_level = [&](std::uint64_t trial, util::Rng& rng) {
+        const double intensity = kIntensities[trial];
+        const runtime::AttackCampaign campaign = base.scaled(intensity);
+
+        // Recruitment is a pure function of the trial substream.
+        auto recruit_rng = rng.fork();
+        auto behaviors = runtime::materialize_attackers(
+            campaign, overlay_net.size(), recruit_rng);
+        if (intensity == 0.0) behaviors.clear();  // all honest baseline
+
+        runtime::RuntimeParams params;
+        core::DiagnosisTrace trace(512);
+        net::EventSim sim;
+        runtime::Cluster cluster(sim, world.timeline(), overlay_net,
+                                 world.trees(), params, behaviors,
+                                 rng.fork());
+        cluster.set_trace(&trace);
+        cluster.start();
+        sim.run_until(3 * util::kMinute);
+
+        const auto is_byzantine = [&](overlay::MemberIndex m) {
+            return !behaviors.empty() && behaviors[m].byzantine();
+        };
+
+        std::size_t delivered = 0;
+        std::size_t diagnosed = 0;
+        std::size_t false_accusations = 0;
+        std::vector<bool> dropped_one(overlay_net.size(), false);
+        std::vector<bool> blamed_once(overlay_net.size(), false);
+        for (std::size_t i = 0; i < message_count; ++i) {
+            const auto from = static_cast<overlay::MemberIndex>(
+                rng.uniform_index(overlay_net.size()));
+            cluster.send(
+                from, util::NodeId::random(rng),
+                [&](const runtime::Cluster::MessageOutcome& res) {
+                    if (res.delivered) {
+                        ++delivered;
+                        return;
+                    }
+                    if (!res.true_drop_hop.has_value() &&
+                        !res.true_network_drop) {
+                        return;
+                    }
+                    ++diagnosed;
+                    if (res.true_drop_hop.has_value()) {
+                        dropped_one[res.route[*res.true_drop_hop]] = true;
+                    }
+                    if (!res.blamed.has_value()) return;
+                    for (overlay::MemberIndex m = 0;
+                         m < overlay_net.size(); ++m) {
+                        if (overlay_net.member(m).id() == *res.blamed) {
+                            blamed_once[m] = true;
+                            if (!is_byzantine(m)) ++false_accusations;
+                            break;
+                        }
+                    }
+                });
+            // Pace the workload across the virtual two hours.
+            sim.run_until(sim.now() + 45 * util::kSecond);
+        }
+        sim.run_until(sim.now() + 5 * util::kMinute);
+
+        // Score the campaign against the repository, as a third party would.
+        std::size_t attackers = 0;
+        std::size_t with_drops = 0;
+        std::size_t caught = 0;
+        std::size_t evaded = 0;
+        std::size_t proofs = 0;
+        std::size_t slander_successes = 0;
+        for (overlay::MemberIndex m = 0; m < overlay_net.size(); ++m) {
+            const bool byz = is_byzantine(m);
+            if (byz) ++attackers;
+
+            bool proven = false;
+            for (const auto& proof : cluster.equivocation_proofs_against(m)) {
+                if (cluster.verify(proof, m) ==
+                    core::EquivocationCheck::kOk) {
+                    proven = true;
+                }
+            }
+            if (proven) ++proofs;
+
+            bool verified_accusation = false;
+            for (const auto& acc : cluster.accusations_against(m)) {
+                const bool ok =
+                    cluster.verify(acc) == core::AccusationCheck::kOk;
+                if (ok) verified_accusation = true;
+                if (ok && !behaviors.empty()) {
+                    // Was this verified accusation filed by a slanderer?
+                    for (overlay::MemberIndex a = 0;
+                         a < overlay_net.size(); ++a) {
+                        if (overlay_net.member(a).id() == acc.accuser &&
+                            behaviors[a].slander) {
+                            ++slander_successes;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if (!byz) continue;
+            const bool detected =
+                blamed_once[m] || verified_accusation || proven;
+            if (detected) ++caught;
+            if (dropped_one[m] && !detected) ++evaded;
+            if (dropped_one[m]) ++with_drops;
+        }
+
+        auto& reg = util::metrics::Registry::global();
+        reg.counter("attack.diagnosed_messages")
+            .add(static_cast<std::int64_t>(diagnosed));
+        reg.counter("attack.false_accusations")
+            .add(static_cast<std::int64_t>(false_accusations));
+        reg.counter("attack.attackers_with_drops")
+            .add(static_cast<std::int64_t>(with_drops));
+        reg.counter("attack.attackers_caught")
+            .add(static_cast<std::int64_t>(caught));
+        reg.counter("attack.attackers_evaded")
+            .add(static_cast<std::int64_t>(evaded));
+        reg.counter("attack.slander_successes")
+            .add(static_cast<std::int64_t>(slander_successes));
+
+        const double evasion_rate =
+            with_drops == 0 ? 0.0
+                            : static_cast<double>(evaded) /
+                                  static_cast<double>(with_drops);
+        std::string out;
+        append(out,
+               "%-10.2g %-10zu %-10zu %-10zu %-8zu %-8zu %-12.4f %-10zu "
+               "%-10zu %-8zu\n",
+               intensity, attackers, delivered, diagnosed, caught, evaded,
+               evasion_rate, slander_successes, false_accusations, proofs);
+        return out;
+    };
+
+    driver.run(
+        levels,
+        [&](std::uint64_t trial, util::Rng& rng) {
+            return run_level(trial, rng);
+        },
+        [](std::uint64_t, std::string&& row) {
+            std::fputs(row.c_str(), stdout);
+        });
+    return 0;
+}

@@ -44,47 +44,6 @@ ForwardingCommitment read_commitment(util::ByteReader& r) {
     return c;
 }
 
-void write_snapshot(util::ByteWriter& w,
-                    const tomography::TomographicSnapshot& s) {
-    w.node_id(s.origin);
-    w.i64(s.probed_at);
-    w.u32(static_cast<std::uint32_t>(s.paths.size()));
-    for (const auto& p : s.paths) {
-        w.node_id(p.peer);
-        w.u8(static_cast<std::uint8_t>(p.bucket));
-    }
-    w.u32(static_cast<std::uint32_t>(s.links.size()));
-    for (const auto& l : s.links) {
-        w.u32(l.link);
-        w.u8(l.up ? 1 : 0);
-    }
-    write_signature(w, s.signature);
-}
-
-tomography::TomographicSnapshot read_snapshot(util::ByteReader& r) {
-    tomography::TomographicSnapshot s;
-    s.origin = r.node_id();
-    s.probed_at = r.i64();
-    const std::uint32_t paths = r.u32();
-    s.paths.reserve(paths);
-    for (std::uint32_t i = 0; i < paths; ++i) {
-        tomography::PathSummary p;
-        p.peer = r.node_id();
-        p.bucket = static_cast<tomography::LossBucket>(r.u8());
-        s.paths.push_back(p);
-    }
-    const std::uint32_t links = r.u32();
-    s.links.reserve(links);
-    for (std::uint32_t i = 0; i < links; ++i) {
-        tomography::LinkObservation l;
-        l.link = r.u32();
-        l.up = r.u8() != 0;
-        s.links.push_back(l);
-    }
-    s.signature = read_signature(r);
-    return s;
-}
-
 void write_evidence_body(util::ByteWriter& w, const BlameEvidence& e) {
     w.node_id(e.judge);
     w.node_id(e.suspect);
@@ -93,7 +52,7 @@ void write_evidence_body(util::ByteWriter& w, const BlameEvidence& e) {
     w.u32(static_cast<std::uint32_t>(e.path_links.size()));
     for (const net::LinkId l : e.path_links) w.u32(l);
     w.u32(static_cast<std::uint32_t>(e.snapshots.size()));
-    for (const auto& s : e.snapshots) write_snapshot(w, s);
+    for (const auto& s : e.snapshots) tomography::write_snapshot_wire(w, s);
     write_commitment(w, e.commitment);
     w.f64(e.claimed_blame);
 }
@@ -110,7 +69,7 @@ BlameEvidence read_evidence(util::ByteReader& r) {
     const std::uint32_t snaps = r.u32();
     e.snapshots.reserve(snaps);
     for (std::uint32_t i = 0; i < snaps; ++i) {
-        e.snapshots.push_back(read_snapshot(r));
+        e.snapshots.push_back(tomography::read_snapshot_wire(r));
     }
     e.commitment = read_commitment(r);
     e.claimed_blame = r.f64();
@@ -228,6 +187,10 @@ const char* to_string(AccusationCheck check) {
         case AccusationCheck::kBlameBelowThreshold:
             return "blame below threshold";
         case AccusationCheck::kBadPath: return "bad path claim";
+        case AccusationCheck::kStaleEvidence:
+            return "stale evidence (snapshot outside the admission window)";
+        case AccusationCheck::kInsufficientEvidence:
+            return "insufficient evidence (no admissible probe on the path)";
     }
     return "?";
 }
@@ -244,12 +207,17 @@ AccusationCheck AccusationVerifier::verify_evidence(
                            ev.judge_signature)) {
         return AccusationCheck::kBadJudgeSignature;
     }
-    // The suspect must have committed to forwarding this very message.
+    // The suspect must have committed to forwarding this very message, at
+    // (roughly) the time the judge claims it was sent: a genuine commitment
+    // for an *old* message must not anchor an accusation about a new one.
     const auto suspect_key = key_of_(ev.suspect);
     if (!suspect_key.has_value()) return AccusationCheck::kBadCommitment;
     const ForwardingCommitment& c = ev.commitment;
+    const util::SimTime skew = c.at >= ev.message_time
+                                   ? c.at - ev.message_time
+                                   : ev.message_time - c.at;
     if (!(c.forwarder == ev.suspect) || !(c.sender == ev.judge) ||
-        c.message_id != ev.message_id ||
+        c.message_id != ev.message_id || skew > blame_params_.delta ||
         !verify_forwarding_commitment(c, *suspect_key, *registry_)) {
         return AccusationCheck::kBadCommitment;
     }
@@ -259,10 +227,28 @@ AccusationCheck AccusationVerifier::verify_evidence(
             !tomography::verify_snapshot(snap, *origin_key, *registry_)) {
             return AccusationCheck::kBadSnapshotSignature;
         }
+        // Freshness: every bundled snapshot must come from the admission
+        // window around the message.  compute_blame would discard the
+        // out-of-window probes anyway, but a cherry-picked stale bundle
+        // must be rejected outright rather than silently collapsing to
+        // the evidence-free "presumed guilty" blame of 1.
+        if (snap.probed_at < ev.message_time - blame_params_.delta ||
+            snap.probed_at > ev.message_time + blame_params_.delta) {
+            return AccusationCheck::kStaleEvidence;
+        }
     }
     const auto probes = probes_from_snapshots(ev.snapshots);
     const BlameBreakdown breakdown = compute_blame(
         ev.path_links, probes, ev.message_time, ev.suspect, blame_params_);
+    // Third parties demand *independent* corroboration: at least one
+    // admitted probe on the claimed path.  The judge-side presumption of
+    // guilt over an empty window (Section 3.4's "Otherwise, Concilium
+    // determines that B was faulty") is how the judge breaks ties, but an
+    // accusation carrying no admissible evidence is indistinguishable from
+    // slander and convinces nobody.
+    if (breakdown.links.empty()) {
+        return AccusationCheck::kInsufficientEvidence;
+    }
     if (std::abs(breakdown.blame - ev.claimed_blame) > 1e-9) {
         return AccusationCheck::kBlameMismatch;
     }

@@ -94,6 +94,8 @@ enum class AccusationCheck {
     kBlameMismatch,     ///< claimed blame does not reproduce from evidence
     kBlameBelowThreshold,
     kBadPath,           ///< claimed IP path contradicts the routing state
+    kStaleEvidence,     ///< bundled snapshot outside the admission window
+    kInsufficientEvidence,  ///< no admissible probe covers the claimed path
 };
 
 const char* to_string(AccusationCheck check);
@@ -122,10 +124,16 @@ class AccusationVerifier {
     [[nodiscard]] AccusationCheck verify(
         const FaultAccusation& accusation) const;
 
-  private:
+    /// Checks a single evidence element in isolation (signatures, the
+    /// commitment's message binding and timing, snapshot freshness, and the
+    /// Equation 2-3 recomputation).  Public so a steward can vet a pushed
+    /// revision before honoring it: kOk = verified guilty verdict,
+    /// kBlameBelowThreshold = verified exoneration (the path really was
+    /// bad), anything else = fabricated and must be ignored.
     [[nodiscard]] AccusationCheck verify_evidence(
         const BlameEvidence& ev) const;
 
+  private:
     const crypto::KeyRegistry* registry_;
     KeyOfFn key_of_;
     BlameParams blame_params_;

@@ -1,0 +1,77 @@
+#include "core/equivocation.h"
+
+#include <stdexcept>
+
+#include "util/metrics.h"
+
+namespace concilium::core {
+
+std::vector<std::uint8_t> EquivocationProof::serialize() const {
+    util::ByteWriter w;
+    tomography::write_snapshot_wire(w, first);
+    tomography::write_snapshot_wire(w, second);
+    return w.data();
+}
+
+EquivocationProof EquivocationProof::deserialize(
+    std::span<const std::uint8_t> bytes) {
+    util::ByteReader r(bytes);
+    EquivocationProof proof;
+    proof.first = tomography::read_snapshot_wire(r);
+    proof.second = tomography::read_snapshot_wire(r);
+    if (!r.exhausted()) {
+        throw std::invalid_argument(
+            "EquivocationProof::deserialize: trailing bytes");
+    }
+    return proof;
+}
+
+util::NodeId EquivocationProof::dht_key(const crypto::PublicKey& origin_key) {
+    return util::NodeId::hash_of(origin_key.to_string() + "/equivocation");
+}
+
+const char* to_string(EquivocationCheck check) {
+    switch (check) {
+        case EquivocationCheck::kOk: return "ok";
+        case EquivocationCheck::kOriginMismatch: return "origin mismatch";
+        case EquivocationCheck::kEpochMismatch: return "epoch mismatch";
+        case EquivocationCheck::kUnversioned: return "unversioned snapshots";
+        case EquivocationCheck::kIdenticalPayloads:
+            return "identical payloads";
+        case EquivocationCheck::kBadSignature: return "bad signature";
+    }
+    return "?";
+}
+
+EquivocationCheck verify_equivocation_proof(
+    const EquivocationProof& proof, const crypto::PublicKey& origin_key,
+    const crypto::KeyRegistry& registry) {
+    const EquivocationCheck result = [&] {
+        if (!(proof.first.origin == proof.second.origin)) {
+            return EquivocationCheck::kOriginMismatch;
+        }
+        if (proof.first.epoch != proof.second.epoch) {
+            return EquivocationCheck::kEpochMismatch;
+        }
+        if (proof.first.epoch == 0) return EquivocationCheck::kUnversioned;
+        if (proof.first.signed_payload() == proof.second.signed_payload()) {
+            return EquivocationCheck::kIdenticalPayloads;
+        }
+        if (!tomography::verify_snapshot(proof.first, origin_key, registry) ||
+            !tomography::verify_snapshot(proof.second, origin_key, registry)) {
+            return EquivocationCheck::kBadSignature;
+        }
+        return EquivocationCheck::kOk;
+    }();
+    {
+        using util::metrics::Registry;
+        static auto& ok =
+            Registry::global().counter("core.equivocation_proofs_verified");
+        static auto& bad =
+            Registry::global().counter("core.equivocation_checks_failed");
+        result == EquivocationCheck::kOk ? ok.add(1) : bad.add(1);
+    }
+    return result;
+}
+
+}  // namespace concilium::core

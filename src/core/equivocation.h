@@ -1,0 +1,58 @@
+// Self-verifying equivocation proofs.
+//
+// A snapshot's signature covers its (origin, epoch) pair, and an honest
+// origin publishes exactly one snapshot per epoch.  Two snapshots that carry
+// the same origin and epoch but different payloads therefore prove -- to any
+// third party holding the origin's public key -- that the origin signed
+// contradictory probe results for different peers in the same probing round
+// (Section 3.2's non-repudiation turned against the equivocator).  Like a
+// fault accusation, the proof is stored in the replicated DHT under a key
+// derived from the equivocator's public key, where prospective peers can
+// fetch and re-check it.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "tomography/snapshot.h"
+#include "util/ids.h"
+#include "util/serialize.h"
+
+namespace concilium::core {
+
+struct EquivocationProof {
+    /// Two conflicting snapshots: same origin, same epoch, different signed
+    /// payloads, both signatures valid under the origin's key.
+    tomography::TomographicSnapshot first;
+    tomography::TomographicSnapshot second;
+
+    [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+    static EquivocationProof deserialize(std::span<const std::uint8_t> bytes);
+
+    /// DHT insertion key: derived from the equivocator's public key, in a
+    /// namespace disjoint from FaultAccusation::dht_key so proofs and
+    /// accusations never shadow each other.
+    static util::NodeId dht_key(const crypto::PublicKey& origin_key);
+};
+
+enum class EquivocationCheck {
+    kOk,
+    kOriginMismatch,   ///< the two snapshots name different origins
+    kEpochMismatch,    ///< different epochs: consecutive rounds, not a lie
+    kUnversioned,      ///< epoch 0 snapshots carry no uniqueness promise
+    kIdenticalPayloads,  ///< the same snapshot twice proves nothing
+    kBadSignature,     ///< a signature does not verify under the origin key
+};
+
+const char* to_string(EquivocationCheck check);
+
+/// Third-party check: does this proof really convict `origin_key`'s holder
+/// of signing two different snapshots for the same epoch?
+EquivocationCheck verify_equivocation_proof(const EquivocationProof& proof,
+                                            const crypto::PublicKey& origin_key,
+                                            const crypto::KeyRegistry& registry);
+
+}  // namespace concilium::core

@@ -5,8 +5,9 @@ namespace concilium::core {
 void ReputationBook::cast_vote(const util::NodeId& voter,
                                const util::NodeId& subject, util::SimTime at) {
     Entry& e = entries_[subject];
-    e.voters.insert(voter);
-    e.last_vote = at;
+    auto [it, inserted] = e.voters.emplace(voter, at);
+    if (!inserted && at > it->second) it->second = at;  // re-vote refreshes
+    if (at > e.last_vote) e.last_vote = at;
 }
 
 int ReputationBook::votes_against(const util::NodeId& subject) const {
@@ -14,9 +15,29 @@ int ReputationBook::votes_against(const util::NodeId& subject) const {
     return it == entries_.end() ? 0 : static_cast<int>(it->second.voters.size());
 }
 
+int ReputationBook::votes_against(const util::NodeId& subject,
+                                  util::SimTime now) const {
+    const auto it = entries_.find(subject);
+    if (it == entries_.end()) return 0;
+    if (vote_expiry_ <= 0) {
+        return static_cast<int>(it->second.voters.size());
+    }
+    const util::SimTime horizon = now - vote_expiry_;
+    int live = 0;
+    for (const auto& [voter, at] : it->second.voters) {
+        if (at >= horizon) ++live;
+    }
+    return live;
+}
+
 bool ReputationBook::poor_peer(const util::NodeId& subject,
                                int vote_threshold) const {
     return votes_against(subject) >= vote_threshold;
+}
+
+bool ReputationBook::poor_peer(const util::NodeId& subject, int vote_threshold,
+                               util::SimTime now) const {
+    return votes_against(subject, now) >= vote_threshold;
 }
 
 SanctionDecision evaluate_sanction(SanctionPolicy policy,

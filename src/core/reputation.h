@@ -19,23 +19,48 @@
 namespace concilium::core {
 
 /// A minimal vote-of-no-confidence ledger.  One vote per (voter, subject)
-/// pair counts; re-votes refresh the timestamp only.
+/// pair counts; re-votes refresh that voter's timestamp.  Votes older than
+/// the expiry window decay: a node that stopped refusing commitments months
+/// ago should not stay a poor peer forever on stale evidence.
 class ReputationBook {
   public:
+    /// vote_expiry: a vote older than now - vote_expiry no longer counts in
+    /// the time-aware queries.  0 = votes never expire.
+    explicit ReputationBook(util::SimTime vote_expiry = 0)
+        : vote_expiry_(vote_expiry) {}
+
     void cast_vote(const util::NodeId& voter, const util::NodeId& subject,
                    util::SimTime at);
 
-    /// Number of distinct voters against the subject.
+    /// Number of distinct voters against the subject, ever (ignores expiry;
+    /// kept for audit-trail queries).
     [[nodiscard]] int votes_against(const util::NodeId& subject) const;
 
+    /// Distinct voters whose latest vote is still within the expiry window
+    /// at `now`.
+    [[nodiscard]] int votes_against(const util::NodeId& subject,
+                                    util::SimTime now) const;
+
+    /// Lifetime-vote threshold check (ignores expiry).
     [[nodiscard]] bool poor_peer(const util::NodeId& subject,
                                  int vote_threshold) const;
 
+    /// Expiry-aware threshold check: only unexpired votes count.
+    [[nodiscard]] bool poor_peer(const util::NodeId& subject,
+                                 int vote_threshold, util::SimTime now) const;
+
+    [[nodiscard]] util::SimTime vote_expiry() const noexcept {
+        return vote_expiry_;
+    }
+
   private:
     struct Entry {
-        std::unordered_set<util::NodeId, util::NodeIdHash> voters;
+        /// Latest vote time per voter.
+        std::unordered_map<util::NodeId, util::SimTime, util::NodeIdHash>
+            voters;
         util::SimTime last_vote = 0;
     };
+    util::SimTime vote_expiry_;
     std::unordered_map<util::NodeId, Entry, util::NodeIdHash> entries_;
 };
 

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace concilium::dht {
 
-Dht::Dht(const overlay::OverlayNetwork& net, int replication)
-    : net_(&net), replication_(replication), storage_(net.size()) {
+Dht::Dht(const overlay::OverlayNetwork& net, int replication,
+         int per_writer_quota)
+    : net_(&net), replication_(replication),
+      per_writer_quota_(per_writer_quota), storage_(net.size()) {
     if (replication < 1) {
         throw std::invalid_argument("Dht: replication must be >= 1");
+    }
+    if (per_writer_quota < 0) {
+        throw std::invalid_argument("Dht: per_writer_quota must be >= 0");
     }
 }
 
@@ -44,33 +51,60 @@ std::vector<overlay::MemberIndex> Dht::replica_set(
 
 Dht::PutResult Dht::put(overlay::MemberIndex via, const util::NodeId& key,
                         std::vector<std::uint8_t> value) {
+    auto& registry = util::metrics::Registry::global();
+    static auto& puts = registry.counter("dht.puts");
+    static auto& rejected = registry.counter("dht.puts_rejected_quota");
+    puts.add(1);
+
     PutResult result;
     result.route = net_->route(via, key);
     result.replicas = replica_set(key);
+    bool stored_anywhere = false;
     for (const overlay::MemberIndex m : result.replicas) {
         auto& values = storage_.at(m)[key];
-        if (std::find(values.begin(), values.end(), value) == values.end()) {
-            values.push_back(value);
+        const bool duplicate =
+            std::any_of(values.begin(), values.end(),
+                        [&](const StoredValue& s) { return s.value == value; });
+        if (duplicate) {
+            stored_anywhere = true;  // already present; the put is effective
+            continue;
         }
+        if (per_writer_quota_ > 0) {
+            const auto from_writer = std::count_if(
+                values.begin(), values.end(),
+                [&](const StoredValue& s) { return s.writer == via; });
+            if (from_writer >= per_writer_quota_) continue;
+        }
+        values.push_back(StoredValue{value, via});
+        stored_anywhere = true;
     }
+    result.accepted = stored_anywhere;
+    if (!stored_anywhere) rejected.add(1);
     return result;
 }
 
 Dht::GetResult Dht::get(overlay::MemberIndex via,
                         const util::NodeId& key) const {
+    auto& registry = util::metrics::Registry::global();
+    static auto& gets = registry.counter("dht.gets");
+    gets.add(1);
+
     GetResult result;
     result.route = net_->route(via, key);
     for (const overlay::MemberIndex m : replica_set(key)) {
         const auto& node_store = storage_.at(m);
         const auto it = node_store.find(key);
         if (it == node_store.end()) continue;
-        for (const auto& v : it->second) {
-            if (std::find(result.values.begin(), result.values.end(), v) ==
-                result.values.end()) {
-                result.values.push_back(v);
-            }
+        for (const auto& stored : it->second) {
+            result.values.push_back(stored.value);
         }
     }
+    // Canonical order: the reader's view must not depend on replica
+    // iteration or insertion history.
+    std::sort(result.values.begin(), result.values.end());
+    result.values.erase(
+        std::unique(result.values.begin(), result.values.end()),
+        result.values.end());
     return result;
 }
 

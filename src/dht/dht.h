@@ -9,6 +9,12 @@
 // under the same key, and nothing is ever silently replaced.  Each entry is
 // replicated on the key root and its nearest leaf-set neighbours so that a
 // single faulty replica cannot make an accusation disappear.
+//
+// Two abuse containments guard the repository itself: duplicate values under
+// a key are stored once per replica, and an optional per-writer quota bounds
+// how many distinct values any single member can pin under one key -- an
+// accusation spammer exhausts its quota while other writers' entries remain
+// fetchable.
 
 #pragma once
 
@@ -25,21 +31,30 @@ class Dht {
   public:
     /// replication: total copies per entry (root + replication-1 leaf
     /// neighbours of the root).
-    Dht(const overlay::OverlayNetwork& net, int replication = 4);
+    /// per_writer_quota: maximum distinct values a single writer may store
+    /// under one key at each replica (0 = unlimited).
+    Dht(const overlay::OverlayNetwork& net, int replication = 4,
+        int per_writer_quota = 0);
 
     struct PutResult {
         std::vector<overlay::MemberIndex> route;     ///< secure route walked
         std::vector<overlay::MemberIndex> replicas;  ///< nodes now storing it
+        /// False when every replica refused the value (quota exhausted).
+        bool accepted = true;
     };
 
     /// Routes from `via` to the key root and stores `value` on the replica
-    /// set.  Duplicate values under the same key are kept once per replica.
+    /// set, attributed to `via` as the writer.  Duplicate values under the
+    /// same key are kept once per replica and do not consume quota.
     PutResult put(overlay::MemberIndex via, const util::NodeId& key,
                   std::vector<std::uint8_t> value);
 
     struct GetResult {
         std::vector<overlay::MemberIndex> route;
-        std::vector<std::vector<std::uint8_t>> values;  ///< deduplicated
+        /// Union of the replica set's stored values, deduplicated and in
+        /// ascending lexicographic byte order -- independent of insertion
+        /// or replica iteration order, so readers are deterministic.
+        std::vector<std::vector<std::uint8_t>> values;
     };
 
     /// Routes from `via` to the key root and returns the union of the
@@ -54,12 +69,23 @@ class Dht {
     /// Number of values stored at one member (for balance diagnostics).
     [[nodiscard]] std::size_t stored_at(overlay::MemberIndex m) const;
 
+    [[nodiscard]] int per_writer_quota() const noexcept {
+        return per_writer_quota_;
+    }
+
   private:
+    struct StoredValue {
+        std::vector<std::uint8_t> value;
+        overlay::MemberIndex writer;
+    };
+
     const overlay::OverlayNetwork* net_;
     int replication_;
-    /// Per member: key -> stored values.
-    std::vector<std::unordered_map<util::NodeId, std::vector<std::vector<std::uint8_t>>,
-                                   util::NodeIdHash>>
+    int per_writer_quota_;
+    /// Per member: key -> stored values with writer attribution.
+    std::vector<
+        std::unordered_map<util::NodeId, std::vector<StoredValue>,
+                           util::NodeIdHash>>
         storage_;
 };
 

@@ -4,12 +4,27 @@
 
 namespace concilium::runtime {
 
-void SnapshotArchive::add(tomography::TomographicSnapshot snapshot,
-                          util::SimTime now) {
+ArchiveAdd SnapshotArchive::add(tomography::TomographicSnapshot snapshot,
+                                util::SimTime now) {
+    if (now - snapshot.probed_at > max_transit_) {
+        return ArchiveAdd::kRejectedStale;
+    }
+    if (snapshot.epoch != 0) {
+        const auto it = newest_epoch_.find(snapshot.origin);
+        if (it != newest_epoch_.end() && snapshot.epoch <= it->second) {
+            return ArchiveAdd::kRejectedEpoch;
+        }
+        newest_epoch_[snapshot.origin] = snapshot.epoch;
+    }
     auto& queue = by_origin_[snapshot.origin];
     queue.push_back(std::move(snapshot));
     ++count_;
+    while (queue.size() > max_per_origin_) {
+        queue.pop_front();
+        --count_;
+    }
     prune(now);
+    return ArchiveAdd::kArchived;
 }
 
 void SnapshotArchive::prune(util::SimTime now) {
@@ -22,14 +37,34 @@ void SnapshotArchive::prune(util::SimTime now) {
     }
 }
 
+const tomography::TomographicSnapshot* SnapshotArchive::find(
+    const util::NodeId& origin, std::uint64_t epoch) const {
+    if (epoch == 0) return nullptr;
+    const auto it = by_origin_.find(origin);
+    if (it == by_origin_.end()) return nullptr;
+    for (const auto& snap : it->second) {
+        if (snap.epoch == epoch) return &snap;
+    }
+    return nullptr;
+}
+
+util::SimTime SnapshotArchive::query_horizon(util::SimTime t,
+                                             util::SimTime delta) const {
+    // The window is [t - delta, t + delta], but never reaches further back
+    // than the retention promise: a caller passing a huge delta must not
+    // resurrect evidence that insert-time pruning merely hasn't visited yet.
+    return std::max(t - delta, t - retention_);
+}
+
 std::vector<core::ProbeResult> SnapshotArchive::probes_for(
     std::span<const net::LinkId> links, util::SimTime t, util::SimTime delta,
     const util::NodeId& exclude) const {
+    const util::SimTime lo = query_horizon(t, delta);
     std::vector<core::ProbeResult> out;
     for (const auto& [origin, queue] : by_origin_) {
         if (origin == exclude) continue;
         for (const auto& snap : queue) {
-            if (snap.probed_at < t - delta || snap.probed_at > t + delta) {
+            if (snap.probed_at < lo || snap.probed_at > t + delta) {
                 continue;
             }
             for (const auto& obs : snap.links) {
@@ -57,11 +92,12 @@ SnapshotArchive::snapshots_from(const util::NodeId& origin) const {
 std::vector<tomography::TomographicSnapshot> SnapshotArchive::evidence_for(
     std::span<const net::LinkId> links, util::SimTime t, util::SimTime delta,
     const util::NodeId& exclude) const {
+    const util::SimTime lo = query_horizon(t, delta);
     std::vector<tomography::TomographicSnapshot> out;
     for (const auto& [origin, queue] : by_origin_) {
         if (origin == exclude) continue;
         for (const auto& snap : queue) {
-            if (snap.probed_at < t - delta || snap.probed_at > t + delta) {
+            if (snap.probed_at < lo || snap.probed_at > t + delta) {
                 continue;
             }
             const bool touches = std::any_of(

@@ -9,6 +9,13 @@
 // blame evaluation (the Delta admission window plus slack) and answers the
 // query the blame engine needs: all probe results covering a set of links
 // around a point in time, with provenance.
+//
+// Admission is the first evidence-integrity defense: a snapshot whose epoch
+// regressed against the origin's newest archived epoch is a replay, and one
+// that took implausibly long to arrive is stale -- both are rejected before
+// they can weigh on any blame computation.  Retention is enforced on the
+// query path as well as on insert, and a per-origin cap bounds what any
+// single (possibly hostile) origin can pin in memory.
 
 #pragma once
 
@@ -24,19 +31,45 @@
 
 namespace concilium::runtime {
 
+/// Outcome of SnapshotArchive::add.
+enum class ArchiveAdd {
+    kArchived,
+    kRejectedStale,  ///< probed_at implausibly far behind delivery time
+    kRejectedEpoch,  ///< epoch did not advance past the origin's newest
+};
+
 class SnapshotArchive {
   public:
-    /// retention: snapshots older than now - retention are pruned on insert.
-    explicit SnapshotArchive(util::SimTime retention = 10 * util::kMinute)
-        : retention_(retention) {}
+    /// retention: snapshots older than now - retention are pruned on insert
+    /// and filtered out of queries.
+    /// max_transit: a snapshot delivered more than this after its probed_at
+    /// is rejected as stale (honest dissemination takes control-latency plus
+    /// bounded retries; a replayed snapshot arrives rounds late).
+    /// max_per_origin: newest-wins cap on archived snapshots per origin.
+    explicit SnapshotArchive(util::SimTime retention = 10 * util::kMinute,
+                             util::SimTime max_transit = util::kMinute,
+                             std::size_t max_per_origin = 64)
+        : retention_(retention), max_transit_(max_transit),
+          max_per_origin_(max_per_origin) {}
 
     /// Archives a snapshot (assumed already signature-checked by the caller;
-    /// un-verifiable snapshots never reach the archive).
-    void add(tomography::TomographicSnapshot snapshot, util::SimTime now);
+    /// un-verifiable snapshots never reach the archive).  Epoch-0 snapshots
+    /// skip the replay check (unversioned test inputs); the staleness check
+    /// always applies.
+    ArchiveAdd add(tomography::TomographicSnapshot snapshot,
+                   util::SimTime now);
+
+    /// The archived snapshot from `origin` with exactly this (non-zero)
+    /// epoch, or nullptr.  The lookup behind cross-peer digest comparison:
+    /// two peers holding different payloads for the same (origin, epoch)
+    /// have caught an equivocator.
+    [[nodiscard]] const tomography::TomographicSnapshot* find(
+        const util::NodeId& origin, std::uint64_t epoch) const;
 
     /// All archived probe results covering any link in `links`, initiated in
-    /// [t - delta, t + delta].  Results from `exclude` are skipped -- the
-    /// caller passes the judged node per Section 3.4's self-probe rule.
+    /// [t - delta, t + delta] (and never older than t - retention).  Results
+    /// from `exclude` are skipped -- the caller passes the judged node per
+    /// Section 3.4's self-probe rule.
     [[nodiscard]] std::vector<core::ProbeResult> probes_for(
         std::span<const net::LinkId> links, util::SimTime t,
         util::SimTime delta, const util::NodeId& exclude) const;
@@ -48,7 +81,8 @@ class SnapshotArchive {
 
     /// Snapshots (from any origin) whose probes fall inside the window and
     /// touch the given links; this is exactly the evidence bundle a formal
-    /// accusation must carry.
+    /// accusation must carry.  Like probes_for, the retention horizon is
+    /// enforced on this query path too.
     [[nodiscard]] std::vector<tomography::TomographicSnapshot>
     evidence_for(std::span<const net::LinkId> links, util::SimTime t,
                  util::SimTime delta, const util::NodeId& exclude) const;
@@ -57,11 +91,19 @@ class SnapshotArchive {
 
   private:
     void prune(util::SimTime now);
+    /// The effective lower admission bound for a query anchored at `t`.
+    [[nodiscard]] util::SimTime query_horizon(util::SimTime t,
+                                              util::SimTime delta) const;
 
     util::SimTime retention_;
+    util::SimTime max_transit_;
+    std::size_t max_per_origin_;
     std::unordered_map<util::NodeId, std::deque<tomography::TomographicSnapshot>,
                        util::NodeIdHash>
         by_origin_;
+    /// Highest epoch archived per origin (replay floor).
+    std::unordered_map<util::NodeId, std::uint64_t, util::NodeIdHash>
+        newest_epoch_;
     std::size_t count_ = 0;
 };
 

@@ -1,0 +1,209 @@
+#include "runtime/attack.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/metrics.h"
+
+namespace concilium::runtime {
+
+namespace {
+
+struct KindName {
+    AttackKind kind;
+    std::string_view name;
+};
+
+// Parse-order table; also the canonical to_string() order.
+constexpr KindName kKinds[] = {
+    {AttackKind::kEquivocate, "equivocate"},
+    {AttackKind::kReplay, "replay"},
+    {AttackKind::kSlander, "slander"},
+    {AttackKind::kSpam, "spam"},
+    {AttackKind::kCollude, "collude"},
+};
+
+[[noreturn]] void bad_spec(const std::string& what) {
+    throw std::invalid_argument("--attack: " + what);
+}
+
+std::string known_kinds() {
+    std::string out;
+    for (const KindName& k : kKinds) {
+        if (!out.empty()) out += ", ";
+        out += k.name;
+    }
+    return out;
+}
+
+/// Strict [0, 1] rate parse; rejects empty text, trailing junk, and
+/// non-finite values (strtod alone would accept "1e3x" prefixes or "nan").
+double parse_rate(std::string_view kind, std::string_view text) {
+    const std::string owned(text);
+    if (owned.empty()) {
+        bad_spec("attack '" + std::string(kind) + "' has an empty rate");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size() || !std::isfinite(value)) {
+        bad_spec("attack '" + std::string(kind) + "' has a malformed rate '" +
+                 owned + "'");
+    }
+    if (value < 0.0 || value > 1.0) {
+        bad_spec("attack '" + std::string(kind) + "' rate " + owned +
+                 " is outside [0, 1]");
+    }
+    return value;
+}
+
+void assign_role(NodeBehavior& b, AttackKind kind) {
+    switch (kind) {
+        case AttackKind::kEquivocate:
+            b.equivocate_snapshots = true;
+            b.drop_forward_probability = 1.0;
+            break;
+        case AttackKind::kReplay:
+            b.replay_snapshots = true;
+            b.drop_forward_probability = 1.0;
+            break;
+        case AttackKind::kSlander:
+            b.slander = true;
+            break;
+        case AttackKind::kSpam:
+            b.spam_accusations = true;
+            break;
+        case AttackKind::kCollude:
+            b.collude_revisions = true;
+            b.drop_forward_probability = 1.0;
+            break;
+        case AttackKind::kCount_:
+            break;
+    }
+}
+
+}  // namespace
+
+std::string_view to_string(AttackKind kind) {
+    for (const KindName& k : kKinds) {
+        if (k.kind == kind) return k.name;
+    }
+    return "?";
+}
+
+AttackCampaign AttackCampaign::parse(std::string_view text) {
+    AttackCampaign campaign;
+    bool seen[static_cast<std::size_t>(AttackKind::kCount_)] = {};
+    while (!text.empty()) {
+        const std::size_t comma = text.find(',');
+        const std::string_view pair = text.substr(0, comma);
+        if (comma != std::string_view::npos &&
+            text.substr(comma + 1).empty()) {
+            bad_spec("trailing ',' after '" + std::string(pair) + "'");
+        }
+        text = comma == std::string_view::npos ? std::string_view{}
+                                               : text.substr(comma + 1);
+        const std::size_t colon = pair.find(':');
+        if (pair.empty() || colon == std::string_view::npos) {
+            bad_spec("expected 'kind:rate', got '" + std::string(pair) + "'");
+        }
+        const std::string_view name = pair.substr(0, colon);
+        const KindName* match = nullptr;
+        for (const KindName& k : kKinds) {
+            if (k.name == name) {
+                match = &k;
+                break;
+            }
+        }
+        if (match == nullptr) {
+            bad_spec("unknown attack kind '" + std::string(name) +
+                     "' (known: " + known_kinds() + ")");
+        }
+        const auto slot = static_cast<std::size_t>(match->kind);
+        if (seen[slot]) {
+            bad_spec("attack '" + std::string(name) + "' given twice");
+        }
+        seen[slot] = true;
+        campaign.rates_[slot] = parse_rate(name, pair.substr(colon + 1));
+    }
+    return campaign;
+}
+
+void AttackCampaign::set_rate(AttackKind kind, double rate) {
+    if (!(rate >= 0.0) || rate > 1.0) {
+        bad_spec("rate " + std::to_string(rate) + " is outside [0, 1]");
+    }
+    rates_[static_cast<std::size_t>(kind)] = rate;
+}
+
+bool AttackCampaign::empty() const noexcept {
+    for (const double r : rates_) {
+        if (r != 0.0) return false;
+    }
+    return true;
+}
+
+AttackCampaign AttackCampaign::scaled(double factor) const {
+    AttackCampaign out;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(AttackKind::kCount_);
+         ++i) {
+        out.rates_[i] = std::min(1.0, rates_[i] * factor);
+    }
+    return out;
+}
+
+std::string AttackCampaign::to_string() const {
+    std::string out;
+    for (const KindName& k : kKinds) {
+        const double r = rate(k.kind);
+        if (r == 0.0) continue;
+        if (!out.empty()) out += ',';
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s:%g", std::string(k.name).c_str(),
+                      r);
+        out += buf;
+    }
+    return out;
+}
+
+std::vector<NodeBehavior> materialize_attackers(const AttackCampaign& campaign,
+                                                std::size_t node_count,
+                                                util::Rng& rng) {
+    auto& registry = util::metrics::Registry::global();
+    static auto& recruited = registry.counter("attack.nodes_recruited");
+
+    std::vector<NodeBehavior> behaviors(node_count);
+    if (campaign.empty() || node_count == 0) return behaviors;
+
+    // Not-yet-recruited pool; roles are exclusive, so each pick removes the
+    // node from further recruitment.
+    std::vector<std::size_t> pool(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) pool[i] = i;
+
+    for (const AttackKind kind :
+         {AttackKind::kEquivocate, AttackKind::kReplay, AttackKind::kSlander,
+          AttackKind::kSpam, AttackKind::kCollude}) {
+        const double rate = campaign.rate(kind);
+        if (rate <= 0.0) continue;
+        auto want = static_cast<std::size_t>(
+            std::llround(rate * static_cast<double>(node_count)));
+        // A non-zero rate recruits at least one node: tiny worlds should
+        // still see the attack the spec asked for.
+        want = std::max<std::size_t>(want, 1);
+        want = std::min(want, pool.size());
+        for (std::size_t n = 0; n < want; ++n) {
+            const std::size_t pick = rng.uniform_index(pool.size());
+            assign_role(behaviors[pool[pick]], kind);
+            recruited.add(1);
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        if (pool.empty()) break;
+    }
+    return behaviors;
+}
+
+}  // namespace concilium::runtime

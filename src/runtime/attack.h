@@ -1,0 +1,118 @@
+// Byzantine attack campaigns against evidence integrity.
+//
+// PR 3's chaos layer misbehaves at the *environment* level; this module
+// misbehaves at the *peer* level, exercising exactly the adversary of
+// Sections 3.2-3.5: nodes that lie in signed snapshots, replay stale ones,
+// fabricate accusations and revision chains, and flood the accusation
+// repository.  A campaign is parsed from a strict `--attack` spec mirroring
+// net::FaultSpec ("equivocate:0.05,replay:0.1,..."), where each rate is the
+// fraction of overlay nodes recruited into that role; materialization
+// assigns exclusive roles deterministically from an Rng substream.
+//
+// Per-node misbehaviour (both the Section 3.3 classics and the campaign
+// roles) is configured through NodeBehavior, consumed by runtime::Cluster.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace concilium::runtime {
+
+struct NodeBehavior {
+    /// Silently drop messages this node should forward (the core fault
+    /// Concilium diagnoses).
+    double drop_forward_probability = 0.0;
+    /// Invert the link verdicts in published snapshots (Section 3.3's most
+    /// damaging leaf strategy: answer others' probes correctly, misreport
+    /// one's own results).
+    bool flip_probe_reports = false;
+    /// Probability of suppressing the acknowledgment of a received probe.
+    double suppress_probe_acks = 0.0;
+    /// Acknowledge probes that were never received (caught by nonces).
+    bool fabricate_probe_acks = false;
+    /// Refuse to issue forwarding commitments (Section 3.6).
+    bool refuse_commitments = false;
+    /// Never push guilty verdicts upstream ("They do so at their own
+    /// peril", Section 3.5).
+    bool refuse_revisions = false;
+    /// Advertise only this fraction of the jump table (a suppression attack
+    /// on routing state; 1.0 = honest).
+    double advertised_table_fraction = 1.0;
+
+    // --- campaign roles (see AttackKind) ---------------------------------
+    /// Sign a different snapshot for different peers in the same probing
+    /// round (caught by cross-peer digest exchange: two valid signatures
+    /// over the same origin+epoch form a self-verifying proof).
+    bool equivocate_snapshots = false;
+    /// Re-advertise the node's oldest favorable snapshot verbatim instead
+    /// of fresh results (caught by the archive's epoch/freshness checks).
+    bool replay_snapshots = false;
+    /// File accusations against honest peers from cherry-picked stale
+    /// evidence bundles (caught by the hardened third-party verifier).
+    bool slander = false;
+    /// Flood the DHT with junk under a victim's accusation key (contained
+    /// by per-writer quotas; readers skip malformed values).
+    bool spam_accusations = false;
+    /// After dropping a message, push a fabricated revision blaming the
+    /// next hop (caught by sender-side revision verification).
+    bool collude_revisions = false;
+
+    /// True when any campaign role is set (for ground-truth scoring).
+    [[nodiscard]] bool byzantine() const noexcept {
+        return equivocate_snapshots || replay_snapshots || slander ||
+               spam_accusations || collude_revisions;
+    }
+};
+
+enum class AttackKind {
+    kEquivocate,  ///< per-peer snapshot variants, same epoch
+    kReplay,      ///< stale favorable snapshots re-advertised
+    kSlander,     ///< forged accusations against honest peers
+    kSpam,        ///< junk floods under a victim's accusation key
+    kCollude,     ///< fabricated revision chains after a drop
+    kCount_,
+};
+
+std::string_view to_string(AttackKind kind);
+
+/// Per-role recruitment rates in [0, 1]: the fraction of overlay nodes
+/// assigned to each role.  Parsing is strict, mirroring net::FaultSpec:
+/// unknown kinds, duplicate kinds, malformed or out-of-range rates, and
+/// trailing commas all throw std::invalid_argument prefixed with
+/// "--attack:".
+class AttackCampaign {
+  public:
+    static AttackCampaign parse(std::string_view text);
+
+    [[nodiscard]] double rate(AttackKind kind) const noexcept {
+        return rates_[static_cast<std::size_t>(kind)];
+    }
+    void set_rate(AttackKind kind, double rate);
+    [[nodiscard]] bool empty() const noexcept;
+    /// Rates multiplied by `factor`, clamped to 1.
+    [[nodiscard]] AttackCampaign scaled(double factor) const;
+    /// Canonical spec text (kinds in declaration order, zero rates
+    /// omitted); parse(to_string()) round-trips.
+    [[nodiscard]] std::string to_string() const;
+
+  private:
+    double rates_[static_cast<std::size_t>(AttackKind::kCount_)] = {};
+};
+
+/// Draws the campaign's attacker assignment for an overlay of `node_count`
+/// members: per kind (in declaration order), round(rate * node_count) nodes
+/// are recruited uniformly without replacement; roles are exclusive.
+/// Equivocators, replayers, and colluders also drop every message they
+/// should forward -- their snapshot/revision lies exist to evade blame for
+/// those drops.  Pure function of the Rng stream: byte-stable across
+/// worker counts.
+std::vector<NodeBehavior> materialize_attackers(const AttackCampaign& campaign,
+                                                std::size_t node_count,
+                                                util::Rng& rng);
+
+}  // namespace concilium::runtime

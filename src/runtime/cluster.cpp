@@ -28,7 +28,8 @@ Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
     : sim_(&sim), timeline_(&timeline), net_(&net), trees_(&trees),
       params_(params), behaviors_(std::move(behaviors)), rng_(rng),
       transport_(timeline, sim, rng_.fork(), params.transport),
-      dht_(net, params.dht_replication) {
+      dht_(net, params.dht_replication, params.dht_per_writer_quota),
+      reputation_(params.reputation_vote_expiry) {
     if (!behaviors_.empty() && behaviors_.size() != net.size()) {
         throw std::invalid_argument(
             "Cluster: behaviors must match overlay size");
@@ -40,7 +41,9 @@ Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
         registry_.register_key(net.member(m).keys);
         member_of_.emplace(net.member(m).id(), m);
         nodes_.push_back(NodeState{
-            SnapshotArchive(params_.blame.delta + 5 * util::kMinute),
+            SnapshotArchive(params_.blame.delta + 5 * util::kMinute,
+                            params_.snapshot_max_transit,
+                            params_.archive_max_per_origin),
             core::VerdictLedger(params_.verdicts),
             -(1LL << 60)});
     }
@@ -127,6 +130,8 @@ void Cluster::start() {
     if (chaos_ != nullptr) schedule_churn();
     for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
         schedule_probe_round(m);
+        if (behavior(m).slander) schedule_slander_round(m);
+        if (behavior(m).spam_accusations) schedule_spam_round(m);
     }
 }
 
@@ -281,7 +286,21 @@ void Cluster::run_heavyweight(overlay::MemberIndex m) {
 
 void Cluster::publish_snapshot(overlay::MemberIndex m,
                                tomography::TomographicSnapshot snapshot) {
-    if (behavior(m).flip_probe_reports) {
+    const NodeBehavior& b = behavior(m);
+    if (b.replay_snapshots && nodes_[m].replay_stash.has_value()) {
+        // Replayer: instead of publishing fresh results (which would reveal
+        // the paths it is breaking), re-advertise its first, favorable
+        // snapshot verbatim -- signature and epoch included.  Receiving
+        // archives reject it on the transit-time check (and, were the
+        // timestamp forged, on the epoch floor).
+        ++stats_.replays_published;
+        bump("attack.replays_published");
+        for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+            send_snapshot(m, peer, *nodes_[m].replay_stash, 1);
+        }
+        return;
+    }
+    if (b.flip_probe_reports) {
         // Section 3.3's worst-case leaf: answer others' probes correctly but
         // misreport one's own results.  The liar signs its lie.
         for (auto& obs : snapshot.links) obs.up = !obs.up;
@@ -291,13 +310,77 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
                               : tomography::LossBucket::kClean;
         }
     }
+    snapshot.epoch = nodes_[m].next_epoch++;
     snapshot.signature =
         net_->member(m).keys.sign(snapshot.signed_payload());
     ++stats_.snapshots_published;
     bump("runtime.snapshots_published");
+    if (b.replay_snapshots) nodes_[m].replay_stash = snapshot;
     nodes_[m].archive.add(snapshot, sim_->now());
+    if (b.equivocate_snapshots) {
+        // Equivocator: alternate peers get a fully link-flipped twin signed
+        // over the *same* origin+epoch.  Any two peers comparing digests now
+        // hold a self-verifying proof.
+        ++stats_.equivocations_published;
+        bump("attack.equivocations_published");
+        std::size_t rank = 0;
+        for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+            send_snapshot(m, peer, equivocation_variant(m, snapshot, rank++),
+                          1);
+        }
+        return;
+    }
     for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
         send_snapshot(m, peer, snapshot, 1);
+    }
+}
+
+tomography::TomographicSnapshot Cluster::equivocation_variant(
+    overlay::MemberIndex m, const tomography::TomographicSnapshot& base,
+    std::size_t peer_rank) const {
+    if (peer_rank % 2 == 0) return base;
+    tomography::TomographicSnapshot variant = base;
+    for (auto& obs : variant.links) obs.up = !obs.up;
+    for (auto& path : variant.paths) {
+        path.bucket = path.bucket == tomography::LossBucket::kClean
+                          ? tomography::LossBucket::kDown
+                          : tomography::LossBucket::kClean;
+    }
+    variant.signature = net_->member(m).keys.sign(variant.signed_payload());
+    return variant;
+}
+
+void Cluster::detect_equivocation(
+    overlay::MemberIndex holder,
+    const tomography::TomographicSnapshot& snapshot) {
+    if (snapshot.epoch == 0) return;  // unversioned: nothing to compare
+    const auto origin_it = member_of_.find(snapshot.origin);
+    if (origin_it == member_of_.end()) return;
+    const overlay::MemberIndex origin_m = origin_it->second;
+    if (proofs_filed_.contains({origin_m, snapshot.epoch})) return;
+    // Digest exchange: compare the copy just archived at `holder` against
+    // what the origin's other routing peers hold for the same epoch.  Both
+    // copies carry the origin's valid signature, so a payload conflict *is*
+    // the proof -- no trust in either peer required.
+    for (const overlay::MemberIndex peer : net_->routing_peers(origin_m)) {
+        if (peer == holder || !online_[peer]) continue;
+        const tomography::TomographicSnapshot* other =
+            nodes_[peer].archive.find(snapshot.origin, snapshot.epoch);
+        if (other == nullptr) continue;
+        core::EquivocationProof proof{*other, snapshot};
+        if (core::verify_equivocation_proof(
+                proof, net_->member(origin_m).keys.public_key(), registry_) !=
+            core::EquivocationCheck::kOk) {
+            continue;  // same payload (or otherwise not a usable proof)
+        }
+        proofs_filed_.insert({origin_m, snapshot.epoch});
+        dht_.put(holder,
+                 core::EquivocationProof::dht_key(
+                     net_->member(origin_m).keys.public_key()),
+                 proof.serialize());
+        ++stats_.equivocation_proofs_filed;
+        bump("defense.equivocation_proofs_filed");
+        return;
     }
 }
 
@@ -313,7 +396,19 @@ void Cluster::send_snapshot(overlay::MemberIndex m,
             bump("runtime.snapshots_rejected");
             return;
         }
-        nodes_[peer].archive.add(snapshot, sim_->now());
+        switch (nodes_[peer].archive.add(snapshot, sim_->now())) {
+            case ArchiveAdd::kArchived:
+                detect_equivocation(peer, snapshot);
+                break;
+            case ArchiveAdd::kRejectedStale:
+                ++stats_.snapshots_rejected_stale;
+                bump("defense.snapshots_rejected_stale");
+                break;
+            case ArchiveAdd::kRejectedEpoch:
+                ++stats_.snapshots_rejected_epoch;
+                bump("defense.snapshots_rejected_epoch");
+                break;
+        }
     };
     if (chaos_ == nullptr) {
         // Lossless control plane (the paper's assumption).
@@ -437,6 +532,16 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
     if (hop > 0 && (!online_[m] ||
                     rng_.bernoulli(behavior(m).drop_forward_probability))) {
         ctx.dropped_by_hop = hop;
+        if (online_[m] && behavior(m).collude_revisions) {
+            // The colluder waits out the upstream timeout, then pushes a
+            // fabricated guilty revision framing its next hop for the drop
+            // it just committed.
+            sim_->schedule_after(
+                params_.ack_timeout + params_.judgment_grace,
+                [this, msg_id, hop] {
+                    push_fabricated_revision(msg_id, hop);
+                });
+        }
         return;  // upstream stewards will time out
     }
 
@@ -454,6 +559,10 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
             net_->member(m).id(), net_->member(next).id(),
             net_->member(ctx.route.back()).id(), msg_id, ctx.sent_at,
             net_->member(next).keys);
+        // Stewards keep the commitments they collect; a slanderer or
+        // colluder later reuses them as raw material for forged evidence.
+        nodes_[m].collected.insert_or_assign(net_->member(next).id(),
+                                             *ctx.stewards[hop].commitment);
     }
 
     ctx.stewards[hop].forwarded = true;
@@ -684,6 +793,154 @@ void Cluster::relay_revision(std::uint64_t msg_id,
                          });
 }
 
+// ------------------------------------------- attack campaign behaviours
+
+void Cluster::push_fabricated_revision(std::uint64_t msg_id,
+                                       std::size_t hop) {
+    auto& ctx = messages_.at(msg_id);
+    if (ctx.completed || !online_[ctx.route[hop]]) return;
+    const overlay::MemberIndex m = ctx.route[hop];
+    const overlay::MemberIndex next = ctx.route[hop + 1];
+    core::BlameEvidence ev;
+    ev.judge = net_->member(m).id();
+    ev.suspect = net_->member(next).id();
+    ev.message_id = ctx.id;
+    ev.message_time = ctx.sent_at;
+    ev.path_links = hop_path(ctx, hop);
+    // No snapshots: the colluder's archive holds evidence the path was fine
+    // (it dropped the message itself), so it bundles nothing and asserts
+    // maximum blame.  Without a commitment for *this* message from the
+    // framed hop, the best it can attach is a stale commitment it collected
+    // earlier -- either way, sender-side re-verification fails.
+    const auto it = nodes_[m].collected.find(ev.suspect);
+    if (it != nodes_[m].collected.end()) ev.commitment = it->second;
+    ev.claimed_blame = 1.0;
+    ev.judge_signature = net_->member(m).keys.sign(ev.signed_payload());
+    ++stats_.collusions_pushed;
+    bump("attack.collusions_pushed");
+    sim_->schedule_after(params_.control_latency,
+                         [this, msg_id, ev, hop] {
+                             relay_revision(msg_id, ev, hop - 1);
+                         });
+}
+
+void Cluster::schedule_slander_round(overlay::MemberIndex m) {
+    const auto delay = static_cast<util::SimTime>(rng_.uniform(
+        0.0, static_cast<double>(params_.probe_interval_max)));
+    sim_->schedule_after(delay, [this, m] { run_slander_round(m); });
+}
+
+void Cluster::run_slander_round(overlay::MemberIndex m) {
+    if (!online_[m]) {
+        schedule_slander_round(m);
+        return;
+    }
+    const auto& peers = net_->routing_peers(m);
+    if (!peers.empty()) {
+        NodeState& node = nodes_[m];
+        const overlay::MemberIndex victim =
+            peers[node.slander_cursor++ % peers.size()];
+        core::BlameEvidence ev;
+        ev.judge = net_->member(m).id();
+        ev.suspect = net_->member(victim).id();
+        const auto collected = node.collected.find(ev.suspect);
+        if (collected != node.collected.end()) {
+            // Strongest forgery available: a genuine commitment from the
+            // victim, with the accusation anchored to its message binding so
+            // the commitment checks pass.  The lie then has to live in the
+            // evidence bundle.
+            ev.commitment = collected->second;
+            ev.message_id = collected->second.message_id;
+            ev.message_time = collected->second.at;
+        } else {
+            // No commitment from the victim: forge one in its name.  The
+            // slanderer can only sign with its own key, so verification
+            // rejects it outright.
+            ev.message_id = (std::uint64_t{0x51AD} << 32) |
+                            (std::uint64_t{m} << 16) | node.slander_cursor;
+            ev.message_time = sim_->now();
+            core::ForwardingCommitment c;
+            c.sender = ev.judge;
+            c.forwarder = ev.suspect;
+            c.destination = ev.judge;
+            c.message_id = ev.message_id;
+            c.at = ev.message_time;
+            c.signature = net_->member(m).keys.sign(c.signed_payload());
+            ev.commitment = c;
+        }
+        if (trees_->leaf_slot(m, victim).has_value()) {
+            ev.path_links = trees_->path_links(m, victim);
+        }
+        // Cherry-picking: of everything archived about these links, keep
+        // ONLY snapshots outside the admission window around message_time --
+        // old outages the victim had nothing to do with.  Fresh exonerating
+        // snapshots are deliberately withheld.
+        auto bundle = node.archive.evidence_for(
+            ev.path_links, ev.message_time,
+            params_.blame.delta + 5 * util::kMinute, ev.suspect);
+        std::erase_if(bundle,
+                      [&](const tomography::TomographicSnapshot& s) {
+                          const util::SimTime skew =
+                              s.probed_at >= ev.message_time
+                                  ? s.probed_at - ev.message_time
+                                  : ev.message_time - s.probed_at;
+                          return skew <= params_.blame.delta;
+                      });
+        if (bundle.size() > 4) bundle.resize(4);
+        ev.snapshots = std::move(bundle);
+        ev.claimed_blame = 1.0;
+        ev.judge_signature = net_->member(m).keys.sign(ev.signed_payload());
+
+        core::FaultAccusation accusation;
+        accusation.accuser = net_->member(m).id();
+        accusation.evidence.push_back(std::move(ev));
+        accusation.signature =
+            net_->member(m).keys.sign(accusation.signed_payload());
+        dht_.put(m,
+                 core::FaultAccusation::dht_key(
+                     net_->member(victim).keys.public_key()),
+                 accusation.serialize());
+        ++stats_.slanders_filed;
+        bump("attack.slanders_filed");
+    }
+    schedule_slander_round(m);
+}
+
+void Cluster::schedule_spam_round(overlay::MemberIndex m) {
+    const auto delay = static_cast<util::SimTime>(rng_.uniform(
+        0.0, static_cast<double>(params_.probe_interval_max)));
+    sim_->schedule_after(delay, [this, m] { run_spam_round(m); });
+}
+
+void Cluster::run_spam_round(overlay::MemberIndex m) {
+    if (!online_[m]) {
+        schedule_spam_round(m);
+        return;
+    }
+    const auto& peers = net_->routing_peers(m);
+    if (!peers.empty()) {
+        NodeState& node = nodes_[m];
+        const overlay::MemberIndex victim =
+            peers[node.spam_cursor++ % peers.size()];
+        const auto key = core::FaultAccusation::dht_key(
+            net_->member(victim).keys.public_key());
+        for (int i = 0; i < 4; ++i) {
+            std::vector<std::uint8_t> junk(24);
+            for (auto& byte : junk) {
+                byte = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+            }
+            const auto result = dht_.put(m, key, std::move(junk));
+            ++stats_.spam_puts;
+            bump("attack.spam_puts");
+            if (!result.accepted) {
+                ++stats_.dht_puts_rejected;
+                bump("defense.dht_puts_rejected");
+            }
+        }
+    }
+    schedule_spam_round(m);
+}
+
 void Cluster::maybe_complete(std::uint64_t msg_id) {
     auto& ctx = messages_.at(msg_id);
     if (ctx.completed) return;
@@ -716,6 +973,12 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
         return;
     }
     // Walk the revision chain: start blaming hop 1, follow pushed verdicts.
+    // Every pushed revision is re-verified before it is honored -- same
+    // checks a third party runs on a full accusation (signatures, the
+    // commitment's message binding, snapshot freshness, the Equation 2-3
+    // recomputation).  A fabricated revision is simply ignored, leaving the
+    // blame where the sender's own verified chain ends.
+    const core::AccusationVerifier verifier = make_verifier();
     util::NodeId accused = sender.judgment->suspect;
     std::vector<const core::BlameEvidence*> chain{&*sender.judgment};
     bool network = false;
@@ -723,14 +986,17 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
         advanced = false;
         for (const core::BlameEvidence& ev : sender.pushed) {
             if (!(ev.judge == accused)) continue;
-            if (!core::is_guilty_verdict(ev.claimed_blame,
-                                         params_.verdicts)) {
+            const core::AccusationCheck check = verifier.verify_evidence(ev);
+            if (check == core::AccusationCheck::kBlameBelowThreshold) {
                 // The accused proved the IP path to its next hop was bad.
                 network = true;
-            } else {
+            } else if (check == core::AccusationCheck::kOk) {
                 accused = ev.suspect;
                 chain.push_back(&ev);
                 advanced = true;
+            } else {
+                ++stats_.revisions_rejected;
+                bump("defense.revisions_rejected");
             }
             break;
         }
@@ -823,14 +1089,35 @@ std::vector<core::FaultAccusation> Cluster::accusations_against(
     // Read as an arbitrary third party.
     const auto result = dht_.get((m + 1) % net_->size(), key);
     for (const auto& bytes : result.values) {
-        out.push_back(core::FaultAccusation::deserialize(bytes));
+        try {
+            out.push_back(core::FaultAccusation::deserialize(bytes));
+        } catch (const std::exception&) {
+            // Spam: a value under an accusation key that is not an
+            // accusation.  Readers skip it.
+            bump("defense.malformed_accusations_dropped");
+        }
     }
     return out;
 }
 
-core::AccusationCheck Cluster::verify(
-    const core::FaultAccusation& accusation) const {
-    const core::AccusationVerifier verifier(
+std::vector<core::EquivocationProof> Cluster::equivocation_proofs_against(
+    overlay::MemberIndex m) const {
+    std::vector<core::EquivocationProof> out;
+    const auto key =
+        core::EquivocationProof::dht_key(net_->member(m).keys.public_key());
+    const auto result = dht_.get((m + 1) % net_->size(), key);
+    for (const auto& bytes : result.values) {
+        try {
+            out.push_back(core::EquivocationProof::deserialize(bytes));
+        } catch (const std::exception&) {
+            bump("defense.malformed_accusations_dropped");
+        }
+    }
+    return out;
+}
+
+core::AccusationVerifier Cluster::make_verifier() const {
+    return core::AccusationVerifier(
         registry_,
         [this](const util::NodeId& id) { return key_of(id); },
         params_.blame, params_.verdicts,
@@ -849,7 +1136,18 @@ core::AccusationCheck Cluster::verify(
             return std::equal(links.begin(), links.end(), truth.begin(),
                               truth.end());
         });
-    return verifier.verify(accusation);
+}
+
+core::AccusationCheck Cluster::verify(
+    const core::FaultAccusation& accusation) const {
+    return make_verifier().verify(accusation);
+}
+
+core::EquivocationCheck Cluster::verify(
+    const core::EquivocationProof& proof,
+    overlay::MemberIndex accused) const {
+    return core::verify_equivocation_proof(
+        proof, net_->member(accused).keys.public_key(), registry_);
 }
 
 }  // namespace concilium::runtime

@@ -12,11 +12,13 @@
 // trigger blame evaluation, verdict ledgers, upstream revision pushes, and
 // formal accusations stored in the DHT (Section 3.4).
 //
-// Misbehaviour is injected per node through NodeBehavior: message droppers,
-// probe-report flippers ("misreporting the results of its own probes",
-// Section 3.3), ack suppressors/fabricators at the probing layer,
-// commitment refusers, and nodes that withhold revisions "at their own
-// peril".
+// Misbehaviour is injected per node through runtime::NodeBehavior (see
+// runtime/attack.h): message droppers, probe-report flippers ("misreporting
+// the results of its own probes", Section 3.3), ack suppressors/fabricators
+// at the probing layer, commitment refusers, nodes that withhold revisions
+// "at their own peril", and the evidence-integrity campaign roles --
+// equivocators, replayers, slanderers, accusation spammers, and verdict
+// colluders -- each paired here with its self-verifying defense.
 
 #pragma once
 
@@ -24,7 +26,9 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/accusation.h"
@@ -38,8 +42,10 @@
 #include "net/event_sim.h"
 #include "net/link_state.h"
 #include "net/transport.h"
+#include "core/equivocation.h"
 #include "overlay/network.h"
 #include "runtime/archive.h"
+#include "runtime/attack.h"
 #include "runtime/retry.h"
 #include "tomography/overlay_trees.h"
 #include "tomography/probing.h"
@@ -47,28 +53,6 @@
 #include "util/rng.h"
 
 namespace concilium::runtime {
-
-struct NodeBehavior {
-    /// Silently drop messages this node should forward (the core fault
-    /// Concilium diagnoses).
-    double drop_forward_probability = 0.0;
-    /// Invert the link verdicts in published snapshots (Section 3.3's most
-    /// damaging leaf strategy: answer others' probes correctly, misreport
-    /// one's own results).
-    bool flip_probe_reports = false;
-    /// Probability of suppressing the acknowledgment of a received probe.
-    double suppress_probe_acks = 0.0;
-    /// Acknowledge probes that were never received (caught by nonces).
-    bool fabricate_probe_acks = false;
-    /// Refuse to issue forwarding commitments (Section 3.6).
-    bool refuse_commitments = false;
-    /// Never push guilty verdicts upstream ("They do so at their own
-    /// peril", Section 3.5).
-    bool refuse_revisions = false;
-    /// Advertise only this fraction of the jump table (a suppression attack
-    /// on routing state; 1.0 = honest).
-    double advertised_table_fraction = 1.0;
-};
 
 struct RuntimeParams {
     /// Routing-state validation applied to the advertisements exchanged at
@@ -97,8 +81,19 @@ struct RuntimeParams {
     /// Control-plane (snapshot / revision) dissemination latency.
     util::SimTime control_latency = 200 * util::kMillisecond;
     int dht_replication = 4;
+    /// Per-writer quota on DHT values stored under one key (0 = unlimited);
+    /// contains accusation spam without touching honest accusers.
+    int dht_per_writer_quota = 8;
     /// Reputation votes needed before a peer is considered poor.
     int reputation_threshold = 3;
+    /// No-confidence votes older than this stop counting toward
+    /// reputation_threshold (0 = votes never expire).
+    util::SimTime reputation_vote_expiry = 30 * util::kMinute;
+    /// A snapshot delivered more than this after its probed_at is rejected
+    /// by the receiving archive as a replay/stale advertisement.
+    util::SimTime snapshot_max_transit = util::kMinute;
+    /// Newest-wins cap on archived snapshots per origin.
+    std::size_t archive_max_per_origin = 64;
     net::TransportParams transport;
     /// Steward retransmission of an unacknowledged message before judging:
     /// attempts beyond the first re-send over the same IP path with
@@ -198,6 +193,18 @@ class Cluster {
         std::size_t duplicates_suppressed = 0;
         std::size_t churn_leaves = 0;
         std::size_t churn_rejoins = 0;
+        // --- attack-campaign activity (what the adversary did) -----------
+        std::size_t equivocations_published = 0;  ///< per-peer variant rounds
+        std::size_t replays_published = 0;        ///< stale re-advertisements
+        std::size_t slanders_filed = 0;           ///< forged accusations
+        std::size_t spam_puts = 0;                ///< junk DHT insertions
+        std::size_t collusions_pushed = 0;        ///< fabricated revisions
+        // --- defense outcomes (what the protocol caught) -----------------
+        std::size_t snapshots_rejected_stale = 0;  ///< archive transit check
+        std::size_t snapshots_rejected_epoch = 0;  ///< archive replay floor
+        std::size_t equivocation_proofs_filed = 0;
+        std::size_t revisions_rejected = 0;  ///< failed re-verification
+        std::size_t dht_puts_rejected = 0;   ///< writer quota exhausted
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -218,13 +225,26 @@ class Cluster {
 
     /// Fetches and deserializes the accusations stored against a member,
     /// as an arbitrary third party would (Section 3.4's final step).
+    /// Malformed values (spam) are skipped, not fatal.
     [[nodiscard]] std::vector<core::FaultAccusation> accusations_against(
         overlay::MemberIndex m) const;
+
+    /// Fetches the self-verifying equivocation proofs filed against a
+    /// member's snapshot stream (two valid signatures over conflicting
+    /// payloads for the same origin+epoch).  Malformed values are skipped.
+    [[nodiscard]] std::vector<core::EquivocationProof>
+    equivocation_proofs_against(overlay::MemberIndex m) const;
 
     /// Independently verifies an accusation against this cluster's key
     /// registry, exactly as a prospective peer would before sanctioning.
     [[nodiscard]] core::AccusationCheck verify(
         const core::FaultAccusation& accusation) const;
+
+    /// Independently verifies an equivocation proof against the accused
+    /// member's registered key.
+    [[nodiscard]] core::EquivocationCheck verify(
+        const core::EquivocationProof& proof,
+        overlay::MemberIndex accused) const;
 
     /// Attaches an opt-in diagnosis journal: every message that completes
     /// via diagnosis (i.e. was not acknowledged) appends one record with
@@ -269,6 +289,19 @@ class Cluster {
         SnapshotArchive archive;
         core::VerdictLedger ledger;
         util::SimTime last_heavyweight = -(1LL << 60);
+        /// Next snapshot publication counter (epoch 0 = unversioned).
+        std::uint64_t next_epoch = 1;
+        /// Replayer state: the first favorable snapshot, re-advertised
+        /// verbatim every later round.
+        std::optional<tomography::TomographicSnapshot> replay_stash;
+        /// Commitments this node collected as a steward, by issuer --
+        /// a colluder's raw material for fabricated revisions.
+        std::unordered_map<util::NodeId, core::ForwardingCommitment,
+                           util::NodeIdHash>
+            collected;
+        /// Round-robin victim cursors for slander / spam rounds.
+        std::size_t slander_cursor = 0;
+        std::size_t spam_cursor = 0;
     };
 
     // --- routing-state exchange -------------------------------------------
@@ -283,6 +316,26 @@ class Cluster {
     void send_snapshot(overlay::MemberIndex m, overlay::MemberIndex peer,
                        const tomography::TomographicSnapshot& snapshot,
                        int attempt);
+
+    // --- attack campaign + evidence-integrity defenses ---------------------
+    /// Equivocator variant for one peer: even peer ranks get the snapshot
+    /// as-is, odd ranks a fully link-flipped re-signed twin (same epoch).
+    [[nodiscard]] tomography::TomographicSnapshot equivocation_variant(
+        overlay::MemberIndex m, const tomography::TomographicSnapshot& base,
+        std::size_t peer_rank) const;
+    /// Cross-peer digest exchange: after archiving `snapshot` at `holder`,
+    /// compare against the copies the origin's other routing peers hold for
+    /// the same epoch; a payload conflict yields a self-verifying proof
+    /// stored in the DHT.
+    void detect_equivocation(overlay::MemberIndex holder,
+                             const tomography::TomographicSnapshot& snapshot);
+    void schedule_slander_round(overlay::MemberIndex m);
+    void run_slander_round(overlay::MemberIndex m);
+    void schedule_spam_round(overlay::MemberIndex m);
+    void run_spam_round(overlay::MemberIndex m);
+    /// Colluder reaction to its own drop: push a fabricated guilty revision
+    /// against the hop it framed, upstream toward the sender.
+    void push_fabricated_revision(std::uint64_t msg_id, std::size_t hop);
 
     // --- chaos -------------------------------------------------------------
     void schedule_churn();
@@ -314,6 +367,10 @@ class Cluster {
                       const MessageOutcome& outcome);
     void file_accusation(const MessageContext& ctx);
 
+    /// The third-party verification context every node shares: this
+    /// cluster's key registry, blame/verdict parameters, and link map.
+    [[nodiscard]] core::AccusationVerifier make_verifier() const;
+
     [[nodiscard]] std::vector<net::LinkId> hop_path(
         const MessageContext& ctx, std::size_t hop) const;
     [[nodiscard]] const NodeBehavior& behavior(overlay::MemberIndex m) const;
@@ -340,6 +397,9 @@ class Cluster {
     std::uint64_t next_message_id_ = 1;
     std::vector<bool> online_;
     std::vector<std::vector<overlay::MemberIndex>> ad_rejecters_;
+    /// (origin member, epoch) pairs already covered by a filed equivocation
+    /// proof, so repeated digest conflicts do not re-file.
+    std::set<std::pair<overlay::MemberIndex, std::uint64_t>> proofs_filed_;
     Stats stats_;
     core::DiagnosisTrace* trace_ = nullptr;
     const net::FaultPlan* chaos_ = nullptr;

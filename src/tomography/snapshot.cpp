@@ -1,5 +1,7 @@
 #include "tomography/snapshot.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace concilium::tomography {
@@ -26,6 +28,7 @@ double bucket_loss(LossBucket bucket) {
 std::vector<std::uint8_t> TomographicSnapshot::signed_payload() const {
     util::ByteWriter w;
     w.node_id(origin);
+    w.u64(epoch);
     w.i64(probed_at);
     w.u32(static_cast<std::uint32_t>(paths.size()));
     for (const PathSummary& p : paths) {
@@ -43,10 +46,58 @@ std::vector<std::uint8_t> TomographicSnapshot::signed_payload() const {
 std::size_t TomographicSnapshot::wire_bytes() const {
     // "Assuming 1 byte for each path summary" (Section 4.4).  Link verdicts
     // are derivable from the path summaries plus the advertised tree, so
-    // they ride free; the envelope carries the origin, timestamp, and
-    // signature.
-    return paths.size() * 1 + util::NodeId::kBytes + 8 +
+    // they ride free; the envelope carries the origin, epoch, timestamp,
+    // and signature.
+    return paths.size() * 1 + util::NodeId::kBytes + 8 + 8 +
            crypto::Signature::kWireBytes;
+}
+
+void write_snapshot_wire(util::ByteWriter& w, const TomographicSnapshot& s) {
+    w.node_id(s.origin);
+    w.u64(s.epoch);
+    w.i64(s.probed_at);
+    w.u32(static_cast<std::uint32_t>(s.paths.size()));
+    for (const auto& p : s.paths) {
+        w.node_id(p.peer);
+        w.u8(static_cast<std::uint8_t>(p.bucket));
+    }
+    w.u32(static_cast<std::uint32_t>(s.links.size()));
+    for (const auto& l : s.links) {
+        w.u32(l.link);
+        w.u8(l.up ? 1 : 0);
+    }
+    w.bytes(s.signature.bytes());
+}
+
+TomographicSnapshot read_snapshot_wire(util::ByteReader& r) {
+    TomographicSnapshot s;
+    s.origin = r.node_id();
+    s.epoch = r.u64();
+    s.probed_at = r.i64();
+    const std::uint32_t paths = r.u32();
+    s.paths.reserve(paths);
+    for (std::uint32_t i = 0; i < paths; ++i) {
+        PathSummary p;
+        p.peer = r.node_id();
+        p.bucket = static_cast<LossBucket>(r.u8());
+        s.paths.push_back(p);
+    }
+    const std::uint32_t links = r.u32();
+    s.links.reserve(links);
+    for (std::uint32_t i = 0; i < links; ++i) {
+        LinkObservation l;
+        l.link = r.u32();
+        l.up = r.u8() != 0;
+        s.links.push_back(l);
+    }
+    const auto raw = r.bytes();
+    if (raw.size() != crypto::Signature::kBytes) {
+        throw std::out_of_range("read_snapshot_wire: bad signature length");
+    }
+    std::array<std::uint8_t, crypto::Signature::kBytes> arr{};
+    std::copy(raw.begin(), raw.end(), arr.begin());
+    s.signature = crypto::Signature(arr);
+    return s;
 }
 
 TomographicSnapshot make_snapshot(const util::NodeId& origin,

@@ -49,6 +49,12 @@ struct PathSummary {
 
 struct TomographicSnapshot {
     util::NodeId origin;
+    /// Per-origin publication counter, covered by the signature.  Every
+    /// published snapshot carries a strictly increasing epoch, so a replayed
+    /// snapshot is recognizable (its epoch regressed) and two *different*
+    /// snapshots signed for the same (origin, epoch) are a self-verifying
+    /// equivocation proof.  0 = unversioned (hand-built test snapshots).
+    std::uint64_t epoch = 0;
     util::SimTime probed_at = 0;
     std::vector<PathSummary> paths;
     std::vector<LinkObservation> links;
@@ -60,6 +66,11 @@ struct TomographicSnapshot {
     /// routing-state advertisement it rides with.
     [[nodiscard]] std::size_t wire_bytes() const;
 };
+
+/// Wire form of a snapshot including its signature (shared by accusation
+/// bundles and equivocation proofs).
+void write_snapshot_wire(util::ByteWriter& w, const TomographicSnapshot& s);
+TomographicSnapshot read_snapshot_wire(util::ByteReader& r);
 
 struct SnapshotParams {
     /// A link (chain) whose inferred loss reaches this level is reported

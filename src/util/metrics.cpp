@@ -158,6 +158,8 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "core.attribution_network_blamed"},
     {WellKnown::kCounter, "core.accusations_verified"},
     {WellKnown::kCounter, "core.accusation_checks_failed"},
+    {WellKnown::kCounter, "core.equivocation_proofs_verified"},
+    {WellKnown::kCounter, "core.equivocation_checks_failed"},
     {WellKnown::kCounter, "core.bandwidth_evaluations"},
     // runtime — the event-driven cluster.
     {WellKnown::kCounter, "runtime.messages_sent"},
@@ -196,6 +198,31 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "chaos.diagnosed_messages"},
     {WellKnown::kCounter, "chaos.false_accusations"},
     {WellKnown::kCounter, "chaos.correct_accusations"},
+    // attack — Byzantine campaign activity (runtime/attack.h).
+    {WellKnown::kCounter, "attack.nodes_recruited"},
+    {WellKnown::kCounter, "attack.equivocations_published"},
+    {WellKnown::kCounter, "attack.replays_published"},
+    {WellKnown::kCounter, "attack.slanders_filed"},
+    {WellKnown::kCounter, "attack.spam_puts"},
+    {WellKnown::kCounter, "attack.collusions_pushed"},
+    // attack soak scoring (bench/soak_attacks).
+    {WellKnown::kCounter, "attack.diagnosed_messages"},
+    {WellKnown::kCounter, "attack.false_accusations"},
+    {WellKnown::kCounter, "attack.attackers_with_drops"},
+    {WellKnown::kCounter, "attack.attackers_caught"},
+    {WellKnown::kCounter, "attack.attackers_evaded"},
+    {WellKnown::kCounter, "attack.slander_successes"},
+    // defense — evidence-integrity countermeasures.
+    {WellKnown::kCounter, "defense.snapshots_rejected_stale"},
+    {WellKnown::kCounter, "defense.snapshots_rejected_epoch"},
+    {WellKnown::kCounter, "defense.equivocation_proofs_filed"},
+    {WellKnown::kCounter, "defense.revisions_rejected"},
+    {WellKnown::kCounter, "defense.dht_puts_rejected"},
+    {WellKnown::kCounter, "defense.malformed_accusations_dropped"},
+    // dht — the accusation repository.
+    {WellKnown::kCounter, "dht.puts"},
+    {WellKnown::kCounter, "dht.gets"},
+    {WellKnown::kCounter, "dht.puts_rejected_quota"},
     // sim — the experiment driver.  Trial *counts* are deterministic;
     // wall-clock derived instruments live in the timing section.
     {WellKnown::kCounter, "sim.driver_runs"},

@@ -248,10 +248,64 @@ TEST_F(AccusationFixture, ExculpatoryEvidenceRejectsAccusation) {
 
 TEST_F(AccusationFixture, SuspectsOwnSnapshotCannotExonerate) {
     // B bundles its own snapshot claiming link 2 was down; the verifier's
-    // blame computation ignores B's probes, so blame stays at 1.0.
+    // blame computation ignores B's probes, so blame stays at 1.0 -- but a
+    // bundle with no admissible third-party probe no longer convicts either:
+    // presumed-guilt from an empty record is exactly the loophole slanderers
+    // exploited, so the verifier now demands covering evidence.
     const auto acc = accusation({snapshot("b", {{1, true}, {2, false}})});
     EXPECT_DOUBLE_EQ(acc.evidence[0].claimed_blame, 1.0);
-    EXPECT_EQ(verifier().verify(acc), AccusationCheck::kOk);
+    EXPECT_EQ(verifier().verify(acc), AccusationCheck::kInsufficientEvidence);
+}
+
+TEST_F(AccusationFixture, StaleSnapshotRejectedOutright) {
+    // A cherry-picked bundle: one admissible snapshot plus one probed well
+    // outside the Delta window around the message.  compute_blame would
+    // discard the stale probes silently; the verifier must instead reject
+    // the bundle, or a slanderer could pad accusations with old favorable
+    // history.
+    const auto acc = accusation(
+        {snapshot("r", {{1, true}, {2, true}}),
+         snapshot("r", {{1, true}, {2, true}},
+                  100 * util::kSecond + BlameParams{}.delta +
+                      10 * util::kSecond)});
+    EXPECT_EQ(verifier().verify(acc), AccusationCheck::kStaleEvidence);
+}
+
+TEST_F(AccusationFixture, TamperedClaimedBlameDetected) {
+    // The accuser inflates claimed_blame after the judge signature was made
+    // and re-signs only the outer chain: the inner judge signature no longer
+    // matches.
+    auto acc = accusation({snapshot("r", {{1, true}, {2, true}})});
+    acc.evidence[0].claimed_blame = 1.0;
+    acc.signature = node("a").keys.sign(acc.signed_payload());
+    EXPECT_EQ(verifier().verify(acc), AccusationCheck::kBadJudgeSignature);
+}
+
+TEST_F(AccusationFixture, SnapshotSignedByForeignKeyDetected) {
+    // A snapshot that names R as origin but carries C's signature: the
+    // slanderer fabricated the probe results and signed with the only key
+    // it holds.
+    auto forged = snapshot("r", {{1, true}, {2, true}});
+    forged.signature = node("c").keys.sign(forged.signed_payload());
+    const auto acc = accusation({forged});
+    EXPECT_EQ(verifier().verify(acc),
+              AccusationCheck::kBadSnapshotSignature);
+}
+
+TEST_F(AccusationFixture, CommitmentTimeSkewDetected) {
+    // A genuine commitment for an *old* message (outside the Delta window of
+    // the claimed send time) must not anchor an accusation about a new one.
+    auto ev = evidence("a", "b", {snapshot("r", {{1, true}, {2, true}})});
+    ev.commitment = make_forwarding_commitment(
+        ev.judge, ev.suspect, id("d"), ev.message_id,
+        ev.message_time + BlameParams{}.delta + 10 * util::kSecond,
+        node("b").keys);
+    ev.judge_signature = node("a").keys.sign(ev.signed_payload());
+    FaultAccusation acc;
+    acc.accuser = id("a");
+    acc.evidence.push_back(std::move(ev));
+    acc.signature = node("a").keys.sign(acc.signed_payload());
+    EXPECT_EQ(verifier().verify(acc), AccusationCheck::kBadCommitment);
 }
 
 TEST_F(AccusationFixture, UnknownIdentityFailsVerification) {

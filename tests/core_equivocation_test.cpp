@@ -1,0 +1,136 @@
+#include "core/equivocation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/accusation.h"
+#include "crypto/certificates.h"
+
+namespace concilium::core {
+namespace {
+
+using Admission = crypto::CertificateAuthority::Admission;
+
+struct EquivocationFixture : ::testing::Test {
+    EquivocationFixture()
+        : ca(31), origin(ca.admit(1)), other(ca.admit(2)) {}
+
+    /// A signed snapshot from `who` with the given epoch and link verdict.
+    tomography::TomographicSnapshot snapshot(const Admission& who,
+                                             std::uint64_t epoch,
+                                             bool link_up) {
+        tomography::TomographicSnapshot s;
+        s.origin = who.certificate.node_id;
+        s.epoch = epoch;
+        s.probed_at = 100 * util::kSecond;
+        s.links.push_back(tomography::LinkObservation{7, link_up});
+        s.paths.push_back(tomography::PathSummary{
+            other.certificate.node_id,
+            link_up ? tomography::LossBucket::kClean
+                    : tomography::LossBucket::kDown});
+        s.signature = who.keys.sign(s.signed_payload());
+        return s;
+    }
+
+    crypto::CertificateAuthority ca;
+    Admission origin;
+    Admission other;
+};
+
+TEST_F(EquivocationFixture, ConflictingSameEpochSnapshotsVerify) {
+    const EquivocationProof proof{snapshot(origin, 3, true),
+                                  snapshot(origin, 3, false)};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kOk);
+}
+
+TEST_F(EquivocationFixture, SerializeRoundTrips) {
+    const EquivocationProof proof{snapshot(origin, 5, true),
+                                  snapshot(origin, 5, false)};
+    const auto bytes = proof.serialize();
+    const auto back = EquivocationProof::deserialize(bytes);
+    EXPECT_EQ(back.first.origin, proof.first.origin);
+    EXPECT_EQ(back.first.epoch, 5u);
+    EXPECT_EQ(back.second.epoch, 5u);
+    EXPECT_EQ(back.first.signature, proof.first.signature);
+    EXPECT_EQ(back.second.signature, proof.second.signature);
+    ASSERT_EQ(back.first.links.size(), 1u);
+    EXPECT_TRUE(back.first.links[0].up);
+    EXPECT_FALSE(back.second.links[0].up);
+    // The round-tripped proof still convicts.
+    EXPECT_EQ(verify_equivocation_proof(back, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kOk);
+}
+
+TEST_F(EquivocationFixture, DeserializeRejectsTrailingBytes) {
+    auto bytes =
+        EquivocationProof{snapshot(origin, 1, true), snapshot(origin, 1, false)}
+            .serialize();
+    bytes.push_back(0x00);
+    EXPECT_THROW(EquivocationProof::deserialize(bytes), std::exception);
+}
+
+TEST_F(EquivocationFixture, RejectsOriginMismatch) {
+    const EquivocationProof proof{snapshot(origin, 3, true),
+                                  snapshot(other, 3, false)};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kOriginMismatch);
+}
+
+TEST_F(EquivocationFixture, RejectsDifferentEpochs) {
+    // Consecutive honest rounds naturally differ; no equivocation.
+    const EquivocationProof proof{snapshot(origin, 3, true),
+                                  snapshot(origin, 4, false)};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kEpochMismatch);
+}
+
+TEST_F(EquivocationFixture, RejectsUnversionedSnapshots) {
+    const EquivocationProof proof{snapshot(origin, 0, true),
+                                  snapshot(origin, 0, false)};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kUnversioned);
+}
+
+TEST_F(EquivocationFixture, RejectsIdenticalPayloads) {
+    const auto s = snapshot(origin, 3, true);
+    const EquivocationProof proof{s, s};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kIdenticalPayloads);
+}
+
+TEST_F(EquivocationFixture, RejectsForgedSignature) {
+    auto forged = snapshot(origin, 3, false);
+    // A slanderer forging "conflicting" snapshots can only sign with its own
+    // key; the proof must not convict the framed origin.
+    forged.signature = other.keys.sign(forged.signed_payload());
+    const EquivocationProof proof{snapshot(origin, 3, true), forged};
+    EXPECT_EQ(verify_equivocation_proof(proof, origin.keys.public_key(),
+                                        ca.registry()),
+              EquivocationCheck::kBadSignature);
+}
+
+TEST_F(EquivocationFixture, DhtKeyDisjointFromAccusationKey) {
+    const auto proof_key = EquivocationProof::dht_key(origin.keys.public_key());
+    const auto accusation_key =
+        FaultAccusation::dht_key(origin.keys.public_key());
+    EXPECT_NE(proof_key, accusation_key);
+    // Deterministic: prospective peers recompute the same key.
+    EXPECT_EQ(proof_key, EquivocationProof::dht_key(origin.keys.public_key()));
+}
+
+TEST(EquivocationCheckNames, AllDistinct) {
+    EXPECT_STREQ(to_string(EquivocationCheck::kOk), "ok");
+    EXPECT_NE(std::string(to_string(EquivocationCheck::kEpochMismatch)),
+              std::string(to_string(EquivocationCheck::kBadSignature)));
+}
+
+}  // namespace
+}  // namespace concilium::core

@@ -103,6 +103,55 @@ TEST_F(DhtFixture, StorageBalancesAcrossKeys) {
     EXPECT_LT(max_at_one, 60u);
 }
 
+TEST_F(DhtFixture, GetReturnsValuesInLexicographicOrder) {
+    const auto key = util::NodeId::from_hex("99");
+    dht.put(1, key, blob("bravo"));
+    dht.put(2, key, blob("alpha"));
+    dht.put(3, key, blob("charlie"));
+    const auto result = dht.get(5, key);
+    ASSERT_EQ(result.values.size(), 3u);
+    EXPECT_EQ(result.values[0], blob("alpha"));
+    EXPECT_EQ(result.values[1], blob("bravo"));
+    EXPECT_EQ(result.values[2], blob("charlie"));
+}
+
+TEST(DhtQuota, PerWriterQuotaBoundsSpam) {
+    const auto net = concilium::testing::make_overlay(120, 58);
+    dht::Dht dht(net, 4, /*per_writer_quota=*/2);
+    EXPECT_EQ(dht.per_writer_quota(), 2);
+    const auto key = util::NodeId::from_hex("5a");
+    EXPECT_TRUE(dht.put(7, key, blob("junk-1")).accepted);
+    EXPECT_TRUE(dht.put(7, key, blob("junk-2")).accepted);
+    // The spammer's third distinct value is refused everywhere ...
+    EXPECT_FALSE(dht.put(7, key, blob("junk-3")).accepted);
+    // ... but an honest accuser still gets through under the same key.
+    EXPECT_TRUE(dht.put(8, key, blob("real-accusation")).accepted);
+    const auto result = dht.get(9, key);
+    ASSERT_EQ(result.values.size(), 3u);
+    for (const auto& v : result.values) EXPECT_NE(v, blob("junk-3"));
+}
+
+TEST(DhtQuota, DuplicatePutsDoNotConsumeQuota) {
+    const auto net = concilium::testing::make_overlay(120, 59);
+    dht::Dht dht(net, 4, /*per_writer_quota=*/1);
+    const auto key = util::NodeId::from_hex("5b");
+    EXPECT_TRUE(dht.put(7, key, blob("same")).accepted);
+    // Re-storing an identical value is idempotent, not a quota spend.
+    EXPECT_TRUE(dht.put(7, key, blob("same")).accepted);
+    EXPECT_FALSE(dht.put(7, key, blob("different")).accepted);
+    EXPECT_EQ(dht.get(9, key).values.size(), 1u);
+}
+
+TEST(DhtQuota, ZeroQuotaIsUnlimited) {
+    const auto net = concilium::testing::make_overlay(120, 60);
+    dht::Dht dht(net, 4, /*per_writer_quota=*/0);
+    const auto key = util::NodeId::from_hex("5c");
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(dht.put(7, key, blob("v" + std::to_string(i))).accepted);
+    }
+    EXPECT_EQ(dht.get(9, key).values.size(), 20u);
+}
+
 TEST(DhtConstruction, RejectsZeroReplication) {
     const auto net = concilium::testing::make_overlay(20, 56);
     EXPECT_THROW(Dht(net, 0), std::invalid_argument);

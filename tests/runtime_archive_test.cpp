@@ -88,5 +88,99 @@ TEST(SnapshotArchive, EvidenceForReturnsWholeTouchingSnapshots) {
     EXPECT_EQ(evidence[0].links.size(), 2u);  // the whole snapshot, signed
 }
 
+tomography::TomographicSnapshot vsnap(const util::NodeId& origin,
+                                      std::uint64_t epoch, util::SimTime at,
+                                      bool link_up = true) {
+    auto s = snap(origin, at, {{1, link_up}});
+    s.epoch = epoch;
+    return s;
+}
+
+TEST(SnapshotArchive, RejectsStaleDelivery) {
+    SnapshotArchive archive(/*retention=*/10 * kMinute,
+                            /*max_transit=*/kMinute);
+    // Delivered two minutes after it was probed: an honest snapshot rides
+    // the next advertisement; one this old is a replay in transit.
+    EXPECT_EQ(archive.add(snap(kAlice, 0, {{1, true}}), 2 * kMinute),
+              ArchiveAdd::kRejectedStale);
+    EXPECT_EQ(archive.size(), 0u);
+    EXPECT_EQ(archive.add(snap(kAlice, 90 * kSecond, {{1, true}}),
+                          2 * kMinute),
+              ArchiveAdd::kArchived);
+}
+
+TEST(SnapshotArchive, RejectsEpochReplay) {
+    SnapshotArchive archive;
+    EXPECT_EQ(archive.add(vsnap(kAlice, 2, 10 * kSecond), 10 * kSecond),
+              ArchiveAdd::kArchived);
+    // The same epoch again, and an older one, are replays.
+    EXPECT_EQ(archive.add(vsnap(kAlice, 2, 20 * kSecond), 20 * kSecond),
+              ArchiveAdd::kRejectedEpoch);
+    EXPECT_EQ(archive.add(vsnap(kAlice, 1, 20 * kSecond), 20 * kSecond),
+              ArchiveAdd::kRejectedEpoch);
+    // The epoch floor is per origin, and advancing epochs are accepted.
+    EXPECT_EQ(archive.add(vsnap(kBob, 1, 20 * kSecond), 20 * kSecond),
+              ArchiveAdd::kArchived);
+    EXPECT_EQ(archive.add(vsnap(kAlice, 3, 30 * kSecond), 30 * kSecond),
+              ArchiveAdd::kArchived);
+    EXPECT_EQ(archive.size(), 3u);
+}
+
+TEST(SnapshotArchive, FindLocatesByOriginAndEpoch) {
+    SnapshotArchive archive;
+    archive.add(vsnap(kAlice, 1, 10 * kSecond, true), 10 * kSecond);
+    archive.add(vsnap(kAlice, 2, 20 * kSecond, false), 20 * kSecond);
+    const auto* found = archive.find(kAlice, 2);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->epoch, 2u);
+    EXPECT_FALSE(found->links[0].up);
+    EXPECT_EQ(archive.find(kAlice, 9), nullptr);
+    EXPECT_EQ(archive.find(kBob, 1), nullptr);
+    // Epoch 0 carries no uniqueness promise, so it is never findable.
+    archive.add(snap(kBob, 20 * kSecond, {{1, true}}), 20 * kSecond);
+    EXPECT_EQ(archive.find(kBob, 0), nullptr);
+}
+
+TEST(SnapshotArchive, PerOriginCapKeepsNewest) {
+    SnapshotArchive archive(/*retention=*/10 * kMinute,
+                            /*max_transit=*/kMinute, /*max_per_origin=*/3);
+    for (std::uint64_t e = 1; e <= 5; ++e) {
+        const auto at = static_cast<util::SimTime>(e) * 10 * kSecond;
+        EXPECT_EQ(archive.add(vsnap(kAlice, e, at), at),
+                  ArchiveAdd::kArchived);
+    }
+    EXPECT_EQ(archive.size(), 3u);
+    const auto kept = archive.snapshots_from(kAlice);
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept.front()->epoch, 3u);  // oldest two evicted
+    EXPECT_EQ(kept.back()->epoch, 5u);
+    // The evicted epochs stay on the replay floor: a hostile origin cannot
+    // flush the archive to relive its past.
+    EXPECT_EQ(archive.add(vsnap(kAlice, 2, 60 * kSecond), 60 * kSecond),
+              ArchiveAdd::kRejectedEpoch);
+}
+
+TEST(SnapshotArchive, QueriesEnforceRetentionHorizon) {
+    SnapshotArchive archive(/*retention=*/2 * kMinute);
+    archive.add(snap(kAlice, 100 * kSecond, {{1, true}}), 100 * kSecond);
+    archive.add(snap(kBob, 200 * kSecond, {{1, false}}), 200 * kSecond);
+    ASSERT_EQ(archive.size(), 2u);
+
+    // A query anchored at t=300s with a five-minute delta would admit both
+    // snapshots by the window alone; the retention horizon (t - 2min = 180s)
+    // must still exclude the older one even though it was never pruned.
+    const std::vector<net::LinkId> links{1};
+    const auto exclude = util::NodeId::from_hex("ff");
+    const auto probes =
+        archive.probes_for(links, 300 * kSecond, 300 * kSecond, exclude);
+    ASSERT_EQ(probes.size(), 1u);
+    EXPECT_EQ(probes[0].reporter, kBob);
+
+    const auto evidence =
+        archive.evidence_for(links, 300 * kSecond, 300 * kSecond, exclude);
+    ASSERT_EQ(evidence.size(), 1u);
+    EXPECT_EQ(evidence[0].origin, kBob);
+}
+
 }  // namespace
 }  // namespace concilium::runtime

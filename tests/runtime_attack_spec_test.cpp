@@ -1,0 +1,147 @@
+#include "runtime/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace concilium::runtime {
+namespace {
+
+TEST(AttackSpec, ParsesKindRatePairs) {
+    const auto c = AttackCampaign::parse("equivocate:0.05,replay:0.1");
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kEquivocate), 0.05);
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kReplay), 0.1);
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kSlander), 0.0);
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kSpam), 0.0);
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kCollude), 0.0);
+    EXPECT_FALSE(c.empty());
+}
+
+TEST(AttackSpec, EmptyTextIsEmptyCampaign) {
+    EXPECT_TRUE(AttackCampaign::parse("").empty());
+    EXPECT_EQ(AttackCampaign{}.to_string(), "");
+}
+
+TEST(AttackSpec, ToStringRoundTripsCanonically) {
+    const auto c = AttackCampaign::parse(
+        "collude:0.05,equivocate:0.06,slander:0.02");
+    // Canonical order is declaration order, zero rates omitted.
+    EXPECT_EQ(c.to_string(), "equivocate:0.06,slander:0.02,collude:0.05");
+    const auto again = AttackCampaign::parse(c.to_string());
+    for (const auto kind :
+         {AttackKind::kEquivocate, AttackKind::kReplay, AttackKind::kSlander,
+          AttackKind::kSpam, AttackKind::kCollude}) {
+        EXPECT_DOUBLE_EQ(again.rate(kind), c.rate(kind));
+    }
+}
+
+TEST(AttackSpec, RejectsMalformedSpecs) {
+    const auto rejects = [](const char* text, const char* fragment) {
+        try {
+            AttackCampaign::parse(text);
+            FAIL() << "parse('" << text << "') did not throw";
+        } catch (const std::invalid_argument& e) {
+            const std::string what = e.what();
+            EXPECT_EQ(what.rfind("--attack: ", 0), 0u) << what;
+            EXPECT_NE(what.find(fragment), std::string::npos) << what;
+        }
+    };
+    rejects("warp:0.1", "unknown attack kind");
+    rejects("equivocate", "expected 'kind:rate'");
+    rejects("equivocate:", "empty rate");
+    rejects("equivocate:zebra", "malformed rate");
+    rejects("equivocate:0.5x", "malformed rate");
+    rejects("equivocate:nan", "malformed rate");
+    rejects("equivocate:1.5", "outside [0, 1]");
+    rejects("equivocate:-0.1", "outside [0, 1]");
+    rejects("equivocate:0.1,equivocate:0.2", "given twice");
+    rejects("equivocate:0.1,", "trailing ','");
+    rejects(",", "trailing ','");
+}
+
+TEST(AttackSpec, SetRateValidatesRange) {
+    AttackCampaign c;
+    c.set_rate(AttackKind::kSpam, 0.4);
+    EXPECT_DOUBLE_EQ(c.rate(AttackKind::kSpam), 0.4);
+    EXPECT_THROW(c.set_rate(AttackKind::kSpam, 1.5), std::invalid_argument);
+    EXPECT_THROW(c.set_rate(AttackKind::kSpam, -0.5), std::invalid_argument);
+}
+
+TEST(AttackSpec, ScaledClampsToOne) {
+    const auto c = AttackCampaign::parse("equivocate:0.4,replay:0.05");
+    const auto doubled = c.scaled(3.0);
+    EXPECT_DOUBLE_EQ(doubled.rate(AttackKind::kEquivocate), 1.0);
+    EXPECT_DOUBLE_EQ(doubled.rate(AttackKind::kReplay), 0.15);
+    EXPECT_TRUE(c.scaled(0.0).empty());
+}
+
+TEST(AttackMaterialize, RolesAreExclusiveAndSized) {
+    const auto c = AttackCampaign::parse(
+        "equivocate:0.1,replay:0.1,slander:0.1,spam:0.1,collude:0.1");
+    util::Rng rng(7);
+    const auto behaviors = materialize_attackers(c, 100, rng);
+    ASSERT_EQ(behaviors.size(), 100u);
+    std::size_t per_kind[5] = {};
+    for (const auto& b : behaviors) {
+        const int roles = static_cast<int>(b.equivocate_snapshots) +
+                          static_cast<int>(b.replay_snapshots) +
+                          static_cast<int>(b.slander) +
+                          static_cast<int>(b.spam_accusations) +
+                          static_cast<int>(b.collude_revisions);
+        EXPECT_LE(roles, 1);  // exclusive recruitment
+        EXPECT_EQ(b.byzantine(), roles == 1);
+        per_kind[0] += b.equivocate_snapshots;
+        per_kind[1] += b.replay_snapshots;
+        per_kind[2] += b.slander;
+        per_kind[3] += b.spam_accusations;
+        per_kind[4] += b.collude_revisions;
+        // Snapshot/revision liars drop to give their lies a purpose;
+        // slanderers and spammers forward honestly.
+        if (b.equivocate_snapshots || b.replay_snapshots ||
+            b.collude_revisions) {
+            EXPECT_DOUBLE_EQ(b.drop_forward_probability, 1.0);
+        } else {
+            EXPECT_DOUBLE_EQ(b.drop_forward_probability, 0.0);
+        }
+    }
+    for (const std::size_t n : per_kind) EXPECT_EQ(n, 10u);
+}
+
+TEST(AttackMaterialize, TinyWorldStillRecruitsOnePerActiveKind) {
+    const auto c = AttackCampaign::parse("equivocate:0.01,slander:0.01");
+    util::Rng rng(11);
+    const auto behaviors = materialize_attackers(c, 20, rng);
+    std::size_t equivocators = 0;
+    std::size_t slanderers = 0;
+    for (const auto& b : behaviors) {
+        equivocators += b.equivocate_snapshots;
+        slanderers += b.slander;
+    }
+    EXPECT_EQ(equivocators, 1u);
+    EXPECT_EQ(slanderers, 1u);
+}
+
+TEST(AttackMaterialize, DeterministicForEqualStreams) {
+    const auto c = AttackCampaign::parse("equivocate:0.2,spam:0.1");
+    util::Rng a(42);
+    util::Rng b(42);
+    const auto first = materialize_attackers(c, 64, a);
+    const auto second = materialize_attackers(c, 64, b);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].equivocate_snapshots,
+                  second[i].equivocate_snapshots);
+        EXPECT_EQ(first[i].spam_accusations, second[i].spam_accusations);
+    }
+}
+
+TEST(AttackMaterialize, EmptyCampaignIsAllHonest) {
+    util::Rng rng(3);
+    const auto behaviors = materialize_attackers(AttackCampaign{}, 10, rng);
+    for (const auto& b : behaviors) EXPECT_FALSE(b.byzantine());
+}
+
+}  // namespace
+}  // namespace concilium::runtime

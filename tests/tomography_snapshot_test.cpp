@@ -121,7 +121,7 @@ TEST_F(SnapshotFixture, WrongOriginKeyFails) {
 TEST_F(SnapshotFixture, WireBytesUseOneBytePerPath) {
     const auto s = snap({});
     EXPECT_EQ(s.wire_bytes(),
-              s.paths.size() + util::NodeId::kBytes + 8 +
+              s.paths.size() + util::NodeId::kBytes + 8 + 8 +
                   crypto::Signature::kWireBytes);
 }
 

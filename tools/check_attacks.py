@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Regression gate on the attack soak's evidence-integrity scores.
+
+The nightly workflow runs `soak_attacks --metrics-out attacks.json` and
+feeds the snapshot here.  The bench recruits equivocators, replayers,
+slanderers, accusation spammers, and verdict colluders, then scores the
+defenses against simulation ground truth:
+
+  attack.attackers_evaded    attackers that dropped a message yet were never
+                             blamed, never received a verified accusation,
+                             and have no equivocation proof on file
+  attack.slander_successes   slanderer-filed accusations a third party
+                             verified as kOk -- must be exactly zero
+  attack.false_accusations   diagnosed messages whose final blame landed on
+                             an honest node
+
+Usage:
+  check_attacks.py SNAPSHOT.json [--max-evasion R] [--max-slander N]
+                   [--max-false-rate R] [--min-diagnosed N]
+
+  --max-evasion R     fail when attackers_evaded / attackers_with_drops > R
+                      (default 0.25)
+  --max-slander N     fail when slander_successes > N (default 0: slander
+                      must never verify)
+  --max-false-rate R  fail when false_accusations / diagnosed > R
+                      (default 0.1)
+  --min-diagnosed N   fail when fewer than N messages were diagnosed at
+                      all -- a silently idle soak must not pass (default 10)
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    print(f"check_attacks: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshot")
+    parser.add_argument("--max-evasion", type=float, default=0.25)
+    parser.add_argument("--max-slander", type=int, default=0)
+    parser.add_argument("--max-false-rate", type=float, default=0.1)
+    parser.add_argument("--min-diagnosed", type=int, default=10)
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{args.snapshot}: {e}")
+    metrics = snap.get("metrics")
+    if not isinstance(metrics, dict):
+        die(f"{args.snapshot}: missing 'metrics' section")
+
+    def counter(name):
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)):
+            die(f"{args.snapshot}: missing counter '{name}' "
+                "(was this snapshot produced by soak_attacks?)")
+        return value
+
+    diagnosed = counter("attack.diagnosed_messages")
+    false_acc = counter("attack.false_accusations")
+    with_drops = counter("attack.attackers_with_drops")
+    caught = counter("attack.attackers_caught")
+    evaded = counter("attack.attackers_evaded")
+    slander = counter("attack.slander_successes")
+
+    if diagnosed < args.min_diagnosed:
+        die(f"only {diagnosed} messages diagnosed "
+            f"(need >= {args.min_diagnosed}); the soak ran effectively idle")
+
+    evasion_rate = 0.0 if with_drops == 0 else evaded / with_drops
+    false_rate = false_acc / diagnosed
+    print(f"{args.snapshot}: diagnosed={diagnosed} caught={caught} "
+          f"evaded={evaded}/{with_drops} (rate {evasion_rate:.4f}, "
+          f"max {args.max_evasion}) slander={slander} "
+          f"(max {args.max_slander}) false={false_acc} "
+          f"(rate {false_rate:.4f}, max {args.max_false_rate})")
+    if evasion_rate > args.max_evasion:
+        die(f"evasion rate {evasion_rate:.4f} exceeds {args.max_evasion}")
+    if slander > args.max_slander:
+        die(f"{slander} slander accusations verified "
+            f"(max {args.max_slander}); the hardened verifier has a hole")
+    if false_rate > args.max_false_rate:
+        die(f"false-accusation rate {false_rate:.4f} exceeds "
+            f"{args.max_false_rate}")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

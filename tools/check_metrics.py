@@ -18,7 +18,7 @@ import json
 import sys
 
 NAMESPACES = ("net.", "tomography.", "overlay.", "core.", "runtime.",
-              "sim.", "chaos.")
+              "sim.", "chaos.", "attack.", "defense.", "dht.")
 
 
 def die(msg):
