@@ -53,7 +53,7 @@ struct BenchArgs {
                  "  --chaos SPEC: comma-separated kind:rate pairs, e.g. "
                  "flap:0.02,churn:0.01\n"
                  "    kinds: flap corr loss reorder dup churn ackdrop "
-                 "ackdelay; rates in [0, 1]\n"
+                 "ackdelay crash partition; rates in [0, 1]\n"
                  "  --attack SPEC: comma-separated kind:rate pairs, e.g. "
                  "equivocate:0.05,replay:0.1\n"
                  "    kinds: equivocate replay slander spam collude; "

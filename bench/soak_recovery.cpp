@@ -1,0 +1,199 @@
+// Recovery soak: crash-stop and partition faults against the full runtime.
+//
+// Sweeps a base `--chaos` spec (default crash:0.02,partition:0.06) through
+// intensity multipliers and, at each level, runs the event-driven cluster
+// with every node honest: whatever goes wrong is a crash, a cut, or plain
+// IP loss, so any diagnosis that pins a drop on a live node is a *false
+// accusation*, and the degraded-mode machinery (RECOVERY.md) should be
+// converting the crash-shaped ones into "insufficient evidence" instead.
+// The sweep reports the false-accusation and orphaned-message rates per
+// intensity -- the quantities tools/check_recovery.py gates the nightly
+// build on -- plus crash/restart, retraction, and abstention counts.
+//
+// One driver trial per intensity level; each trial builds its fault plan
+// from its own substream, so the table and the deterministic metrics
+// section are byte-identical at any --jobs count.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/trace.h"
+#include "runtime/cluster.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace concilium;
+
+void append(std::string& out, const char* fmt, auto... args) {
+    char buf[224];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+}
+
+constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+
+    net::FaultSpec base = args.chaos;
+    if (base.empty()) {
+        base = net::FaultSpec::parse("crash:0.02,partition:0.06");
+    }
+
+    // The runtime simulates every probe packet, so the world stays small
+    // (the runtime_e2e scale).
+    sim::ScenarioParams world_params;
+    world_params.topology = net::small_params();
+    world_params.topology.end_hosts = args.full ? 1500 : 600;
+    world_params.topology.stub_domains = args.full ? 40 : 16;
+    world_params.overlay_nodes_override = args.full ? 220 : 90;
+    world_params.duration = 2 * util::kHour;
+    world_params.seed = args.seed;
+    const sim::Scenario world(world_params);
+    const auto& overlay_net = world.overlay_net();
+
+    const std::size_t message_count =
+        args.samples != 0 ? args.samples : (args.full ? 300 : 120);
+
+    bench::print_header(
+        "soak-recovery",
+        "false-accusation / orphan rates vs crash+partition intensity");
+    bench::print_param("base_spec", base.to_string());
+    bench::print_param("overlay_nodes",
+                       static_cast<double>(overlay_net.size()));
+    bench::print_param("messages", static_cast<double>(message_count));
+    bench::print_param("seed", static_cast<double>(args.seed));
+    std::printf("%-10s %-10s %-10s %-10s %-10s %-8s %-8s %-8s %-8s %-8s\n",
+                "intensity", "delivered", "diagnosed", "false_acc",
+                "false_rate", "insuff", "crashes", "retract", "orphans",
+                "resync");
+    const auto driver = bench::make_driver(args, 94);
+    const std::size_t levels = std::size(kIntensities);
+
+    const auto run_level = [&](std::uint64_t trial, util::Rng& rng) {
+        const double intensity = kIntensities[trial];
+        const net::FaultSpec spec = base.scaled(intensity);
+
+        // The plan is a pure function of the trial substream: byte-stable
+        // at any worker count.
+        auto plan_rng = rng.fork();
+        const net::FaultPlan plan = net::build_fault_plan(
+            spec, world_params.duration, world.trees().member_peer_paths(),
+            overlay_net.size(), plan_rng);
+
+        runtime::RuntimeParams params;
+        // Recovery runs retransmit before judging: a retransmission after
+        // a heal (or a restart) can still succeed.
+        params.forward_retry.max_attempts = 3;
+        core::DiagnosisTrace trace(512);
+        net::EventSim sim;
+        runtime::Cluster cluster(sim, world.timeline(), overlay_net,
+                                 world.trees(), params, {}, rng.fork());
+        cluster.set_chaos(&plan);
+        cluster.set_trace(&trace);
+        cluster.start();
+        sim.run_until(3 * util::kMinute);
+
+        std::size_t completed = 0;
+        std::size_t delivered = 0;
+        std::size_t diagnosed = 0;
+        std::size_t false_accusations = 0;
+        std::size_t correct = 0;
+        std::size_t insufficient = 0;
+        for (std::size_t i = 0; i < message_count; ++i) {
+            const auto from = static_cast<overlay::MemberIndex>(
+                rng.uniform_index(overlay_net.size()));
+            cluster.send(
+                from, util::NodeId::random(rng),
+                [&](const runtime::Cluster::MessageOutcome& res) {
+                    ++completed;
+                    if (res.delivered) {
+                        ++delivered;
+                        return;
+                    }
+                    if (res.insufficient_evidence) {
+                        // The degraded-mode abstention: nobody accused.
+                        ++insufficient;
+                        return;
+                    }
+                    if (!res.true_drop_hop.has_value() &&
+                        !res.true_network_drop) {
+                        return;
+                    }
+                    ++diagnosed;
+                    if (res.true_network_drop) {
+                        // Everyone is honest: the IP network (or a cut) ate
+                        // the message or its ack, so blaming any node is a
+                        // false accusation.
+                        if (res.blamed.has_value()) {
+                            ++false_accusations;
+                        } else if (res.network_blamed) {
+                            ++correct;
+                        }
+                    } else {
+                        // A hop dropped it -- under all-honest behaviors
+                        // only a crashed or churned-out node can.  Naming
+                        // exactly that node is correct; naming anyone else
+                        // isn't.
+                        const auto& culprit =
+                            overlay_net.member(res.route[*res.true_drop_hop])
+                                .id();
+                        if (res.blamed == culprit) {
+                            ++correct;
+                        } else if (res.blamed.has_value()) {
+                            ++false_accusations;
+                        }
+                    }
+                });
+            // Pace the workload across the virtual two hours.
+            sim.run_until(sim.now() + 45 * util::kSecond);
+        }
+        // Settle long enough for the slowest crash restart (4 min) plus the
+        // diagnosis tail, so stewardship resumes can still complete.
+        sim.run_until(sim.now() + 10 * util::kMinute);
+        const std::size_t orphans = message_count - completed;
+
+        auto& reg = util::metrics::Registry::global();
+        reg.counter("recovery.soak_messages")
+            .add(static_cast<std::int64_t>(message_count));
+        reg.counter("recovery.diagnosed_messages")
+            .add(static_cast<std::int64_t>(diagnosed));
+        reg.counter("recovery.false_accusations")
+            .add(static_cast<std::int64_t>(false_accusations));
+        reg.counter("recovery.correct_attributions")
+            .add(static_cast<std::int64_t>(correct));
+        reg.counter("recovery.insufficient_outcomes")
+            .add(static_cast<std::int64_t>(insufficient));
+        reg.counter("recovery.orphaned_messages")
+            .add(static_cast<std::int64_t>(orphans));
+
+        const auto& stats = cluster.stats();
+        const double rate =
+            diagnosed == 0 ? 0.0
+                           : static_cast<double>(false_accusations) /
+                                 static_cast<double>(diagnosed);
+        std::string out;
+        append(out,
+               "%-10.2g %-10zu %-10zu %-10zu %-10.4f %-8zu %-8zu %-8zu "
+               "%-8zu %-8zu\n",
+               intensity, delivered, diagnosed, false_accusations, rate,
+               insufficient, stats.crashes, stats.verdicts_retracted,
+               orphans, stats.resync_rounds);
+        return out;
+    };
+
+    driver.run(
+        levels,
+        [&](std::uint64_t trial, util::Rng& rng) {
+            return run_level(trial, rng);
+        },
+        [](std::uint64_t, std::string&& row) {
+            std::fputs(row.c_str(), stdout);
+        });
+    return 0;
+}

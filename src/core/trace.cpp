@@ -13,6 +13,8 @@ const char* to_string(DiagnosisRecord::Verdict verdict) {
         case DiagnosisRecord::Verdict::kUnjudged: return "unjudged";
         case DiagnosisRecord::Verdict::kNetworkBlamed: return "network";
         case DiagnosisRecord::Verdict::kNodeBlamed: return "node";
+        case DiagnosisRecord::Verdict::kInsufficientEvidence:
+            return "insufficient";
     }
     return "?";
 }

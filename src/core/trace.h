@@ -51,6 +51,10 @@ struct DiagnosisRecord {
         kUnjudged,       ///< no verifiable judgment was ever produced
         kNetworkBlamed,  ///< tomography exonerated every forwarder
         kNodeBlamed,     ///< the revision chain settled on `blamed`
+        /// Degraded mode (RECOVERY.md): the evidence window was hollowed
+        /// out by a crash or partition, so blame abstains rather than
+        /// convicting on a presumption.
+        kInsufficientEvidence,
     };
 
     std::uint64_t message_id = 0;

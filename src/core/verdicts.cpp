@@ -1,5 +1,6 @@
 #include "core/verdicts.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/metrics.h"
@@ -20,13 +21,13 @@ bool is_guilty_verdict(double blame, const VerdictParams& params) {
 
 VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
                                                    double blame,
-                                                   util::SimTime /*at*/) {
+                                                   util::SimTime at) {
     Window& win = windows_[suspect];
     const bool guilty = is_guilty_verdict(blame, params_);
-    win.verdicts.push_back(guilty);
+    win.verdicts.push_back({guilty, at});
     if (guilty) ++win.guilty;
     while (win.verdicts.size() > static_cast<std::size_t>(params_.window)) {
-        if (win.verdicts.front()) --win.guilty;
+        if (win.verdicts.front().guilty) --win.guilty;
         win.verdicts.pop_front();
     }
     RecordOutcome out;
@@ -53,6 +54,60 @@ int VerdictLedger::verdict_count(const util::NodeId& suspect) const {
     const auto it = windows_.find(suspect);
     return it == windows_.end() ? 0
                                 : static_cast<int>(it->second.verdicts.size());
+}
+
+int VerdictLedger::retract_guilty(const util::NodeId& suspect,
+                                  util::SimTime from, util::SimTime to) {
+    const auto it = windows_.find(suspect);
+    if (it == windows_.end()) return 0;
+    int retracted = 0;
+    for (VerdictEntry& entry : it->second.verdicts) {
+        if (!entry.guilty || entry.at < from || entry.at > to) continue;
+        entry.guilty = false;
+        --it->second.guilty;
+        ++retracted;
+    }
+    if (retracted > 0) {
+        static auto& retractions = util::metrics::Registry::global().counter(
+            "core.verdicts_retracted");
+        retractions.add(retracted);
+    }
+    return retracted;
+}
+
+std::vector<VerdictLedger::WindowSnapshot> VerdictLedger::export_windows()
+    const {
+    std::vector<WindowSnapshot> out;
+    out.reserve(windows_.size());
+    for (const auto& [suspect, win] : windows_) {
+        WindowSnapshot snap;
+        snap.suspect = suspect;
+        snap.entries.assign(win.verdicts.begin(), win.verdicts.end());
+        out.push_back(std::move(snap));
+    }
+    // The map iterates in hash order; checkpoints must not.
+    std::sort(out.begin(), out.end(),
+              [](const WindowSnapshot& a, const WindowSnapshot& b) {
+                  return a.suspect < b.suspect;
+              });
+    return out;
+}
+
+void VerdictLedger::restore_windows(
+    const std::vector<WindowSnapshot>& windows) {
+    windows_.clear();
+    for (const WindowSnapshot& snap : windows) {
+        Window& win = windows_[snap.suspect];
+        for (const VerdictEntry& entry : snap.entries) {
+            win.verdicts.push_back(entry);
+            if (entry.guilty) ++win.guilty;
+        }
+        while (win.verdicts.size() >
+               static_cast<std::size_t>(params_.window)) {
+            if (win.verdicts.front().guilty) --win.guilty;
+            win.verdicts.pop_front();
+        }
+    }
 }
 
 double accusation_false_positive(int window, int threshold_m, double p_good) {

@@ -58,9 +58,39 @@ class VerdictLedger {
         return params_;
     }
 
+    /// One verdict as kept in a window: outcome plus issue time.
+    struct VerdictEntry {
+        bool guilty = false;
+        util::SimTime at = 0;
+    };
+
+    /// Withdraws guilty verdicts issued against `suspect` in [from, to]:
+    /// a verified recovery announcement proved the suspect was crashed
+    /// then, so those verdicts were degraded-mode presumptions, not
+    /// evidence (RECOVERY.md).  The entries stay in the window as innocent
+    /// so w keeps counting real observations.  Returns the number
+    /// withdrawn.
+    int retract_guilty(const util::NodeId& suspect, util::SimTime from,
+                       util::SimTime to);
+
+    /// Durable-state checkpoint of one suspect's window, as journaled by
+    /// runtime::NodeJournal; entries oldest first.
+    struct WindowSnapshot {
+        util::NodeId suspect;
+        std::vector<VerdictEntry> entries;
+    };
+
+    /// Every window, ordered by suspect id (deterministic across runs).
+    [[nodiscard]] std::vector<WindowSnapshot> export_windows() const;
+
+    /// Replaces this ledger's windows with checkpointed ones (crash
+    /// recovery: the restarted judge resumes mid-window instead of
+    /// forgetting m-1 of the m guilty verdicts it had already issued).
+    void restore_windows(const std::vector<WindowSnapshot>& windows);
+
   private:
     struct Window {
-        std::deque<bool> verdicts;  // true == guilty
+        std::deque<VerdictEntry> verdicts;
         int guilty = 0;
     };
     VerdictParams params_;

@@ -1,116 +1,53 @@
 #include "net/chaos.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <stdexcept>
 
 #include "util/metrics.h"
+#include "util/rate_spec.h"
 
 namespace concilium::net {
 
 namespace {
 
-struct KindName {
-    FaultKind kind;
-    std::string_view name;
-};
-
 // Parse-order table; also the canonical to_string() order.
-constexpr KindName kKinds[] = {
-    {FaultKind::kFlap, "flap"},         {FaultKind::kCorrelated, "corr"},
-    {FaultKind::kLossSpike, "loss"},    {FaultKind::kReorder, "reorder"},
-    {FaultKind::kDuplicate, "dup"},     {FaultKind::kChurn, "churn"},
-    {FaultKind::kAckDrop, "ackdrop"},   {FaultKind::kAckDelay, "ackdelay"},
+constexpr util::RateSpecKind kKinds[] = {
+    {static_cast<std::size_t>(FaultKind::kFlap), "flap"},
+    {static_cast<std::size_t>(FaultKind::kCorrelated), "corr"},
+    {static_cast<std::size_t>(FaultKind::kLossSpike), "loss"},
+    {static_cast<std::size_t>(FaultKind::kReorder), "reorder"},
+    {static_cast<std::size_t>(FaultKind::kDuplicate), "dup"},
+    {static_cast<std::size_t>(FaultKind::kChurn), "churn"},
+    {static_cast<std::size_t>(FaultKind::kAckDrop), "ackdrop"},
+    {static_cast<std::size_t>(FaultKind::kAckDelay), "ackdelay"},
+    {static_cast<std::size_t>(FaultKind::kCrash), "crash"},
+    {static_cast<std::size_t>(FaultKind::kPartition), "partition"},
 };
 
-[[noreturn]] void bad_spec(const std::string& what) {
-    throw std::invalid_argument("--chaos: " + what);
-}
-
-std::string known_kinds() {
-    std::string out;
-    for (const KindName& k : kKinds) {
-        if (!out.empty()) out += ", ";
-        out += k.name;
-    }
-    return out;
-}
-
-/// Strict [0, 1] rate parse; rejects empty text, trailing junk, and
-/// non-finite values (strtod alone would accept "1e3x" prefixes or "nan").
-double parse_rate(std::string_view kind, std::string_view text) {
-    const std::string owned(text);
-    if (owned.empty()) {
-        bad_spec("fault '" + std::string(kind) + "' has an empty rate");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(owned.c_str(), &end);
-    if (end != owned.c_str() + owned.size() || !std::isfinite(value)) {
-        bad_spec("fault '" + std::string(kind) + "' has a malformed rate '" +
-                 owned + "'");
-    }
-    if (value < 0.0 || value > 1.0) {
-        bad_spec("fault '" + std::string(kind) + "' rate " + owned +
-                 " is outside [0, 1]");
-    }
-    return value;
-}
+// Dedicated substream tags for the recovery fault processes: their draws
+// come from util::Rng::substream(rng.seed(), tag), never from the shared
+// sequential stream, so adding crash:/partition: to a spec leaves every
+// other kind's draws -- and therefore existing plans -- byte-identical.
+constexpr std::uint64_t kCrashStream = 0x63726173;      // "cras"
+constexpr std::uint64_t kPartitionStream = 0x70617274;  // "part"
 
 }  // namespace
 
 std::string_view to_string(FaultKind kind) {
-    for (const KindName& k : kKinds) {
-        if (k.kind == kind) return k.name;
+    for (const util::RateSpecKind& k : kKinds) {
+        if (k.slot == static_cast<std::size_t>(kind)) return k.name;
     }
     return "?";
 }
 
 FaultSpec FaultSpec::parse(std::string_view text) {
     FaultSpec spec;
-    bool seen[static_cast<std::size_t>(FaultKind::kCount_)] = {};
-    while (!text.empty()) {
-        const std::size_t comma = text.find(',');
-        const std::string_view pair = text.substr(0, comma);
-        if (comma != std::string_view::npos &&
-            text.substr(comma + 1).empty()) {
-            bad_spec("trailing ',' after '" + std::string(pair) + "'");
-        }
-        text = comma == std::string_view::npos ? std::string_view{}
-                                               : text.substr(comma + 1);
-        const std::size_t colon = pair.find(':');
-        if (pair.empty() || colon == std::string_view::npos) {
-            bad_spec("expected 'kind:rate', got '" + std::string(pair) + "'");
-        }
-        const std::string_view name = pair.substr(0, colon);
-        const KindName* match = nullptr;
-        for (const KindName& k : kKinds) {
-            if (k.name == name) {
-                match = &k;
-                break;
-            }
-        }
-        if (match == nullptr) {
-            bad_spec("unknown fault kind '" + std::string(name) +
-                     "' (known: " + known_kinds() + ")");
-        }
-        const auto slot = static_cast<std::size_t>(match->kind);
-        if (seen[slot]) {
-            bad_spec("fault '" + std::string(name) + "' given twice");
-        }
-        seen[slot] = true;
-        spec.rates_[slot] = parse_rate(name, pair.substr(colon + 1));
-    }
+    util::parse_rate_spec(text, "--chaos", "fault", kKinds, spec.rates_);
     return spec;
 }
 
 void FaultSpec::set_rate(FaultKind kind, double rate) {
-    if (!(rate >= 0.0) || rate > 1.0) {
-        bad_spec("rate " + std::to_string(rate) + " is outside [0, 1]");
-    }
+    util::check_rate_bounds("--chaos", rate);
     rates_[static_cast<std::size_t>(kind)] = rate;
 }
 
@@ -131,17 +68,7 @@ FaultSpec FaultSpec::scaled(double factor) const {
 }
 
 std::string FaultSpec::to_string() const {
-    std::string out;
-    for (const KindName& k : kKinds) {
-        const double r = rate(k.kind);
-        if (r == 0.0) continue;
-        if (!out.empty()) out += ',';
-        char buf[48];
-        std::snprintf(buf, sizeof buf, "%s:%g", std::string(k.name).c_str(),
-                      r);
-        out += buf;
-    }
-    return out;
+    return util::format_rate_spec(kKinds, rates_);
 }
 
 double FaultPlan::loss_at(LinkId link, util::SimTime t) const {
@@ -156,6 +83,26 @@ double FaultPlan::loss_at(LinkId link, util::SimTime t) const {
     return loss;
 }
 
+bool FaultPlan::partition_active(util::SimTime t) const {
+    for (const PartitionEvent& ev : partitions) {
+        if (t < ev.start) break;  // sorted, non-overlapping
+        if (t < ev.heal) return true;
+    }
+    return false;
+}
+
+bool FaultPlan::partition_blocks(std::size_t a, std::size_t b,
+                                 util::SimTime t) const {
+    if (a == b) return false;
+    for (const PartitionEvent& ev : partitions) {
+        if (t < ev.start) break;  // sorted, non-overlapping
+        if (t >= ev.heal) continue;
+        if (a >= ev.side.size() || b >= ev.side.size()) return false;
+        return ev.side[a] != ev.side[b];
+    }
+    return false;
+}
+
 FaultPlan build_fault_plan(const FaultSpec& spec, util::SimTime duration,
                            std::span<const Path> candidate_paths,
                            std::size_t node_count, util::Rng& rng) {
@@ -165,6 +112,8 @@ FaultPlan build_fault_plan(const FaultSpec& spec, util::SimTime duration,
     static auto& outages = registry.counter("chaos.correlated_outages");
     static auto& spikes = registry.counter("chaos.loss_spikes");
     static auto& churns = registry.counter("chaos.churn_events");
+    static auto& crashes = registry.counter("chaos.crash_events");
+    static auto& partitions = registry.counter("chaos.partition_events");
     plans.add(1);
 
     FaultPlan plan;
@@ -294,6 +243,72 @@ FaultPlan build_fault_plan(const FaultSpec& spec, util::SimTime duration,
                       if (a.leave != b.leave) return a.leave < b.leave;
                       return a.node < b.node;
                   });
+    }
+
+    // --- crash-stop cycles (dedicated substream) -----------------------------
+    const double crash_rate = spec.rate(FaultKind::kCrash);
+    if (crash_rate > 0.0 && node_count > 0) {
+        // Like churn but with amnesia: downtime 1-4 min, restart recovers
+        // from the node's journal.  Drawn from a substream of the caller's
+        // seed so the shared stream above is never perturbed.
+        util::Rng crash_rng =
+            util::Rng::substream(rng.seed(), kCrashStream);
+        for (std::size_t node = 0; node < node_count; ++node) {
+            util::SimTime t = 0;
+            while (t < duration) {
+                t += util::kMinute;
+                if (crash_rng.uniform() >= crash_rate) continue;
+                const auto down = static_cast<util::SimTime>(
+                    crash_rng.uniform(60.0, 240.0) *
+                    static_cast<double>(util::kSecond));
+                if (t >= duration) break;
+                plan.crashes.push_back(
+                    {node, t, std::min(duration, t + down)});
+                crashes.add(1);
+                t += down;
+            }
+        }
+        std::sort(plan.crashes.begin(), plan.crashes.end(),
+                  [](const CrashEvent& a, const CrashEvent& b) {
+                      if (a.crash != b.crash) return a.crash < b.crash;
+                      return a.node < b.node;
+                  });
+    }
+
+    // --- partitions (dedicated substream) ------------------------------------
+    const double part_rate = spec.rate(FaultKind::kPartition);
+    if (part_rate > 0.0 && node_count > 1) {
+        // Per-minute bisection events, healed after 1-3 min, never
+        // overlapping.  The cut is a contiguous index split -- the shape a
+        // failed inter-domain link produces: everyone on one side loses
+        // everyone on the other, all at once.
+        util::Rng part_rng =
+            util::Rng::substream(rng.seed(), kPartitionStream);
+        util::SimTime t = 0;
+        while (t < duration) {
+            t += util::kMinute;
+            if (part_rng.uniform() >= part_rate) continue;
+            if (t >= duration) break;
+            const auto heal_delay = static_cast<util::SimTime>(
+                part_rng.uniform(60.0, 180.0) *
+                static_cast<double>(util::kSecond));
+            const auto lo = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(node_count / 4));
+            const auto hi = std::max(
+                lo, std::min<std::int64_t>(
+                        static_cast<std::int64_t>(node_count) - 1,
+                        static_cast<std::int64_t>(3 * node_count / 4)));
+            const auto cut =
+                static_cast<std::size_t>(part_rng.uniform_int(lo, hi));
+            PartitionEvent ev;
+            ev.start = t;
+            ev.heal = std::min(duration, t + heal_delay);
+            ev.side.assign(node_count, 0);
+            for (std::size_t i = cut; i < node_count; ++i) ev.side[i] = 1;
+            t = ev.heal;
+            plan.partitions.push_back(std::move(ev));
+            partitions.add(1);
+        }
     }
 
     plan.downs.finalize();

@@ -44,6 +44,8 @@ enum class FaultKind : std::size_t {
     kChurn,        ///< node leave/rejoin
     kAckDrop,      ///< dropped tomography probe acknowledgments
     kAckDelay,     ///< delayed end-to-end acknowledgment relays
+    kCrash,        ///< node crash-stop (amnesia) + delayed restart
+    kPartition,    ///< correlated bisection of the overlay, scheduled heal
     kCount_,       // sentinel
 };
 
@@ -54,14 +56,18 @@ enum class FaultKind : std::size_t {
 /// Grammar (see CHAOS.md):   spec  := pair ("," pair)*
 ///                           pair  := kind ":" rate
 ///                           kind  := flap | corr | loss | reorder | dup |
-///                                    churn | ackdrop | ackdelay
+///                                    churn | ackdrop | ackdelay |
+///                                    crash | partition
 ///                           rate  := decimal in [0, 1]
 ///
 /// Semantics: `flap`, `corr`, and `loss` are per-minute event intensities
 /// (flap: expected fraction of candidate links flapped per minute; corr /
 /// loss: expected events per minute per 100 candidate links); `churn` is a
-/// per-node per-minute leave probability; the rest are per-packet (or
-/// per-ack) probabilities.
+/// per-node per-minute leave probability; `crash` is a per-node per-minute
+/// crash-stop probability (restart after 1-4 min, see RECOVERY.md);
+/// `partition` is a per-minute probability of a correlated bisection event
+/// (heal after 1-3 min); the rest are per-packet (or per-ack)
+/// probabilities.
 class FaultSpec {
   public:
     FaultSpec() = default;
@@ -106,6 +112,27 @@ struct ChurnEvent {
     util::SimTime rejoin = 0;
 };
 
+/// One crash-stop cycle.  Unlike churn (a graceful leave), a crash drops
+/// all volatile state: on restart the node recovers from its
+/// runtime::NodeJournal and re-joins via the recovery handshake
+/// (RECOVERY.md).
+struct CrashEvent {
+    std::size_t node = 0;
+    util::SimTime crash = 0;
+    util::SimTime restart = 0;
+};
+
+/// One correlated bisection: every overlay node is assigned a side, and
+/// while the event is active no packet, acknowledgment, probe, snapshot,
+/// or control message crosses between sides.  Events never overlap.
+struct PartitionEvent {
+    util::SimTime start = 0;
+    util::SimTime heal = 0;  ///< exclusive
+    /// side[node] is 0 or 1; nodes on different sides cannot reach each
+    /// other while the event is active.
+    std::vector<std::uint8_t> side;
+};
+
 /// A materialized chaos schedule.  Plain data plus read-only queries; safe
 /// to share by const reference across experiment-driver workers.
 struct FaultPlan {
@@ -115,6 +142,10 @@ struct FaultPlan {
     std::vector<LossSpike> spikes;
     /// Churn schedule, sorted by leave time.
     std::vector<ChurnEvent> churn;
+    /// Crash-stop schedule, sorted by crash time.
+    std::vector<CrashEvent> crashes;
+    /// Partition schedule, sorted by start time; events never overlap.
+    std::vector<PartitionEvent> partitions;
     // Per-packet effect rates, copied from the spec.
     double reorder_rate = 0.0;
     double duplicate_rate = 0.0;
@@ -135,6 +166,22 @@ struct FaultPlan {
 
     [[nodiscard]] bool has_packet_effects() const noexcept {
         return reorder_rate > 0.0 || duplicate_rate > 0.0;
+    }
+
+    /// True when a partition event is active at t.
+    [[nodiscard]] bool partition_active(util::SimTime t) const;
+
+    /// True when overlay nodes a and b sit on opposite sides of a
+    /// partition active at t.  Nodes beyond the recorded side vector are
+    /// treated as unpartitioned.
+    [[nodiscard]] bool partition_blocks(std::size_t a, std::size_t b,
+                                        util::SimTime t) const;
+
+    /// True when the plan contains crash or partition events -- the
+    /// trigger for the runtime's degraded-mode diagnosis (a guilty verdict
+    /// then demands post-incident evidence coverage; see RECOVERY.md).
+    [[nodiscard]] bool has_recovery_faults() const noexcept {
+        return !crashes.empty() || !partitions.empty();
     }
 };
 

@@ -1,65 +1,23 @@
 #include "runtime/attack.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <stdexcept>
 
 #include "util/metrics.h"
+#include "util/rate_spec.h"
 
 namespace concilium::runtime {
 
 namespace {
 
-struct KindName {
-    AttackKind kind;
-    std::string_view name;
-};
-
 // Parse-order table; also the canonical to_string() order.
-constexpr KindName kKinds[] = {
-    {AttackKind::kEquivocate, "equivocate"},
-    {AttackKind::kReplay, "replay"},
-    {AttackKind::kSlander, "slander"},
-    {AttackKind::kSpam, "spam"},
-    {AttackKind::kCollude, "collude"},
+constexpr util::RateSpecKind kKinds[] = {
+    {static_cast<std::size_t>(AttackKind::kEquivocate), "equivocate"},
+    {static_cast<std::size_t>(AttackKind::kReplay), "replay"},
+    {static_cast<std::size_t>(AttackKind::kSlander), "slander"},
+    {static_cast<std::size_t>(AttackKind::kSpam), "spam"},
+    {static_cast<std::size_t>(AttackKind::kCollude), "collude"},
 };
-
-[[noreturn]] void bad_spec(const std::string& what) {
-    throw std::invalid_argument("--attack: " + what);
-}
-
-std::string known_kinds() {
-    std::string out;
-    for (const KindName& k : kKinds) {
-        if (!out.empty()) out += ", ";
-        out += k.name;
-    }
-    return out;
-}
-
-/// Strict [0, 1] rate parse; rejects empty text, trailing junk, and
-/// non-finite values (strtod alone would accept "1e3x" prefixes or "nan").
-double parse_rate(std::string_view kind, std::string_view text) {
-    const std::string owned(text);
-    if (owned.empty()) {
-        bad_spec("attack '" + std::string(kind) + "' has an empty rate");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(owned.c_str(), &end);
-    if (end != owned.c_str() + owned.size() || !std::isfinite(value)) {
-        bad_spec("attack '" + std::string(kind) + "' has a malformed rate '" +
-                 owned + "'");
-    }
-    if (value < 0.0 || value > 1.0) {
-        bad_spec("attack '" + std::string(kind) + "' rate " + owned +
-                 " is outside [0, 1]");
-    }
-    return value;
-}
 
 void assign_role(NodeBehavior& b, AttackKind kind) {
     switch (kind) {
@@ -89,54 +47,21 @@ void assign_role(NodeBehavior& b, AttackKind kind) {
 }  // namespace
 
 std::string_view to_string(AttackKind kind) {
-    for (const KindName& k : kKinds) {
-        if (k.kind == kind) return k.name;
+    for (const util::RateSpecKind& k : kKinds) {
+        if (k.slot == static_cast<std::size_t>(kind)) return k.name;
     }
     return "?";
 }
 
 AttackCampaign AttackCampaign::parse(std::string_view text) {
     AttackCampaign campaign;
-    bool seen[static_cast<std::size_t>(AttackKind::kCount_)] = {};
-    while (!text.empty()) {
-        const std::size_t comma = text.find(',');
-        const std::string_view pair = text.substr(0, comma);
-        if (comma != std::string_view::npos &&
-            text.substr(comma + 1).empty()) {
-            bad_spec("trailing ',' after '" + std::string(pair) + "'");
-        }
-        text = comma == std::string_view::npos ? std::string_view{}
-                                               : text.substr(comma + 1);
-        const std::size_t colon = pair.find(':');
-        if (pair.empty() || colon == std::string_view::npos) {
-            bad_spec("expected 'kind:rate', got '" + std::string(pair) + "'");
-        }
-        const std::string_view name = pair.substr(0, colon);
-        const KindName* match = nullptr;
-        for (const KindName& k : kKinds) {
-            if (k.name == name) {
-                match = &k;
-                break;
-            }
-        }
-        if (match == nullptr) {
-            bad_spec("unknown attack kind '" + std::string(name) +
-                     "' (known: " + known_kinds() + ")");
-        }
-        const auto slot = static_cast<std::size_t>(match->kind);
-        if (seen[slot]) {
-            bad_spec("attack '" + std::string(name) + "' given twice");
-        }
-        seen[slot] = true;
-        campaign.rates_[slot] = parse_rate(name, pair.substr(colon + 1));
-    }
+    util::parse_rate_spec(text, "--attack", "attack", kKinds,
+                          campaign.rates_);
     return campaign;
 }
 
 void AttackCampaign::set_rate(AttackKind kind, double rate) {
-    if (!(rate >= 0.0) || rate > 1.0) {
-        bad_spec("rate " + std::to_string(rate) + " is outside [0, 1]");
-    }
+    util::check_rate_bounds("--attack", rate);
     rates_[static_cast<std::size_t>(kind)] = rate;
 }
 
@@ -157,17 +82,7 @@ AttackCampaign AttackCampaign::scaled(double factor) const {
 }
 
 std::string AttackCampaign::to_string() const {
-    std::string out;
-    for (const KindName& k : kKinds) {
-        const double r = rate(k.kind);
-        if (r == 0.0) continue;
-        if (!out.empty()) out += ',';
-        char buf[48];
-        std::snprintf(buf, sizeof buf, "%s:%g", std::string(k.name).c_str(),
-                      r);
-        out += buf;
-    }
-    return out;
+    return util::format_rate_spec(kKinds, rates_);
 }
 
 std::vector<NodeBehavior> materialize_attackers(const AttackCampaign& campaign,

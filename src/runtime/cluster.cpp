@@ -35,6 +35,9 @@ Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
             "Cluster: behaviors must match overlay size");
     }
     online_.assign(net.size(), true);
+    journals_.resize(net.size());
+    crashed_.assign(net.size(), false);
+    crashed_at_.assign(net.size(), 0);
     member_of_.reserve(net.size());
     nodes_.reserve(net.size());
     for (overlay::MemberIndex m = 0; m < net.size(); ++m) {
@@ -80,6 +83,282 @@ util::SimTime Cluster::chaos_extra_delay(double rate,
                0.0, static_cast<double>(chaos_->max_extra_delay))));
 }
 
+// ------------------------- crash recovery + partitions (RECOVERY.md)
+
+void Cluster::schedule_recovery_faults() {
+    for (const net::CrashEvent& ev : chaos_->crashes) {
+        if (ev.node >= net_->size()) continue;
+        const auto node = static_cast<overlay::MemberIndex>(ev.node);
+        sim_->schedule_at(ev.crash, [this, node] { crash_node(node); });
+        sim_->schedule_at(ev.restart, [this, node] { restart_node(node); });
+    }
+    for (const net::PartitionEvent& ev : chaos_->partitions) {
+        sim_->schedule_at(ev.start, [this] {
+            ++stats_.partition_activations;
+            bump("partition.activations");
+        });
+        sim_->schedule_at(ev.heal, [this] { heal_partition(); });
+    }
+}
+
+void Cluster::crash_node(overlay::MemberIndex m) {
+    if (crashed_[m]) return;
+    ++stats_.crashes;
+    bump("recovery.crashes");
+    crashed_[m] = true;
+    crashed_at_[m] = sim_->now();
+    online_[m] = false;
+    // Amnesia: every volatile structure resets.  Only journals_[m] -- the
+    // node's "disk" -- survives a crash-stop.
+    NodeState& node = nodes_[m];
+    node.archive = SnapshotArchive(params_.blame.delta + 5 * util::kMinute,
+                                   params_.snapshot_max_transit,
+                                   params_.archive_max_per_origin);
+    node.ledger = core::VerdictLedger(params_.verdicts);
+    node.last_heavyweight = -(1LL << 60);
+    node.next_epoch = 1;
+    node.replay_stash.reset();
+    node.collected.clear();
+    node.recovery_seen.clear();
+}
+
+void Cluster::restart_node(overlay::MemberIndex m) {
+    if (!crashed_[m]) return;
+    crashed_[m] = false;
+    online_[m] = true;
+    ++stats_.restarts;
+    bump("recovery.restarts");
+    ++stats_.journal_replays;
+    bump("recovery.journal_replays");
+    const NodeJournal::RecoveredState recovered =
+        journals_[m].replay(params_.verdicts.window);
+    NodeState& node = nodes_[m];
+    // Without the journaled epoch floor the restarted node would re-issue
+    // epochs its peers already archived -- and read as an equivocator.
+    node.next_epoch = std::max<std::uint64_t>(1, recovered.next_epoch);
+    node.ledger.restore_windows(recovered.windows);
+    // Collected commitments come back too (recovered.votes stay advisory:
+    // the reputation book models durable DHT-backed state, so re-casting
+    // would double-count).
+    for (const auto& [issuer, commitment] : recovered.collected) {
+        node.collected.insert_or_assign(issuer, commitment);
+    }
+    recovery_handshake(m, recovered);
+    journals_[m].record_restart(sim_->now());
+}
+
+void Cluster::recovery_handshake(
+    overlay::MemberIndex m, const NodeJournal::RecoveredState& recovered) {
+    const util::SimTime now = sim_->now();
+    // (a) Announce the outage.  The signed interval is what turns peers'
+    // degraded-mode guilty presumptions into retractions.
+    const RecoveryAnnouncement announcement = make_recovery_announcement(
+        net_->member(m).id(), recovered.incarnations + 1, crashed_at_[m], now,
+        net_->member(m).keys);
+    ++stats_.recovery_announcements;
+    bump("recovery.announcements_sent");
+
+    // (b) Leaf-set / jump-table repair: re-advertise routing state; every
+    // peer re-runs the full validation pipeline (signature, freshness,
+    // density), so a forged "repair" advertisement fails exactly like any
+    // other forged advertisement.
+    const auto key_fn = [this](const util::NodeId& id) { return key_of(id); };
+    auto ad = overlay::make_advertisement(
+        *net_, m, now, [this](overlay::MemberIndex) {
+            return std::max<util::SimTime>(
+                0, sim_->now() - params_.probe_interval_max / 2);
+        });
+    const double fraction = behavior(m).advertised_table_fraction;
+    if (fraction < 1.0) {
+        ad.entries.resize(static_cast<std::size_t>(
+            fraction * static_cast<double>(ad.entries.size())));
+        ad.signature = net_->member(m).keys.sign(ad.signed_payload());
+    }
+    for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
+        if (!online_[peer]) continue;
+        if (partition_blocks(m, peer)) {
+            bump("partition.control_blocked");
+            continue;
+        }
+        sim_->schedule_after(
+            params_.control_latency, [this, peer, announcement] {
+                accept_recovery_announcement(peer, announcement);
+            });
+        const auto verdict = core::validate_advertisement(
+            ad, net_->secure_table(peer).density(), now, params_.validation,
+            key_fn, registry_);
+        if (verdict == core::AdvertisementCheck::kOk) {
+            ++stats_.recovery_repairs_accepted;
+            bump("recovery.repairs_accepted");
+        } else {
+            ++stats_.recovery_repairs_rejected;
+            bump("recovery.repairs_rejected");
+        }
+    }
+
+    // (c) Refresh the node's own view immediately: its next snapshots (and
+    // the evidence it can contribute to judges) recover without waiting for
+    // the periodic round.
+    probe_round_once(m);
+
+    // (d) Resume or abandon each stewardship in flight at the crash.
+    for (const JournaledStewardship& s : recovered.open_stewardships) {
+        const auto it = messages_.find(s.message_id);
+        if (it == messages_.end()) continue;
+        MessageContext& ctx = it->second;
+        const auto hop = static_cast<std::size_t>(s.hop);
+        if (hop + 1 >= ctx.route.size() || ctx.route[hop] != m) continue;
+        StewardRecord& steward = ctx.stewards[hop];
+        if (ctx.completed || steward.acked || steward.judged) continue;
+        if (now - s.forwarded_at <= params_.recovery_resume_horizon) {
+            ++stats_.stewardships_resumed;
+            bump("recovery.stewardships_resumed");
+            sim_->schedule_after(params_.ack_timeout,
+                                 [this, id = s.message_id, hop] {
+                                     on_ack_timeout(id, hop);
+                                 });
+            transmit_to_next(s.message_id, hop, 1);
+        } else {
+            // Too stale to resume: any ack is long lost and the upstream
+            // judgment has run its course.  Abandon with a signed handoff
+            // so the upstream's pending judgment of *us* resolves as
+            // insufficient evidence, not guilt.
+            ++stats_.stewardships_abandoned;
+            bump("recovery.stewardships_abandoned");
+            steward.judged = true;  // this steward will never judge
+            journals_[m].record_steward_close(s.message_id, s.hop);
+            if (hop > 0) {
+                const overlay::MemberIndex up = ctx.route[hop - 1];
+                if (online_[up] && !partition_blocks(m, up)) {
+                    const StewardHandoff handoff = make_steward_handoff(
+                        net_->member(m).id(), s.message_id, s.hop,
+                        crashed_at_[m], now, net_->member(m).keys);
+                    sim_->schedule_after(
+                        params_.control_latency,
+                        [this, id = s.message_id, hop, handoff] {
+                            deliver_handoff(id, hop - 1, handoff);
+                        });
+                } else if (online_[up]) {
+                    bump("partition.control_blocked");
+                }
+            } else {
+                // The abandoning steward is the sender itself: close out
+                // the diagnosis so the completion callback still fires.
+                sim_->schedule_after(params_.control_latency,
+                                     [this, id = s.message_id] {
+                                         maybe_complete(id);
+                                     });
+            }
+        }
+    }
+}
+
+void Cluster::accept_recovery_announcement(
+    overlay::MemberIndex peer, const RecoveryAnnouncement& announcement) {
+    if (!online_[peer]) return;
+    const auto key = key_of(announcement.node);
+    if (!key.has_value() ||
+        !verify_recovery_announcement(announcement, *key, registry_)) {
+        return;  // a forged outage claim buys nothing
+    }
+    bump("recovery.announcements_delivered");
+    nodes_[peer].recovery_seen[announcement.node].push_back(announcement);
+    const int retracted = nodes_[peer].ledger.retract_guilty(
+        announcement.node, announcement.crashed_at,
+        announcement.restarted_at);
+    if (retracted > 0) {
+        stats_.verdicts_retracted += static_cast<std::size_t>(retracted);
+        journals_[peer].record_retraction(announcement.node,
+                                          announcement.crashed_at,
+                                          announcement.restarted_at);
+    }
+}
+
+void Cluster::deliver_handoff(std::uint64_t msg_id, std::size_t to_hop,
+                              const StewardHandoff& handoff) {
+    const auto it = messages_.find(msg_id);
+    if (it == messages_.end()) return;
+    MessageContext& ctx = it->second;
+    if (to_hop + 1 >= ctx.route.size()) return;
+    if (!online_[ctx.route[to_hop]]) return;
+    // The handoff must be signed by the very node this steward forwarded
+    // to; a third party cannot abandon someone else's stewardship.
+    const util::NodeId downstream = net_->member(ctx.route[to_hop + 1]).id();
+    const auto key = key_of(handoff.steward);
+    if (!(handoff.steward == downstream) || !key.has_value() ||
+        !verify_steward_handoff(handoff, *key, registry_)) {
+        return;
+    }
+    ctx.stewards[to_hop].handoff = handoff;
+    bump("recovery.handoffs_delivered");
+}
+
+void Cluster::heal_partition() {
+    ++stats_.partition_heals;
+    bump("partition.heals");
+    // Anti-entropy: both sides probe once, staggered, so fresh snapshots
+    // cross the healed cut and the sides' archives re-converge.
+    for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
+        if (!online_[m]) continue;
+        const auto stagger = static_cast<util::SimTime>(m % 64) *
+                             (25 * util::kMillisecond);
+        sim_->schedule_after(stagger, [this, m] {
+            if (!online_[m]) return;
+            ++stats_.resync_rounds;
+            bump("partition.resync_rounds");
+            probe_round_once(m);
+        });
+    }
+}
+
+bool Cluster::partition_blocks(overlay::MemberIndex a,
+                               overlay::MemberIndex b) const {
+    return chaos_ != nullptr && !chaos_->partitions.empty() &&
+           chaos_->partition_blocks(a, b, sim_->now());
+}
+
+bool Cluster::post_incident_coverage(const core::BlameEvidence& evidence,
+                                     util::SimTime message_time) const {
+    if (evidence.path_links.empty()) return false;
+    const auto probes = core::probes_from_snapshots(evidence.snapshots);
+    for (const net::LinkId link : evidence.path_links) {
+        bool covered = false;
+        for (const core::ProbeResult& p : probes) {
+            if (p.link != link) continue;
+            if (p.reporter == evidence.suspect) continue;
+            if (p.at < message_time ||
+                p.at > message_time + params_.blame.delta) {
+                continue;
+            }
+            covered = true;
+            break;
+        }
+        if (!covered) return false;
+    }
+    return true;
+}
+
+bool Cluster::announced_down(overlay::MemberIndex observer,
+                             const util::NodeId& suspect,
+                             util::SimTime t) const {
+    const auto it = nodes_[observer].recovery_seen.find(suspect);
+    if (it == nodes_[observer].recovery_seen.end()) return false;
+    for (const RecoveryAnnouncement& a : it->second) {
+        if (a.covers(t)) return true;
+    }
+    return false;
+}
+
+bool Cluster::accused_abstained(const MessageContext& ctx,
+                                const util::NodeId& accused) const {
+    for (std::size_t h = 1; h < ctx.stewards.size(); ++h) {
+        if (net_->member(ctx.route[h]).id() == accused) {
+            return ctx.stewards[h].judgment_insufficient;
+        }
+    }
+    return false;
+}
+
 const NodeBehavior& Cluster::behavior(overlay::MemberIndex m) const {
     if (behaviors_.empty()) return kHonest;
     return behaviors_[m];
@@ -99,7 +378,11 @@ std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
         chaos_ != nullptr ? chaos_->ack_drop_rate : 0.0;
     bool all_online = true;
     for (const bool b : online_) all_online = all_online && b;
-    if (behaviors_.empty() && all_online && chaos_ack_drop == 0.0) {
+    const bool partition_now = chaos_ != nullptr &&
+                               !chaos_->partitions.empty() &&
+                               chaos_->partition_active(sim_->now());
+    if (behaviors_.empty() && all_online && chaos_ack_drop == 0.0 &&
+        !partition_now) {
         return out;  // all honest + online, no injected ack loss
     }
     for (const overlay::MemberIndex leaf : trees_->leaf_members(m)) {
@@ -113,8 +396,10 @@ std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
                 1.0 - (1.0 - b.suppress_ack_probability) *
                           (1.0 - chaos_ack_drop);
         }
-        if (!online_[leaf]) {
-            // Offline machines answer nothing, honestly.
+        if (!online_[leaf] ||
+            (partition_now && partition_blocks(m, leaf))) {
+            // Offline machines -- and machines across an active partition
+            // cut -- answer nothing, honestly.
             b.suppress_ack_probability = 1.0;
             b.fabricate_acks = false;
         }
@@ -127,7 +412,10 @@ std::vector<tomography::LeafBehavior> Cluster::leaf_behaviors(
 
 void Cluster::start() {
     exchange_routing_state();
-    if (chaos_ != nullptr) schedule_churn();
+    if (chaos_ != nullptr) {
+        schedule_churn();
+        schedule_recovery_faults();
+    }
     for (overlay::MemberIndex m = 0; m < net_->size(); ++m) {
         schedule_probe_round(m);
         if (behavior(m).slander) schedule_slander_round(m);
@@ -185,6 +473,12 @@ void Cluster::run_probe_round(overlay::MemberIndex m) {
         schedule_probe_round(m);
         return;
     }
+    probe_round_once(m);
+    schedule_probe_round(m);
+}
+
+void Cluster::probe_round_once(overlay::MemberIndex m) {
+    if (!online_[m]) return;
     ++stats_.lightweight_rounds;
     const auto& tree = trees_->tree(m);
     if (!tree.leaves().empty()) {
@@ -228,7 +522,6 @@ void Cluster::run_probe_round(overlay::MemberIndex m) {
             run_heavyweight(m);
         }
     }
-    schedule_probe_round(m);
 }
 
 void Cluster::run_heavyweight(overlay::MemberIndex m) {
@@ -311,6 +604,10 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
         }
     }
     snapshot.epoch = nodes_[m].next_epoch++;
+    // Journal the epoch advance *before* the snapshot leaves: a crash
+    // between publish and checkpoint must never let the restarted node
+    // re-issue an epoch its peers already archived.
+    journals_[m].record_epoch(nodes_[m].next_epoch);
     snapshot.signature =
         net_->member(m).keys.sign(snapshot.signed_payload());
     ++stats_.snapshots_published;
@@ -424,7 +721,12 @@ void Cluster::send_snapshot(overlay::MemberIndex m,
     bump("runtime.retry.snapshot_attempts");
     util::SimTime latency = params_.control_latency;
     bool delivered = true;
-    if (trees_->leaf_slot(m, peer).has_value()) {
+    if (partition_blocks(m, peer)) {
+        // The cut swallows this copy; the retry arm below may land a later
+        // one after the heal.
+        delivered = false;
+        bump("partition.snapshots_blocked");
+    } else if (trees_->leaf_slot(m, peer).has_value()) {
         const auto path = trees_->path_links(m, peer);
         delivered = transport_.sample_traversal(path, sim_->now());
         latency = std::max(latency, transport_.latency(path.size()));
@@ -552,6 +854,7 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
         ++stats_.reputation_votes;
         reputation_.cast_vote(net_->member(m).id(), net_->member(next).id(),
                               sim_->now());
+        journals_[m].record_vote(net_->member(next).id(), sim_->now());
     } else {
         ++stats_.commitments_issued;
     bump("runtime.commitments_issued");
@@ -566,6 +869,8 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
     }
 
     ctx.stewards[hop].forwarded = true;
+    journals_[m].record_steward_open(msg_id, hop, sim_->now(),
+                                     ctx.stewards[hop].commitment);
     sim_->schedule_after(params_.ack_timeout, [this, msg_id, hop] {
         on_ack_timeout(msg_id, hop);
     });
@@ -582,8 +887,18 @@ void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
         ctx.network_drop_segment = hop;
         return;  // no IP path exists; retrying cannot help
     }
-    // One packet over the IP path; loss kills this copy.
-    if (transport_.sample_traversal(path, sim_->now())) {
+    // An active partition cut swallows every copy; the retry arm below
+    // stays armed, so a retransmission after the heal can still succeed.
+    const bool cut = partition_blocks(ctx.route[hop], ctx.route[hop + 1]);
+    if (cut) {
+        ++stats_.partition_blocked_packets;
+        bump("partition.messages_blocked");
+        if (!ctx.dropped_by_hop.has_value()) {
+            ctx.dropped_by_network = true;
+            ctx.network_drop_segment = hop;
+        }
+    } else if (transport_.sample_traversal(path, sim_->now())) {
+        // One packet over the IP path; loss kills this copy.
         const util::SimTime jitter =
             chaos_extra_delay(chaos_ != nullptr ? chaos_->reorder_rate : 0.0,
                               "chaos.packets_reordered");
@@ -633,6 +948,11 @@ void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
     auto& ctx = messages_.at(msg_id);
     if (!online_[ctx.route[hop]]) return;  // a dead relay swallows the ack
     ctx.stewards[hop].acked = true;
+    if (ctx.stewards[hop].forwarded) {
+        // The acknowledgment retires this hop's stewardship on "disk" too:
+        // a later crash must not resurrect it as an open obligation.
+        journals_[ctx.route[hop]].record_steward_close(msg_id, hop);
+    }
     if (hop == 0) {
         if (!ctx.completed) {
             ctx.completed = true;
@@ -651,6 +971,16 @@ void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
     const auto path = hop_path(ctx, hop - 1);
     if (path.empty()) {
         ctx.dropped_by_network = true;
+        return;
+    }
+    if (partition_blocks(ctx.route[hop], ctx.route[hop - 1])) {
+        // The cut eats the relayed ack; upstream stewards will time out.
+        ++stats_.partition_blocked_packets;
+        bump("partition.acks_blocked");
+        ctx.dropped_by_network = true;
+        if (!ctx.network_drop_segment.has_value()) {
+            ctx.network_drop_segment = hop - 1;
+        }
         return;
     }
     if (transport_.sample_traversal(path, sim_->now())) {
@@ -677,6 +1007,9 @@ void Cluster::on_ack_timeout(std::uint64_t msg_id, std::size_t hop) {
     auto& ctx = messages_.at(msg_id);
     StewardRecord& steward = ctx.stewards[hop];
     if (steward.acked || !steward.forwarded) return;
+    // A crashed steward's timer outlived its memory of arming it; the
+    // journaled stewardship is resumed or abandoned at restart instead.
+    if (crashed_[ctx.route[hop]]) return;
 
     // Reactive heavyweight probing: the steward refreshes its own view and
     // asks its routing peers to do the same (Section 3.2).  The judge's own
@@ -733,24 +1066,65 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
     auto& ctx = messages_.at(msg_id);
     StewardRecord& steward = ctx.stewards[hop];
     if (steward.acked || steward.judged) return;
+    const overlay::MemberIndex m = ctx.route[hop];
+    if (crashed_[m]) return;  // a crashed judge testifies to nothing
     steward.judged = true;
 
-    const overlay::MemberIndex m = ctx.route[hop];
     core::BlameBreakdown breakdown;
     core::BlameEvidence ev = build_evidence(ctx, hop, &breakdown);
     const bool guilty = core::is_guilty_verdict(ev.claimed_blame,
                                                 params_.verdicts);
-    nodes_[m].ledger.record(ev.suspect, ev.claimed_blame, sim_->now());
+    // Degraded-mode conviction bar (RECOVERY.md): with crash or partition
+    // faults in play, the empty-evidence presumption ("otherwise, B was
+    // faulty") would convict every node that merely crashed or sat across
+    // a cut.  A guilty verdict then additionally requires either direct
+    // proof of the opposite -- a signed handoff or a verified recovery
+    // announcement covering the message -- to be absent, *and* fresh
+    // post-incident probe coverage of every judged link to be present.  A
+    // live malicious dropper still answers probes, so it always clears the
+    // coverage bar and stays convictable.
+    bool insufficient = false;
     if (guilty) {
-        ++stats_.guilty_verdicts;
-    } else {
-        ++stats_.innocent_verdicts;
+        // A judge that lost its own control channel to the suspect -- the
+        // two sat across an active cut at send or judgment time -- cannot
+        // tell a partitioned peer from a dropper, no matter what its
+        // same-side reporters' probes say: the silence it observed is its
+        // own unreachability.
+        const bool cut_from_suspect =
+            hop + 1 < ctx.route.size() &&
+            (partition_blocks(m, ctx.route[hop + 1]) ||
+             (chaos_ != nullptr &&
+              chaos_->partition_blocks(m, ctx.route[hop + 1], ctx.sent_at)));
+        insufficient =
+            steward.handoff.has_value() || cut_from_suspect ||
+            announced_down(m, ev.suspect, ctx.sent_at) ||
+            announced_down(m, ev.suspect, sim_->now()) ||
+            (degraded_mode() && !post_incident_coverage(ev, ctx.sent_at));
     }
     steward.breakdown = std::move(breakdown);
     steward.judged_at = sim_->now();
-    steward.judgment_guilty = guilty;
     steward.judgment = std::move(ev);
-    if (hop > 0) push_revision_upstream(msg_id, hop);
+    journals_[m].record_steward_close(msg_id, hop);
+    if (insufficient) {
+        // Abstention: no ledger entry, no journaled verdict, no upstream
+        // revision -- "insufficient evidence" is not a verdict anybody may
+        // accumulate toward an accusation or relay as a revision.
+        steward.judgment_insufficient = true;
+        ++stats_.insufficient_verdicts;
+        bump("recovery.insufficient_evidence_verdicts");
+    } else {
+        nodes_[m].ledger.record(steward.judgment->suspect,
+                                steward.judgment->claimed_blame, sim_->now());
+        journals_[m].record_verdict(steward.judgment->suspect, guilty,
+                                    sim_->now());
+        if (guilty) {
+            ++stats_.guilty_verdicts;
+        } else {
+            ++stats_.innocent_verdicts;
+        }
+        steward.judgment_guilty = guilty;
+        if (hop > 0) push_revision_upstream(msg_id, hop);
+    }
     if (hop == 0) {
         // Give downstream revisions time to climb the chain, then settle.
         const auto settle =
@@ -965,6 +1339,14 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
         if (ctx.on_complete) ctx.on_complete(outcome);
         return;
     }
+    if (sender.judgment_insufficient) {
+        // Degraded mode: the sender's own judgment abstained, so the
+        // diagnosis closes without blaming anyone (RECOVERY.md).
+        outcome.insufficient_evidence = true;
+        record_trace(ctx, outcome);
+        if (ctx.on_complete) ctx.on_complete(outcome);
+        return;
+    }
     if (!core::is_guilty_verdict(sender.judgment->claimed_blame,
                                  params_.verdicts)) {
         outcome.network_blamed = true;
@@ -1004,6 +1386,18 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
     }
     if (network) {
         outcome.network_blamed = true;
+    } else if (accused_abstained(ctx, accused) ||
+               announced_down(ctx.route[0], accused, ctx.sent_at)) {
+        // The final accused either abstained from its own judgment (it
+        // demonstrably forwarded, then lost its channel to the next hop
+        // across a cut -- the abstention reaches the sender over the
+        // intact same-side path in place of a revision) or provably
+        // crashed across the message interval.  Either way the evidence
+        // chain ends without a verdict: the sender abstains from blame
+        // and accusation alike.
+        outcome.insufficient_evidence = true;
+        ++stats_.insufficient_verdicts;
+        bump("recovery.insufficient_evidence_verdicts");
     } else {
         outcome.blamed = accused;
         // File a formal accusation once the suspect has accumulated enough
@@ -1072,7 +1466,9 @@ void Cluster::record_trace(const MessageContext& ctx,
         j.revision = hop > 0;
         rec.judgments.push_back(std::move(j));
     }
-    if (outcome.network_blamed) {
+    if (outcome.insufficient_evidence) {
+        rec.verdict = core::DiagnosisRecord::Verdict::kInsufficientEvidence;
+    } else if (outcome.network_blamed) {
         rec.verdict = core::DiagnosisRecord::Verdict::kNetworkBlamed;
     } else if (outcome.blamed.has_value()) {
         rec.verdict = core::DiagnosisRecord::Verdict::kNodeBlamed;

@@ -46,6 +46,7 @@
 #include "overlay/network.h"
 #include "runtime/archive.h"
 #include "runtime/attack.h"
+#include "runtime/journal.h"
 #include "runtime/retry.h"
 #include "tomography/overlay_trees.h"
 #include "tomography/probing.h"
@@ -107,6 +108,11 @@ struct RuntimeParams {
     /// gracefully instead of wedging diagnosis.
     RetryPolicy snapshot_retry{.max_attempts = 3,
                                .base_delay = 300 * util::kMillisecond};
+    /// Crash recovery (RECOVERY.md): an in-flight stewardship whose
+    /// forward is older than this at restart is abandoned with a signed
+    /// handoff instead of resumed (the ack, if any, is long lost and the
+    /// upstream judgment has already run its course).
+    util::SimTime recovery_resume_horizon = 30 * util::kSecond;
 };
 
 class Cluster {
@@ -148,6 +154,10 @@ class Cluster {
     struct MessageOutcome {
         bool delivered = false;
         bool network_blamed = false;
+        /// Degraded mode (RECOVERY.md): the diagnosis closed with no
+        /// verdict at all because the evidence covering the judged hop
+        /// was hollowed out by a crash or partition.  Nobody is blamed.
+        bool insufficient_evidence = false;
         /// Final accused node (after revisions), when a node is blamed.
         std::optional<util::NodeId> blamed;
         /// Route positions, for ground-truth scoring by callers.
@@ -193,6 +203,21 @@ class Cluster {
         std::size_t duplicates_suppressed = 0;
         std::size_t churn_leaves = 0;
         std::size_t churn_rejoins = 0;
+        // --- crash recovery + partitions (RECOVERY.md) --------------------
+        std::size_t crashes = 0;
+        std::size_t restarts = 0;
+        std::size_t journal_replays = 0;
+        std::size_t recovery_announcements = 0;
+        std::size_t recovery_repairs_accepted = 0;
+        std::size_t recovery_repairs_rejected = 0;
+        std::size_t stewardships_resumed = 0;
+        std::size_t stewardships_abandoned = 0;
+        std::size_t insufficient_verdicts = 0;  ///< degraded-mode abstentions
+        std::size_t verdicts_retracted = 0;     ///< after announcements
+        std::size_t partition_activations = 0;
+        std::size_t partition_heals = 0;
+        std::size_t partition_blocked_packets = 0;
+        std::size_t resync_rounds = 0;  ///< heal-time anti-entropy probes
         // --- attack-campaign activity (what the adversary did) -----------
         std::size_t equivocations_published = 0;  ///< per-peer variant rounds
         std::size_t replays_published = 0;        ///< stale re-advertisements
@@ -246,6 +271,19 @@ class Cluster {
         const core::EquivocationProof& proof,
         overlay::MemberIndex accused) const;
 
+    /// The node's durable journal (its "disk"): written on every epoch
+    /// advance, verdict, stewardship transition, and vote; replayed on
+    /// restart after a crash.
+    [[nodiscard]] const NodeJournal& journal(overlay::MemberIndex m) const {
+        return journals_.at(m);
+    }
+
+    /// True while m is crashed (offline with amnesia, as opposed to a
+    /// graceful churn leave which keeps its volatile state).
+    [[nodiscard]] bool is_crashed(overlay::MemberIndex m) const {
+        return crashed_.at(m);
+    }
+
     /// Attaches an opt-in diagnosis journal: every message that completes
     /// via diagnosis (i.e. was not acknowledged) appends one record with
     /// its forwarder chain, every judgment's Equation 2-3 blame inputs,
@@ -270,6 +308,12 @@ class Cluster {
         /// order (next hop's judgment first).
         std::vector<core::BlameEvidence> pushed;
         bool judged = false;
+        /// Degraded mode: the judgment abstained (insufficient evidence)
+        /// instead of convicting.
+        bool judgment_insufficient = false;
+        /// Signed abandonment received from the next hop after it
+        /// restarted: proof the "drop" was a crash.
+        std::optional<StewardHandoff> handoff;
     };
 
     struct MessageContext {
@@ -302,6 +346,11 @@ class Cluster {
         /// Round-robin victim cursors for slander / spam rounds.
         std::size_t slander_cursor = 0;
         std::size_t spam_cursor = 0;
+        /// Verified recovery announcements received, by announcer: the
+        /// basis for verdict retraction and accusation abstention.
+        std::unordered_map<util::NodeId, std::vector<RecoveryAnnouncement>,
+                           util::NodeIdHash>
+            recovery_seen;
     };
 
     // --- routing-state exchange -------------------------------------------
@@ -310,6 +359,9 @@ class Cluster {
     // --- probing ---------------------------------------------------------
     void schedule_probe_round(overlay::MemberIndex m);
     void run_probe_round(overlay::MemberIndex m);
+    /// One probe round without rescheduling the next: the heal-time resync
+    /// and post-restart refresh path.
+    void probe_round_once(overlay::MemberIndex m);
     void run_heavyweight(overlay::MemberIndex m);
     void publish_snapshot(overlay::MemberIndex m,
                           tomography::TomographicSnapshot snapshot);
@@ -342,6 +394,43 @@ class Cluster {
     /// Extra delivery delay when a per-packet chaos effect fires (0 when no
     /// plan is attached or the draw misses).
     util::SimTime chaos_extra_delay(double rate, const char* counter_name);
+
+    // --- crash recovery + partitions (RECOVERY.md) --------------------------
+    void schedule_recovery_faults();
+    /// Crash-stop: offline plus amnesia -- every volatile structure is
+    /// reset; only the journal survives.
+    void crash_node(overlay::MemberIndex m);
+    /// Journal replay, recovery handshake, stewardship resume/abandon.
+    void restart_node(overlay::MemberIndex m);
+    void recovery_handshake(overlay::MemberIndex m,
+                            const NodeJournal::RecoveredState& recovered);
+    void accept_recovery_announcement(overlay::MemberIndex peer,
+                                      const RecoveryAnnouncement& announcement);
+    void deliver_handoff(std::uint64_t msg_id, std::size_t to_hop,
+                         const StewardHandoff& handoff);
+    void heal_partition();
+    /// True when the active partition separates members a and b right now.
+    [[nodiscard]] bool partition_blocks(overlay::MemberIndex a,
+                                        overlay::MemberIndex b) const;
+    /// True when this run carries crash/partition faults: guilty verdicts
+    /// then require post-incident evidence coverage.
+    [[nodiscard]] bool degraded_mode() const noexcept {
+        return chaos_ != nullptr && chaos_->has_recovery_faults();
+    }
+    /// Degraded-mode conviction bar: every link of the judged segment
+    /// carries an admitted probe observation from on-or-after the message
+    /// time by a reporter other than the suspect.
+    [[nodiscard]] bool post_incident_coverage(
+        const core::BlameEvidence& evidence, util::SimTime message_time) const;
+    /// True when any verified announcement from `suspect` (as seen by
+    /// `observer`) covers time t.
+    [[nodiscard]] bool announced_down(overlay::MemberIndex observer,
+                                      const util::NodeId& suspect,
+                                      util::SimTime t) const;
+    /// True when `accused` is a route steward whose own judgment abstained
+    /// as insufficient: a blame chain cannot end on an abstainer.
+    [[nodiscard]] bool accused_abstained(const MessageContext& ctx,
+                                         const util::NodeId& accused) const;
 
     // --- messaging ---------------------------------------------------------
     void deliver_to_hop(std::uint64_t msg_id, std::size_t hop);
@@ -396,6 +485,9 @@ class Cluster {
     std::unordered_map<std::uint64_t, MessageContext> messages_;
     std::uint64_t next_message_id_ = 1;
     std::vector<bool> online_;
+    std::vector<NodeJournal> journals_;
+    std::vector<bool> crashed_;
+    std::vector<util::SimTime> crashed_at_;
     std::vector<std::vector<overlay::MemberIndex>> ad_rejecters_;
     /// (origin member, epoch) pairs already covered by a filed equivocation
     /// proof, so repeated digest conflicts do not re-file.

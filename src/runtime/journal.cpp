@@ -1,0 +1,230 @@
+#include "runtime/journal.h"
+
+#include <algorithm>
+
+#include "util/serialize.h"
+
+namespace concilium::runtime {
+
+namespace {
+
+// Domain-separation tags: announcement and handoff payloads must never be
+// valid signatures for each other (or for any other signed artifact).
+constexpr std::string_view kAnnouncementTag = "concilium.recovery.announce";
+constexpr std::string_view kHandoffTag = "concilium.recovery.handoff";
+
+}  // namespace
+
+std::vector<std::uint8_t> RecoveryAnnouncement::signed_payload() const {
+    util::ByteWriter w;
+    w.str(kAnnouncementTag);
+    w.node_id(node);
+    w.u64(incarnation);
+    w.i64(crashed_at);
+    w.i64(restarted_at);
+    return w.data();
+}
+
+RecoveryAnnouncement make_recovery_announcement(
+    const util::NodeId& node, std::uint64_t incarnation,
+    util::SimTime crashed_at, util::SimTime restarted_at,
+    const crypto::KeyPair& node_keys) {
+    RecoveryAnnouncement a;
+    a.node = node;
+    a.incarnation = incarnation;
+    a.crashed_at = crashed_at;
+    a.restarted_at = restarted_at;
+    a.signature = node_keys.sign(a.signed_payload());
+    return a;
+}
+
+bool verify_recovery_announcement(const RecoveryAnnouncement& announcement,
+                                  const crypto::PublicKey& node_key,
+                                  const crypto::KeyRegistry& registry) {
+    return announcement.crashed_at <= announcement.restarted_at &&
+           registry.verify(node_key, announcement.signed_payload(),
+                           announcement.signature);
+}
+
+std::vector<std::uint8_t> StewardHandoff::signed_payload() const {
+    util::ByteWriter w;
+    w.str(kHandoffTag);
+    w.node_id(steward);
+    w.u64(message_id);
+    w.u64(hop);
+    w.i64(crashed_at);
+    w.i64(restarted_at);
+    return w.data();
+}
+
+StewardHandoff make_steward_handoff(const util::NodeId& steward,
+                                    std::uint64_t message_id,
+                                    std::uint64_t hop,
+                                    util::SimTime crashed_at,
+                                    util::SimTime restarted_at,
+                                    const crypto::KeyPair& steward_keys) {
+    StewardHandoff h;
+    h.steward = steward;
+    h.message_id = message_id;
+    h.hop = hop;
+    h.crashed_at = crashed_at;
+    h.restarted_at = restarted_at;
+    h.signature = steward_keys.sign(h.signed_payload());
+    return h;
+}
+
+bool verify_steward_handoff(const StewardHandoff& handoff,
+                            const crypto::PublicKey& steward_key,
+                            const crypto::KeyRegistry& registry) {
+    return handoff.crashed_at <= handoff.restarted_at &&
+           registry.verify(steward_key, handoff.signed_payload(),
+                           handoff.signature);
+}
+
+void NodeJournal::record_epoch(std::uint64_t next_epoch) {
+    Entry e;
+    e.kind = EntryKind::kEpoch;
+    e.value = next_epoch;
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_verdict(const util::NodeId& suspect, bool guilty,
+                                 util::SimTime at) {
+    Entry e;
+    e.kind = EntryKind::kVerdict;
+    e.peer = suspect;
+    e.guilty = guilty;
+    e.at = at;
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_retraction(const util::NodeId& suspect,
+                                    util::SimTime from, util::SimTime to) {
+    Entry e;
+    e.kind = EntryKind::kRetraction;
+    e.peer = suspect;
+    e.at = from;
+    e.until = to;
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_steward_open(
+    std::uint64_t message_id, std::uint64_t hop, util::SimTime at,
+    std::optional<core::ForwardingCommitment> commitment) {
+    Entry e;
+    e.kind = EntryKind::kStewardOpen;
+    e.value = message_id;
+    e.hop = hop;
+    e.at = at;
+    e.commitment = std::move(commitment);
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_steward_close(std::uint64_t message_id,
+                                       std::uint64_t hop) {
+    Entry e;
+    e.kind = EntryKind::kStewardClose;
+    e.value = message_id;
+    e.hop = hop;
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_vote(const util::NodeId& subject, util::SimTime at) {
+    Entry e;
+    e.kind = EntryKind::kVote;
+    e.peer = subject;
+    e.at = at;
+    entries_.push_back(std::move(e));
+}
+
+void NodeJournal::record_restart(util::SimTime at) {
+    Entry e;
+    e.kind = EntryKind::kRestart;
+    e.at = at;
+    entries_.push_back(std::move(e));
+}
+
+NodeJournal::RecoveredState NodeJournal::replay(int verdict_window) const {
+    RecoveredState state;
+    const auto cap = static_cast<std::size_t>(std::max(verdict_window, 1));
+
+    // Suspects and commitment issuers stay in first-seen order: the fold
+    // never consults a hash map's iteration order, so two replays of the
+    // same log -- in any process, at any worker count -- agree bytewise.
+    const auto window_of = [&](const util::NodeId& suspect)
+        -> core::VerdictLedger::WindowSnapshot& {
+        for (auto& w : state.windows) {
+            if (w.suspect == suspect) return w;
+        }
+        state.windows.push_back({suspect, {}});
+        return state.windows.back();
+    };
+
+    for (const Entry& e : entries_) {
+        switch (e.kind) {
+            case EntryKind::kEpoch:
+                state.next_epoch = std::max(state.next_epoch, e.value);
+                break;
+            case EntryKind::kVerdict: {
+                auto& win = window_of(e.peer);
+                win.entries.push_back({e.guilty, e.at});
+                if (win.entries.size() > cap) {
+                    win.entries.erase(win.entries.begin());
+                }
+                break;
+            }
+            case EntryKind::kRetraction: {
+                auto& win = window_of(e.peer);
+                for (auto& v : win.entries) {
+                    if (v.guilty && v.at >= e.at && v.at <= e.until) {
+                        v.guilty = false;
+                    }
+                }
+                break;
+            }
+            case EntryKind::kStewardOpen: {
+                JournaledStewardship s;
+                s.message_id = e.value;
+                s.hop = e.hop;
+                s.forwarded_at = e.at;
+                s.commitment = e.commitment;
+                state.open_stewardships.push_back(std::move(s));
+                if (e.commitment.has_value()) {
+                    const util::NodeId& issuer = e.commitment->forwarder;
+                    bool replaced = false;
+                    for (auto& [id, c] : state.collected) {
+                        if (id == issuer) {
+                            c = *e.commitment;
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if (!replaced) {
+                        state.collected.emplace_back(issuer, *e.commitment);
+                    }
+                }
+                break;
+            }
+            case EntryKind::kStewardClose: {
+                auto& open = state.open_stewardships;
+                open.erase(std::remove_if(
+                               open.begin(), open.end(),
+                               [&](const JournaledStewardship& s) {
+                                   return s.message_id == e.value &&
+                                          s.hop == e.hop;
+                               }),
+                           open.end());
+                break;
+            }
+            case EntryKind::kVote:
+                state.votes.emplace_back(e.peer, e.at);
+                break;
+            case EntryKind::kRestart:
+                ++state.incarnations;
+                break;
+        }
+    }
+    return state;
+}
+
+}  // namespace concilium::runtime

@@ -161,6 +161,7 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "core.equivocation_proofs_verified"},
     {WellKnown::kCounter, "core.equivocation_checks_failed"},
     {WellKnown::kCounter, "core.bandwidth_evaluations"},
+    {WellKnown::kCounter, "core.verdicts_retracted"},
     // runtime — the event-driven cluster.
     {WellKnown::kCounter, "runtime.messages_sent"},
     {WellKnown::kCounter, "runtime.messages_delivered"},
@@ -194,6 +195,8 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "chaos.packets_duplicated"},
     {WellKnown::kCounter, "chaos.duplicates_suppressed"},
     {WellKnown::kCounter, "chaos.acks_delayed"},
+    {WellKnown::kCounter, "chaos.crash_events"},
+    {WellKnown::kCounter, "chaos.partition_events"},
     // chaos soak scoring (bench/soak_chaos).
     {WellKnown::kCounter, "chaos.diagnosed_messages"},
     {WellKnown::kCounter, "chaos.false_accusations"},
@@ -212,6 +215,34 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "attack.attackers_caught"},
     {WellKnown::kCounter, "attack.attackers_evaded"},
     {WellKnown::kCounter, "attack.slander_successes"},
+    // recovery — crash-stop, journal replay, degraded-mode diagnosis
+    // (RECOVERY.md).
+    {WellKnown::kCounter, "recovery.crashes"},
+    {WellKnown::kCounter, "recovery.restarts"},
+    {WellKnown::kCounter, "recovery.journal_replays"},
+    {WellKnown::kCounter, "recovery.announcements_sent"},
+    {WellKnown::kCounter, "recovery.announcements_delivered"},
+    {WellKnown::kCounter, "recovery.repairs_accepted"},
+    {WellKnown::kCounter, "recovery.repairs_rejected"},
+    {WellKnown::kCounter, "recovery.stewardships_resumed"},
+    {WellKnown::kCounter, "recovery.stewardships_abandoned"},
+    {WellKnown::kCounter, "recovery.handoffs_delivered"},
+    {WellKnown::kCounter, "recovery.insufficient_evidence_verdicts"},
+    // recovery soak scoring (bench/soak_recovery).
+    {WellKnown::kCounter, "recovery.soak_messages"},
+    {WellKnown::kCounter, "recovery.diagnosed_messages"},
+    {WellKnown::kCounter, "recovery.false_accusations"},
+    {WellKnown::kCounter, "recovery.correct_attributions"},
+    {WellKnown::kCounter, "recovery.insufficient_outcomes"},
+    {WellKnown::kCounter, "recovery.orphaned_messages"},
+    // partition — correlated bisections and their heals (RECOVERY.md).
+    {WellKnown::kCounter, "partition.activations"},
+    {WellKnown::kCounter, "partition.heals"},
+    {WellKnown::kCounter, "partition.messages_blocked"},
+    {WellKnown::kCounter, "partition.acks_blocked"},
+    {WellKnown::kCounter, "partition.snapshots_blocked"},
+    {WellKnown::kCounter, "partition.control_blocked"},
+    {WellKnown::kCounter, "partition.resync_rounds"},
     // defense — evidence-integrity countermeasures.
     {WellKnown::kCounter, "defense.snapshots_rejected_stale"},
     {WellKnown::kCounter, "defense.snapshots_rejected_epoch"},

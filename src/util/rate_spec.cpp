@@ -1,0 +1,125 @@
+#include "util/rate_spec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace concilium::util {
+
+namespace {
+
+std::string known_kinds(std::span<const RateSpecKind> kinds) {
+    std::string out;
+    for (const RateSpecKind& k : kinds) {
+        if (!out.empty()) out += ", ";
+        out += k.name;
+    }
+    return out;
+}
+
+/// Strict [0, 1] rate parse; rejects empty text, trailing junk, and
+/// non-finite values (strtod alone would accept "1e3x" prefixes or "nan").
+double parse_rate(std::string_view option, std::string_view noun,
+                  std::string_view kind, std::string_view text) {
+    const std::string owned(text);
+    if (owned.empty()) {
+        throw_bad_rate_spec(option, std::string(noun) + " '" +
+                                        std::string(kind) +
+                                        "' has an empty rate");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size() || !std::isfinite(value)) {
+        throw_bad_rate_spec(option, std::string(noun) + " '" +
+                                        std::string(kind) +
+                                        "' has a malformed rate '" + owned +
+                                        "'");
+    }
+    if (value < 0.0 || value > 1.0) {
+        throw_bad_rate_spec(option, std::string(noun) + " '" +
+                                        std::string(kind) + "' rate " + owned +
+                                        " is outside [0, 1]");
+    }
+    return value;
+}
+
+}  // namespace
+
+void throw_bad_rate_spec(std::string_view option, const std::string& what) {
+    throw std::invalid_argument(std::string(option) + ": " + what);
+}
+
+void parse_rate_spec(std::string_view text, std::string_view option,
+                     std::string_view noun,
+                     std::span<const RateSpecKind> kinds,
+                     std::span<double> rates) {
+    // Small vocabularies: the linear scans below beat any map.
+    std::vector<bool> seen(rates.size(), false);
+    while (!text.empty()) {
+        const std::size_t comma = text.find(',');
+        const std::string_view pair = text.substr(0, comma);
+        if (comma != std::string_view::npos &&
+            text.substr(comma + 1).empty()) {
+            throw_bad_rate_spec(option,
+                                "trailing ',' after '" + std::string(pair) +
+                                    "'");
+        }
+        text = comma == std::string_view::npos ? std::string_view{}
+                                               : text.substr(comma + 1);
+        const std::size_t colon = pair.find(':');
+        if (pair.empty() || colon == std::string_view::npos) {
+            throw_bad_rate_spec(option, "expected 'kind:rate', got '" +
+                                            std::string(pair) + "'");
+        }
+        const std::string_view name = pair.substr(0, colon);
+        const RateSpecKind* match = nullptr;
+        for (const RateSpecKind& k : kinds) {
+            if (k.name == name) {
+                match = &k;
+                break;
+            }
+        }
+        if (match == nullptr) {
+            throw_bad_rate_spec(option, "unknown " + std::string(noun) +
+                                            " kind '" + std::string(name) +
+                                            "' (known: " +
+                                            known_kinds(kinds) + ")");
+        }
+        if (seen[match->slot]) {
+            throw_bad_rate_spec(option, std::string(noun) + " '" +
+                                            std::string(name) +
+                                            "' given twice");
+        }
+        seen[match->slot] = true;
+        rates[match->slot] =
+            parse_rate(option, noun, name, pair.substr(colon + 1));
+    }
+}
+
+void check_rate_bounds(std::string_view option, double rate) {
+    if (!(rate >= 0.0) || rate > 1.0) {
+        throw_bad_rate_spec(option, "rate " + std::to_string(rate) +
+                                        " is outside [0, 1]");
+    }
+}
+
+std::string format_rate_spec(std::span<const RateSpecKind> kinds,
+                             std::span<const double> rates) {
+    std::string out;
+    for (const RateSpecKind& k : kinds) {
+        const double r = rates[k.slot];
+        if (r == 0.0) continue;
+        if (!out.empty()) out += ',';
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s:%g", std::string(k.name).c_str(),
+                      r);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace concilium::util

@@ -54,6 +54,62 @@ TEST(VerdictLedger, WindowSlidesAndForgets) {
     EXPECT_EQ(ledger.verdict_count(kSuspect), 5);
 }
 
+TEST(VerdictLedger, RetractGuiltyWithdrawsOnlyTheAnnouncedInterval) {
+    VerdictParams params;
+    params.accusation_threshold = 3;
+    VerdictLedger ledger(params);
+    ledger.record(kSuspect, 0.9, 10);
+    ledger.record(kSuspect, 0.9, 20);
+    ledger.record(kSuspect, 0.9, 30);
+    ledger.record(kOther, 0.9, 20);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 3);
+
+    // A verified recovery announcement covering [15, 25] proves the middle
+    // verdict judged a crashed node.
+    EXPECT_EQ(ledger.retract_guilty(kSuspect, 15, 25), 1);
+    EXPECT_EQ(ledger.guilty_count(kSuspect), 2);
+    // The entry stays in the window as innocent; w keeps counting.
+    EXPECT_EQ(ledger.verdict_count(kSuspect), 3);
+    // Other suspects and out-of-interval verdicts are untouched.
+    EXPECT_EQ(ledger.guilty_count(kOther), 1);
+    // Retracting again finds nothing left to withdraw.
+    EXPECT_EQ(ledger.retract_guilty(kSuspect, 15, 25), 0);
+    EXPECT_EQ(ledger.retract_guilty(kSuspect, 100, 200), 0);
+}
+
+TEST(VerdictLedger, ExportRestoreRoundTripsMidWindowState) {
+    VerdictParams params;
+    params.accusation_threshold = 3;
+    VerdictLedger judge(params);
+    // Two guilty verdicts on the books: one more would accuse.
+    judge.record(kSuspect, 0.9, 10);
+    judge.record(kSuspect, 0.9, 20);
+    judge.record(kOther, 0.1, 15);
+
+    // Crash: a fresh ledger restored from the checkpoint resumes
+    // mid-window instead of forgetting m-1 of the m guilty verdicts.
+    VerdictLedger restarted(params);
+    restarted.restore_windows(judge.export_windows());
+    EXPECT_EQ(restarted.guilty_count(kSuspect), 2);
+    EXPECT_EQ(restarted.verdict_count(kSuspect), 2);
+    EXPECT_EQ(restarted.verdict_count(kOther), 1);
+    EXPECT_TRUE(
+        restarted.record(kSuspect, 0.9, 30).accusation_triggered);
+}
+
+TEST(VerdictLedger, ExportWindowsIsOrderedBySuspectId) {
+    VerdictParams params;
+    VerdictLedger ledger(params);
+    // Insertion order is kOther (cc) before kSuspect (bb); export must
+    // sort by id so journal replays are byte-stable across processes.
+    ledger.record(kOther, 0.9, 1);
+    ledger.record(kSuspect, 0.9, 2);
+    const auto windows = ledger.export_windows();
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0].suspect, kSuspect);
+    EXPECT_EQ(windows[1].suspect, kOther);
+}
+
 TEST(AccusationErrors, MatchBinomialTails) {
     // FP = Pr(W >= m) with W ~ Bin(w, p_good); FN = Pr(W < m) with p_faulty.
     const double fp = accusation_false_positive(100, 6, 0.018);

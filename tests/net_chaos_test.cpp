@@ -27,7 +27,7 @@ TEST(FaultSpec, EmptyStringIsEmptySpec) {
 TEST(FaultSpec, ParsesEveryKind) {
     const FaultSpec spec = FaultSpec::parse(
         "flap:0.02,corr:0.5,loss:1,reorder:0.25,dup:0.125,churn:0.01,"
-        "ackdrop:0.3,ackdelay:0");
+        "ackdrop:0.3,ackdelay:0,crash:0.03,partition:0.04");
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kFlap), 0.02);
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kCorrelated), 0.5);
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kLossSpike), 1.0);
@@ -36,7 +36,19 @@ TEST(FaultSpec, ParsesEveryKind) {
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kChurn), 0.01);
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kAckDrop), 0.3);
     EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kAckDelay), 0.0);
+    EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kCrash), 0.03);
+    EXPECT_DOUBLE_EQ(spec.rate(FaultKind::kPartition), 0.04);
     EXPECT_FALSE(spec.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedRecoveryKinds) {
+    // The CI smoke test depends on these exiting loudly at parse time.
+    EXPECT_THROW((void)FaultSpec::parse("crash:1.5"), std::invalid_argument);
+    EXPECT_THROW((void)FaultSpec::parse("partition:abc"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultSpec::parse("crash:"), std::invalid_argument);
+    EXPECT_THROW((void)FaultSpec::parse("partition:-0.1"),
+                 std::invalid_argument);
 }
 
 TEST(FaultSpec, ToStringRoundTrips) {
@@ -186,6 +198,98 @@ TEST(FaultPlan, HighRatesProduceEvents) {
         EXPECT_GE(s.loss, 0.2);
         EXPECT_LE(s.loss, 0.8);
     }
+}
+
+TEST(FaultPlan, CrashAndPartitionEventsAreWellFormed) {
+    const auto paths = test_paths();
+    const FaultSpec spec = FaultSpec::parse("crash:0.2,partition:0.2");
+    util::Rng rng(19);
+    const auto duration = 2 * util::kHour;
+    const FaultPlan plan = build_fault_plan(spec, duration, paths, 50, rng);
+
+    ASSERT_FALSE(plan.crashes.empty());
+    ASSERT_FALSE(plan.partitions.empty());
+    EXPECT_TRUE(plan.has_recovery_faults());
+    for (const CrashEvent& ev : plan.crashes) {
+        EXPECT_LT(ev.node, 50u);
+        EXPECT_LT(ev.crash, ev.restart);
+        EXPECT_LE(ev.restart, duration);
+        // Downtime is 1-4 minutes unless clipped by the horizon.
+        if (ev.restart < duration) {
+            EXPECT_GE(ev.restart - ev.crash, kMinute);
+            EXPECT_LE(ev.restart - ev.crash, 4 * kMinute);
+        }
+    }
+    util::SimTime prev_heal = 0;
+    for (const PartitionEvent& ev : plan.partitions) {
+        EXPECT_LT(ev.start, ev.heal);
+        EXPECT_LE(ev.heal, duration);
+        EXPECT_GE(ev.start, prev_heal) << "partition events must not overlap";
+        prev_heal = ev.heal;
+        ASSERT_EQ(ev.side.size(), 50u);
+        // A bisection: both sides populated, middle-heavy cut.
+        std::size_t ones = 0;
+        for (const std::uint8_t s : ev.side) ones += s;
+        EXPECT_GE(ones, 50u / 4);
+        EXPECT_LE(ones, 50u - 50u / 4);
+    }
+}
+
+TEST(FaultPlan, RecoveryKindsDrawFromDedicatedSubstreams) {
+    // Determinism contract for stacked specs: adding crash/partition to an
+    // existing spec must not perturb the events the original kinds
+    // generate, because pre-existing seeds' chaos schedules are part of
+    // their recorded figures.
+    const auto paths = test_paths();
+    const FaultSpec base =
+        FaultSpec::parse("flap:0.5,corr:1,loss:1,churn:0.05");
+    const FaultSpec stacked = FaultSpec::parse(
+        "flap:0.5,corr:1,loss:1,churn:0.05,crash:0.3,partition:0.3");
+    util::Rng a(7);
+    util::Rng b(7);
+    const FaultPlan pa = build_fault_plan(base, 2 * util::kHour, paths, 50, a);
+    const FaultPlan pb =
+        build_fault_plan(stacked, 2 * util::kHour, paths, 50, b);
+
+    EXPECT_TRUE(pa.crashes.empty());
+    EXPECT_FALSE(pb.crashes.empty());
+    ASSERT_EQ(pa.spikes.size(), pb.spikes.size());
+    for (std::size_t i = 0; i < pa.spikes.size(); ++i) {
+        EXPECT_EQ(pa.spikes[i].link, pb.spikes[i].link);
+        EXPECT_EQ(pa.spikes[i].start, pb.spikes[i].start);
+    }
+    ASSERT_EQ(pa.churn.size(), pb.churn.size());
+    for (std::size_t i = 0; i < pa.churn.size(); ++i) {
+        EXPECT_EQ(pa.churn[i].node, pb.churn[i].node);
+        EXPECT_EQ(pa.churn[i].leave, pb.churn[i].leave);
+    }
+    for (LinkId l = 0; l < 9; ++l) {
+        ASSERT_EQ(pa.downs.intervals(l).size(), pb.downs.intervals(l).size());
+    }
+}
+
+TEST(FaultPlan, PartitionBlocksOnlyAcrossTheActiveCut) {
+    FaultPlan plan;
+    PartitionEvent ev;
+    ev.start = 10 * kSecond;
+    ev.heal = 60 * kSecond;
+    ev.side = {0, 0, 1, 1};
+    plan.partitions.push_back(ev);
+    plan.downs.finalize();
+
+    EXPECT_TRUE(plan.partition_active(10 * kSecond));
+    EXPECT_FALSE(plan.partition_active(5 * kSecond));
+    EXPECT_FALSE(plan.partition_active(60 * kSecond));  // heal exclusive
+
+    EXPECT_TRUE(plan.partition_blocks(0, 2, 30 * kSecond));
+    EXPECT_TRUE(plan.partition_blocks(3, 1, 30 * kSecond));
+    EXPECT_FALSE(plan.partition_blocks(0, 1, 30 * kSecond));  // same side
+    EXPECT_FALSE(plan.partition_blocks(2, 3, 30 * kSecond));
+    EXPECT_FALSE(plan.partition_blocks(0, 2, 5 * kSecond));  // not yet
+    EXPECT_FALSE(plan.partition_blocks(0, 2, 60 * kSecond));  // healed
+    // Nodes beyond the recorded side vector are unpartitioned.
+    EXPECT_FALSE(plan.partition_blocks(0, 9, 30 * kSecond));
+    EXPECT_FALSE(plan.partition_blocks(9, 10, 30 * kSecond));
 }
 
 TEST(FaultPlan, LossAtReportsActiveSpikesOnly) {

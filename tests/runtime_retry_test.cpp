@@ -66,6 +66,37 @@ TEST(RetryPolicy, JitterStaysWithinFractionAndIsDeterministic) {
     }
 }
 
+TEST(RetryPolicy, BackoffSaturatesAtHugeAttemptCountsWithoutOverflow) {
+    // A stewardship resumed after a crash can carry a large attempt index;
+    // multiplier^k overflows double's exponent range long before that, and
+    // the cap must absorb it instead of wrapping to garbage.
+    RetryPolicy p = no_jitter(1 << 30);
+    util::Rng rng(1);
+    EXPECT_EQ(p.delay_before(100, rng), p.max_delay);
+    EXPECT_EQ(p.delay_before(100000, rng), p.max_delay);
+    EXPECT_EQ(p.delay_before(1 << 30, rng), p.max_delay);
+}
+
+TEST(RetryPolicy, JitterAtTheCapStaysWithinBounds) {
+    RetryPolicy p = no_jitter(64);
+    p.jitter_fraction = 0.25;
+    util::Rng rng(17);
+    for (int attempt = 20; attempt < 60; ++attempt) {  // deep in saturation
+        const auto d = p.delay_before(attempt, rng);
+        EXPECT_GE(d, static_cast<util::SimTime>(
+                         0.75 * static_cast<double>(p.max_delay)));
+        EXPECT_LE(d, static_cast<util::SimTime>(
+                         1.25 * static_cast<double>(p.max_delay) + 1.0));
+    }
+}
+
+TEST(RetryPolicy, ZeroBudgetNeverAllowsEvenTheFirstAttempt) {
+    RetryPolicy p = no_jitter(0);
+    EXPECT_FALSE(p.allows(1));
+    p.max_attempts = -1;  // nonsensical configs behave like zero
+    EXPECT_FALSE(p.allows(1));
+}
+
 TEST(RetryPolicy, DelayIsNeverZero) {
     RetryPolicy p;
     p.base_delay = 0;

@@ -29,13 +29,11 @@ Usage:
 """
 
 import argparse
-import json
 import sys
 
+import gatelib
 
-def die(msg):
-    print(f"check_attacks: {msg}", file=sys.stderr)
-    sys.exit(1)
+die = gatelib.make_die("check_attacks")
 
 
 def main(argv):
@@ -48,21 +46,9 @@ def main(argv):
     parser.add_argument("--min-diagnosed", type=int, default=10)
     args = parser.parse_args(argv[1:])
 
-    try:
-        with open(args.snapshot, encoding="utf-8") as f:
-            snap = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        die(f"{args.snapshot}: {e}")
-    metrics = snap.get("metrics")
-    if not isinstance(metrics, dict):
-        die(f"{args.snapshot}: missing 'metrics' section")
-
-    def counter(name):
-        value = metrics.get(name)
-        if not isinstance(value, (int, float)):
-            die(f"{args.snapshot}: missing counter '{name}' "
-                "(was this snapshot produced by soak_attacks?)")
-        return value
+    metrics = gatelib.load_metrics(args.snapshot, die)
+    counter = gatelib.counter_reader(metrics, args.snapshot, die,
+                                     "soak_attacks")
 
     diagnosed = counter("attack.diagnosed_messages")
     false_acc = counter("attack.false_accusations")
@@ -71,9 +57,7 @@ def main(argv):
     evaded = counter("attack.attackers_evaded")
     slander = counter("attack.slander_successes")
 
-    if diagnosed < args.min_diagnosed:
-        die(f"only {diagnosed} messages diagnosed "
-            f"(need >= {args.min_diagnosed}); the soak ran effectively idle")
+    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
 
     evasion_rate = 0.0 if with_drops == 0 else evaded / with_drops
     false_rate = false_acc / diagnosed

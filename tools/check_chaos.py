@@ -18,13 +18,11 @@ Usage:
 """
 
 import argparse
-import json
 import sys
 
+import gatelib
 
-def die(msg):
-    print(f"check_chaos: {msg}", file=sys.stderr)
-    sys.exit(1)
+die = gatelib.make_die("check_chaos")
 
 
 def main(argv):
@@ -35,29 +33,14 @@ def main(argv):
     parser.add_argument("--min-diagnosed", type=int, default=10)
     args = parser.parse_args(argv[1:])
 
-    try:
-        with open(args.snapshot, encoding="utf-8") as f:
-            snap = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        die(f"{args.snapshot}: {e}")
-    metrics = snap.get("metrics")
-    if not isinstance(metrics, dict):
-        die(f"{args.snapshot}: missing 'metrics' section")
-
-    def counter(name):
-        value = metrics.get(name)
-        if not isinstance(value, (int, float)):
-            die(f"{args.snapshot}: missing counter '{name}' "
-                "(was this snapshot produced by soak_chaos?)")
-        return value
+    metrics = gatelib.load_metrics(args.snapshot, die)
+    counter = gatelib.counter_reader(metrics, args.snapshot, die, "soak_chaos")
 
     diagnosed = counter("chaos.diagnosed_messages")
     false_acc = counter("chaos.false_accusations")
     correct = counter("chaos.correct_accusations")
 
-    if diagnosed < args.min_diagnosed:
-        die(f"only {diagnosed} messages diagnosed "
-            f"(need >= {args.min_diagnosed}); the soak ran effectively idle")
+    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
     rate = false_acc / diagnosed
     print(f"{args.snapshot}: diagnosed={diagnosed} correct={correct} "
           f"false={false_acc} rate={rate:.4f} (max {args.max_rate})")

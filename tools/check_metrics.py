@@ -18,7 +18,8 @@ import json
 import sys
 
 NAMESPACES = ("net.", "tomography.", "overlay.", "core.", "runtime.",
-              "sim.", "chaos.", "attack.", "defense.", "dht.")
+              "sim.", "chaos.", "attack.", "defense.", "dht.",
+              "recovery.", "partition.")
 
 
 def die(msg):

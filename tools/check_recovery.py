@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression gate on the recovery soak's crash/partition scores.
+
+The nightly workflow runs `soak_recovery --metrics-out recovery.json` and
+feeds the snapshot here.  The bench sweeps crash-stop and partition faults
+over an all-honest cluster and scores every outcome against simulation
+ground truth:
+
+  recovery.false_accusations  diagnosed messages whose final blame landed
+                              on a node when the real cause was a crash, a
+                              cut, or IP loss -- degraded-mode diagnosis
+                              (RECOVERY.md) exists to keep this low
+  recovery.orphaned_messages  messages whose completion callback never
+                              fired: a crashed sender failed to resume or
+                              abandon its stewardship
+  recovery.insufficient_outcomes
+                              diagnoses that correctly abstained
+
+Usage:
+  check_recovery.py SNAPSHOT.json [--max-false-rate R] [--max-orphan-rate R]
+                    [--min-diagnosed N]
+
+  --max-false-rate R   fail when false_accusations / diagnosed > R
+                       (default 0.25; the sweep's intensity-0 level keeps
+                       the plain lossy-IP baseline in the denominator)
+  --max-orphan-rate R  fail when orphaned_messages / soak_messages > R
+                       (default 0.02: crash recovery must close out
+                       virtually every stewardship)
+  --min-diagnosed N    fail when fewer than N messages were diagnosed at
+                       all -- a silently idle soak must not pass (default 10)
+"""
+
+import argparse
+import sys
+
+import gatelib
+
+die = gatelib.make_die("check_recovery")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshot")
+    parser.add_argument("--max-false-rate", type=float, default=0.25)
+    parser.add_argument("--max-orphan-rate", type=float, default=0.02)
+    parser.add_argument("--min-diagnosed", type=int, default=10)
+    args = parser.parse_args(argv[1:])
+
+    metrics = gatelib.load_metrics(args.snapshot, die)
+    counter = gatelib.counter_reader(metrics, args.snapshot, die,
+                                     "soak_recovery")
+
+    sent = counter("recovery.soak_messages")
+    diagnosed = counter("recovery.diagnosed_messages")
+    false_acc = counter("recovery.false_accusations")
+    correct = counter("recovery.correct_attributions")
+    insufficient = counter("recovery.insufficient_outcomes")
+    orphans = counter("recovery.orphaned_messages")
+    crashes = counter("recovery.crashes")
+    restarts = counter("recovery.restarts")
+
+    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
+    if crashes > 0 and restarts == 0:
+        die(f"{crashes} crashes but no restarts; journal recovery never ran")
+
+    false_rate = false_acc / diagnosed
+    orphan_rate = 0.0 if sent == 0 else orphans / sent
+    print(f"{args.snapshot}: diagnosed={diagnosed} correct={correct} "
+          f"insufficient={insufficient} false={false_acc} "
+          f"(rate {false_rate:.4f}, max {args.max_false_rate}) "
+          f"orphans={orphans}/{sent} (rate {orphan_rate:.4f}, "
+          f"max {args.max_orphan_rate}) crashes={crashes}")
+    if false_rate > args.max_false_rate:
+        die(f"false-accusation rate {false_rate:.4f} exceeds "
+            f"{args.max_false_rate}")
+    if orphan_rate > args.max_orphan_rate:
+        die(f"orphan rate {orphan_rate:.4f} exceeds {args.max_orphan_rate}")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,54 @@
+"""Shared plumbing for the soak gate scripts.
+
+check_chaos.py, check_attacks.py, and check_recovery.py all read a
+`--metrics-out` snapshot, pull a handful of counters, and fail the build
+when a scored rate crosses a threshold.  The thresholds and the scoring
+stay in each gate; the snapshot loading, counter access, and uniform
+error reporting live here so the three scripts cannot drift apart.
+"""
+
+import json
+import sys
+
+
+def make_die(tool):
+    """An exit-with-error printer prefixed with the tool's name."""
+
+    def die(msg):
+        print(f"{tool}: {msg}", file=sys.stderr)
+        sys.exit(1)
+
+    return die
+
+
+def load_metrics(path, die):
+    """The 'metrics' dict of a --metrics-out snapshot, or die trying."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{path}: {e}")
+    metrics = snap.get("metrics")
+    if not isinstance(metrics, dict):
+        die(f"{path}: missing 'metrics' section")
+    return metrics
+
+
+def counter_reader(metrics, path, die, producer):
+    """A numeric-counter reader that dies naming the producing bench."""
+
+    def counter(name):
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)):
+            die(f"{path}: missing counter '{name}' "
+                f"(was this snapshot produced by {producer}?)")
+        return value
+
+    return counter
+
+
+def require_activity(diagnosed, minimum, die):
+    """Fail a silently idle soak instead of green-lighting it."""
+    if diagnosed < minimum:
+        die(f"only {diagnosed} messages diagnosed "
+            f"(need >= {minimum}); the soak ran effectively idle")
