@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("ablation_blame", args);
     const std::size_t samples =
         args.samples != 0 ? args.samples : (args.full ? 60000 : 15000);
 

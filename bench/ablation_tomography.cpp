@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("ablation_tomography", args);
     sim::ScenarioParams params = bench::paper_scenario(args);
     const sim::Scenario world(params);
     const std::size_t sessions =

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <stdexcept>
 
@@ -27,6 +30,7 @@
 #include "runtime/attack.h"
 #include "sim/experiment_driver.h"
 #include "sim/scenario.h"
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace concilium::bench {
@@ -40,6 +44,8 @@ struct BenchArgs {
     std::size_t jobs = 0;
     /// Empty = no metrics dump.
     std::string metrics_out;
+    /// Empty = no BENCH_<name>.json perf snapshot (see BenchReport).
+    std::string bench_out;
     /// Parsed --chaos spec (see net/chaos.h); empty = no fault injection.
     net::FaultSpec chaos;
     /// Parsed --attack spec (see runtime/attack.h); empty = all honest.
@@ -49,7 +55,8 @@ struct BenchArgs {
 [[noreturn]] inline void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--full] [--seed N] [--samples N] [--jobs N] "
-                 "[--metrics-out FILE] [--chaos SPEC] [--attack SPEC]\n"
+                 "[--metrics-out FILE] [--bench-out FILE] [--chaos SPEC] "
+                 "[--attack SPEC]\n"
                  "  --chaos SPEC: comma-separated kind:rate pairs, e.g. "
                  "flap:0.02,churn:0.01\n"
                  "    kinds: flap corr loss reorder dup churn ackdrop "
@@ -127,6 +134,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
                    i + 1 < argc) {
             args.metrics_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--bench-out") == 0 &&
+                   i + 1 < argc) {
+            args.bench_out = argv[++i];
         } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
             // Strict: unknown fault kinds and out-of-range rates are
             // rejected here, not at scenario-construction time.
@@ -192,6 +202,117 @@ inline sim::ScenarioParams paper_scenario(const BenchArgs& args,
     p.seed = args.seed;
     return p;
 }
+
+/// Perf-trajectory snapshot (the BENCH_<name>.json files).
+///
+/// Every bench can record its headline throughput numbers -- wall time
+/// plus whichever of events/sec, probes/sec, and bytes/diagnosis apply --
+/// into a small flat JSON file that tools/check_perf.py diffs against the
+/// committed baseline in bench/baselines/.  Construction starts the wall
+/// clock and snapshots the relevant metrics counters, so `rate()` fields
+/// report only work done while the report was live.
+class BenchReport {
+  public:
+    explicit BenchReport(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()),
+          events_at_start_(counter_value("net.events_executed")),
+          probes_at_start_(counter_value("tomography.probes_issued")) {}
+
+    /// Auto-writing mode: remembers `args.bench_out` and, if finish()/
+    /// write() were never called explicitly, runs them at destruction.
+    /// Lets a bench opt into the perf trajectory with a single line.
+    BenchReport(std::string name, const BenchArgs& args)
+        : BenchReport(std::move(name)) {
+        auto_out_ = args.bench_out;
+    }
+
+    ~BenchReport() {
+        if (auto_out_.empty() || finished_) return;
+        finish();
+        write(auto_out_);
+    }
+
+    BenchReport(const BenchReport&) = delete;
+    BenchReport& operator=(const BenchReport&) = delete;
+
+    /// Records a value under `key`; insertion order is emission order.
+    void set(const std::string& key, double value) {
+        for (auto& [k, v] : fields_) {
+            if (k == key) {
+                v = value;
+                return;
+            }
+        }
+        fields_.emplace_back(key, value);
+    }
+
+    /// Records `count` plus the derived `<key>_per_sec` over the report's
+    /// lifetime so far.
+    void set_rate(const std::string& key, double count) {
+        set(key, count);
+        const double w = wall_seconds();
+        set(key + "_per_sec", w > 0.0 ? count / w : 0.0);
+    }
+
+    /// Seconds since construction.
+    [[nodiscard]] double wall_seconds() const {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /// Fills wall_seconds plus events/probes counts and rates from the
+    /// process metrics registry (deltas since construction).  Call once,
+    /// after the measured work.
+    void finish() {
+        finished_ = true;
+        set("wall_seconds", wall_seconds());
+        const double events = static_cast<double>(
+            counter_value("net.events_executed") - events_at_start_);
+        const double probes = static_cast<double>(
+            counter_value("tomography.probes_issued") - probes_at_start_);
+        if (events > 0.0) set_rate("events", events);
+        if (probes > 0.0) set_rate("probes", probes);
+    }
+
+    [[nodiscard]] std::string to_json() const {
+        std::string out = "{\n  \"bench\": " + util::json_quote(name_);
+        for (const auto& [k, v] : fields_) {
+            out += ",\n  " + util::json_quote(k) + ": " +
+                   util::json_number(v);
+        }
+        out += "\n}\n";
+        return out;
+    }
+
+    /// Writes the report; empty path = no-op (flag not given).
+    void write(const std::string& path) const {
+        if (path.empty()) return;
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "--bench-out: cannot open '%s'\n",
+                         path.c_str());
+            return;
+        }
+        const std::string json = to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
+
+  private:
+    static std::int64_t counter_value(std::string_view name) {
+        return util::metrics::Registry::global().counter(name).value();
+    }
+
+    std::string name_;
+    std::string auto_out_;
+    bool finished_ = false;
+    std::chrono::steady_clock::time_point start_;
+    std::int64_t events_at_start_;
+    std::int64_t probes_at_start_;
+    std::vector<std::pair<std::string, double>> fields_;
+};
 
 inline void print_header(const char* figure, const char* caption) {
     std::printf("# figure: %s\n# caption: %s\n", figure, caption);

@@ -2,7 +2,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -10,6 +13,7 @@
 #include "core/validation.h"
 #include "crypto/certificates.h"
 #include "dht/dht.h"
+#include "net/event_sim.h"
 #include "net/paths.h"
 #include "net/topology_gen.h"
 #include "overlay/advertisement.h"
@@ -107,6 +111,54 @@ void BM_DensityErrorIntegral(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DensityErrorIntegral);
+
+// A self-rescheduling POD event chain: each dispatch posts the next event,
+// so the benchmark measures steady-state calendar-queue throughput on the
+// path the Cluster's converted per-packet/per-judgment events take.
+struct PodChain {
+    net::EventSim* sim = nullptr;
+    net::EventSim::HandlerId handler = 0;
+    std::uint64_t fired = 0;
+    static void dispatch(void* ctx, std::uint32_t, std::uint64_t,
+                         std::uint64_t) {
+        auto* chain = static_cast<PodChain*>(ctx);
+        ++chain->fired;
+        chain->sim->post_after(100, chain->handler);
+    }
+};
+
+void BM_EventSimPodDispatch(benchmark::State& state) {
+    net::EventSim sim;
+    PodChain chain;
+    chain.sim = &sim;
+    chain.handler = sim.register_handler(&chain, &PodChain::dispatch);
+    // 64 concurrent chains spread over the wheel.
+    for (int i = 0; i < 64; ++i) sim.post_after(i, chain.handler);
+    for (auto _ : state) {
+        sim.run_until(sim.now() + 10000);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(chain.fired));
+    benchmark::DoNotOptimize(chain.fired);
+}
+BENCHMARK(BM_EventSimPodDispatch);
+
+void BM_EventSimCallbackDispatch(benchmark::State& state) {
+    // The legacy std::function slab path, for comparison with POD dispatch.
+    net::EventSim sim;
+    std::uint64_t fired = 0;
+    std::function<void()> chain;
+    chain = [&] {
+        ++fired;
+        sim.schedule_after(100, chain);
+    };
+    for (int i = 0; i < 64; ++i) sim.schedule_after(i, chain);
+    for (auto _ : state) {
+        sim.run_until(sim.now() + 10000);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventSimCallbackDispatch);
 
 void BM_BfsPathExtraction(benchmark::State& state) {
     util::Rng rng(6);
@@ -228,14 +280,20 @@ BENCHMARK(BM_AdvertisementValidation);
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() so we can strip --metrics-out (google-benchmark
-// rejects flags it does not recognise) before handing argv over.
+// Expanded BENCHMARK_MAIN() so we can strip --metrics-out / --bench-out
+// (google-benchmark rejects flags it does not recognise) before handing
+// argv over.
 int main(int argc, char** argv) {
+    std::string bench_out;
     std::vector<char*> kept;
     kept.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
             concilium::bench::set_metrics_out(argv[++i]);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
+            bench_out = argv[++i];
             continue;
         }
         kept.push_back(argv[i]);
@@ -246,5 +304,21 @@ int main(int argc, char** argv) {
         return 1;
     }
     benchmark::RunSpecifiedBenchmarks();
+
+    // Perf trajectory: a fixed-size POD event-dispatch measurement, written
+    // as BENCH_micro.json for tools/check_perf.py.  Independent of
+    // --benchmark_filter so the gated number is always comparable.
+    if (!bench_out.empty()) {
+        concilium::bench::BenchReport report("micro");
+        concilium::net::EventSim sim;
+        PodChain chain;
+        chain.sim = &sim;
+        chain.handler = sim.register_handler(&chain, &PodChain::dispatch);
+        for (int i = 0; i < 64; ++i) sim.post_after(i, chain.handler);
+        // 64 chains x one event per 100 us => ~12.8M events over 20 sim-s.
+        sim.run_until(20'000'000);
+        report.finish();
+        report.write(bench_out);
+    }
     return 0;
 }

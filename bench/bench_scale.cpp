@@ -1,0 +1,127 @@
+// Full-SCAN-scale slice (the perf-trajectory anchor).
+//
+// The paper's evaluation world is a SCAN-shaped topology with 112,969
+// routers and 181,639 links (Section 4.2).  This bench builds that world
+// (--full; the default is the medium preset so smoke runs stay fast) and
+// drives a Figure-4-style forest-coverage slice over it with *intra-trial*
+// sharding: the whole slice is one heavy trial, split over a fixed number
+// of host shards via ExperimentDriver::run_shards.  Shard substreams plus
+// the ordered merge keep stdout byte-identical across --jobs values --
+// `bench_scale --full --jobs 1` and `--jobs 4` must diff clean.
+//
+// With --bench-out it also writes a BENCH_scale.json perf snapshot: wall
+// time, world-build time, hosts/sec through the slice, and the arena bytes
+// backing the flattened path storage.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+#include "tomography/tree.h"
+
+int main(int argc, char** argv) {
+    using namespace concilium;
+    const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("scale");
+
+    const sim::ScenarioParams params = bench::paper_scenario(args);
+    const double build_start = report.wall_seconds();
+    const sim::Scenario scenario(params);
+    const double build_seconds = report.wall_seconds() - build_start;
+
+    const auto& net = scenario.overlay_net();
+    const std::size_t sample_hosts = std::min<std::size_t>(
+        args.samples != 0 ? args.samples : (args.full ? 400 : 120),
+        net.size());
+
+    bench::print_header("scale",
+                        "full-SCAN coverage slice with intra-trial sharding");
+    bench::print_param("routers",
+                       static_cast<double>(scenario.topology().router_count()));
+    bench::print_param("links",
+                       static_cast<double>(scenario.topology().link_count()));
+    bench::print_param("overlay_nodes", static_cast<double>(net.size()));
+    bench::print_param("sampled_hosts", static_cast<double>(sample_hosts));
+    bench::print_param("path_bytes",
+                       static_cast<double>(scenario.trees().path_bytes()));
+    bench::print_param("seed", static_cast<double>(args.seed));
+
+    // Longest peer list bounds the coverage curve's x axis.
+    std::size_t max_peers = 0;
+    for (overlay::MemberIndex m = 0; m < net.size(); ++m) {
+        max_peers = std::max(max_peers, net.routing_peers(m).size());
+    }
+
+    const auto driver = bench::make_driver(args, 43);
+    util::Rng setup = driver.setup_rng();
+    const auto hosts = setup.sample_indices(net.size(), sample_hosts);
+
+    // The slice is ONE trial; the shards are the parallelism.  A fixed
+    // shard count (not tied to --jobs) keeps the merge schedule -- and so
+    // the accumulated floating-point sums -- identical at any worker count.
+    constexpr std::size_t kShards = 64;
+    struct ShardSums {
+        std::vector<double> coverage;
+        std::vector<double> vouchers;
+        std::vector<int> hosts;
+    };
+    std::vector<double> coverage(max_peers + 1, 0.0);
+    std::vector<double> vouchers(max_peers + 1, 0.0);
+    std::vector<int> hosts_counted(max_peers + 1, 0);
+
+    driver.run_shards(
+        /*trial=*/0, kShards,
+        [&](std::uint64_t s, util::Rng& rng) {
+            ShardSums sums;
+            sums.coverage.assign(max_peers + 1, 0.0);
+            sums.vouchers.assign(max_peers + 1, 0.0);
+            sums.hosts.assign(max_peers + 1, 0);
+            // Shard s owns every (s + i * kShards)-th sampled host.
+            for (std::size_t h = s; h < hosts.size(); h += kShards) {
+                const auto m = static_cast<overlay::MemberIndex>(hosts[h]);
+                std::vector<const tomography::ProbeTree*> trees{
+                    &scenario.tree(m)};
+                std::vector<overlay::MemberIndex> peers =
+                    net.routing_peers(m);
+                rng.shuffle(peers);
+                for (const overlay::MemberIndex p : peers) {
+                    trees.push_back(&scenario.tree(p));
+                }
+                const tomography::Forest forest(trees);
+                for (std::size_t k = 0; k <= max_peers; ++k) {
+                    if (k + 1 > trees.size()) break;
+                    sums.coverage[k] += forest.coverage(k + 1);
+                    sums.vouchers[k] += forest.mean_vouchers(k + 1);
+                    ++sums.hosts[k];
+                }
+            }
+            return sums;
+        },
+        [&](std::uint64_t, ShardSums&& sums) {
+            for (std::size_t k = 0; k <= max_peers; ++k) {
+                coverage[k] += sums.coverage[k];
+                vouchers[k] += sums.vouchers[k];
+                hosts_counted[k] += sums.hosts[k];
+            }
+        });
+
+    std::printf("%-12s %-14s %-14s %-8s\n", "peer_trees", "coverage",
+                "mean_vouchers", "hosts");
+    for (std::size_t k = 0; k <= max_peers; ++k) {
+        if (hosts_counted[k] == 0) break;
+        std::printf("%-12zu %-14.4f %-14.3f %-8d\n", k,
+                    coverage[k] / hosts_counted[k],
+                    vouchers[k] / hosts_counted[k], hosts_counted[k]);
+    }
+    std::printf("# paper: own tree only covers ~0.25 of forest links\n");
+
+    report.finish();
+    report.set("build_seconds", build_seconds);
+    report.set_rate("hosts", static_cast<double>(sample_hosts));
+    report.set("path_bytes",
+               static_cast<double>(scenario.trees().path_bytes()));
+    report.write(args.bench_out);
+    return 0;
+}

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("ext_chord_occupancy", args);
 
     bench::print_header("ext-chord",
                         "occupancy test generalized to Chord fingers");

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig1_occupancy", args);
     const util::OverlayGeometry geometry{.digits = 32};
     const int samples =
         args.samples != 0 ? static_cast<int>(args.samples)

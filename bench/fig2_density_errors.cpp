@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig2_density_errors", args);
     const util::OverlayGeometry geometry{.digits = 32};
     // The paper does not publish its N for this figure; we use an overlay
     // large enough that row occupancies are in the informative regime.

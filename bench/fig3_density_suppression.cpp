@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig3_density_suppression", args);
     const util::OverlayGeometry geometry{.digits = 32};
     const double n = args.full ? 100000.0 : 10000.0;
 

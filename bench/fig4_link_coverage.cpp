@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig4_link_coverage", args);
     const sim::ScenarioParams params = bench::paper_scenario(args);
     const sim::Scenario scenario(params);
     const std::size_t sample_hosts =

@@ -49,6 +49,7 @@ void run_case(const char* label, double malicious,
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig5_blame_pdf", args);
     bench::print_header("5", "blame pdfs for faulty vs non-faulty nodes");
     bench::print_param("max_probe_time_s", 120);
     bench::print_param("delta_s", 60);

@@ -58,6 +58,7 @@ void print_case(const char* label, const CasePs& ps) {
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("fig6_accusation_error", args);
     bench::print_header("6", "formal accusation error vs m (w=100)");
     bench::print_param("seed", static_cast<double>(args.seed));
 

@@ -33,6 +33,7 @@ void append(std::string& out, const char* fmt, auto... args) {
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("runtime_e2e");
 
     // A smaller world than the figure benches: the runtime simulates every
     // probe packet.
@@ -231,5 +232,20 @@ int main(int argc, char** argv) {
         [](std::uint64_t, std::string&& block) {
             std::fputs(block.c_str(), stdout);
         });
+
+    // Perf trajectory: events/sec is the headline number tools/check_perf.py
+    // gates on; bytes/diagnosis uses the paper's 30-byte probe cost over
+    // every verdict the run produced.
+    report.finish();
+    auto& registry = util::metrics::Registry::global();
+    const double probes = static_cast<double>(
+        registry.counter("tomography.probes_issued").value());
+    const double verdicts = static_cast<double>(
+        registry.counter("core.verdicts_guilty").value() +
+        registry.counter("core.verdicts_innocent").value());
+    if (verdicts > 0.0) {
+        report.set("bytes_per_diagnosis", 30.0 * probes / verdicts);
+    }
+    report.write(args.bench_out);
     return 0;
 }

@@ -45,6 +45,7 @@ constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0};
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("soak_attacks", args);
 
     runtime::AttackCampaign base = args.attack;
     if (base.empty()) {

@@ -39,6 +39,7 @@ constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0, 4.0};
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("soak_recovery", args);
 
     net::FaultSpec base = args.chaos;
     if (base.empty()) {

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("tab_bandwidth", args);
     const core::BandwidthModel model;
 
     bench::print_header("table-4.4", "protocol bandwidth model");

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
     using namespace concilium;
     const auto args = bench::parse_args(argc, argv);
+    bench::BenchReport report("tab_extensions", args);
 
     bench::print_header("table-3.7", "implementation-option economics");
 

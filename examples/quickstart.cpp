@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     ev.suspect = overlay.member(b).id();
     ev.message_id = 1;
     ev.message_time = t;
-    ev.path_links = path;
+    ev.path_links.assign(path.begin(), path.end());
     {
         // One snapshot per reporter.
         std::unordered_map<util::NodeId,

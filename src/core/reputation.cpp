@@ -2,29 +2,50 @@
 
 namespace concilium::core {
 
+const ReputationBook::Entry* ReputationBook::entry_of(
+    const util::NodeId& subject) const {
+    const auto it = slot_of_.find(subject);
+    return it == slot_of_.end() ? nullptr : &entries_[it->second];
+}
+
 void ReputationBook::cast_vote(const util::NodeId& voter,
                                const util::NodeId& subject, util::SimTime at) {
-    Entry& e = entries_[subject];
-    auto [it, inserted] = e.voters.emplace(voter, at);
-    if (!inserted && at > it->second) it->second = at;  // re-vote refreshes
-    if (at > e.last_vote) e.last_vote = at;
+    Entry* e = nullptr;
+    const auto it = slot_of_.find(subject);
+    if (it != slot_of_.end()) {
+        e = &entries_[it->second];
+    } else {
+        slot_of_.emplace(subject, static_cast<std::uint32_t>(entries_.size()));
+        entries_.push_back(Entry{subject, {}, 0});
+        e = &entries_.back();
+    }
+    bool found = false;
+    for (auto& [v, t] : e->voters) {
+        if (v == voter) {
+            if (at > t) t = at;  // re-vote refreshes
+            found = true;
+            break;
+        }
+    }
+    if (!found) e->voters.emplace_back(voter, at);
+    if (at > e->last_vote) e->last_vote = at;
 }
 
 int ReputationBook::votes_against(const util::NodeId& subject) const {
-    const auto it = entries_.find(subject);
-    return it == entries_.end() ? 0 : static_cast<int>(it->second.voters.size());
+    const Entry* e = entry_of(subject);
+    return e == nullptr ? 0 : static_cast<int>(e->voters.size());
 }
 
 int ReputationBook::votes_against(const util::NodeId& subject,
                                   util::SimTime now) const {
-    const auto it = entries_.find(subject);
-    if (it == entries_.end()) return 0;
+    const Entry* e = entry_of(subject);
+    if (e == nullptr) return 0;
     if (vote_expiry_ <= 0) {
-        return static_cast<int>(it->second.voters.size());
+        return static_cast<int>(e->voters.size());
     }
     const util::SimTime horizon = now - vote_expiry_;
     int live = 0;
-    for (const auto& [voter, at] : it->second.voters) {
+    for (const auto& [voter, at] : e->voters) {
         if (at >= horizon) ++live;
     }
     return live;

@@ -10,8 +10,10 @@
 
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/ids.h"
 #include "util/time.h"
@@ -55,13 +57,21 @@ class ReputationBook {
 
   private:
     struct Entry {
-        /// Latest vote time per voter.
-        std::unordered_map<util::NodeId, util::SimTime, util::NodeIdHash>
-            voters;
+        util::NodeId subject;
+        /// Latest vote time per distinct voter.  A subject accumulates at
+        /// most one row per routing peer, so a scanned vector beats a hash
+        /// map on both speed and determinism.
+        std::vector<std::pair<util::NodeId, util::SimTime>> voters;
         util::SimTime last_vote = 0;
     };
+    [[nodiscard]] const Entry* entry_of(const util::NodeId& subject) const;
+
     util::SimTime vote_expiry_;
-    std::unordered_map<util::NodeId, Entry, util::NodeIdHash> entries_;
+    /// Dense per-subject entries in first-vote order; subjects resolve to
+    /// slots once at the call boundary.
+    std::vector<Entry> entries_;
+    std::unordered_map<util::NodeId, std::uint32_t, util::NodeIdHash>
+        slot_of_;  // hot-path-lint: boundary
 };
 
 /// Deployment-chosen response to verified accusations (Section 3.7).

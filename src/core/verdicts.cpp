@@ -19,10 +19,24 @@ bool is_guilty_verdict(double blame, const VerdictParams& params) {
     return guilty;
 }
 
+const VerdictLedger::Window* VerdictLedger::window_of(
+    const util::NodeId& suspect) const {
+    const auto it = slot_of_.find(suspect);
+    return it == slot_of_.end() ? nullptr : &windows_[it->second];
+}
+
+VerdictLedger::Window& VerdictLedger::window_slot(const util::NodeId& suspect) {
+    const auto it = slot_of_.find(suspect);
+    if (it != slot_of_.end()) return windows_[it->second];
+    slot_of_.emplace(suspect, static_cast<std::uint32_t>(windows_.size()));
+    windows_.push_back(Window{suspect, {}, 0});
+    return windows_.back();
+}
+
 VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
                                                    double blame,
                                                    util::SimTime at) {
-    Window& win = windows_[suspect];
+    Window& win = window_slot(suspect);
     const bool guilty = is_guilty_verdict(blame, params_);
     win.verdicts.push_back({guilty, at});
     if (guilty) ++win.guilty;
@@ -46,25 +60,25 @@ VerdictLedger::RecordOutcome VerdictLedger::record(const util::NodeId& suspect,
 }
 
 int VerdictLedger::guilty_count(const util::NodeId& suspect) const {
-    const auto it = windows_.find(suspect);
-    return it == windows_.end() ? 0 : it->second.guilty;
+    const Window* win = window_of(suspect);
+    return win == nullptr ? 0 : win->guilty;
 }
 
 int VerdictLedger::verdict_count(const util::NodeId& suspect) const {
-    const auto it = windows_.find(suspect);
-    return it == windows_.end() ? 0
-                                : static_cast<int>(it->second.verdicts.size());
+    const Window* win = window_of(suspect);
+    return win == nullptr ? 0 : static_cast<int>(win->verdicts.size());
 }
 
 int VerdictLedger::retract_guilty(const util::NodeId& suspect,
                                   util::SimTime from, util::SimTime to) {
-    const auto it = windows_.find(suspect);
-    if (it == windows_.end()) return 0;
+    const auto it = slot_of_.find(suspect);
+    if (it == slot_of_.end()) return 0;
+    Window& win = windows_[it->second];
     int retracted = 0;
-    for (VerdictEntry& entry : it->second.verdicts) {
+    for (VerdictEntry& entry : win.verdicts) {
         if (!entry.guilty || entry.at < from || entry.at > to) continue;
         entry.guilty = false;
-        --it->second.guilty;
+        --win.guilty;
         ++retracted;
     }
     if (retracted > 0) {
@@ -79,13 +93,13 @@ std::vector<VerdictLedger::WindowSnapshot> VerdictLedger::export_windows()
     const {
     std::vector<WindowSnapshot> out;
     out.reserve(windows_.size());
-    for (const auto& [suspect, win] : windows_) {
+    for (const Window& win : windows_) {
         WindowSnapshot snap;
-        snap.suspect = suspect;
+        snap.suspect = win.suspect;
         snap.entries.assign(win.verdicts.begin(), win.verdicts.end());
         out.push_back(std::move(snap));
     }
-    // The map iterates in hash order; checkpoints must not.
+    // Slots sit in first-verdict order; checkpoints must not depend on it.
     std::sort(out.begin(), out.end(),
               [](const WindowSnapshot& a, const WindowSnapshot& b) {
                   return a.suspect < b.suspect;
@@ -96,8 +110,9 @@ std::vector<VerdictLedger::WindowSnapshot> VerdictLedger::export_windows()
 void VerdictLedger::restore_windows(
     const std::vector<WindowSnapshot>& windows) {
     windows_.clear();
+    slot_of_.clear();
     for (const WindowSnapshot& snap : windows) {
-        Window& win = windows_[snap.suspect];
+        Window& win = window_slot(snap.suspect);
         for (const VerdictEntry& entry : snap.entries) {
             win.verdicts.push_back(entry);
             if (entry.guilty) ++win.guilty;

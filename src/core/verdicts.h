@@ -90,11 +90,19 @@ class VerdictLedger {
 
   private:
     struct Window {
+        util::NodeId suspect;
         std::deque<VerdictEntry> verdicts;
         int guilty = 0;
     };
+    [[nodiscard]] const Window* window_of(const util::NodeId& suspect) const;
+    [[nodiscard]] Window& window_slot(const util::NodeId& suspect);
+
     VerdictParams params_;
-    std::unordered_map<util::NodeId, Window, util::NodeIdHash> windows_;
+    /// Dense per-suspect windows in first-verdict order; suspects resolve to
+    /// slots once at the call boundary.
+    std::vector<Window> windows_;
+    std::unordered_map<util::NodeId, std::uint32_t, util::NodeIdHash>
+        slot_of_;  // hot-path-lint: boundary
 };
 
 /// Section 4.3: Pr(false positive) = Pr(W >= m), W ~ Binomial(w, p_good).

@@ -1,0 +1,37 @@
+#include "crypto/verify_cache.h"
+
+#include "util/metrics.h"
+
+namespace concilium::crypto {
+
+namespace {
+
+util::metrics::Counter& cache_hit() {
+    static auto& c =
+        util::metrics::Registry::global().counter("crypto.verify.cache_hit");
+    return c;
+}
+
+util::metrics::Counter& cache_miss() {
+    static auto& c =
+        util::metrics::Registry::global().counter("crypto.verify.cache_miss");
+    return c;
+}
+
+}  // namespace
+
+bool VerifyCache::verify(const PublicKey& key, const util::Digest& digest,
+                         std::span<const std::uint8_t> message,
+                         const Signature& sig) {
+    const MemoKey memo_key{key, digest, sig};
+    if (const auto it = memo_.find(memo_key); it != memo_.end()) {
+        cache_hit().add(1);
+        return it->second;
+    }
+    cache_miss().add(1);
+    const bool ok = registry_->verify(key, message, sig);
+    memo_.emplace(memo_key, ok);
+    return ok;
+}
+
+}  // namespace concilium::crypto

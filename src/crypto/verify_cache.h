@@ -1,0 +1,67 @@
+// Memoized signature verification.
+//
+// The archive/accusation path re-verifies the same snapshot signature many
+// times per diagnosis: every routing peer receives every snapshot, stewards
+// re-check bundled snapshots, and equivocation sweeps touch archived entries
+// again.  With the ideal-signature scheme a verification costs a keyed hash
+// over the full payload, so the repeated work is pure waste.  VerifyCache
+// memoizes verdicts by (public key, payload digest, signature): the first
+// verification pays the hash; repeats are a table lookup, counted by the
+// crypto.verify.cache_hit / cache_miss metrics.
+//
+// Callers must pass the digest of exactly the bytes they would verify —
+// producers compute it once per payload (snapshot publication interns it,
+// see util::DigestInterner) and carry it alongside.  The cache holds a
+// reference to the registry and is intended for single-threaded owners
+// (one per simulated cluster); the shared certificate-authority registry
+// should be consulted directly.
+
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/keys.h"
+#include "util/arena.h"
+
+namespace concilium::crypto {
+
+class VerifyCache {
+  public:
+    explicit VerifyCache(const KeyRegistry& registry) : registry_(&registry) {}
+
+    /// Memoized KeyRegistry::verify.  `digest` must be the digest of
+    /// `message` (the caller computed it once when the payload was built).
+    bool verify(const PublicKey& key, const util::Digest& digest,
+                std::span<const std::uint8_t> message, const Signature& sig);
+
+    [[nodiscard]] std::size_t size() const noexcept { return memo_.size(); }
+
+  private:
+    struct MemoKey {
+        PublicKey key;
+        util::Digest digest;
+        Signature sig;
+
+        friend bool operator==(const MemoKey&, const MemoKey&) = default;
+    };
+    struct MemoKeyHash {
+        std::size_t operator()(const MemoKey& k) const noexcept {
+            // The digest is already uniformly mixed; fold in the key and
+            // signature prefixes.
+            std::uint64_t d, p, s;
+            std::memcpy(&d, k.digest.data(), sizeof(d));
+            std::memcpy(&p, k.key.bytes().data(), sizeof(p));
+            std::memcpy(&s, k.sig.bytes().data(), sizeof(s));
+            std::uint64_t h = d ^ (p * 0x9e3779b97f4a7c15ULL);
+            h ^= s + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    const KeyRegistry* registry_;
+    std::unordered_map<MemoKey, bool, MemoKeyHash> memo_;
+};
+
+}  // namespace concilium::crypto

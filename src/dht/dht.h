@@ -82,7 +82,10 @@ class Dht {
     const overlay::OverlayNetwork* net_;
     int replication_;
     int per_writer_quota_;
-    /// Per member: key -> stored values with writer attribution.
+    /// Per member: key -> stored values with writer attribution.  Keys are
+    /// content identifiers arriving off the wire, not member addresses, so
+    /// there is no dense index to translate them to.
+    // hot-path-lint: boundary
     std::vector<
         std::unordered_map<util::NodeId, std::vector<StoredValue>,
                            util::NodeIdHash>>

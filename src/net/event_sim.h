@@ -7,12 +7,28 @@
 //
 // EventSim is the shared clock and event queue those components hang off of.
 // Events at equal times fire in scheduling order, so runs are deterministic.
+//
+// The queue is a time-bucketed calendar: 256 buckets of ~262 ms each cover a
+// sliding ~67 s window; events beyond the window wait in an overflow heap and
+// migrate into the wheel as the cursor advances.  Each bucket is a small
+// binary heap ordered by (time, sequence), which preserves the global
+// deterministic ordering while keeping per-operation cost near O(1) at
+// full-SCAN queue depths.  Events are 40-byte POD records — a registered
+// handler id plus three integer operands — so the hot path never allocates.
+// The legacy std::function API remains for setup-time and test convenience;
+// callbacks park in an internal slab and ride a reserved handler.
+//
+// Determinism contract: for any schedule of post/schedule calls, dispatch
+// order is a pure function of the (time, sequence) pairs — bucket placement
+// and overflow migration are invisible to observers.  Equal-time events fire
+// in schedule order regardless of which side of the wheel horizon they were
+// inserted on.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/time.h"
@@ -23,7 +39,33 @@ class EventSim {
   public:
     using Callback = std::function<void()>;
 
+    /// Dispatch target registered by a component: a plain function pointer
+    /// plus its context.  Operands a/b/c carry the event's payload (indices,
+    /// ids, times) so records stay POD.
+    using HandlerFn = void (*)(void* ctx, std::uint32_t a, std::uint64_t b,
+                               std::uint64_t c);
+    using HandlerId = std::uint16_t;
+
+    /// Safety valve: a scheduling bug that grows the queue without bound
+    /// fails loudly (std::length_error) instead of OOMing a --full run.
+    static constexpr std::size_t kDefaultMaxPending = std::size_t{1} << 26;
+
+    EventSim();
+
     [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+    /// Registers a dispatch target; call once per component at setup.
+    HandlerId register_handler(void* ctx, HandlerFn fn);
+
+    /// Schedules a POD event for `handler` at absolute time t (>= now, else
+    /// it fires immediately at the current time).  Never allocates once the
+    /// target bucket has warmed up.
+    void post_at(util::SimTime t, HandlerId handler, std::uint32_t a = 0,
+                 std::uint64_t b = 0, std::uint64_t c = 0);
+
+    /// Schedules a POD event at now() + delay.
+    void post_after(util::SimTime delay, HandlerId handler, std::uint32_t a = 0,
+                    std::uint64_t b = 0, std::uint64_t c = 0);
 
     /// Schedules fn at absolute time t (>= now, else it fires immediately at
     /// the current time).
@@ -41,25 +83,83 @@ class EventSim {
     /// Fires the next event; returns false when the queue is empty.
     bool step();
 
-    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept {
+        return wheel_count_ + overflow_.size();
+    }
+    [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+
+    /// Adjusts the runaway-queue valve (see kDefaultMaxPending).
+    void set_max_pending(std::size_t cap) noexcept { max_pending_ = cap; }
+    [[nodiscard]] std::size_t max_pending() const noexcept {
+        return max_pending_;
+    }
 
   private:
-    struct Event {
+    // 256 buckets x 2^18 us: ~262 ms per bucket, ~67 s wheel span.  Control
+    // latencies and probe intervals in the modelled protocol are
+    // milliseconds to tens of seconds, so nearly all events land in the
+    // wheel; multi-minute timers wait in the overflow heap.
+    static constexpr int kBucketBits = 8;
+    static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+    static constexpr std::size_t kBucketMask = kBuckets - 1;
+    static constexpr int kWidthShift = 18;
+    static constexpr util::SimTime kBucketWidth = util::SimTime{1}
+                                                  << kWidthShift;
+
+    struct Record {
         util::SimTime at;
         std::uint64_t seq;
-        Callback fn;
+        std::uint64_t b;
+        std::uint64_t c;
+        std::uint32_t a;
+        HandlerId handler;
     };
+    /// "Fires later" comparator; std::*_heap with it yields a min-heap on
+    /// (at, seq).
     struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
+        bool operator()(const Record& x, const Record& y) const noexcept {
+            if (x.at != y.at) return x.at > y.at;
+            return x.seq > y.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    struct Handler {
+        void* ctx = nullptr;
+        HandlerFn fn = nullptr;
+    };
+
+    [[nodiscard]] util::SimTime wheel_end() const noexcept {
+        return static_cast<util::SimTime>((cur_slot_ + kBuckets))
+               << kWidthShift;
+    }
+
+    void insert(Record r);
+    /// Pops the earliest event if its time is <= horizon.  May advance the
+    /// cursor, but never past the horizon's bucket, so later inserts (which
+    /// are clamped to >= now) always map at or ahead of the cursor.
+    bool pop_next(util::SimTime horizon, Record& out);
+    /// Moves the cursor to at's bucket (forward only) and migrates overflow
+    /// events that entered the wheel window.
+    void advance_cursor_to(util::SimTime at);
+    /// Migrates overflow events with at < wheel_end() into the wheel.
+    void drain_overflow();
+    void dispatch(const Record& ev);
+
+    static void run_callback_slot(void* ctx, std::uint32_t slot, std::uint64_t,
+                                  std::uint64_t);
+
+    std::array<std::vector<Record>, kBuckets> wheel_;  // per-bucket min-heaps
+    std::vector<Record> overflow_;                     // min-heap, at >= wheel_end
+    std::size_t wheel_count_ = 0;
+    std::uint64_t cur_slot_ = 0;  // monotonic bucket number (time >> shift)
+
+    std::vector<Handler> handlers_;
+    std::vector<Callback> callbacks_;        // slab for the legacy API
+    std::vector<std::uint32_t> free_slots_;  // recycled slab entries
+
     util::SimTime now_ = 0;
     std::uint64_t seq_ = 0;
+    std::size_t max_pending_ = kDefaultMaxPending;
 };
 
 }  // namespace concilium::net

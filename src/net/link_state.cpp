@@ -8,13 +8,15 @@ namespace concilium::net {
 
 void FailureTimeline::add_down(LinkId link, DownInterval interval) {
     if (interval.end <= interval.start) return;
+    if (link >= down_.size()) down_.resize(link + 1);
     down_[link].push_back(interval);
     finalized_ = false;
 }
 
 void FailureTimeline::finalize() {
     if (finalized_) return;
-    for (auto& [link, intervals] : down_) {
+    for (auto& intervals : down_) {
+        if (intervals.empty()) continue;
         std::sort(intervals.begin(), intervals.end(),
                   [](const DownInterval& a, const DownInterval& b) {
                       return a.start < b.start;
@@ -49,9 +51,8 @@ bool FailureTimeline::is_up(LinkId link, util::SimTime t) const {
     if (!finalized_) {
         throw std::logic_error("FailureTimeline: query before finalize()");
     }
-    const auto it = down_.find(link);
-    if (it == down_.end()) return true;
-    return !down_at(it->second, t);
+    if (link >= down_.size() || down_[link].empty()) return true;
+    return !down_at(down_[link], t);
 }
 
 bool FailureTimeline::any_down(std::span<const LinkId> links,
@@ -77,10 +78,9 @@ double FailureTimeline::down_fraction(LinkId link, util::SimTime t0,
         throw std::logic_error("FailureTimeline: query before finalize()");
     }
     if (t1 <= t0) return 0.0;
-    const auto it = down_.find(link);
-    if (it == down_.end()) return 0.0;
+    if (link >= down_.size()) return 0.0;
     util::SimTime down = 0;
-    for (const DownInterval& iv : it->second) {
+    for (const DownInterval& iv : down_[link]) {
         const util::SimTime lo = std::max(iv.start, t0);
         const util::SimTime hi = std::min(iv.end, t1);
         if (hi > lo) down += hi - lo;
@@ -90,8 +90,7 @@ double FailureTimeline::down_fraction(LinkId link, util::SimTime t0,
 
 const std::vector<DownInterval>& FailureTimeline::intervals(LinkId link) const {
     static const std::vector<DownInterval> kEmpty;
-    const auto it = down_.find(link);
-    return it == down_.end() ? kEmpty : it->second;
+    return link >= down_.size() ? kEmpty : down_[link];
 }
 
 FailureTimeline generate_failure_timeline(const FailureModelParams& params,

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/paths.h"
@@ -61,7 +60,11 @@ class FailureTimeline {
     [[nodiscard]] const std::vector<DownInterval>& intervals(LinkId link) const;
 
   private:
-    std::unordered_map<LinkId, std::vector<DownInterval>> down_;
+    /// Dense by LinkId (link ids are compact topology indices); links with
+    /// no recorded failure hold an empty vector.  The traversal sampler asks
+    /// is_up for every link of every packet, so the query must be an indexed
+    /// load, not a hash lookup.
+    std::vector<std::vector<DownInterval>> down_;
     bool finalized_ = true;
 };
 

@@ -62,4 +62,32 @@ std::vector<Path> PathOracle::paths_from(RouterId src,
     return out;
 }
 
+std::vector<PathView> PathOracle::paths_into(RouterId src,
+                                             std::span<const RouterId> dsts,
+                                             util::Arena& arena) const {
+    std::vector<RouterId> parent;
+    std::vector<LinkId> via;
+    bfs(src, parent, via);
+    std::vector<PathView> out;
+    out.reserve(dsts.size());
+    for (const RouterId dst : dsts) {
+        if (dst == src || parent[dst] == kInvalidRouter) {
+            out.push_back(PathView{});
+            continue;
+        }
+        std::size_t hops = 0;
+        for (RouterId r = dst; r != src; r = parent[r]) ++hops;
+        const auto routers = arena.make_span<RouterId>(hops + 1);
+        const auto links = arena.make_span<LinkId>(hops);
+        routers[0] = src;
+        std::size_t i = hops;
+        for (RouterId r = dst; r != src; r = parent[r], --i) {
+            routers[i] = r;
+            links[i - 1] = via[r];
+        }
+        out.push_back(PathView{routers, links});
+    }
+    return out;
+}
+
 }  // namespace concilium::net

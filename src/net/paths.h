@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "util/arena.h"
 
 namespace concilium::net {
 
@@ -23,6 +24,23 @@ struct Path {
 
     [[nodiscard]] bool empty() const noexcept { return links.empty(); }
     [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+};
+
+/// A route viewed as spans into arena storage (see PathOracle::paths_into).
+/// Same shape contract as Path: routers.size() == links.size() + 1 for a
+/// non-empty route, both empty when unreachable or src == dst.
+struct PathView {
+    std::span<const RouterId> routers;
+    std::span<const LinkId> links;
+
+    [[nodiscard]] bool empty() const noexcept { return links.empty(); }
+    [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+
+    /// Owning copy, for the few cold consumers that outlive the arena.
+    [[nodiscard]] Path to_path() const {
+        return Path{{routers.begin(), routers.end()},
+                    {links.begin(), links.end()}};
+    }
 };
 
 class PathOracle {
@@ -38,6 +56,15 @@ class PathOracle {
     /// Unreachable destinations yield empty paths.
     [[nodiscard]] std::vector<Path> paths_from(
         RouterId src, std::span<const RouterId> dsts) const;
+
+    /// One BFS from src; every extracted path is carved out of `arena`
+    /// (two pointer bumps per path, no per-path heap traffic) and returned
+    /// as spans.  The spans stay valid until the arena is reset or
+    /// destroyed.  At full-SCAN scale this is the difference between two
+    /// heap allocations per (member, peer) pair and none.
+    [[nodiscard]] std::vector<PathView> paths_into(
+        RouterId src, std::span<const RouterId> dsts,
+        util::Arena& arena) const;
 
   private:
     /// Runs BFS from src; fills parent-link arrays sized to the topology.

@@ -110,7 +110,10 @@ class OverlayNetwork {
     OverlayParams params_;
     std::vector<Member> members_;
     std::vector<MemberIndex> sorted_;  ///< member indices in id order
-    std::unordered_map<util::NodeId, MemberIndex, util::NodeIdHash> by_id_;
+    /// NodeId -> member index, the one sanctioned resolution point where
+    /// identifiers enter from the wire.
+    std::unordered_map<util::NodeId, MemberIndex, util::NodeIdHash>
+        by_id_;  // hot-path-lint: boundary
     std::vector<LeafSet> leaf_sets_;
     std::vector<JumpTable> secure_tables_;
     std::vector<JumpTable> standard_tables_;

@@ -5,47 +5,87 @@
 namespace concilium::runtime {
 
 ArchiveAdd SnapshotArchive::add(tomography::TomographicSnapshot snapshot,
-                                util::SimTime now) {
+                                util::SimTime now, DigestId digest_id) {
     if (now - snapshot.probed_at > max_transit_) {
         return ArchiveAdd::kRejectedStale;
     }
-    if (snapshot.epoch != 0) {
-        const auto it = newest_epoch_.find(snapshot.origin);
-        if (it != newest_epoch_.end() && snapshot.epoch <= it->second) {
-            return ArchiveAdd::kRejectedEpoch;
-        }
-        newest_epoch_[snapshot.origin] = snapshot.epoch;
+    OriginTable* table = nullptr;
+    const auto it = slot_of_.find(snapshot.origin);
+    if (it != slot_of_.end()) table = &origins_[it->second];
+    if (snapshot.epoch != 0 && table != nullptr &&
+        snapshot.epoch <= table->newest_epoch) {
+        return ArchiveAdd::kRejectedEpoch;
     }
-    auto& queue = by_origin_[snapshot.origin];
-    queue.push_back(std::move(snapshot));
+    if (table == nullptr) {
+        slot_of_.emplace(snapshot.origin,
+                         static_cast<std::uint32_t>(origins_.size()));
+        origins_.push_back(OriginTable{snapshot.origin, {}, {}, 0});
+        table = &origins_.back();
+    }
+    if (snapshot.epoch != 0) table->newest_epoch = snapshot.epoch;
+
+    if (digest_id == util::DigestInterner::kInvalidId && interner_ != nullptr) {
+        const auto payload = snapshot.signed_payload();
+        digest_id = interner_->intern(
+            util::digest_bytes({payload.data(), payload.size()}));
+    }
+    table->meta.push_back(
+        Meta{snapshot.epoch, snapshot.probed_at, digest_id});
+    table->snaps.push_back(std::move(snapshot));
     ++count_;
-    while (queue.size() > max_per_origin_) {
-        queue.pop_front();
+    while (table->snaps.size() > max_per_origin_) {
+        table->snaps.pop_front();
+        table->meta.pop_front();
         --count_;
     }
-    prune(now);
+    // Throttled reclamation: a full prune per insert was a measured hotspot
+    // at --full scale, and queries enforce the horizon regardless.
+    if (now - last_prune_ >= retention_ / 8) {
+        prune(now);
+        last_prune_ = now;
+    }
     return ArchiveAdd::kArchived;
 }
 
 void SnapshotArchive::prune(util::SimTime now) {
     const util::SimTime horizon = now - retention_;
-    for (auto& [origin, queue] : by_origin_) {
-        while (!queue.empty() && queue.front().probed_at < horizon) {
-            queue.pop_front();
+    for (auto& table : origins_) {
+        while (!table.meta.empty() && table.meta.front().probed_at < horizon) {
+            table.snaps.pop_front();
+            table.meta.pop_front();
             --count_;
         }
     }
 }
 
+const SnapshotArchive::OriginTable* SnapshotArchive::table_of(
+    const util::NodeId& origin) const {
+    const auto it = slot_of_.find(origin);
+    return it == slot_of_.end() ? nullptr : &origins_[it->second];
+}
+
 const tomography::TomographicSnapshot* SnapshotArchive::find(
     const util::NodeId& origin, std::uint64_t epoch) const {
     if (epoch == 0) return nullptr;
-    const auto it = by_origin_.find(origin);
-    if (it == by_origin_.end()) return nullptr;
-    for (const auto& snap : it->second) {
-        if (snap.epoch == epoch) return &snap;
+    const OriginTable* table = table_of(origin);
+    if (table == nullptr) return nullptr;
+    // Scan newest-first over the compact meta rows; recent epochs are the
+    // common probe.
+    for (std::size_t i = table->meta.size(); i-- > 0;) {
+        if (table->meta[i].epoch == epoch) return &table->snaps[i];
     }
     return nullptr;
+}
+
+SnapshotArchive::DigestId SnapshotArchive::digest_of(
+    const util::NodeId& origin, std::uint64_t epoch) const {
+    if (epoch == 0) return util::DigestInterner::kInvalidId;
+    const OriginTable* table = table_of(origin);
+    if (table == nullptr) return util::DigestInterner::kInvalidId;
+    for (std::size_t i = table->meta.size(); i-- > 0;) {
+        if (table->meta[i].epoch == epoch) return table->meta[i].digest;
+    }
+    return util::DigestInterner::kInvalidId;
 }
 
 util::SimTime SnapshotArchive::query_horizon(util::SimTime t,
@@ -61,19 +101,18 @@ std::vector<core::ProbeResult> SnapshotArchive::probes_for(
     const util::NodeId& exclude) const {
     const util::SimTime lo = query_horizon(t, delta);
     std::vector<core::ProbeResult> out;
-    for (const auto& [origin, queue] : by_origin_) {
-        if (origin == exclude) continue;
-        for (const auto& snap : queue) {
-            if (snap.probed_at < lo || snap.probed_at > t + delta) {
-                continue;
-            }
-            for (const auto& obs : snap.links) {
+    for (const auto& table : origins_) {
+        if (table.origin == exclude) continue;
+        for (std::size_t i = 0; i < table.meta.size(); ++i) {
+            const util::SimTime at = table.meta[i].probed_at;
+            if (at < lo || at > t + delta) continue;
+            for (const auto& obs : table.snaps[i].links) {
                 if (std::find(links.begin(), links.end(), obs.link) ==
                     links.end()) {
                     continue;
                 }
-                out.push_back(core::ProbeResult{origin, obs.link, obs.up,
-                                                snap.probed_at});
+                out.push_back(
+                    core::ProbeResult{table.origin, obs.link, obs.up, at});
             }
         }
     }
@@ -83,9 +122,9 @@ std::vector<core::ProbeResult> SnapshotArchive::probes_for(
 std::vector<const tomography::TomographicSnapshot*>
 SnapshotArchive::snapshots_from(const util::NodeId& origin) const {
     std::vector<const tomography::TomographicSnapshot*> out;
-    const auto it = by_origin_.find(origin);
-    if (it == by_origin_.end()) return out;
-    for (const auto& snap : it->second) out.push_back(&snap);
+    const OriginTable* table = table_of(origin);
+    if (table == nullptr) return out;
+    for (const auto& snap : table->snaps) out.push_back(&snap);
     return out;
 }
 
@@ -94,12 +133,12 @@ std::vector<tomography::TomographicSnapshot> SnapshotArchive::evidence_for(
     const util::NodeId& exclude) const {
     const util::SimTime lo = query_horizon(t, delta);
     std::vector<tomography::TomographicSnapshot> out;
-    for (const auto& [origin, queue] : by_origin_) {
-        if (origin == exclude) continue;
-        for (const auto& snap : queue) {
-            if (snap.probed_at < lo || snap.probed_at > t + delta) {
-                continue;
-            }
+    for (const auto& table : origins_) {
+        if (table.origin == exclude) continue;
+        for (std::size_t i = 0; i < table.meta.size(); ++i) {
+            const util::SimTime at = table.meta[i].probed_at;
+            if (at < lo || at > t + delta) continue;
+            const auto& snap = table.snaps[i];
             const bool touches = std::any_of(
                 snap.links.begin(), snap.links.end(),
                 [&](const tomography::LinkObservation& obs) {

@@ -16,9 +16,19 @@
 // they can weigh on any blame computation.  Retention is enforced on the
 // query path as well as on insert, and a per-origin cap bounds what any
 // single (possibly hostile) origin can pin in memory.
+//
+// Storage is index-addressed: origins resolve once to a dense slot at the
+// admission boundary, and per-origin state lives in parallel
+// structure-of-arrays tables.  A compact per-entry Meta row (epoch, interned
+// payload digest, probe time) serves the scanning queries -- epoch lookups
+// and cross-peer digest comparison never touch the snapshot payloads
+// themselves.  Pruning is throttled to a fraction of the retention window
+// instead of running a full scan on every insert; queries enforce the
+// retention horizon exactly either way.
 
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <span>
 #include <unordered_map>
@@ -26,6 +36,7 @@
 
 #include "core/blame.h"
 #include "tomography/snapshot.h"
+#include "util/arena.h"
 #include "util/ids.h"
 #include "util/time.h"
 
@@ -40,6 +51,8 @@ enum class ArchiveAdd {
 
 class SnapshotArchive {
   public:
+    using DigestId = util::DigestInterner::Id;
+
     /// retention: snapshots older than now - retention are pruned on insert
     /// and filtered out of queries.
     /// max_transit: a snapshot delivered more than this after its probed_at
@@ -52,12 +65,24 @@ class SnapshotArchive {
         : retention_(retention), max_transit_(max_transit),
           max_per_origin_(max_per_origin) {}
 
+    /// Points this archive at a digest interner shared across the cluster,
+    /// so digest ids are comparable between different peers' archives (the
+    /// equivocation fast path).  Entries archived without an interner carry
+    /// no digest id.
+    void bind_interner(util::DigestInterner* interner) noexcept {
+        interner_ = interner;
+    }
+
     /// Archives a snapshot (assumed already signature-checked by the caller;
     /// un-verifiable snapshots never reach the archive).  Epoch-0 snapshots
     /// skip the replay check (unversioned test inputs); the staleness check
-    /// always applies.
-    ArchiveAdd add(tomography::TomographicSnapshot snapshot,
-                   util::SimTime now);
+    /// always applies.  `digest_id` is the interned id of the snapshot's
+    /// signed payload when the caller already computed it (publication
+    /// interns once; deliveries reuse it); pass kInvalidId to let the
+    /// archive intern, or to skip digest bookkeeping entirely when no
+    /// interner is bound.
+    ArchiveAdd add(tomography::TomographicSnapshot snapshot, util::SimTime now,
+                   DigestId digest_id = util::DigestInterner::kInvalidId);
 
     /// The archived snapshot from `origin` with exactly this (non-zero)
     /// epoch, or nullptr.  The lookup behind cross-peer digest comparison:
@@ -65,6 +90,13 @@ class SnapshotArchive {
     /// have caught an equivocator.
     [[nodiscard]] const tomography::TomographicSnapshot* find(
         const util::NodeId& origin, std::uint64_t epoch) const;
+
+    /// The interned payload-digest id archived for (origin, epoch), or
+    /// kInvalidId when absent.  Two peers returning different valid ids for
+    /// the same (origin, epoch) hold conflicting payloads -- the cheap
+    /// first-pass equivocation test that avoids re-serializing snapshots.
+    [[nodiscard]] DigestId digest_of(const util::NodeId& origin,
+                                     std::uint64_t epoch) const;
 
     /// All archived probe results covering any link in `links`, initiated in
     /// [t - delta, t + delta] (and never older than t - retention).  Results
@@ -90,20 +122,37 @@ class SnapshotArchive {
     [[nodiscard]] std::size_t size() const noexcept { return count_; }
 
   private:
+    /// Compact per-entry row for the scanning queries; parallel to snaps.
+    struct Meta {
+        std::uint64_t epoch = 0;
+        util::SimTime probed_at = 0;
+        DigestId digest = util::DigestInterner::kInvalidId;
+    };
+    /// One origin's dense slot: parallel snapshot/meta queues plus the
+    /// replay floor, which survives pruning and eviction.
+    struct OriginTable {
+        util::NodeId origin;
+        std::deque<tomography::TomographicSnapshot> snaps;
+        std::deque<Meta> meta;
+        std::uint64_t newest_epoch = 0;
+    };
+
     void prune(util::SimTime now);
     /// The effective lower admission bound for a query anchored at `t`.
     [[nodiscard]] util::SimTime query_horizon(util::SimTime t,
                                               util::SimTime delta) const;
+    [[nodiscard]] const OriginTable* table_of(const util::NodeId& origin) const;
 
     util::SimTime retention_;
     util::SimTime max_transit_;
     std::size_t max_per_origin_;
-    std::unordered_map<util::NodeId, std::deque<tomography::TomographicSnapshot>,
-                       util::NodeIdHash>
-        by_origin_;
-    /// Highest epoch archived per origin (replay floor).
-    std::unordered_map<util::NodeId, std::uint64_t, util::NodeIdHash>
-        newest_epoch_;
+    std::vector<OriginTable> origins_;  // dense, first-admission order
+    /// NodeId -> slot, resolved once at the admission/query boundary.
+    std::unordered_map<util::NodeId, std::uint32_t, util::NodeIdHash>
+        slot_of_;  // hot-path-lint: boundary
+    util::DigestInterner* interner_ = nullptr;
+    /// Simulation time starts at zero, so zero means "never pruned".
+    util::SimTime last_prune_ = 0;
     std::size_t count_ = 0;
 };
 

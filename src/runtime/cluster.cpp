@@ -34,6 +34,7 @@ Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
         throw std::invalid_argument(
             "Cluster: behaviors must match overlay size");
     }
+    handler_ = sim_->register_handler(this, &Cluster::dispatch_event);
     online_.assign(net.size(), true);
     journals_.resize(net.size());
     crashed_.assign(net.size(), false);
@@ -49,11 +50,55 @@ Cluster::Cluster(net::EventSim& sim, const net::FailureTimeline& timeline,
                             params_.archive_max_per_origin),
             core::VerdictLedger(params_.verdicts),
             -(1LL << 60)});
+        nodes_.back().archive.bind_interner(&interner_);
     }
 }
 
 void Cluster::set_online(overlay::MemberIndex m, bool online) {
     online_.at(m) = online;
+}
+
+void Cluster::dispatch_event(void* ctx, std::uint32_t a, std::uint64_t b,
+                             std::uint64_t c) {
+    auto* self = static_cast<Cluster*>(ctx);
+    switch (static_cast<Op>(a)) {
+        case Op::kProbeRound:
+            self->run_probe_round(static_cast<overlay::MemberIndex>(b));
+            break;
+        case Op::kSlanderRound:
+            self->run_slander_round(static_cast<overlay::MemberIndex>(b));
+            break;
+        case Op::kSpamRound:
+            self->run_spam_round(static_cast<overlay::MemberIndex>(b));
+            break;
+        case Op::kPeerRefresh: {
+            const auto peer = static_cast<overlay::MemberIndex>(b);
+            if (self->sim_->now() - self->nodes_[peer].last_heavyweight >=
+                self->params_.heavyweight_min_gap) {
+                self->run_heavyweight(peer);
+            }
+            break;
+        }
+        case Op::kDeliverToHop:
+            self->deliver_to_hop(b, static_cast<std::size_t>(c));
+            break;
+        case Op::kDeliverAck:
+            self->deliver_ack_to_hop(b, static_cast<std::size_t>(c));
+            break;
+        case Op::kAckTimeout:
+            self->on_ack_timeout(b, static_cast<std::size_t>(c));
+            break;
+        case Op::kJudge:
+            self->judge_next_hop(b, static_cast<std::size_t>(c));
+            break;
+        case Op::kForwardRetry:
+            self->forward_retry(b, static_cast<std::size_t>(c >> 32),
+                                static_cast<int>(c & 0xffffffffu));
+            break;
+        case Op::kMaybeComplete:
+            self->maybe_complete(b);
+            break;
+    }
 }
 
 void Cluster::schedule_churn() {
@@ -114,6 +159,7 @@ void Cluster::crash_node(overlay::MemberIndex m) {
     node.archive = SnapshotArchive(params_.blame.delta + 5 * util::kMinute,
                                    params_.snapshot_max_transit,
                                    params_.archive_max_per_origin);
+    node.archive.bind_interner(&interner_);
     node.ledger = core::VerdictLedger(params_.verdicts);
     node.last_heavyweight = -(1LL << 60);
     node.next_epoch = 1;
@@ -141,7 +187,11 @@ void Cluster::restart_node(overlay::MemberIndex m) {
     // the reputation book models durable DHT-backed state, so re-casting
     // would double-count).
     for (const auto& [issuer, commitment] : recovered.collected) {
-        node.collected.insert_or_assign(issuer, commitment);
+        // The journal keys by durable NodeId; resolve to the dense member
+        // index once, here at the replay boundary.
+        const auto issuer_it = member_of_.find(issuer);
+        if (issuer_it == member_of_.end()) continue;
+        node.collected.insert_or_assign(issuer_it->second, commitment);
     }
     recovery_handshake(m, recovered);
     journals_[m].record_restart(sim_->now());
@@ -213,10 +263,7 @@ void Cluster::recovery_handshake(
         if (now - s.forwarded_at <= params_.recovery_resume_horizon) {
             ++stats_.stewardships_resumed;
             bump("recovery.stewardships_resumed");
-            sim_->schedule_after(params_.ack_timeout,
-                                 [this, id = s.message_id, hop] {
-                                     on_ack_timeout(id, hop);
-                                 });
+            post(params_.ack_timeout, Op::kAckTimeout, s.message_id, hop);
             transmit_to_next(s.message_id, hop, 1);
         } else {
             // Too stale to resume: any ack is long lost and the upstream
@@ -244,10 +291,8 @@ void Cluster::recovery_handshake(
             } else {
                 // The abandoning steward is the sender itself: close out
                 // the diagnosis so the completion callback still fires.
-                sim_->schedule_after(params_.control_latency,
-                                     [this, id = s.message_id] {
-                                         maybe_complete(id);
-                                     });
+                post(params_.control_latency, Op::kMaybeComplete,
+                     s.message_id);
             }
         }
     }
@@ -256,13 +301,15 @@ void Cluster::recovery_handshake(
 void Cluster::accept_recovery_announcement(
     overlay::MemberIndex peer, const RecoveryAnnouncement& announcement) {
     if (!online_[peer]) return;
-    const auto key = key_of(announcement.node);
-    if (!key.has_value() ||
-        !verify_recovery_announcement(announcement, *key, registry_)) {
+    const auto announcer = member_of_.find(announcement.node);
+    if (announcer == member_of_.end()) return;
+    const crypto::PublicKey key =
+        net_->member(announcer->second).keys.public_key();
+    if (!verify_recovery_announcement(announcement, key, registry_)) {
         return;  // a forged outage claim buys nothing
     }
     bump("recovery.announcements_delivered");
-    nodes_[peer].recovery_seen[announcement.node].push_back(announcement);
+    nodes_[peer].recovery_seen[announcer->second].push_back(announcement);
     const int retracted = nodes_[peer].ledger.retract_guilty(
         announcement.node, announcement.crashed_at,
         announcement.restarted_at);
@@ -339,7 +386,7 @@ bool Cluster::post_incident_coverage(const core::BlameEvidence& evidence,
 }
 
 bool Cluster::announced_down(overlay::MemberIndex observer,
-                             const util::NodeId& suspect,
+                             overlay::MemberIndex suspect,
                              util::SimTime t) const {
     const auto it = nodes_[observer].recovery_seen.find(suspect);
     if (it == nodes_[observer].recovery_seen.end()) return false;
@@ -465,7 +512,7 @@ void Cluster::exchange_routing_state() {
 void Cluster::schedule_probe_round(overlay::MemberIndex m) {
     const auto delay = static_cast<util::SimTime>(rng_.uniform(
         0.0, static_cast<double>(params_.probe_interval_max)));
-    sim_->schedule_after(delay, [this, m] { run_probe_round(m); });
+    post(delay, Op::kProbeRound, m);
 }
 
 void Cluster::run_probe_round(overlay::MemberIndex m) {
@@ -502,7 +549,7 @@ void Cluster::probe_round_once(overlay::MemberIndex m) {
                 summary.bucket = tomography::LossBucket::kClean;
                 // An acknowledged probe traversed every link on the path.
                 for (const net::LinkId l :
-                     tree.path_links(static_cast<int>(leaf))) {
+                     trees_->slot_path_links(m, static_cast<int>(leaf))) {
                     up_links[l] = true;
                 }
             } else {
@@ -563,7 +610,7 @@ void Cluster::run_heavyweight(overlay::MemberIndex m) {
         for (std::size_t leaf = 0; leaf < excluded.size(); ++leaf) {
             if (excluded[leaf]) continue;
             for (const net::LinkId l :
-                 tree.path_links(static_cast<int>(leaf))) {
+                 trees_->slot_path_links(m, static_cast<int>(leaf))) {
                 observable[l] = true;
             }
         }
@@ -577,10 +624,22 @@ void Cluster::run_heavyweight(overlay::MemberIndex m) {
     publish_snapshot(m, std::move(snapshot));
 }
 
+std::shared_ptr<const Cluster::PublishedSnapshot> Cluster::seal(
+    overlay::MemberIndex m, tomography::TomographicSnapshot snapshot) {
+    auto pub = std::make_shared<PublishedSnapshot>();
+    pub->snapshot = std::move(snapshot);
+    pub->origin_m = m;
+    pub->payload = pub->snapshot.signed_payload();
+    pub->digest =
+        util::digest_bytes({pub->payload.data(), pub->payload.size()});
+    pub->digest_id = interner_.intern(pub->digest);
+    return pub;
+}
+
 void Cluster::publish_snapshot(overlay::MemberIndex m,
                                tomography::TomographicSnapshot snapshot) {
     const NodeBehavior& b = behavior(m);
-    if (b.replay_snapshots && nodes_[m].replay_stash.has_value()) {
+    if (b.replay_snapshots && nodes_[m].replay_stash != nullptr) {
         // Replayer: instead of publishing fresh results (which would reveal
         // the paths it is breaking), re-advertise its first, favorable
         // snapshot verbatim -- signature and epoch included.  Receiving
@@ -589,7 +648,7 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
         ++stats_.replays_published;
         bump("attack.replays_published");
         for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
-            send_snapshot(m, peer, *nodes_[m].replay_stash, 1);
+            send_snapshot(m, peer, nodes_[m].replay_stash, 1);
         }
         return;
     }
@@ -612,8 +671,11 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
         net_->member(m).keys.sign(snapshot.signed_payload());
     ++stats_.snapshots_published;
     bump("runtime.snapshots_published");
-    if (b.replay_snapshots) nodes_[m].replay_stash = snapshot;
-    nodes_[m].archive.add(snapshot, sim_->now());
+    // Serialize + digest the signed payload exactly once; every per-peer
+    // delivery below (and the node's own archive) reuses the sealed slab.
+    const auto pub = seal(m, std::move(snapshot));
+    if (b.replay_snapshots) nodes_[m].replay_stash = pub;
+    nodes_[m].archive.add(pub->snapshot, sim_->now(), pub->digest_id);
     if (b.equivocate_snapshots) {
         // Equivocator: alternate peers get a fully link-flipped twin signed
         // over the *same* origin+epoch.  Any two peers comparing digests now
@@ -622,13 +684,18 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
         bump("attack.equivocations_published");
         std::size_t rank = 0;
         for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
-            send_snapshot(m, peer, equivocation_variant(m, snapshot, rank++),
-                          1);
+            const std::size_t r = rank++;
+            send_snapshot(
+                m, peer,
+                r % 2 == 0
+                    ? pub
+                    : seal(m, equivocation_variant(m, pub->snapshot, r)),
+                1);
         }
         return;
     }
     for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
-        send_snapshot(m, peer, snapshot, 1);
+        send_snapshot(m, peer, pub, 1);
     }
 }
 
@@ -647,20 +714,27 @@ tomography::TomographicSnapshot Cluster::equivocation_variant(
     return variant;
 }
 
-void Cluster::detect_equivocation(
-    overlay::MemberIndex holder,
-    const tomography::TomographicSnapshot& snapshot) {
+void Cluster::detect_equivocation(overlay::MemberIndex holder,
+                                  const PublishedSnapshot& published) {
+    const tomography::TomographicSnapshot& snapshot = published.snapshot;
     if (snapshot.epoch == 0) return;  // unversioned: nothing to compare
-    const auto origin_it = member_of_.find(snapshot.origin);
-    if (origin_it == member_of_.end()) return;
-    const overlay::MemberIndex origin_m = origin_it->second;
+    const overlay::MemberIndex origin_m = published.origin_m;
     if (proofs_filed_.contains({origin_m, snapshot.epoch})) return;
-    // Digest exchange: compare the copy just archived at `holder` against
-    // what the origin's other routing peers hold for the same epoch.  Both
-    // copies carry the origin's valid signature, so a payload conflict *is*
-    // the proof -- no trust in either peer required.
+    // Digest exchange: compare the interned payload-digest id just archived
+    // at `holder` against what the origin's other routing peers hold for the
+    // same epoch.  Ids come from the cluster-wide interner, so agreement is
+    // a single integer compare; only a mismatch -- an actual payload
+    // conflict -- pays for building and verifying the full proof.  Both
+    // copies carry the origin's valid signature, so the conflict *is* the
+    // proof, no trust in either peer required.
     for (const overlay::MemberIndex peer : net_->routing_peers(origin_m)) {
         if (peer == holder || !online_[peer]) continue;
+        const SnapshotArchive::DigestId other_digest =
+            nodes_[peer].archive.digest_of(snapshot.origin, snapshot.epoch);
+        if (other_digest == util::DigestInterner::kInvalidId ||
+            other_digest == published.digest_id) {
+            continue;  // peer lacks the epoch, or holds the same payload
+        }
         const tomography::TomographicSnapshot* other =
             nodes_[peer].archive.find(snapshot.origin, snapshot.epoch);
         if (other == nullptr) continue;
@@ -668,7 +742,7 @@ void Cluster::detect_equivocation(
         if (core::verify_equivocation_proof(
                 proof, net_->member(origin_m).keys.public_key(), registry_) !=
             core::EquivocationCheck::kOk) {
-            continue;  // same payload (or otherwise not a usable proof)
+            continue;  // not a usable proof after all
         }
         proofs_filed_.insert({origin_m, snapshot.epoch});
         dht_.put(holder,
@@ -683,19 +757,24 @@ void Cluster::detect_equivocation(
 
 void Cluster::send_snapshot(overlay::MemberIndex m,
                             overlay::MemberIndex peer,
-                            const tomography::TomographicSnapshot& snapshot,
+                            std::shared_ptr<const PublishedSnapshot> snapshot,
                             int attempt) {
-    const auto deliver = [this, peer, snapshot] {
-        const auto key = key_of(snapshot.origin);
-        if (!key.has_value() ||
-            !tomography::verify_snapshot(snapshot, *key, registry_)) {
+    const auto deliver = [this, peer, pub = snapshot] {
+        // Same check as tomography::verify_snapshot, memoized on the sealed
+        // payload digest: the identical (key, digest, signature) triple
+        // arrives at every routing peer of the origin.
+        const crypto::PublicKey key =
+            net_->member(pub->origin_m).keys.public_key();
+        if (!verify_cache_.verify(key, pub->digest, pub->payload,
+                                  pub->snapshot.signature)) {
             ++stats_.snapshots_rejected;
             bump("runtime.snapshots_rejected");
             return;
         }
-        switch (nodes_[peer].archive.add(snapshot, sim_->now())) {
+        switch (nodes_[peer].archive.add(pub->snapshot, sim_->now(),
+                                         pub->digest_id)) {
             case ArchiveAdd::kArchived:
-                detect_equivocation(peer, snapshot);
+                detect_equivocation(peer, *pub);
                 break;
             case ArchiveAdd::kRejectedStale:
                 ++stats_.snapshots_rejected_stale;
@@ -768,8 +847,8 @@ std::uint64_t Cluster::send(overlay::MemberIndex from,
     return id;
 }
 
-std::vector<net::LinkId> Cluster::hop_path(const MessageContext& ctx,
-                                           std::size_t hop) const {
+std::span<const net::LinkId> Cluster::hop_path(const MessageContext& ctx,
+                                               std::size_t hop) const {
     // The IP path between consecutive route hops, taken from the upstream
     // node's link map (direction does not matter for loss sampling).
     if (!trees_->leaf_slot(ctx.route[hop], ctx.route[hop + 1]).has_value()) {
@@ -864,16 +943,14 @@ void Cluster::forward_from_hop(std::uint64_t msg_id, std::size_t hop) {
             net_->member(next).keys);
         // Stewards keep the commitments they collect; a slanderer or
         // colluder later reuses them as raw material for forged evidence.
-        nodes_[m].collected.insert_or_assign(net_->member(next).id(),
+        nodes_[m].collected.insert_or_assign(next,
                                              *ctx.stewards[hop].commitment);
     }
 
     ctx.stewards[hop].forwarded = true;
     journals_[m].record_steward_open(msg_id, hop, sim_->now(),
                                      ctx.stewards[hop].commitment);
-    sim_->schedule_after(params_.ack_timeout, [this, msg_id, hop] {
-        on_ack_timeout(msg_id, hop);
-    });
+    post(params_.ack_timeout, Op::kAckTimeout, msg_id, hop);
 
     transmit_to_next(msg_id, hop, 1);
 }
@@ -902,10 +979,8 @@ void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
         const util::SimTime jitter =
             chaos_extra_delay(chaos_ != nullptr ? chaos_->reorder_rate : 0.0,
                               "chaos.packets_reordered");
-        sim_->schedule_after(transport_.latency(path.size()) + jitter,
-                             [this, msg_id, hop] {
-                                 deliver_to_hop(msg_id, hop + 1);
-                             });
+        post(transport_.latency(path.size()) + jitter, Op::kDeliverToHop,
+             msg_id, hop + 1);
         if (chaos_ != nullptr && rng_.bernoulli(chaos_->duplicate_rate)) {
             // A duplicated packet arrives slightly later; the receiving
             // steward dedupes it.
@@ -914,9 +989,8 @@ void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
                 1, static_cast<util::SimTime>(rng_.uniform(
                        0.0,
                        static_cast<double>(chaos_->max_extra_delay))));
-            sim_->schedule_after(
-                transport_.latency(path.size()) + jitter + extra,
-                [this, msg_id, hop] { deliver_to_hop(msg_id, hop + 1); });
+            post(transport_.latency(path.size()) + jitter + extra,
+                 Op::kDeliverToHop, msg_id, hop + 1);
         }
     } else if (!ctx.dropped_by_hop.has_value()) {
         ctx.dropped_by_network = true;
@@ -929,14 +1003,19 @@ void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
     const int next = attempt + 1;
     if (!params_.forward_retry.allows(next)) return;
     const auto backoff = params_.forward_retry.delay_before(next, rng_);
-    sim_->schedule_after(backoff, [this, msg_id, hop, next] {
-        auto& c = messages_.at(msg_id);
-        if (c.completed || c.stewards[hop].acked) return;
-        if (!online_[c.route[hop]]) return;  // churned out mid-retry
-        ++stats_.forward_retransmissions;
-        bump("runtime.retry.forward_attempts");
-        transmit_to_next(msg_id, hop, next);
-    });
+    post(backoff, Op::kForwardRetry, msg_id,
+         (static_cast<std::uint64_t>(hop) << 32) |
+             static_cast<std::uint32_t>(next));
+}
+
+void Cluster::forward_retry(std::uint64_t msg_id, std::size_t hop,
+                            int attempt) {
+    auto& ctx = messages_.at(msg_id);
+    if (ctx.completed || ctx.stewards[hop].acked) return;
+    if (!online_[ctx.route[hop]]) return;  // churned out mid-retry
+    ++stats_.forward_retransmissions;
+    bump("runtime.retry.forward_attempts");
+    transmit_to_next(msg_id, hop, attempt);
 }
 
 void Cluster::start_ack_return(std::uint64_t msg_id) {
@@ -990,9 +1069,8 @@ void Cluster::deliver_ack_to_hop(std::uint64_t msg_id, std::size_t hop) {
         const util::SimTime delay =
             chaos_extra_delay(chaos_ != nullptr ? chaos_->ack_delay_rate : 0.0,
                               "chaos.acks_delayed");
-        sim_->schedule_after(
-            transport_.latency(path.size()) + delay,
-            [this, msg_id, hop] { deliver_ack_to_hop(msg_id, hop - 1); });
+        post(transport_.latency(path.size()) + delay, Op::kDeliverAck, msg_id,
+             hop - 1);
     } else {
         // Lost acknowledgment: upstream stewards will time out and a chain
         // of verdicts will be issued (Section 3.5).
@@ -1023,17 +1101,10 @@ void Cluster::on_ack_timeout(std::uint64_t msg_id, std::size_t hop) {
     for (const overlay::MemberIndex peer : net_->routing_peers(m)) {
         const auto delay = static_cast<util::SimTime>(
             rng_.uniform(0.0, 2.0 * util::kSecond));
-        sim_->schedule_after(delay, [this, peer] {
-            if (sim_->now() - nodes_[peer].last_heavyweight >=
-                params_.heavyweight_min_gap) {
-                run_heavyweight(peer);
-            }
-        });
+        post(delay, Op::kPeerRefresh, peer);
     }
 
-    sim_->schedule_after(params_.judgment_grace, [this, msg_id, hop] {
-        judge_next_hop(msg_id, hop);
-    });
+    post(params_.judgment_grace, Op::kJudge, msg_id, hop);
 }
 
 core::BlameEvidence Cluster::build_evidence(
@@ -1046,7 +1117,8 @@ core::BlameEvidence Cluster::build_evidence(
     ev.suspect = net_->member(suspect).id();
     ev.message_id = ctx.id;
     ev.message_time = ctx.sent_at;
-    ev.path_links = hop_path(ctx, judge_hop);
+    const auto hop_links = hop_path(ctx, judge_hop);
+    ev.path_links.assign(hop_links.begin(), hop_links.end());
     ev.snapshots = nodes_[m].archive.evidence_for(
         ev.path_links, ctx.sent_at, params_.blame.delta, ev.suspect);
     if (ctx.stewards[judge_hop].commitment.has_value()) {
@@ -1095,10 +1167,11 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
             (partition_blocks(m, ctx.route[hop + 1]) ||
              (chaos_ != nullptr &&
               chaos_->partition_blocks(m, ctx.route[hop + 1], ctx.sent_at)));
+        const overlay::MemberIndex suspect_m = ctx.route[hop + 1];
         insufficient =
             steward.handoff.has_value() || cut_from_suspect ||
-            announced_down(m, ev.suspect, ctx.sent_at) ||
-            announced_down(m, ev.suspect, sim_->now()) ||
+            announced_down(m, suspect_m, ctx.sent_at) ||
+            announced_down(m, suspect_m, sim_->now()) ||
             (degraded_mode() && !post_incident_coverage(ev, ctx.sent_at));
     }
     steward.breakdown = std::move(breakdown);
@@ -1131,8 +1204,7 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
             params_.control_latency *
                 static_cast<util::SimTime>(ctx.route.size() + 2) +
             params_.judgment_grace;
-        sim_->schedule_after(settle,
-                             [this, msg_id] { maybe_complete(msg_id); });
+        post(settle, Op::kMaybeComplete, msg_id);
     }
 }
 
@@ -1180,13 +1252,14 @@ void Cluster::push_fabricated_revision(std::uint64_t msg_id,
     ev.suspect = net_->member(next).id();
     ev.message_id = ctx.id;
     ev.message_time = ctx.sent_at;
-    ev.path_links = hop_path(ctx, hop);
+    const auto hop_links = hop_path(ctx, hop);
+    ev.path_links.assign(hop_links.begin(), hop_links.end());
     // No snapshots: the colluder's archive holds evidence the path was fine
     // (it dropped the message itself), so it bundles nothing and asserts
     // maximum blame.  Without a commitment for *this* message from the
     // framed hop, the best it can attach is a stale commitment it collected
     // earlier -- either way, sender-side re-verification fails.
-    const auto it = nodes_[m].collected.find(ev.suspect);
+    const auto it = nodes_[m].collected.find(next);
     if (it != nodes_[m].collected.end()) ev.commitment = it->second;
     ev.claimed_blame = 1.0;
     ev.judge_signature = net_->member(m).keys.sign(ev.signed_payload());
@@ -1201,7 +1274,7 @@ void Cluster::push_fabricated_revision(std::uint64_t msg_id,
 void Cluster::schedule_slander_round(overlay::MemberIndex m) {
     const auto delay = static_cast<util::SimTime>(rng_.uniform(
         0.0, static_cast<double>(params_.probe_interval_max)));
-    sim_->schedule_after(delay, [this, m] { run_slander_round(m); });
+    post(delay, Op::kSlanderRound, m);
 }
 
 void Cluster::run_slander_round(overlay::MemberIndex m) {
@@ -1217,7 +1290,7 @@ void Cluster::run_slander_round(overlay::MemberIndex m) {
         core::BlameEvidence ev;
         ev.judge = net_->member(m).id();
         ev.suspect = net_->member(victim).id();
-        const auto collected = node.collected.find(ev.suspect);
+        const auto collected = node.collected.find(victim);
         if (collected != node.collected.end()) {
             // Strongest forgery available: a genuine commitment from the
             // victim, with the accusation anchored to its message binding so
@@ -1243,7 +1316,8 @@ void Cluster::run_slander_round(overlay::MemberIndex m) {
             ev.commitment = c;
         }
         if (trees_->leaf_slot(m, victim).has_value()) {
-            ev.path_links = trees_->path_links(m, victim);
+            const auto victim_links = trees_->path_links(m, victim);
+            ev.path_links.assign(victim_links.begin(), victim_links.end());
         }
         // Cherry-picking: of everything archived about these links, keep
         // ONLY snapshots outside the admission window around message_time --
@@ -1283,7 +1357,7 @@ void Cluster::run_slander_round(overlay::MemberIndex m) {
 void Cluster::schedule_spam_round(overlay::MemberIndex m) {
     const auto delay = static_cast<util::SimTime>(rng_.uniform(
         0.0, static_cast<double>(params_.probe_interval_max)));
-    sim_->schedule_after(delay, [this, m] { run_spam_round(m); });
+    post(delay, Op::kSpamRound, m);
 }
 
 void Cluster::run_spam_round(overlay::MemberIndex m) {
@@ -1384,10 +1458,13 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
         }
         if (network) break;
     }
+    const auto accused_it = member_of_.find(accused);
     if (network) {
         outcome.network_blamed = true;
     } else if (accused_abstained(ctx, accused) ||
-               announced_down(ctx.route[0], accused, ctx.sent_at)) {
+               (accused_it != member_of_.end() &&
+                announced_down(ctx.route[0], accused_it->second,
+                               ctx.sent_at))) {
         // The final accused either abstained from its own judgment (it
         // demonstrably forwarded, then lost its channel to the next hop
         // across a cut -- the abstention reaches the sender over the

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -43,6 +44,7 @@
 #include "net/link_state.h"
 #include "net/transport.h"
 #include "core/equivocation.h"
+#include "crypto/verify_cache.h"
 #include "overlay/network.h"
 #include "runtime/archive.h"
 #include "runtime/attack.h"
@@ -329,29 +331,73 @@ class Cluster {
         std::optional<std::size_t> network_drop_segment;
     };
 
+    /// A snapshot sealed for dissemination: the signed payload is serialized
+    /// once at publication, its digest interned once, and every per-peer
+    /// delivery (and retry) shares this immutable slab by reference instead
+    /// of copying the snapshot into each deliver closure.
+    struct PublishedSnapshot {
+        tomography::TomographicSnapshot snapshot;
+        /// Publisher's member index (snapshots are always self-originated);
+        /// receivers resolve the origin key through it without a NodeId map
+        /// lookup per delivery.
+        overlay::MemberIndex origin_m = 0;
+        std::vector<std::uint8_t> payload;  ///< signed_payload(), serialized once
+        util::Digest digest{};
+        util::DigestInterner::Id digest_id = util::DigestInterner::kInvalidId;
+    };
+    [[nodiscard]] std::shared_ptr<const PublishedSnapshot> seal(
+        overlay::MemberIndex m, tomography::TomographicSnapshot snapshot);
+
     struct NodeState {
         SnapshotArchive archive;
         core::VerdictLedger ledger;
         util::SimTime last_heavyweight = -(1LL << 60);
         /// Next snapshot publication counter (epoch 0 = unversioned).
         std::uint64_t next_epoch = 1;
-        /// Replayer state: the first favorable snapshot, re-advertised
-        /// verbatim every later round.
-        std::optional<tomography::TomographicSnapshot> replay_stash;
-        /// Commitments this node collected as a steward, by issuer --
-        /// a colluder's raw material for fabricated revisions.
-        std::unordered_map<util::NodeId, core::ForwardingCommitment,
-                           util::NodeIdHash>
+        /// Replayer state: the first favorable snapshot (sealed),
+        /// re-advertised verbatim every later round.
+        std::shared_ptr<const PublishedSnapshot> replay_stash;
+        /// Commitments this node collected as a steward, by issuing member
+        /// -- a colluder's raw material for fabricated revisions.  Keyed by
+        /// dense MemberIndex; NodeIds resolve at the call boundary.
+        std::unordered_map<overlay::MemberIndex, core::ForwardingCommitment>
             collected;
         /// Round-robin victim cursors for slander / spam rounds.
         std::size_t slander_cursor = 0;
         std::size_t spam_cursor = 0;
-        /// Verified recovery announcements received, by announcer: the
-        /// basis for verdict retraction and accusation abstention.
-        std::unordered_map<util::NodeId, std::vector<RecoveryAnnouncement>,
-                           util::NodeIdHash>
+        /// Verified recovery announcements received, by announcing member:
+        /// the basis for verdict retraction and accusation abstention.
+        std::unordered_map<overlay::MemberIndex,
+                           std::vector<RecoveryAnnouncement>>
             recovery_seen;
     };
+
+    // --- POD event dispatch ------------------------------------------------
+    /// Hot simulation events ride EventSim's POD queue: an op code plus two
+    /// integer operands, fanned out by one registered handler.  Rare
+    /// setup/control events (churn, crash schedules, snapshot deliveries
+    /// with their sealed payload slabs) stay on the callback API.
+    enum class Op : std::uint32_t {
+        kProbeRound,     ///< b = member
+        kSlanderRound,   ///< b = member
+        kSpamRound,      ///< b = member
+        kPeerRefresh,    ///< b = member (heavyweight refresh, periodic gap)
+        kDeliverToHop,   ///< b = message, c = hop
+        kDeliverAck,     ///< b = message, c = hop
+        kAckTimeout,     ///< b = message, c = hop
+        kJudge,          ///< b = message, c = hop
+        kForwardRetry,   ///< b = message, c = hop << 32 | attempt
+        kMaybeComplete,  ///< b = message
+    };
+    static void dispatch_event(void* ctx, std::uint32_t a, std::uint64_t b,
+                               std::uint64_t c);
+    void post(util::SimTime delay, Op op, std::uint64_t b,
+              std::uint64_t c = 0) {
+        sim_->post_after(delay, handler_, static_cast<std::uint32_t>(op), b,
+                         c);
+    }
+    /// Retry-timer body: re-send unless the ack landed in the meantime.
+    void forward_retry(std::uint64_t msg_id, std::size_t hop, int attempt);
 
     // --- routing-state exchange -------------------------------------------
     void exchange_routing_state();
@@ -366,7 +412,7 @@ class Cluster {
     void publish_snapshot(overlay::MemberIndex m,
                           tomography::TomographicSnapshot snapshot);
     void send_snapshot(overlay::MemberIndex m, overlay::MemberIndex peer,
-                       const tomography::TomographicSnapshot& snapshot,
+                       std::shared_ptr<const PublishedSnapshot> snapshot,
                        int attempt);
 
     // --- attack campaign + evidence-integrity defenses ---------------------
@@ -375,12 +421,12 @@ class Cluster {
     [[nodiscard]] tomography::TomographicSnapshot equivocation_variant(
         overlay::MemberIndex m, const tomography::TomographicSnapshot& base,
         std::size_t peer_rank) const;
-    /// Cross-peer digest exchange: after archiving `snapshot` at `holder`,
-    /// compare against the copies the origin's other routing peers hold for
-    /// the same epoch; a payload conflict yields a self-verifying proof
-    /// stored in the DHT.
+    /// Cross-peer digest exchange: after archiving `published` at `holder`,
+    /// compare interned digest ids against what the origin's other routing
+    /// peers hold for the same epoch; only an id mismatch builds and
+    /// verifies a full self-verifying proof for the DHT.
     void detect_equivocation(overlay::MemberIndex holder,
-                             const tomography::TomographicSnapshot& snapshot);
+                             const PublishedSnapshot& published);
     void schedule_slander_round(overlay::MemberIndex m);
     void run_slander_round(overlay::MemberIndex m);
     void schedule_spam_round(overlay::MemberIndex m);
@@ -425,7 +471,7 @@ class Cluster {
     /// True when any verified announcement from `suspect` (as seen by
     /// `observer`) covers time t.
     [[nodiscard]] bool announced_down(overlay::MemberIndex observer,
-                                      const util::NodeId& suspect,
+                                      overlay::MemberIndex suspect,
                                       util::SimTime t) const;
     /// True when `accused` is a route steward whose own judgment abstained
     /// as insufficient: a blame chain cannot end on an abstainer.
@@ -460,7 +506,10 @@ class Cluster {
     /// cluster's key registry, blame/verdict parameters, and link map.
     [[nodiscard]] core::AccusationVerifier make_verifier() const;
 
-    [[nodiscard]] std::vector<net::LinkId> hop_path(
+    /// IP link path for route segment hop -> hop+1, as a span into the
+    /// trees' arena (empty when no IP path exists).  Zero-allocation: this
+    /// runs once per packet transmission and once per judgment.
+    [[nodiscard]] std::span<const net::LinkId> hop_path(
         const MessageContext& ctx, std::size_t hop) const;
     [[nodiscard]] const NodeBehavior& behavior(overlay::MemberIndex m) const;
     [[nodiscard]] std::vector<tomography::LeafBehavior> leaf_behaviors(
@@ -477,8 +526,16 @@ class Cluster {
     util::Rng rng_;
     net::Transport transport_;
     crypto::KeyRegistry registry_;
+    /// Signature-verification memo shared by every node in the cluster (the
+    /// cluster is single-threaded; identical (key, digest, sig) checks repeat
+    /// once per routing peer on every snapshot dissemination).
+    crypto::VerifyCache verify_cache_{registry_};
+    /// Snapshot payload digests interned to dense ids, shared across every
+    /// node's archive so cross-archive digest comparison is an integer test.
+    util::DigestInterner interner_;
+    /// NodeId -> member index, resolved once where ids enter from the wire.
     std::unordered_map<util::NodeId, overlay::MemberIndex, util::NodeIdHash>
-        member_of_;
+        member_of_;  // hot-path-lint: boundary
     std::vector<NodeState> nodes_;
     dht::Dht dht_;
     core::ReputationBook reputation_;
@@ -495,6 +552,7 @@ class Cluster {
     Stats stats_;
     core::DiagnosisTrace* trace_ = nullptr;
     const net::FaultPlan* chaos_ = nullptr;
+    net::EventSim::HandlerId handler_ = 0;
 };
 
 }  // namespace concilium::runtime

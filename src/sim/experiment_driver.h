@@ -117,6 +117,15 @@ class ExperimentDriver {
                                     kSetupStreamBase + tag);
     }
 
+    /// The deterministic generator for shard `shard` of trial `trial`
+    /// (intra-trial sharding; see run_shards).  Disjoint from every
+    /// trial_rng and setup_rng stream.  shard must be < 2^20.
+    [[nodiscard]] util::Rng shard_rng(std::uint64_t trial,
+                                      std::uint64_t shard) const {
+        return util::Rng::substream(
+            options_.seed, kShardStreamBase + (trial << 20) + shard);
+    }
+
     /// Runs `trial(i, rng)` for i in [0, trials) across the worker pool and
     /// calls `merge(i, result)` on this thread in increasing i.
     template <typename TrialFn, typename MergeFn>
@@ -124,8 +133,9 @@ class ExperimentDriver {
         const auto start = std::chrono::steady_clock::now();
         RunStats stats;
         stats.jobs = jobs();
-        stats.busy_seconds =
-            run_range(0, trials, trial, [&](std::uint64_t i, auto&& r) {
+        stats.busy_seconds = run_range(
+            0, trials, [this](std::uint64_t i) { return trial_rng(i); },
+            trial, [&](std::uint64_t i, auto&& r) {
                 merge(i, std::forward<decltype(r)>(r));
                 return true;
             });
@@ -167,15 +177,16 @@ class ExperimentDriver {
                 static_cast<double>(remaining) / rate * 1.1);
             wave = std::max(wave, std::max<std::size_t>(64, 4 * jobs()));
             detail::driver_wave_counter().add(1);
-            stats.busy_seconds +=
-                run_range(next_attempt, wave, trial,
-                          [&](std::uint64_t i, auto&& r) {
-                              if (accepted >= target) return false;
-                              if (merge(i, std::forward<decltype(r)>(r))) {
-                                  ++accepted;
-                              }
-                              return accepted < target;
-                          });
+            stats.busy_seconds += run_range(
+                next_attempt, wave,
+                [this](std::uint64_t i) { return trial_rng(i); }, trial,
+                [&](std::uint64_t i, auto&& r) {
+                    if (accepted >= target) return false;
+                    if (merge(i, std::forward<decltype(r)>(r))) {
+                        ++accepted;
+                    }
+                    return accepted < target;
+                });
             next_attempt += wave;
         }
         stats.trials = next_attempt;
@@ -188,18 +199,55 @@ class ExperimentDriver {
         return stats;
     }
 
+    /// Intra-trial sharding: splits the *inside* of one heavy trial into
+    /// `shards` independent pieces, runs `shard(s, rng)` for s in
+    /// [0, shards) over the worker pool, and calls `merge(s, result)` on
+    /// this thread strictly in shard order.  Shard s always draws from
+    /// shard_rng(trial, s) -- a pure function of (seed, trial, s) -- so
+    /// the merged output is byte-identical at any worker count, exactly
+    /// like run().  Use when one trial (a full-SCAN-scale world slice)
+    /// dwarfs the per-trial fan-out: the shards are the parallelism.
+    template <typename ShardFn, typename MergeFn>
+    RunStats run_shards(std::uint64_t trial, std::size_t shards,
+                        ShardFn&& shard, MergeFn&& merge) const {
+        const auto start = std::chrono::steady_clock::now();
+        RunStats stats;
+        stats.jobs = jobs();
+        stats.busy_seconds = run_range(
+            0, shards,
+            [this, trial](std::uint64_t s) { return shard_rng(trial, s); },
+            shard, [&](std::uint64_t s, auto&& r) {
+                merge(s, std::forward<decltype(r)>(r));
+                return true;
+            });
+        stats.trials = shards;
+        stats.accepted = shards;
+        stats.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        report_run(stats);
+        return stats;
+    }
+
   private:
     // Setup tags sit far above any realistic trial count.
     static constexpr std::uint64_t kSetupStreamBase = 0xC011'EC70'0000'0000ULL;
+    // Shard streams pack (trial, shard) into the index; with shards < 2^20
+    // and the base below both setup tags and any dense trial index, the
+    // three stream families never collide.
+    static constexpr std::uint64_t kShardStreamBase = 0x5AAD'0000'0000'0000ULL;
 
     /// Runs trial indices [base, base + count) on the pool and consumes
     /// results in index order; `consume` returns false to stop consuming
     /// (remaining computed results are dropped).  Every index in the range
     /// is computed regardless — see determinism guarantee 1 above.
+    /// `rng_of(i)` supplies the generator for index i (trial substreams for
+    /// run/run_until, shard substreams for run_shards).
     /// Returns the summed trial execution time in seconds.
-    template <typename TrialFn, typename ConsumeFn>
-    double run_range(std::uint64_t base, std::size_t count, TrialFn& trial,
-                     ConsumeFn&& consume) const {
+    template <typename RngOf, typename TrialFn, typename ConsumeFn>
+    double run_range(std::uint64_t base, std::size_t count, RngOf&& rng_of,
+                     TrialFn& trial, ConsumeFn&& consume) const {
         using Result =
             std::invoke_result_t<TrialFn&, std::uint64_t, util::Rng&>;
         static_assert(!std::is_void_v<Result>,
@@ -212,7 +260,7 @@ class ExperimentDriver {
             double busy = 0.0;
             bool consuming = true;
             for (std::uint64_t i = base; i < base + count; ++i) {
-                util::Rng rng = trial_rng(i);
+                util::Rng rng = rng_of(i);
                 const auto t0 = std::chrono::steady_clock::now();
                 Result r = trial(i, rng);
                 const double sec = std::chrono::duration<double>(
@@ -254,7 +302,7 @@ class ExperimentDriver {
                         }
                         const std::uint64_t i = base + slot;
                         try {
-                            util::Rng rng = trial_rng(i);
+                            util::Rng rng = rng_of(i);
                             const auto t0 = std::chrono::steady_clock::now();
                             results[slot].emplace(trial(i, rng));
                             const double sec =

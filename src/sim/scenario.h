@@ -98,8 +98,9 @@ class Scenario {
         return trees_->leaf_slot(m, peer);
     }
 
-    /// IP links of the path member -> peer (from the member's tree).
-    [[nodiscard]] std::vector<net::LinkId> path_links(
+    /// IP links of the path member -> peer (a span into the trees' shared
+    /// arena; valid for the scenario's lifetime).
+    [[nodiscard]] std::span<const net::LinkId> path_links(
         overlay::MemberIndex m, overlay::MemberIndex peer) const {
         return trees_->path_links(m, peer);
     }

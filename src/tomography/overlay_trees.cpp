@@ -1,5 +1,6 @@
 #include "tomography/overlay_trees.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace concilium::tomography {
@@ -10,6 +11,7 @@ OverlayTrees::OverlayTrees(const overlay::OverlayNetwork& net,
     const std::size_t n = net.size();
     trees_.reserve(n);
     leaf_slots_.resize(n);
+    leaf_paths_.resize(n);
     leaf_ids_.resize(n);
     leaf_members_.resize(n);
     for (overlay::MemberIndex m = 0; m < n; ++m) {
@@ -19,34 +21,41 @@ OverlayTrees::OverlayTrees(const overlay::OverlayNetwork& net,
         for (const overlay::MemberIndex p : peers) {
             dsts.push_back(net.member(p).ip());
         }
-        std::vector<net::Path> paths = oracle.paths_from(net.member(m).ip(), dsts);
+        const std::vector<net::PathView> paths =
+            oracle.paths_into(net.member(m).ip(), dsts, arena_);
         trees_.emplace_back(net.member(m).ip(), paths);
         int slot = 0;
         for (std::size_t i = 0; i < peers.size(); ++i) {
             if (paths[i].empty()) continue;
-            leaf_slots_[m].emplace(peers[i], slot++);
+            leaf_slots_[m].emplace_back(peers[i], slot++);
+            leaf_paths_[m].push_back(paths[i].links);
             leaf_ids_[m].push_back(net.member(peers[i]).id());
             leaf_members_[m].push_back(peers[i]);
-            member_peer_paths_.push_back(std::move(paths[i]));
+            member_peer_paths_.push_back(paths[i].to_path());
         }
+        std::sort(leaf_slots_[m].begin(), leaf_slots_[m].end());
     }
 }
 
 std::optional<int> OverlayTrees::leaf_slot(overlay::MemberIndex m,
                                            overlay::MemberIndex peer) const {
     const auto& slots = leaf_slots_.at(m);
-    const auto it = slots.find(peer);
-    if (it == slots.end()) return std::nullopt;
+    const auto it = std::lower_bound(
+        slots.begin(), slots.end(), peer,
+        [](const auto& entry, overlay::MemberIndex p) {
+            return entry.first < p;
+        });
+    if (it == slots.end() || it->first != peer) return std::nullopt;
     return it->second;
 }
 
-std::vector<net::LinkId> OverlayTrees::path_links(
+std::span<const net::LinkId> OverlayTrees::path_links(
     overlay::MemberIndex m, overlay::MemberIndex peer) const {
     const auto slot = leaf_slot(m, peer);
     if (!slot.has_value()) {
         throw std::invalid_argument("OverlayTrees::path_links: no path");
     }
-    return trees_.at(m).path_links(*slot);
+    return leaf_paths_.at(m)[static_cast<std::size_t>(*slot)];
 }
 
 }  // namespace concilium::tomography

@@ -14,41 +14,60 @@ ProbeTree::ProbeTree(net::RouterId root, std::span<const net::Path> paths)
 
     std::unordered_set<net::LinkId> seen_links;
     for (const net::Path& path : paths) {
-        if (path.empty()) continue;
-        if (path.routers.front() != root) {
-            throw std::invalid_argument("ProbeTree: path does not start at root");
-        }
-        int cur = 0;
-        for (std::size_t hop = 0; hop < path.links.size(); ++hop) {
-            const net::RouterId router = path.routers[hop + 1];
-            const net::LinkId link = path.links[hop];
-            const auto it = node_of_.find(router);
-            if (it != node_of_.end()) {
-                if (nodes_[static_cast<std::size_t>(it->second)].via != link) {
-                    throw std::invalid_argument(
-                        "ProbeTree: paths disagree on a router's parent");
-                }
-                cur = it->second;
-            } else {
-                Node node;
-                node.router = router;
-                node.via = link;
-                node.parent = cur;
-                const int idx = static_cast<int>(nodes_.size());
-                nodes_[static_cast<std::size_t>(cur)].children.push_back(idx);
-                nodes_.push_back(node);
-                node_of_[router] = idx;
-                cur = idx;
+        insert_path(path.routers, path.links, seen_links);
+    }
+}
+
+ProbeTree::ProbeTree(net::RouterId root, std::span<const net::PathView> paths)
+    : root_(root) {
+    Node root_node;
+    root_node.router = root;
+    nodes_.push_back(root_node);
+    node_of_[root] = 0;
+
+    std::unordered_set<net::LinkId> seen_links;
+    for (const net::PathView& path : paths) {
+        insert_path(path.routers, path.links, seen_links);
+    }
+}
+
+void ProbeTree::insert_path(std::span<const net::RouterId> routers,
+                            std::span<const net::LinkId> links,
+                            std::unordered_set<net::LinkId>& seen_links) {
+    if (links.empty()) return;
+    if (routers.front() != root_) {
+        throw std::invalid_argument("ProbeTree: path does not start at root");
+    }
+    int cur = 0;
+    for (std::size_t hop = 0; hop < links.size(); ++hop) {
+        const net::RouterId router = routers[hop + 1];
+        const net::LinkId link = links[hop];
+        const auto it = node_of_.find(router);
+        if (it != node_of_.end()) {
+            if (nodes_[static_cast<std::size_t>(it->second)].via != link) {
+                throw std::invalid_argument(
+                    "ProbeTree: paths disagree on a router's parent");
             }
-            if (seen_links.insert(link).second) links_.push_back(link);
+            cur = it->second;
+        } else {
+            Node node;
+            node.router = router;
+            node.via = link;
+            node.parent = cur;
+            const int idx = static_cast<int>(nodes_.size());
+            nodes_[static_cast<std::size_t>(cur)].children.push_back(idx);
+            nodes_.push_back(node);
+            node_of_[router] = idx;
+            cur = idx;
         }
-        // Terminal router of this path is a probed leaf endpoint.
-        Node& endpoint = nodes_[static_cast<std::size_t>(cur)];
-        if (!endpoint.leaf_slot.has_value()) {
-            endpoint.leaf_slot = static_cast<int>(leaves_.size());
-            leaves_.push_back(endpoint.router);
-            leaf_nodes_.push_back(cur);
-        }
+        if (seen_links.insert(link).second) links_.push_back(link);
+    }
+    // Terminal router of this path is a probed leaf endpoint.
+    Node& endpoint = nodes_[static_cast<std::size_t>(cur)];
+    if (!endpoint.leaf_slot.has_value()) {
+        endpoint.leaf_slot = static_cast<int>(leaves_.size());
+        leaves_.push_back(endpoint.router);
+        leaf_nodes_.push_back(cur);
     }
 }
 

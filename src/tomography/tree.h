@@ -42,6 +42,9 @@ class ProbeTree {
     /// disagreeing path set throws std::invalid_argument.
     ProbeTree(net::RouterId root, std::span<const net::Path> paths);
 
+    /// Same contract over arena-backed path views (PathOracle::paths_into).
+    ProbeTree(net::RouterId root, std::span<const net::PathView> paths);
+
     [[nodiscard]] net::RouterId root() const noexcept { return root_; }
     [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
         return nodes_;
@@ -68,6 +71,12 @@ class ProbeTree {
     [[nodiscard]] std::vector<int> leaf_slots_under(int node) const;
 
   private:
+    /// Grafts one root-anchored path into the tree; shared by both
+    /// constructors.
+    void insert_path(std::span<const net::RouterId> routers,
+                     std::span<const net::LinkId> links,
+                     std::unordered_set<net::LinkId>& seen_links);
+
     net::RouterId root_;
     std::vector<Node> nodes_;
     std::vector<net::RouterId> leaves_;

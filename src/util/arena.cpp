@@ -1,0 +1,95 @@
+#include "util/arena.h"
+
+namespace concilium::util {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    auto aligned = [&](std::byte* p) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(p);
+        const auto up = (addr + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+        return p + (up - addr);
+    };
+
+    std::byte* p = cur_ ? aligned(cur_) : nullptr;
+    if (p == nullptr || p + bytes > end_) {
+        // Oversized requests get their own block so a single huge span does
+        // not strand the tail of the current block's neighbours.
+        const std::size_t want = bytes + align;
+        const std::size_t size = want > block_bytes_ ? want : block_bytes_;
+        Block block{std::make_unique<std::byte[]>(size), size};
+        reserved_ += size;
+        std::byte* base = block.data.get();
+        if (size == block_bytes_) {
+            // Normal block: becomes the bump target.
+            blocks_.push_back(std::move(block));
+            cur_ = base;
+            end_ = base + size;
+            p = aligned(cur_);
+        } else {
+            // Dedicated block: keep bumping from the previous one.  Insert
+            // below the top so the active block stays last.
+            const std::size_t at = blocks_.empty() ? 0 : blocks_.size() - 1;
+            blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(at),
+                           std::move(block));
+            used_ += bytes;
+            return aligned(base);
+        }
+    }
+    cur_ = p + bytes;
+    used_ += bytes;
+    return p;
+}
+
+void Arena::reset() noexcept {
+    if (blocks_.empty()) {
+        used_ = 0;
+        return;
+    }
+    // Keep exactly one normal-sized block (the last, which is the active
+    // bump block unless everything allocated was oversized).
+    Block keep = std::move(blocks_.back());
+    blocks_.clear();
+    reserved_ = keep.size;
+    cur_ = keep.data.get();
+    end_ = cur_ + keep.size;
+    blocks_.push_back(std::move(keep));
+    used_ = 0;
+}
+
+Digest digest_bytes(std::span<const std::uint8_t> data) {
+    // Mirrors NodeId::hash_of (util/ids.cpp): two FNV-1a rounds with
+    // distinct offsets spread across the 20 bytes.
+    Digest bytes{};
+    std::uint64_t h1 = 0xcbf29ce484222325ULL;
+    std::uint64_t h2 = 0x84222325cbf29ce4ULL;
+    for (const std::uint8_t c : data) {
+        h1 = (h1 ^ c) * 0x100000001b3ULL;
+        h2 = (h2 ^ (c + 0x9e)) * 0x100000001b3ULL;
+    }
+    const std::uint64_t h3 = h1 ^ (h2 << 1) ^ (h2 >> 7);
+    for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(h1 >> (56 - 8 * i));
+        bytes[static_cast<std::size_t>(i) + 8] =
+            static_cast<std::uint8_t>(h2 >> (56 - 8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+        bytes[16 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(h3 >> (24 - 8 * i));
+    }
+    return bytes;
+}
+
+DigestInterner::Id DigestInterner::intern(const Digest& digest) {
+    auto [it, inserted] =
+        ids_.try_emplace(digest, static_cast<Id>(digests_.size()));
+    if (inserted) digests_.push_back(digest);
+    return it->second;
+}
+
+DigestInterner::Id DigestInterner::find(const Digest& digest) const {
+    const auto it = ids_.find(digest);
+    return it == ids_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace concilium::util

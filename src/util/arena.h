@@ -1,0 +1,151 @@
+// Bump-pointer arena and digest interning.
+//
+// The full-SCAN topology (Section 4.2: 112,969 routers / 181,639 links)
+// multiplies every per-path and per-snapshot allocation by two orders of
+// magnitude over the default world.  Two small utilities keep that scale
+// affordable:
+//
+//  * Arena — a bump-pointer allocator for trivially-destructible data.
+//    Hot-path producers (PathOracle's per-BFS path extraction, flattened
+//    probe-tree routes) carve spans out of a shared arena instead of
+//    allocating one vector pair per path.  Allocation is a pointer bump;
+//    deallocation is wholesale via reset().  Pointers into the arena stay
+//    valid until reset() or destruction — blocks are chained, never
+//    reallocated or moved.
+//
+//  * DigestInterner — assigns dense uint32 ids to 20-byte content digests.
+//    Snapshot payload digests are interned once at publication; every
+//    downstream comparison (archive admission, equivocation detection,
+//    signature-verification memoization) compares two uint32s instead of
+//    re-serializing and hashing the payloads.  Id assignment order is a
+//    pure function of the intern() call order, so runs stay deterministic.
+//
+// Neither type is thread-safe; each simulation world owns its own.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace concilium::util {
+
+/// Bump-pointer allocator.  Allocations never move and are freed only in
+/// bulk (reset() / destruction), so spans handed out remain valid for the
+/// arena's current generation.  Only trivially-destructible element types
+/// are supported; the arena never runs destructors.
+class Arena {
+  public:
+    static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+
+    explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+        : block_bytes_(block_bytes < kMinBlockBytes ? kMinBlockBytes
+                                                    : block_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&&) noexcept = default;
+    Arena& operator=(Arena&&) noexcept = default;
+
+    /// Raw allocation of `bytes` with alignment `align` (a power of two).
+    /// Oversized requests get a dedicated block, so any size works.
+    void* allocate(std::size_t bytes, std::size_t align);
+
+    /// A span of n value-initialized Ts backed by the arena.
+    template <typename T>
+    std::span<T> make_span(std::size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors");
+        if (n == 0) return {};
+        T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+        std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+        return {p, n};
+    }
+
+    /// Copies `src` into the arena and returns the stable copy.
+    template <typename T>
+    std::span<const T> copy(std::span<const T> src) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "Arena copies bytes, not objects");
+        if (src.empty()) return {};
+        T* p = static_cast<T*>(allocate(src.size_bytes(), alignof(T)));
+        std::memcpy(static_cast<void*>(p), src.data(), src.size_bytes());
+        return {p, src.size()};
+    }
+
+    /// Bytes handed out since construction / last reset().
+    [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+    /// Bytes reserved from the system (>= bytes_used()).
+    [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+        return reserved_;
+    }
+
+    /// Invalidates every outstanding span and rewinds to the first block.
+    /// Later blocks are released; the first is kept so steady-state reuse
+    /// allocates nothing.
+    void reset() noexcept;
+
+  private:
+    static constexpr std::size_t kMinBlockBytes = 4096;
+
+    struct Block {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    std::vector<Block> blocks_;
+    std::byte* cur_ = nullptr;
+    std::byte* end_ = nullptr;
+    std::size_t block_bytes_;
+    std::size_t used_ = 0;
+    std::size_t reserved_ = 0;
+};
+
+/// A 20-byte content digest (same width as util::NodeId, so
+/// NodeId::hash_of output can be interned directly).
+using Digest = std::array<std::uint8_t, 20>;
+
+/// FNV-1a digest of a byte string, in the same derivation as
+/// NodeId::hash_of so digests computed either way agree.
+Digest digest_bytes(std::span<const std::uint8_t> data);
+
+/// Dense-id interning for digests.  Ids are assigned 0, 1, 2, ... in
+/// first-intern order; a given call sequence always yields the same ids,
+/// keeping interned state byte-deterministic across runs.
+class DigestInterner {
+  public:
+    using Id = std::uint32_t;
+    static constexpr Id kInvalidId = 0xffffffffu;
+
+    /// The digest's id, assigning the next dense id on first sight.
+    Id intern(const Digest& digest);
+
+    /// The digest's id, or kInvalidId if it was never interned.
+    [[nodiscard]] Id find(const Digest& digest) const;
+
+    /// The digest behind an id previously returned by intern().
+    [[nodiscard]] const Digest& digest(Id id) const { return digests_[id]; }
+
+    [[nodiscard]] std::size_t size() const noexcept { return digests_.size(); }
+
+  private:
+    struct DigestHash {
+        std::size_t operator()(const Digest& d) const noexcept {
+            // Digests are already uniformly mixed; fold the first 8 bytes.
+            std::uint64_t x;
+            std::memcpy(&x, d.data(), sizeof(x));
+            return static_cast<std::size_t>(x);
+        }
+    };
+
+    std::unordered_map<Digest, Id, DigestHash> ids_;
+    std::vector<Digest> digests_;
+};
+
+}  // namespace concilium::util

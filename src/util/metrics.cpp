@@ -110,6 +110,11 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "net.events_scheduled"},
     {WellKnown::kCounter, "net.events_executed"},
     {WellKnown::kGauge, "net.queue_depth_max"},
+    {WellKnown::kGauge, "net.eventsim.queue_high_water"},
+    {WellKnown::kGauge, "net.eventsim.overflow_high_water"},
+    // crypto — ideal-signature verification and its memo cache.
+    {WellKnown::kCounter, "crypto.verify.cache_hit"},
+    {WellKnown::kCounter, "crypto.verify.cache_miss"},
     {WellKnown::kCounter, "net.packets_sent"},
     {WellKnown::kCounter, "net.packets_delivered"},
     {WellKnown::kCounter, "net.packets_dropped"},

@@ -1,0 +1,106 @@
+// Golden seams for the arena/index-addressing refactor.
+//
+// The memory-architecture refactor (flat storage, calendar queue, interned
+// digests) must be behaviour-preserving: routes, verdicts, and generated
+// topologies are required to come out byte-identical before and after.
+// These checksums were captured against the pre-refactor implementations;
+// any divergence means the refactor changed observable behaviour, not just
+// layout.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/verdicts.h"
+#include "net/paths.h"
+#include "net/topology_gen.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace concilium {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+TEST(GoldenRefactor, PathOracleRoutesAreByteIdentical) {
+    util::Rng rng(7);
+    const auto topo = net::generate_topology(net::small_params(), rng);
+    ASSERT_EQ(topo.router_count(), 204u);
+    ASSERT_EQ(topo.link_count(), 241u);
+
+    net::PathOracle oracle(topo);
+    std::vector<net::RouterId> dsts;
+    for (net::RouterId r = 0; r < topo.router_count(); r += 17) {
+        dsts.push_back(r);
+    }
+    std::uint64_t h = kFnvOffset;
+    for (net::RouterId src = 0; src < topo.router_count(); src += 41) {
+        const auto paths = oracle.paths_from(src, dsts);
+        for (const auto& p : paths) {
+            h = fnv(h, p.routers.size());
+            for (const auto r : p.routers) h = fnv(h, r);
+            for (const auto l : p.links) h = fnv(h, l);
+        }
+    }
+    EXPECT_EQ(h, 0xe41f4298f8a83b96ULL);
+}
+
+TEST(GoldenRefactor, VerdictOutcomesAreByteIdentical) {
+    core::VerdictLedger ledger{core::VerdictParams{}};
+    util::Rng rng(1234);
+    std::uint64_t h = kFnvOffset;
+    for (int i = 0; i < 5000; ++i) {
+        const auto suspect =
+            util::NodeId::hash_of(std::string(1, static_cast<char>('a' + i % 23)));
+        const auto out = ledger.record(suspect, rng.uniform(),
+                                       i * util::kSecond);
+        h = fnv(h, static_cast<std::uint64_t>(out.guilty));
+        h = fnv(h, static_cast<std::uint64_t>(out.guilty_in_window));
+        h = fnv(h, static_cast<std::uint64_t>(out.accusation_triggered));
+    }
+    for (int k = 0; k < 23; ++k) {
+        const auto suspect =
+            util::NodeId::hash_of(std::string(1, static_cast<char>('a' + k)));
+        const int n = ledger.retract_guilty(suspect, 1000 * util::kSecond,
+                                            3000 * util::kSecond);
+        h = fnv(h, static_cast<std::uint64_t>(n));
+        h = fnv(h, static_cast<std::uint64_t>(ledger.guilty_count(suspect)));
+        h = fnv(h, static_cast<std::uint64_t>(ledger.verdict_count(suspect)));
+    }
+    for (const auto& w : ledger.export_windows()) {
+        for (const auto b : w.suspect.bytes()) h = fnv(h, b);
+        for (const auto& e : w.entries) {
+            h = fnv(h, static_cast<std::uint64_t>(e.guilty));
+            h = fnv(h, static_cast<std::uint64_t>(e.at));
+        }
+    }
+    EXPECT_EQ(h, 0x9bce516a5f11c3a9ULL);
+}
+
+TEST(GoldenRefactor, FullScanTopologyStatsAreByteIdentical) {
+    // Matches `concilium topology --full --seed 1`, which ROADMAP pins as a
+    // byte-determinism acceptance gate for the refactor.
+    util::Rng rng(1);
+    const auto topo = net::generate_topology(net::scan_like_params(), rng);
+    const auto s = net::summarize(topo);
+    EXPECT_EQ(s.routers, 113302u);
+    EXPECT_EQ(s.links, 172975u);
+    EXPECT_EQ(s.core_routers, 600u);
+    EXPECT_EQ(s.stub_routers, 75302u);
+    EXPECT_EQ(s.end_hosts, 37400u);
+    EXPECT_NEAR(s.link_router_ratio, 1.526672, 1e-6);
+    EXPECT_NEAR(s.mean_interior_degree, 4.065110, 1e-6);
+    EXPECT_TRUE(topo.connected());
+}
+
+}  // namespace
+}  // namespace concilium

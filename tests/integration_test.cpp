@@ -97,7 +97,8 @@ struct IntegrationFixture : ::testing::Test {
         ev.suspect = net.member(suspect).id();
         ev.message_id = message_id;
         ev.message_time = t;
-        ev.path_links = scenario.path_links(judge, suspect);
+        const auto judge_links = scenario.path_links(judge, suspect);
+        ev.path_links.assign(judge_links.begin(), judge_links.end());
         // One snapshot per reporter, carrying that reporter's link verdicts.
         const auto probes = scenario.gather_probes(
             judge, ev.path_links, t, sim::Scenario::CollusionStance::kNone,

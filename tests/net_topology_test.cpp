@@ -173,6 +173,32 @@ TEST(PathOracle, PathsFromMatchesSinglePathQueries) {
     }
 }
 
+TEST(PathOracle, PathsIntoMatchesPathsFrom) {
+    // The arena-backed batch API is byte-for-byte the heap-backed one.
+    util::Rng rng(6);
+    const Topology topo = generate_topology(small_params(), rng);
+    const PathOracle oracle(topo);
+    const auto hosts = topo.end_hosts();
+    ASSERT_GE(hosts.size(), 6u);
+    std::vector<RouterId> dsts(hosts.begin() + 1, hosts.begin() + 5);
+    dsts.push_back(hosts[0]);  // src itself -> empty path
+    const auto heap = oracle.paths_from(hosts[0], dsts);
+    util::Arena arena;
+    const auto views = oracle.paths_into(hosts[0], dsts, arena);
+    ASSERT_EQ(views.size(), heap.size());
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        EXPECT_EQ(views[i].empty(), heap[i].empty());
+        EXPECT_EQ(std::vector<RouterId>(views[i].routers.begin(),
+                                        views[i].routers.end()),
+                  heap[i].routers);
+        EXPECT_EQ(std::vector<LinkId>(views[i].links.begin(),
+                                      views[i].links.end()),
+                  heap[i].links);
+    }
+    EXPECT_TRUE(views.back().empty());
+    EXPECT_GT(arena.bytes_used(), 0u);
+}
+
 TEST(PathOracle, PathsFromOneSourceFormATree) {
     // Every router reached by two paths from the same source must be reached
     // via the same parent link -- the property ProbeTree relies on.

@@ -147,8 +147,14 @@ TEST(OverlayTrees, ConsistentWithRoutingState) {
                           static_cast<std::size_t>(*slot)),
                       p);
             // path_links agrees with the tree's own path.
-            EXPECT_EQ(trees.path_links(m, p),
+            const auto arena_links = trees.path_links(m, p);
+            EXPECT_EQ(std::vector<net::LinkId>(arena_links.begin(),
+                                               arena_links.end()),
                       trees.tree(m).path_links(*slot));
+            // ... and with direct slot addressing.
+            const auto slot_links = trees.slot_path_links(m, *slot);
+            EXPECT_TRUE(std::equal(arena_links.begin(), arena_links.end(),
+                                   slot_links.begin(), slot_links.end()));
         }
         // A connected topology reaches every peer.
         EXPECT_EQ(reachable, peers.size());

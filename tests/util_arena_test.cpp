@@ -1,0 +1,130 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace concilium::util {
+namespace {
+
+TEST(Arena, SpansAreZeroedAndWritable) {
+    Arena arena;
+    auto a = arena.make_span<std::uint32_t>(100);
+    ASSERT_EQ(a.size(), 100u);
+    for (auto v : a) EXPECT_EQ(v, 0u);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint32_t>(i);
+    EXPECT_EQ(a[99], 99u);
+}
+
+TEST(Arena, AllocationsDoNotMoveWhenBlocksGrow) {
+    Arena arena(4096);
+    auto first = arena.make_span<std::uint64_t>(16);
+    first[0] = 0xdeadbeef;
+    // Force many new blocks.
+    for (int i = 0; i < 100; ++i) arena.make_span<std::uint64_t>(400);
+    EXPECT_EQ(first[0], 0xdeadbeefu);
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedBlock) {
+    Arena arena(4096);
+    auto small = arena.make_span<std::uint8_t>(10);
+    small[0] = 7;
+    auto huge = arena.make_span<std::uint8_t>(1 << 20);
+    huge[0] = 9;
+    // A following small allocation still bump-allocates from the old block.
+    auto small2 = arena.make_span<std::uint8_t>(10);
+    small2[0] = 8;
+    EXPECT_EQ(small[0], 7);
+    EXPECT_EQ(huge[0], 9);
+    EXPECT_GE(arena.bytes_used(), (1u << 20) + 20u);
+}
+
+TEST(Arena, CopyPreservesBytes) {
+    Arena arena;
+    std::vector<std::uint32_t> src{1, 2, 3, 4, 5};
+    auto copy = arena.copy<std::uint32_t>({src.data(), src.size()});
+    src.assign(5, 0);  // mutate the source; the copy must be independent
+    ASSERT_EQ(copy.size(), 5u);
+    EXPECT_EQ(copy[0], 1u);
+    EXPECT_EQ(copy[4], 5u);
+}
+
+TEST(Arena, AlignmentIsRespected) {
+    Arena arena;
+    arena.make_span<std::uint8_t>(3);  // misalign the bump pointer
+    auto d = arena.make_span<double>(4);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+    arena.make_span<std::uint8_t>(1);
+    auto q = arena.make_span<std::uint64_t>(2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q.data()) % alignof(std::uint64_t),
+              0u);
+}
+
+TEST(Arena, ResetReclaimsWithoutFreeingTheWarmBlock) {
+    Arena arena(4096);
+    for (int i = 0; i < 50; ++i) arena.make_span<std::uint64_t>(100);
+    EXPECT_GT(arena.bytes_used(), 0u);
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), 4096u);
+    auto again = arena.make_span<std::uint32_t>(8);
+    again[0] = 1;
+    EXPECT_EQ(again[0], 1u);
+}
+
+TEST(Arena, EmptySpanRequestsAreCheap) {
+    Arena arena;
+    auto s = arena.make_span<std::uint32_t>(0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(DigestInterner, AssignsDenseIdsInFirstInternOrder) {
+    DigestInterner interner;
+    Digest a{};
+    a[0] = 1;
+    Digest b{};
+    b[0] = 2;
+    EXPECT_EQ(interner.intern(a), 0u);
+    EXPECT_EQ(interner.intern(b), 1u);
+    EXPECT_EQ(interner.intern(a), 0u);  // stable on re-intern
+    EXPECT_EQ(interner.size(), 2u);
+    EXPECT_EQ(interner.digest(0), a);
+    EXPECT_EQ(interner.digest(1), b);
+}
+
+TEST(DigestInterner, FindDoesNotIntern) {
+    DigestInterner interner;
+    Digest a{};
+    a[5] = 42;
+    EXPECT_EQ(interner.find(a), DigestInterner::kInvalidId);
+    EXPECT_EQ(interner.size(), 0u);
+    const auto id = interner.intern(a);
+    EXPECT_EQ(interner.find(a), id);
+}
+
+TEST(DigestInterner, DigestBytesMatchesNodeIdHashOf) {
+    // digest_bytes must agree with NodeId::hash_of so snapshot digests can
+    // be compared against ids derived either way.
+    const std::string payload = "tomographic snapshot payload";
+    const auto via_node_id = NodeId::hash_of(payload).bytes();
+    std::vector<std::uint8_t> bytes(payload.begin(), payload.end());
+    const Digest via_digest = digest_bytes({bytes.data(), bytes.size()});
+    EXPECT_EQ(via_node_id, via_digest);
+}
+
+TEST(DigestInterner, DistinctPayloadsGetDistinctIds) {
+    DigestInterner interner;
+    std::vector<std::uint8_t> p1{1, 2, 3};
+    std::vector<std::uint8_t> p2{1, 2, 4};
+    const auto id1 = interner.intern(digest_bytes({p1.data(), p1.size()}));
+    const auto id2 = interner.intern(digest_bytes({p2.data(), p2.size()}));
+    EXPECT_NE(id1, id2);
+}
+
+}  // namespace
+}  // namespace concilium::util

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hot-path lint: no NodeId-keyed hash containers off the sanctioned boundaries.
+
+The arena/index refactor's contract (DESIGN.md, "Memory architecture"): per
+packet, per probe, and per judgment the simulation addresses state by dense
+MemberIndex / LinkId / slot, never by hashing a 20-byte NodeId.  NodeId-keyed
+maps are allowed only at the wire boundary, where identifiers enter from a
+message and are resolved to an index exactly once.
+
+Mechanically: every declaration in src/ matching
+
+    unordered_map< ... NodeId ... >   or   unordered_set< ... NodeId ... >
+
+must carry the annotation comment
+
+    // hot-path-lint: boundary
+
+on the declaration's first line or an adjacent line (up to two lines above
+or below, for declarations wrapped by clang-format).  Fails
+listing every unannotated declaration; passes silently otherwise.
+
+Scope: src/ only.  Tests, benches, and examples build whatever ad-hoc maps
+they like -- they are not the simulation hot path.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ANNOTATION = "hot-path-lint: boundary"
+DECL = re.compile(r"unordered_(?:map|set)\s*<[^;{}]*NodeId")
+
+
+def find_violations(root):
+    violations = []
+    for path in sorted((root / "src").rglob("*.h")) + sorted(
+            (root / "src").rglob("*.cpp")):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            # Join wrapped declarations: the template argument list can
+            # span lines, so look at a 3-line window for the NodeId match.
+            window = " ".join(lines[i:i + 3])
+            if not DECL.search(window):
+                continue
+            if "unordered_" not in line:
+                continue  # attribute the violation to the opening line only
+            context = lines[max(0, i - 2):i + 4]
+            if any(ANNOTATION in c for c in context):
+                continue
+            violations.append(f"{path.relative_to(root)}:{i + 1}: {line.strip()}")
+    return violations
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    violations = find_violations(root)
+    if violations:
+        print("check_hot_path: NodeId-keyed hash containers without a "
+              f"'// {ANNOTATION}' annotation:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        print(f"\n{len(violations)} violation(s).  Either address the state "
+              "by dense index (preferred on hot paths) or, if this is a "
+              "sanctioned wire-boundary resolution, annotate the "
+              "declaration.", file=sys.stderr)
+        sys.exit(1)
+    print("check_hot_path: ok")
+
+
+if __name__ == "__main__":
+    main()
