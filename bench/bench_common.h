@@ -19,12 +19,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <stdexcept>
 
+#include "core/trace.h"
 #include "net/chaos.h"
 #include "net/topology_gen.h"
 #include "runtime/attack.h"
@@ -32,6 +35,7 @@
 #include "sim/scenario.h"
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/spans.h"
 
 namespace concilium::bench {
 
@@ -46,6 +50,11 @@ struct BenchArgs {
     std::string metrics_out;
     /// Empty = no BENCH_<name>.json perf snapshot (see BenchReport).
     std::string bench_out;
+    /// Empty = span recorder stays disabled; otherwise the Chrome trace
+    /// JSON dumped at exit (see util/spans.h and OBSERVABILITY.md).
+    std::string spans_out;
+    /// Empty = no DiagnosisTrace JSON dump; see trace_sink_add below.
+    std::string trace_out;
     /// Parsed --chaos spec (see net/chaos.h); empty = no fault injection.
     net::FaultSpec chaos;
     /// Parsed --attack spec (see runtime/attack.h); empty = all honest.
@@ -55,8 +64,13 @@ struct BenchArgs {
 [[noreturn]] inline void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--full] [--seed N] [--samples N] [--jobs N] "
-                 "[--metrics-out FILE] [--bench-out FILE] [--chaos SPEC] "
+                 "[--metrics-out FILE] [--bench-out FILE] [--spans-out FILE] "
+                 "[--trace-out FILE] [--chaos SPEC] "
                  "[--attack SPEC]\n"
+                 "  --spans-out FILE: arm the span recorder and dump Chrome "
+                 "trace-event JSON at exit\n"
+                 "  --trace-out FILE: dump the merged DiagnosisTrace blame "
+                 "journal as JSON at exit\n"
                  "  --chaos SPEC: comma-separated kind:rate pairs, e.g. "
                  "flap:0.02,churn:0.01\n"
                  "    kinds: flap corr loss reorder dup churn ackdrop "
@@ -72,19 +86,52 @@ struct BenchArgs {
 namespace detail {
 
 inline std::string g_metrics_out;  // NOLINT: set once in main, read at exit
+inline std::string g_spans_out;    // NOLINT: same lifecycle
+inline std::string g_trace_out;    // NOLINT: same lifecycle
+
+inline void write_text_file(const char* flag, const std::string& path,
+                            const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "%s: cannot open '%s'\n", flag, path.c_str());
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
 
 inline void write_metrics_file() {
     if (detail::g_metrics_out.empty()) return;
-    const std::string json =
-        util::metrics::Registry::global().snapshot().to_json();
-    std::FILE* f = std::fopen(detail::g_metrics_out.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "--metrics-out: cannot open '%s'\n",
-                     detail::g_metrics_out.c_str());
-        return;
+    write_text_file("--metrics-out", detail::g_metrics_out,
+                    util::metrics::Registry::global().snapshot().to_json());
+}
+
+inline void write_spans_file() {
+    if (detail::g_spans_out.empty()) return;
+    write_text_file("--spans-out", detail::g_spans_out,
+                    util::spans::Recorder::global().to_chrome_json());
+}
+
+/// The merged DiagnosisTrace records across every trial, appended strictly
+/// in driver merge order (so the dump is byte-identical across --jobs).
+struct TraceSink {
+    std::vector<core::DiagnosisRecord> records;
+    std::uint64_t total_recorded = 0;
+};
+
+inline TraceSink g_trace_sink;  // NOLINT: merge-thread only
+
+inline void write_trace_file() {
+    if (detail::g_trace_out.empty()) return;
+    std::string json = "{\"total_recorded\": " +
+                       util::json_number(g_trace_sink.total_recorded) +
+                       ",\n\"records\": [";
+    for (std::size_t i = 0; i < g_trace_sink.records.size(); ++i) {
+        json += (i == 0) ? "\n" : ",\n";
+        json += g_trace_sink.records[i].to_json();
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+    json += "\n]}\n";
+    write_text_file("--trace-out", detail::g_trace_out, json);
 }
 
 }  // namespace detail
@@ -98,6 +145,49 @@ inline void set_metrics_out(const std::string& path) {
     const bool first = detail::g_metrics_out.empty();
     detail::g_metrics_out = path;
     if (first) std::atexit(&detail::write_metrics_file);
+}
+
+/// Arms the span recorder and the at-exit Chrome trace dump.  Like the
+/// metrics registry, the recorder's state is deliberately leaked, so the
+/// atexit exporter is safe during static destruction.
+inline void set_spans_out(const std::string& path) {
+    if (path.empty()) return;
+    const bool first = detail::g_spans_out.empty();
+    detail::g_spans_out = path;
+    util::spans::Recorder::global().enable();
+    if (first) std::atexit(&detail::write_spans_file);
+}
+
+/// Arms the at-exit DiagnosisTrace dump.  Benches opt in per trial with
+/// trace_sink_add() from their merge callback.
+inline void set_trace_out(const std::string& path) {
+    if (path.empty()) return;
+    const bool first = detail::g_trace_out.empty();
+    detail::g_trace_out = path;
+    if (first) std::atexit(&detail::write_trace_file);
+}
+
+/// True when --trace-out was given (lets benches skip per-trial copying).
+[[nodiscard]] inline bool trace_out_armed() {
+    return !detail::g_trace_out.empty();
+}
+
+/// Appends one trial's retained blame journal to the merged --trace-out
+/// dump.  Call from the driver *merge* callback only (single-threaded, in
+/// trial order); a no-op when --trace-out was not given.
+inline void trace_sink_add(std::vector<core::DiagnosisRecord>&& records,
+                           std::uint64_t total_recorded) {
+    if (!trace_out_armed()) return;
+    detail::g_trace_sink.total_recorded += total_recorded;
+    detail::g_trace_sink.records.insert(
+        detail::g_trace_sink.records.end(),
+        std::make_move_iterator(records.begin()),
+        std::make_move_iterator(records.end()));
+}
+
+inline void trace_sink_add(const core::DiagnosisTrace& trace) {
+    if (!trace_out_armed()) return;
+    trace_sink_add(trace.records(), trace.total_recorded());
 }
 
 /// Strict non-negative integer parse; rejects the empty string, trailing
@@ -120,7 +210,13 @@ inline std::uint64_t parse_u64(const char* argv0, const char* flag,
     return value;
 }
 
-inline BenchArgs parse_args(int argc, char** argv) {
+/// Bench-specific flag hook for parse_args: called with the current argv
+/// index when no shared flag matched; returns true after consuming it
+/// (advancing `i` over any value), false to fall through to usage().
+using ExtraArgFn = std::function<bool(int& i, int argc, char** argv)>;
+
+inline BenchArgs parse_args(int argc, char** argv,
+                            const ExtraArgFn& extra = {}) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0) {
@@ -137,6 +233,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--bench-out") == 0 &&
                    i + 1 < argc) {
             args.bench_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--spans-out") == 0 &&
+                   i + 1 < argc) {
+            args.spans_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            args.trace_out = argv[++i];
         } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
             // Strict: unknown fault kinds and out-of-range rates are
             // rejected here, not at scenario-construction time.
@@ -153,11 +255,15 @@ inline BenchArgs parse_args(int argc, char** argv) {
                 std::fprintf(stderr, "%s\n", e.what());
                 usage(argv[0]);
             }
+        } else if (extra && extra(i, argc, argv)) {
+            // consumed by the bench's own flag hook
         } else {
             usage(argv[0]);
         }
     }
     set_metrics_out(args.metrics_out);
+    set_spans_out(args.spans_out);
+    set_trace_out(args.trace_out);
     return args;
 }
 

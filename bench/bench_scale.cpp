@@ -15,21 +15,73 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/blame.h"
 #include "sim/experiments.h"
+#include "tomography/inference.h"
+#include "tomography/probing.h"
 #include "tomography/tree.h"
+#include "util/spans.h"
 
 int main(int argc, char** argv) {
     using namespace concilium;
-    const auto args = bench::parse_args(argc, argv);
+    bool build_only = false;
+    const auto args = bench::parse_args(
+        argc, argv, [&](int& i, int /*argc*/, char** argv2) {
+            if (std::strcmp(argv2[i], "--build-only") == 0) {
+                build_only = true;
+                return true;
+            }
+            return false;
+        });
     bench::BenchReport report("scale");
+
+    // --build-only exists to profile the world-build phases, so it records
+    // spans even without --spans-out.
+    if (build_only && !util::spans::enabled()) {
+        util::spans::Recorder::global().enable();
+    }
 
     const sim::ScenarioParams params = bench::paper_scenario(args);
     const double build_start = report.wall_seconds();
-    const sim::Scenario scenario(params);
+    std::optional<sim::Scenario> scenario_storage;
+    {
+        const util::spans::WallSpan span(util::spans::SpanType::kWorldBuild);
+        scenario_storage.emplace(params);
+    }
+    const sim::Scenario& scenario = *scenario_storage;
     const double build_seconds = report.wall_seconds() - build_start;
+
+    if (build_only) {
+        bench::print_header("scale", "world build phase breakdown");
+        bench::print_param(
+            "routers",
+            static_cast<double>(scenario.topology().router_count()));
+        bench::print_param(
+            "links", static_cast<double>(scenario.topology().link_count()));
+        bench::print_param(
+            "overlay_nodes",
+            static_cast<double>(scenario.overlay_net().size()));
+        bench::print_param("seed", static_cast<double>(args.seed));
+        std::printf("%-18s %-10s\n", "phase", "seconds");
+        for (const auto& ev : util::spans::Recorder::global().collect()) {
+            if (ev.wall_begin == util::spans::kNoClock ||
+                ev.wall_end == util::spans::kNoClock) {
+                continue;
+            }
+            std::printf("%-18s %-10.3f\n", util::spans::span_name(ev.type),
+                        static_cast<double>(ev.wall_end - ev.wall_begin) *
+                            1e-9);
+        }
+        report.finish();
+        report.set("build_seconds", build_seconds);
+        report.write(args.bench_out);
+        return 0;
+    }
 
     const auto& net = scenario.overlay_net();
     const std::size_t sample_hosts = std::min<std::size_t>(
@@ -116,6 +168,84 @@ int main(int argc, char** argv) {
                     vouchers[k] / hosts_counted[k], hosts_counted[k]);
     }
     std::printf("# paper: own tree only covers ~0.25 of forest links\n");
+
+    // Diagnosis slice: a handful of complete judge-side diagnoses at full
+    // scale -- gather evidence, compute blame, corroborate with a
+    // heavyweight MINC session -- so a --spans-out trace carries the
+    // sim-clock diagnosis span types (probe_round, diagnosis, judgment,
+    // heavyweight_session, mle_solve) next to the world-build phases.
+    // Every draw comes from the trial substream and every emitted sim span
+    // is scoped, so the summary line and the trace's sim section stay
+    // byte-identical across --jobs values.
+    const core::BlameParams blame_params = params.blame;
+    const util::SimTime duration = params.duration;
+    const auto pass = [&](net::LinkId l, util::SimTime t) {
+        return scenario.timeline().is_up(l, t) ? 1.0 : 0.0;
+    };
+    struct SliceOut {
+        bool valid = false;
+        bool guilty = false;
+        std::size_t probes = 0;
+    };
+    const std::size_t slice_samples = args.full ? 32 : 12;
+    const auto slice_driver = bench::make_driver(args, 47);
+    std::size_t judged = 0;
+    std::size_t guilty_total = 0;
+    std::size_t probe_total = 0;
+    slice_driver.run(
+        slice_samples,
+        [&](std::uint64_t q, util::Rng& rng) {
+            using util::spans::SpanType;
+            SliceOut out;
+            const auto triple = scenario.sample_triple(rng);
+            if (!triple.has_value()) return out;
+            const auto t = static_cast<util::SimTime>(rng.uniform(
+                static_cast<double>(blame_params.delta),
+                static_cast<double>(duration - blame_params.delta)));
+            const auto path = scenario.path_links(triple->b, triple->c);
+            const auto probes = scenario.gather_probes(
+                triple->a, path, t, sim::Scenario::CollusionStance::kNone, q,
+                /*reporter_cap=*/8);
+            util::spans::sim_instant(SpanType::kProbeRound, t, q,
+                                     static_cast<std::int64_t>(probes.size()));
+            const auto breakdown = core::compute_blame(
+                path, probes, t, scenario.overlay_net().member(triple->b).id(),
+                blame_params);
+            const bool guilty = breakdown.blame >= 0.5;
+            util::spans::sim_span(SpanType::kDiagnosis,
+                                  t - blame_params.delta,
+                                  t + blame_params.delta, q, guilty ? 1 : 0);
+            util::spans::sim_instant(SpanType::kJudgment, t, q,
+                                     guilty ? 1 : 0);
+            const auto& tree = scenario.tree(triple->a);
+            if (!tree.leaves().empty()) {
+                tomography::HeavyweightParams hw;
+                hw.probe_count = 24;
+                const auto session = tomography::run_heavyweight_session(
+                    tree, pass, t, hw, {}, rng);
+                util::spans::sim_span(SpanType::kHeavyweightSession,
+                                     session.started_at, session.finished_at,
+                                     q, hw.probe_count);
+                const auto inference =
+                    tomography::infer_link_loss(tree, session.probes);
+                util::spans::sim_instant(
+                    SpanType::kMleSolve, session.finished_at, q,
+                    static_cast<std::int64_t>(inference.links.size()));
+            }
+            out.valid = true;
+            out.guilty = guilty;
+            out.probes = probes.size();
+            return out;
+        },
+        [&](std::uint64_t, SliceOut&& out) {
+            if (!out.valid) return;
+            ++judged;
+            guilty_total += out.guilty ? 1 : 0;
+            probe_total += out.probes;
+        });
+    std::printf(
+        "diagnosis slice: %zu judged, %zu guilty, %zu probe observations\n",
+        judged, guilty_total, probe_total);
 
     report.finish();
     report.set("build_seconds", build_seconds);

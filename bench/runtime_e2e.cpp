@@ -14,8 +14,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/trace.h"
 #include "runtime/cluster.h"
 
 namespace {
@@ -26,6 +28,20 @@ void append(std::string& out, const char* fmt, auto... args) {
     char buf[192];
     std::snprintf(buf, sizeof buf, fmt, args...);
     out += buf;
+}
+
+/// One phase's report block plus its retained blame journal (empty unless
+/// --trace-out is armed).
+struct PhaseOut {
+    std::string block;
+    std::vector<core::DiagnosisRecord> trace_records;
+    std::uint64_t trace_total = 0;
+};
+
+void capture_trace(PhaseOut& out, const core::DiagnosisTrace& trace) {
+    if (!bench::trace_out_armed()) return;
+    out.trace_records = trace.records();
+    out.trace_total = trace.total_recorded();
 }
 
 }  // namespace
@@ -77,7 +93,8 @@ int main(int argc, char** argv) {
     // --- trial 0: a targeted stream through one deterministic dropper, so
     // forwarder diagnosis and the accusation pipeline get real load.
     const auto targeted_phase = [&](util::Rng& rng) {
-        std::string out;
+        PhaseOut phase;
+        std::string& out = phase.block;
         std::vector<overlay::MemberIndex> hops;
         overlay::MemberIndex from = 0;
         util::NodeId key;
@@ -91,16 +108,18 @@ int main(int argc, char** argv) {
                 hops.clear();
             }
         }
-        if (hops.size() < 4) return out;
+        if (hops.size() < 4) return phase;
         std::size_t targeted_correct = 0;
         std::size_t targeted_total = 0;
         const overlay::MemberIndex dropper = hops[2];
         auto targeted_behaviors = behaviors;
         targeted_behaviors[dropper].drop_forward_probability = 1.0;
+        core::DiagnosisTrace trace(256);
         net::EventSim sim;
         runtime::Cluster targeted(sim, world.timeline(), world.overlay_net(),
                                   world.trees(), runtime::RuntimeParams{},
                                   targeted_behaviors, rng.fork());
+        targeted.set_trace(&trace);
         targeted.start();
         sim.run_until(3 * util::kMinute);
         // Spread sends across the virtual run so down intervals on the
@@ -129,17 +148,21 @@ int main(int argc, char** argv) {
         append(out, "%-28s %zu / %zu (accusations %zu, verified %zu)\n",
                "targeted dropper diagnosed", targeted_correct, targeted_total,
                accs.size(), verified_targeted);
-        return out;
+        capture_trace(phase, trace);
+        return phase;
     };
 
     // --- trial 1: the background workload, scored against ground truth,
     // plus the audit of every accusation left in the DHT.
     const auto workload_phase = [&](util::Rng& rng) {
-        std::string out;
+        PhaseOut phase;
+        std::string& out = phase.block;
+        core::DiagnosisTrace trace(512);
         net::EventSim sim;
         runtime::Cluster cluster(sim, world.timeline(), world.overlay_net(),
                                  world.trees(), runtime::RuntimeParams{},
                                  behaviors, rng.fork());
+        cluster.set_trace(&trace);
         cluster.start();
         sim.run_until(3 * util::kMinute);
 
@@ -221,7 +244,8 @@ int main(int argc, char** argv) {
         }
         append(out, "%-28s %zu (verified %zu, against droppers %zu)\n",
                "accusations in DHT", total, verified, against_droppers);
-        return out;
+        capture_trace(phase, trace);
+        return phase;
     };
 
     driver.run(
@@ -229,8 +253,10 @@ int main(int argc, char** argv) {
         [&](std::uint64_t trial, util::Rng& rng) {
             return trial == 0 ? targeted_phase(rng) : workload_phase(rng);
         },
-        [](std::uint64_t, std::string&& block) {
-            std::fputs(block.c_str(), stdout);
+        [](std::uint64_t, PhaseOut&& phase) {
+            std::fputs(phase.block.c_str(), stdout);
+            bench::trace_sink_add(std::move(phase.trace_records),
+                                  phase.trace_total);
         });
 
     // Perf trajectory: events/sec is the headline number tools/check_perf.py

@@ -40,6 +40,14 @@ void append(std::string& out, const char* fmt, auto... args) {
 
 constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0};
 
+/// One row of the sweep plus the trial's retained blame journal (empty
+/// unless --trace-out is armed).
+struct LevelOut {
+    std::string row;
+    std::vector<core::DiagnosisRecord> trace_records;
+    std::uint64_t trace_total = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +90,12 @@ int main(int argc, char** argv) {
 
     const auto driver = bench::make_driver(args, 107);
     const std::size_t levels = std::size(kIntensities);
+
+    // Windowed sim-clock series: false accusations by the virtual minute
+    // they were diagnosed in (sum mode commutes across --jobs).
+    auto& false_acc_by_minute = util::metrics::Registry::global().series(
+        "attack.false_accusations.by_minute", util::kMinute, 240,
+        util::metrics::SeriesMetric::Mode::kSum);
 
     const auto run_level = [&](std::uint64_t trial, util::Rng& rng) {
         const double intensity = kIntensities[trial];
@@ -135,7 +149,10 @@ int main(int argc, char** argv) {
                          m < overlay_net.size(); ++m) {
                         if (overlay_net.member(m).id() == *res.blamed) {
                             blamed_once[m] = true;
-                            if (!is_byzantine(m)) ++false_accusations;
+                            if (!is_byzantine(m)) {
+                                ++false_accusations;
+                                false_acc_by_minute.observe(sim.now());
+                            }
                             break;
                         }
                     }
@@ -209,12 +226,16 @@ int main(int argc, char** argv) {
             with_drops == 0 ? 0.0
                             : static_cast<double>(evaded) /
                                   static_cast<double>(with_drops);
-        std::string out;
-        append(out,
+        LevelOut out;
+        append(out.row,
                "%-10.2g %-10zu %-10zu %-10zu %-8zu %-8zu %-12.4f %-10zu "
                "%-10zu %-8zu\n",
                intensity, attackers, delivered, diagnosed, caught, evaded,
                evasion_rate, slander_successes, false_accusations, proofs);
+        if (bench::trace_out_armed()) {
+            out.trace_records = trace.records();
+            out.trace_total = trace.total_recorded();
+        }
         return out;
     };
 
@@ -223,8 +244,10 @@ int main(int argc, char** argv) {
         [&](std::uint64_t trial, util::Rng& rng) {
             return run_level(trial, rng);
         },
-        [](std::uint64_t, std::string&& row) {
-            std::fputs(row.c_str(), stdout);
+        [](std::uint64_t, LevelOut&& out) {
+            std::fputs(out.row.c_str(), stdout);
+            bench::trace_sink_add(std::move(out.trace_records),
+                                  out.trace_total);
         });
     return 0;
 }

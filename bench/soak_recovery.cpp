@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/trace.h"
@@ -33,6 +34,14 @@ void append(std::string& out, const char* fmt, auto... args) {
 }
 
 constexpr double kIntensities[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+/// One row of the sweep plus the trial's retained blame journal (empty
+/// unless --trace-out is armed).
+struct LevelOut {
+    std::string row;
+    std::vector<core::DiagnosisRecord> trace_records;
+    std::uint64_t trace_total = 0;
+};
 
 }  // namespace
 
@@ -75,6 +84,12 @@ int main(int argc, char** argv) {
                 "resync");
     const auto driver = bench::make_driver(args, 94);
     const std::size_t levels = std::size(kIntensities);
+
+    // Windowed sim-clock series: false accusations by the virtual minute
+    // they were diagnosed in (sum mode commutes across --jobs).
+    auto& false_acc_by_minute = util::metrics::Registry::global().series(
+        "recovery.false_accusations.by_minute", util::kMinute, 240,
+        util::metrics::SeriesMetric::Mode::kSum);
 
     const auto run_level = [&](std::uint64_t trial, util::Rng& rng) {
         const double intensity = kIntensities[trial];
@@ -133,6 +148,7 @@ int main(int argc, char** argv) {
                         // false accusation.
                         if (res.blamed.has_value()) {
                             ++false_accusations;
+                            false_acc_by_minute.observe(sim.now());
                         } else if (res.network_blamed) {
                             ++correct;
                         }
@@ -148,6 +164,7 @@ int main(int argc, char** argv) {
                             ++correct;
                         } else if (res.blamed.has_value()) {
                             ++false_accusations;
+                            false_acc_by_minute.observe(sim.now());
                         }
                     }
                 });
@@ -178,13 +195,17 @@ int main(int argc, char** argv) {
             diagnosed == 0 ? 0.0
                            : static_cast<double>(false_accusations) /
                                  static_cast<double>(diagnosed);
-        std::string out;
-        append(out,
+        LevelOut out;
+        append(out.row,
                "%-10.2g %-10zu %-10zu %-10zu %-10.4f %-8zu %-8zu %-8zu "
                "%-8zu %-8zu\n",
                intensity, delivered, diagnosed, false_accusations, rate,
                insufficient, stats.crashes, stats.verdicts_retracted,
                orphans, stats.resync_rounds);
+        if (bench::trace_out_armed()) {
+            out.trace_records = trace.records();
+            out.trace_total = trace.total_recorded();
+        }
         return out;
     };
 
@@ -193,8 +214,10 @@ int main(int argc, char** argv) {
         [&](std::uint64_t trial, util::Rng& rng) {
             return run_level(trial, rng);
         },
-        [](std::uint64_t, std::string&& row) {
-            std::fputs(row.c_str(), stdout);
+        [](std::uint64_t, LevelOut&& out) {
+            std::fputs(out.row.c_str(), stdout);
+            bench::trace_sink_add(std::move(out.trace_records),
+                                  out.trace_total);
         });
     return 0;
 }

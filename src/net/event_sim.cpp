@@ -45,6 +45,16 @@ util::metrics::Gauge& overflow_high_water() {
     return g;
 }
 
+// Per-sim-minute queue-depth high-water series (geometry matches the
+// kWellKnownSeries catalogue).  Max mode commutes, so the exported windows
+// are byte-identical across --jobs values like the gauges above.
+util::metrics::SeriesMetric& queue_depth_by_minute() {
+    static auto& s = util::metrics::Registry::global().series(
+        "net.eventsim.queue_depth.by_minute", util::kMinute, 240,
+        util::metrics::SeriesMetric::Mode::kMax);
+    return s;
+}
+
 }  // namespace
 
 EventSim::EventSim() {
@@ -180,6 +190,28 @@ void EventSim::dispatch(const Record& ev) {
     const Handler h = handlers_[ev.handler];
     h.fn(h.ctx, ev.a, ev.b, ev.c);
     events_executed().add(1);
+    // Per-minute queue-depth high water: two compares per event; the shared
+    // SeriesMetric is only touched when the clock leaves the window.
+    if (now_ >= depth_window_end_) flush_depth_window();
+    const auto depth = static_cast<std::int64_t>(pending());
+    if (depth > depth_window_max_) depth_window_max_ = depth;
+}
+
+void EventSim::flush_depth_window() noexcept {
+    if (depth_window_max_ > 0) {
+        queue_depth_by_minute().observe(depth_window_start_,
+                                        depth_window_max_);
+        depth_window_max_ = 0;
+    }
+    depth_window_start_ = now_ - now_ % util::kMinute;
+    depth_window_end_ = depth_window_start_ + util::kMinute;
+}
+
+EventSim::~EventSim() {
+    if (depth_window_max_ > 0) {
+        queue_depth_by_minute().observe(depth_window_start_,
+                                        depth_window_max_);
+    }
 }
 
 bool EventSim::step() {

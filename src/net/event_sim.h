@@ -51,6 +51,7 @@ class EventSim {
     static constexpr std::size_t kDefaultMaxPending = std::size_t{1} << 26;
 
     EventSim();
+    ~EventSim();  // flushes the open queue-depth window to the series
 
     [[nodiscard]] util::SimTime now() const noexcept { return now_; }
 
@@ -144,6 +145,10 @@ class EventSim {
     /// Migrates overflow events with at < wheel_end() into the wheel.
     void drain_overflow();
     void dispatch(const Record& ev);
+    /// Publishes the finished per-minute queue-depth maximum and opens the
+    /// window containing now_.  Off the per-event path: dispatch() only
+    /// compares against depth_window_end_.
+    void flush_depth_window() noexcept;
 
     static void run_callback_slot(void* ctx, std::uint32_t slot, std::uint64_t,
                                   std::uint64_t);
@@ -160,6 +165,13 @@ class EventSim {
     util::SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::size_t max_pending_ = kDefaultMaxPending;
+
+    // Queue-depth high-water accumulation for the per-minute series.  The
+    // running maximum stays in these plain members (no atomics on the
+    // dispatch path) until the sim clock leaves the window.
+    util::SimTime depth_window_start_ = 0;
+    util::SimTime depth_window_end_ = 0;  // 0: first dispatch opens a window
+    std::int64_t depth_window_max_ = 0;
 };
 
 }  // namespace concilium::net

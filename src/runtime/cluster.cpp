@@ -2,6 +2,7 @@
 
 #include "tomography/verification.h"
 #include "util/metrics.h"
+#include "util/spans.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -17,6 +18,13 @@ const NodeBehavior kHonest{};
 // events run at human-auditable rates, so the per-call name lookup is fine.
 void bump(const char* name, std::int64_t delta = 1) {
     util::metrics::Registry::global().counter(name).add(delta);
+}
+
+// A per-sim-minute windowed series (geometry matches the kWellKnownSeries
+// catalogue in util/metrics.cpp).
+util::metrics::SeriesMetric& minute_series(const char* name) {
+    return util::metrics::Registry::global().series(
+        name, util::kMinute, 240, util::metrics::SeriesMetric::Mode::kSum);
 }
 
 }  // namespace
@@ -200,6 +208,11 @@ void Cluster::restart_node(overlay::MemberIndex m) {
 void Cluster::recovery_handshake(
     overlay::MemberIndex m, const NodeJournal::RecoveredState& recovered) {
     const util::SimTime now = sim_->now();
+    // Outage interval (crash → handshake) on the sim clock, keyed by the
+    // recovering member.
+    util::spans::sim_span(util::spans::SpanType::kRecoveryHandshake,
+                          crashed_at_[m], now, /*causal=*/m,
+                          static_cast<std::int64_t>(recovered.incarnations));
     // (a) Announce the outage.  The signed interval is what turns peers'
     // degraded-mode guilty presumptions into retractions.
     const RecoveryAnnouncement announcement = make_recovery_announcement(
@@ -527,6 +540,8 @@ void Cluster::run_probe_round(overlay::MemberIndex m) {
 void Cluster::probe_round_once(overlay::MemberIndex m) {
     if (!online_[m]) return;
     ++stats_.lightweight_rounds;
+    util::spans::sim_instant(util::spans::SpanType::kProbeRound, sim_->now(),
+                             /*causal=*/m);
     const auto& tree = trees_->tree(m);
     if (!tree.leaves().empty()) {
         const auto pass = [this](net::LinkId link, util::SimTime t) {
@@ -575,6 +590,14 @@ void Cluster::run_heavyweight(overlay::MemberIndex m) {
     const auto& tree = trees_->tree(m);
     if (tree.leaves().empty()) return;
     ++stats_.heavyweight_sessions;
+    // Dual-clock span: the sim instant keeps the deterministic section
+    // aligned with the probe timeline, the wall interval measures the
+    // session + MLE compute (the tomography hot path).
+    util::spans::WallSpan hw_span(util::spans::SpanType::kHeavyweightSession,
+                                  /*causal=*/m,
+                                  static_cast<std::int64_t>(
+                                      tree.leaves().size()));
+    hw_span.set_sim(sim_->now(), sim_->now());
     nodes_[m].last_heavyweight = sim_->now();
     const auto pass = [this](net::LinkId link, util::SimTime t) {
         return transport_.pass_probability(link, t);
@@ -671,6 +694,12 @@ void Cluster::publish_snapshot(overlay::MemberIndex m,
         net_->member(m).keys.sign(snapshot.signed_payload());
     ++stats_.snapshots_published;
     bump("runtime.snapshots_published");
+    // Publish → expected fan-out delivery on the sim clock; arg carries
+    // the epoch so equivocating twins are distinguishable in the trace.
+    util::spans::sim_span(util::spans::SpanType::kSnapshotExchange,
+                          sim_->now(), sim_->now() + params_.control_latency,
+                          /*causal=*/m,
+                          static_cast<std::int64_t>(snapshot.epoch));
     // Serialize + digest the signed payload exactly once; every per-peer
     // delivery below (and the node's own archive) reuses the sealed slab.
     const auto pub = seal(m, std::move(snapshot));
@@ -970,6 +999,9 @@ void Cluster::transmit_to_next(std::uint64_t msg_id, std::size_t hop,
     if (cut) {
         ++stats_.partition_blocked_packets;
         bump("partition.messages_blocked");
+        static auto& blocked_by_minute =
+            minute_series("partition.messages_blocked.by_minute");
+        blocked_by_minute.observe(sim_->now());
         if (!ctx.dropped_by_hop.has_value()) {
             ctx.dropped_by_network = true;
             ctx.network_drop_segment = hop;
@@ -1015,6 +1047,9 @@ void Cluster::forward_retry(std::uint64_t msg_id, std::size_t hop,
     if (!online_[ctx.route[hop]]) return;  // churned out mid-retry
     ++stats_.forward_retransmissions;
     bump("runtime.retry.forward_attempts");
+    static auto& retries_by_minute =
+        minute_series("runtime.retry.forward_attempts.by_minute");
+    retries_by_minute.observe(sim_->now());
     transmit_to_next(msg_id, hop, attempt);
 }
 
@@ -1176,6 +1211,9 @@ void Cluster::judge_next_hop(std::uint64_t msg_id, std::size_t hop) {
     }
     steward.breakdown = std::move(breakdown);
     steward.judged_at = sim_->now();
+    util::spans::sim_instant(util::spans::SpanType::kJudgment, sim_->now(),
+                             /*causal=*/msg_id,
+                             /*arg=*/static_cast<std::int64_t>(hop));
     steward.judgment = std::move(ev);
     journals_[m].record_steward_close(msg_id, hop);
     if (insufficient) {
@@ -1521,6 +1559,15 @@ void Cluster::maybe_complete(std::uint64_t msg_id) {
 
 void Cluster::record_trace(const MessageContext& ctx,
                            const MessageOutcome& outcome) {
+    // The whole-diagnosis span (sent → settled), causally keyed by message
+    // id like every judgment recorded along the way; arg encodes the
+    // verdict class.  Recorded whether or not a DiagnosisTrace is attached.
+    const std::int64_t verdict_arg = outcome.insufficient_evidence ? 3
+                                     : outcome.network_blamed      ? 2
+                                     : outcome.blamed.has_value()  ? 1
+                                                                   : 0;
+    util::spans::sim_span(util::spans::SpanType::kDiagnosis, ctx.sent_at,
+                          sim_->now(), /*causal=*/ctx.id, verdict_arg);
     if (trace_ == nullptr) return;
     core::DiagnosisRecord rec;
     rec.message_id = ctx.id;

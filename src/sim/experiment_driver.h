@@ -53,6 +53,7 @@
 
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/spans.h"
 
 namespace concilium::sim {
 
@@ -138,7 +139,8 @@ class ExperimentDriver {
             trial, [&](std::uint64_t i, auto&& r) {
                 merge(i, std::forward<decltype(r)>(r));
                 return true;
-            });
+            },
+            util::spans::SpanType::kTrial, scope_block());
         stats.trials = trials;
         stats.accepted = trials;
         stats.wall_seconds =
@@ -160,6 +162,7 @@ class ExperimentDriver {
         const auto start = std::chrono::steady_clock::now();
         RunStats stats;
         stats.jobs = jobs();
+        const std::uint64_t scopes = scope_block();
         std::uint64_t next_attempt = 0;
         std::size_t accepted = 0;
         while (accepted < target) {
@@ -186,7 +189,8 @@ class ExperimentDriver {
                         ++accepted;
                     }
                     return accepted < target;
-                });
+                },
+                util::spans::SpanType::kTrial, scopes);
             next_attempt += wave;
         }
         stats.trials = next_attempt;
@@ -219,7 +223,8 @@ class ExperimentDriver {
             shard, [&](std::uint64_t s, auto&& r) {
                 merge(s, std::forward<decltype(r)>(r));
                 return true;
-            });
+            },
+            util::spans::SpanType::kShard, scope_block());
         stats.trials = shards;
         stats.accepted = shards;
         stats.wall_seconds =
@@ -238,22 +243,44 @@ class ExperimentDriver {
     // three stream families never collide.
     static constexpr std::uint64_t kShardStreamBase = 0x5AAD'0000'0000'0000ULL;
 
+    /// A fresh span-scope block for one run, or 0 when the recorder is off
+    /// (scope ids are only ever read by the recorder).
+    static std::uint64_t scope_block() {
+        return util::spans::enabled()
+                   ? util::spans::Recorder::global().next_scope_block()
+                   : 0;
+    }
+
     /// Runs trial indices [base, base + count) on the pool and consumes
     /// results in index order; `consume` returns false to stop consuming
     /// (remaining computed results are dropped).  Every index in the range
     /// is computed regardless — see determinism guarantee 1 above.
     /// `rng_of(i)` supplies the generator for index i (trial substreams for
     /// run/run_until, shard substreams for run_shards).
+    /// Each trial executes inside a spans::TrialScope (scope = the run's
+    /// block | index + 1) wrapped in a wall span of `span_type`, which is
+    /// what merges per-trial span buffers deterministically: a trial's
+    /// sim-clock events carry (scope, seq) — a pure function of the seed —
+    /// and the exporter sorts by it, so the trace is byte-stable across
+    /// worker counts.
     /// Returns the summed trial execution time in seconds.
     template <typename RngOf, typename TrialFn, typename ConsumeFn>
     double run_range(std::uint64_t base, std::size_t count, RngOf&& rng_of,
-                     TrialFn& trial, ConsumeFn&& consume) const {
+                     TrialFn& trial, ConsumeFn&& consume,
+                     util::spans::SpanType span_type,
+                     std::uint64_t scope_base) const {
         using Result =
             std::invoke_result_t<TrialFn&, std::uint64_t, util::Rng&>;
         static_assert(!std::is_void_v<Result>,
                       "trial functions must return their result");
         if (count == 0) return 0.0;
         auto& trial_seconds = detail::driver_trial_seconds();
+        const auto run_one = [&trial, span_type,
+                              scope_base](std::uint64_t i, util::Rng& rng) {
+            const util::spans::TrialScope scope(scope_base | (i + 1));
+            const util::spans::WallSpan span(span_type, /*causal=*/i);
+            return trial(i, rng);
+        };
 
         const std::size_t workers = std::min(jobs(), count);
         if (workers <= 1) {
@@ -262,7 +289,7 @@ class ExperimentDriver {
             for (std::uint64_t i = base; i < base + count; ++i) {
                 util::Rng rng = rng_of(i);
                 const auto t0 = std::chrono::steady_clock::now();
-                Result r = trial(i, rng);
+                Result r = run_one(i, rng);
                 const double sec = std::chrono::duration<double>(
                                        std::chrono::steady_clock::now() - t0)
                                        .count();
@@ -304,7 +331,7 @@ class ExperimentDriver {
                         try {
                             util::Rng rng = rng_of(i);
                             const auto t0 = std::chrono::steady_clock::now();
-                            results[slot].emplace(trial(i, rng));
+                            results[slot].emplace(run_one(i, rng));
                             const double sec =
                                 std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() - t0)

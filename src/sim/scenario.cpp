@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/spans.h"
+
 namespace concilium::sim {
 
 namespace {
+
+/// generate_topology runs in the constructor's member-initializer list, so
+/// the phase span wraps it through this helper.
+net::Topology timed_topology(const net::TopologyParams& params,
+                             util::Rng& rng) {
+    const util::spans::WallSpan span(util::spans::SpanType::kTopologyGen);
+    return net::generate_topology(params, rng);
+}
 
 std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
     std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
@@ -35,8 +45,11 @@ std::vector<util::SimTime> renewal_times(util::Rng& rng, util::SimTime lo,
 
 Scenario::Scenario(const ScenarioParams& params)
     : params_(params), rng_root_(params.seed),
-      topology_(net::generate_topology(params.topology, rng_root_)),
+      topology_(timed_topology(params.topology, rng_root_)),
       ca_(mix(params.seed, 0xCA15ULL)) {
+    using util::spans::SpanType;
+    using util::spans::WallSpan;
+
     const std::vector<net::RouterId> hosts = topology_.end_hosts();
     std::size_t count = params_.overlay_nodes_override != 0
                             ? params_.overlay_nodes_override
@@ -47,37 +60,54 @@ Scenario::Scenario(const ScenarioParams& params)
     if (count > hosts.size()) {
         throw std::invalid_argument("Scenario: not enough end hosts");
     }
-    overlay_.emplace(overlay::build_overlay_from_hosts(
-        hosts, count, ca_, params_.overlay, rng_root_));
+    {
+        const WallSpan span(SpanType::kOverlayBuild, /*causal=*/0,
+                            static_cast<std::int64_t>(count));
+        overlay_.emplace(overlay::build_overlay_from_hosts(
+            hosts, count, ca_, params_.overlay, rng_root_));
+    }
 
     // Build every member's probe tree; the (host, routing peer) paths seed
     // the failure process.
     const std::size_t n = overlay_->size();
-    trees_.emplace(*overlay_, topology_);
-
-    timeline_ = net::generate_failure_timeline(
-        params_.failures, params_.duration, trees_->member_peer_paths(),
-        rng_root_);
-
-    malicious_.assign(n, false);
-    malicious_count_ = static_cast<std::size_t>(
-        params_.malicious_fraction * static_cast<double>(n));
-    for (const std::size_t m :
-         rng_root_.sample_indices(n, malicious_count_)) {
-        malicious_[m] = true;
+    {
+        const WallSpan span(SpanType::kTreeBuild, /*causal=*/0,
+                            static_cast<std::int64_t>(n));
+        trees_.emplace(*overlay_, topology_);
     }
 
-    for (overlay::MemberIndex m = 0; m < n; ++m) {
-        for (const net::LinkId l : trees_->tree(m).links()) {
-            link_reporters_[l].push_back(m);
+    {
+        const WallSpan span(SpanType::kFailureTimeline);
+        timeline_ = net::generate_failure_timeline(
+            params_.failures, params_.duration, trees_->member_peer_paths(),
+            rng_root_);
+    }
+
+    {
+        const WallSpan span(SpanType::kScenarioIndex);
+        malicious_.assign(n, false);
+        malicious_count_ = static_cast<std::size_t>(
+            params_.malicious_fraction * static_cast<double>(n));
+        for (const std::size_t m :
+             rng_root_.sample_indices(n, malicious_count_)) {
+            malicious_[m] = true;
+        }
+
+        for (overlay::MemberIndex m = 0; m < n; ++m) {
+            for (const net::LinkId l : trees_->tree(m).links()) {
+                link_reporters_[l].push_back(m);
+            }
         }
     }
 
     // Chaos last, so an empty spec leaves every earlier draw -- and hence
     // every existing seed's world -- untouched.
-    fault_plan_ = net::build_fault_plan(params_.chaos, params_.duration,
-                                        trees_->member_peer_paths(), n,
-                                        rng_root_);
+    {
+        const WallSpan span(SpanType::kFaultPlan);
+        fault_plan_ = net::build_fault_plan(params_.chaos, params_.duration,
+                                            trees_->member_peer_paths(), n,
+                                            rng_root_);
+    }
 }
 
 std::span<const overlay::MemberIndex> Scenario::reporters_of_link(

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/metrics.h"
+#include "util/spans.h"
 
 namespace concilium::tomography {
 
@@ -70,6 +71,11 @@ InferenceResult infer_link_loss(const ProbeTree& tree,
     static auto& runs =
         util::metrics::Registry::global().counter("tomography.inference_runs");
     runs.add(1);
+    // Wall-clock MLE-solve span (the tomography compute hot spot); callers
+    // with a sim clock add their own sim-side context.
+    const util::spans::WallSpan span(
+        util::spans::SpanType::kMleSolve, /*causal=*/0,
+        static_cast<std::int64_t>(probes.size()));
     const auto& nodes = tree.nodes();
     const std::size_t n = nodes.size();
 

@@ -74,6 +74,21 @@ void HistogramMetric::reset() noexcept {
     sum_nanos_.store(0, std::memory_order_relaxed);
 }
 
+// --------------------------------------------------------------------------
+// SeriesMetric
+
+SeriesMetric::SeriesMetric(std::int64_t window_us, std::size_t windows,
+                           Mode mode)
+    : window_us_(window_us), windows_(windows), mode_(mode) {
+    if (window_us <= 0 || windows == 0) {
+        throw std::invalid_argument("SeriesMetric: bad geometry");
+    }
+    buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(windows);
+    for (std::size_t i = 0; i < windows_; ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
 double Snapshot::HistogramValue::upper_edge(std::size_t bin) const noexcept {
     const double width = (hi - lo) / static_cast<double>(counts.size());
     return lo + width * static_cast<double>(bin + 1);
@@ -271,6 +286,27 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kHistogram, "sim.driver_trial_seconds", true, 0.0, 0.05, 50},
 };
 
+// Windowed sim-clock series (OBSERVABILITY.md "Windowed series").  Named
+// `<counter>.by_minute` after the end-of-run total they decompose; every
+// entry covers four sim-hours in one-minute windows (the soaks simulate
+// two hours plus workload tail).
+struct WellKnownSeries {
+    const char* name;
+    std::int64_t window_us = 60'000'000;  // one sim-minute
+    std::size_t windows = 240;
+    SeriesMetric::Mode mode = SeriesMetric::Mode::kSum;
+};
+
+constexpr WellKnownSeries kWellKnownSeries[] = {
+    {"chaos.false_accusations.by_minute"},
+    {"attack.false_accusations.by_minute"},
+    {"recovery.false_accusations.by_minute"},
+    {"runtime.retry.forward_attempts.by_minute"},
+    {"partition.messages_blocked.by_minute"},
+    {"net.eventsim.queue_depth.by_minute", 60'000'000, 240,
+     SeriesMetric::Mode::kMax},
+};
+
 }  // namespace
 
 Registry::Registry(bool preregister_well_known) {
@@ -289,6 +325,9 @@ Registry::Registry(bool preregister_well_known) {
                 break;
         }
     }
+    for (const WellKnownSeries& s : kWellKnownSeries) {
+        series(s.name, s.window_us, s.windows, s.mode);
+    }
 }
 
 void Registry::require_unique(std::string_view name, const void* home) const {
@@ -304,6 +343,10 @@ void Registry::require_unique(std::string_view name, const void* home) const {
     if (home != &histograms_ && histograms_.find(name) != histograms_.end()) {
         throw std::logic_error("metric '" + std::string(name) +
                                "' already registered as a histogram");
+    }
+    if (home != &series_ && series_.find(name) != series_.end()) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' already registered as a series");
     }
 }
 
@@ -347,6 +390,25 @@ HistogramMetric& Registry::histogram_impl(std::string_view name, double lo,
     auto& entry = histograms_[std::string(name)];
     entry.metric = std::make_unique<HistogramMetric>(lo, hi, bins);
     entry.timing = timing;
+    return *entry.metric;
+}
+
+SeriesMetric& Registry::series(std::string_view name, std::int64_t window_us,
+                               std::size_t windows, SeriesMetric::Mode mode) {
+    const std::lock_guard lock(mutex_);
+    if (auto it = series_.find(name); it != series_.end()) {
+        SeriesMetric& s = *it->second.metric;
+        if (s.window_us() != window_us || s.windows() != windows ||
+            s.mode() != mode) {
+            throw std::logic_error("series '" + std::string(name) +
+                                   "' re-registered with different geometry");
+        }
+        return s;
+    }
+    require_unique(name, &series_);
+    auto& entry = series_[std::string(name)];
+    entry.metric = std::make_unique<SeriesMetric>(window_us, windows, mode);
+    entry.timing = false;
     return *entry.metric;
 }
 
@@ -396,6 +458,23 @@ Snapshot Registry::snapshot() const {
         v.timing = entry.timing;
         snap.histograms.push_back(std::move(v));
     }
+    snap.series.reserve(series_.size());
+    for (const auto& [name, entry] : series_) {
+        const SeriesMetric& s = *entry.metric;
+        Snapshot::SeriesValue v;
+        v.name = name;
+        v.window_us = s.window_us();
+        v.maximum = s.mode() == SeriesMetric::Mode::kMax;
+        v.clipped = s.clipped();
+        v.timing = entry.timing;
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < s.windows(); ++i) {
+            if (s.value(i) != 0) last = i + 1;
+        }
+        v.values.resize(last);
+        for (std::size_t i = 0; i < last; ++i) v.values[i] = s.value(i);
+        snap.series.push_back(std::move(v));
+    }
     return snap;
 }
 
@@ -404,6 +483,7 @@ void Registry::reset() {
     for (auto& [name, entry] : counters_) entry.metric->reset();
     for (auto& [name, entry] : gauges_) entry.metric->reset();
     for (auto& [name, entry] : histograms_) entry.metric->reset();
+    for (auto& [name, entry] : series_) entry.metric->reset();
 }
 
 // --------------------------------------------------------------------------
@@ -425,6 +505,20 @@ std::string histogram_json(const Snapshot::HistogramValue& h) {
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
         if (i > 0) out += ", ";
         out += json_number(h.counts[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string series_json(const Snapshot::SeriesValue& s) {
+    std::string out =
+        "{\"window_seconds\": " +
+        json_number(static_cast<double>(s.window_us) / 1e6) +
+        ", \"mode\": " + json_quote(s.maximum ? "max" : "sum") +
+        ", \"clipped\": " + json_number(s.clipped) + ", \"values\": [";
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_number(s.values[i]);
     }
     out += "]}";
     return out;
@@ -462,6 +556,21 @@ std::string Snapshot::to_text() const {
         out += pname + "_sum " + json_number(h.sum) + "\n";
         out += pname + "_count " + json_number(h.total) + "\n";
     }
+    for (const SeriesValue& s : series) {
+        // Windowed sim-clock series render as a labeled gauge family: one
+        // sample per non-zero window, labeled with the window index and
+        // width, plus a _clipped companion for out-of-range observations.
+        const std::string pname = prometheus_name(s.name);
+        header(pname, "gauge", s.timing);
+        for (std::size_t w = 0; w < s.values.size(); ++w) {
+            if (s.values[w] == 0) continue;
+            out += pname + "{window=\"" + json_number(static_cast<std::uint64_t>(w)) +
+                   "\",window_seconds=\"" +
+                   json_number(static_cast<double>(s.window_us) / 1e6) +
+                   "\"} " + json_number(s.values[w]) + "\n";
+        }
+        out += pname + "_clipped " + json_number(s.clipped) + "\n";
+    }
     return out;
 }
 
@@ -477,6 +586,9 @@ std::string Snapshot::to_json() const {
     }
     for (const HistogramValue& h : histograms) {
         lines[h.timing ? 1 : 0].emplace_back(h.name, histogram_json(h));
+    }
+    for (const SeriesValue& s : series) {
+        lines[s.timing ? 1 : 0].emplace_back(s.name, series_json(s));
     }
     std::string out = "{\n";
     const char* section_name[2] = {"metrics", "timing"};

@@ -142,6 +142,64 @@ class HistogramMetric {
     std::atomic<std::int64_t> sum_nanos_{0};
 };
 
+/// Windowed time series over the *simulation* clock: `windows` fixed-width
+/// buckets of `window_us` microseconds covering sim time
+/// [0, windows * window_us).  observe(t, v) lands in bucket t / window_us;
+/// kSum accumulates and kMax keeps a running maximum — both commute
+/// exactly, so a series filled from concurrent driver trials is as
+/// byte-stable across `--jobs` as a counter.  Observations outside the
+/// covered range count as `clipped` instead of being dropped silently.
+class SeriesMetric {
+  public:
+    enum class Mode { kSum, kMax };
+
+    SeriesMetric(std::int64_t window_us, std::size_t windows, Mode mode);
+
+    void observe(std::int64_t t_us, std::int64_t value = 1) noexcept {
+        const std::int64_t w = t_us / window_us_;
+        if (t_us < 0 || w >= static_cast<std::int64_t>(windows_)) {
+            clipped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        auto& bucket = buckets_[static_cast<std::size_t>(w)];
+        if (mode_ == Mode::kSum) {
+            bucket.fetch_add(value, std::memory_order_relaxed);
+        } else {
+            std::int64_t cur = bucket.load(std::memory_order_relaxed);
+            while (cur < value &&
+                   !bucket.compare_exchange_weak(cur, value,
+                                                 std::memory_order_relaxed)) {
+            }
+        }
+    }
+
+    [[nodiscard]] std::int64_t window_us() const noexcept {
+        return window_us_;
+    }
+    [[nodiscard]] std::size_t windows() const noexcept { return windows_; }
+    [[nodiscard]] Mode mode() const noexcept { return mode_; }
+    [[nodiscard]] std::int64_t value(std::size_t window) const noexcept {
+        return buckets_[window].load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t clipped() const noexcept {
+        return clipped_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept {
+        for (std::size_t i = 0; i < windows_; ++i) {
+            buckets_[i].store(0, std::memory_order_relaxed);
+        }
+        clipped_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::int64_t window_us_;
+    std::size_t windows_;
+    Mode mode_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+    std::atomic<std::int64_t> clipped_{0};
+};
+
 /// Point-in-time copy of every registered metric.  Plain data: safe to
 /// keep, compare, or export after the registry has moved on.
 struct Snapshot {
@@ -166,9 +224,20 @@ struct Snapshot {
         [[nodiscard]] double upper_edge(std::size_t bin) const noexcept;
     };
 
+    struct SeriesValue {
+        std::string name;
+        std::int64_t window_us = 0;
+        bool maximum = false;  ///< kMax mode (else kSum).
+        /// Window values, trailing zero windows trimmed.
+        std::vector<std::int64_t> values;
+        std::int64_t clipped = 0;
+        bool timing = false;
+    };
+
     std::vector<CounterValue> counters;      // sorted by name
     std::vector<GaugeValue> gauges;          // sorted by name
     std::vector<HistogramValue> histograms;  // sorted by name
+    std::vector<SeriesValue> series;         // sorted by name
 
     /// Prometheus-style exposition text (`concilium_` prefix, dots
     /// flattened to underscores, histograms as cumulative `_bucket`
@@ -201,6 +270,11 @@ class Registry {
     Gauge& gauge(std::string_view name);
     HistogramMetric& histogram(std::string_view name, double lo, double hi,
                                std::size_t bins);
+    /// Sim-clock windowed series; re-registering with a different geometry
+    /// or mode throws.  Series values are deterministic by construction
+    /// (sim time is seed-derived), so there is no timing_ variant.
+    SeriesMetric& series(std::string_view name, std::int64_t window_us,
+                         std::size_t windows, SeriesMetric::Mode mode);
 
     /// Like the above, but the instrument is classified as wall-clock
     /// dependent and excluded from the deterministic export section.
@@ -232,6 +306,7 @@ class Registry {
     std::map<std::string, Entry<Counter>, std::less<>> counters_;
     std::map<std::string, Entry<Gauge>, std::less<>> gauges_;
     std::map<std::string, Entry<HistogramMetric>, std::less<>> histograms_;
+    std::map<std::string, Entry<SeriesMetric>, std::less<>> series_;
 };
 
 }  // namespace concilium::util::metrics

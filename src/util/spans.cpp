@@ -1,0 +1,266 @@
+#include "util/spans.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace concilium::util::spans {
+
+const char* span_name(SpanType t) noexcept {
+    switch (t) {
+        case SpanType::kWorldBuild: return "world_build";
+        case SpanType::kTopologyGen: return "topology_gen";
+        case SpanType::kOverlayBuild: return "overlay_build";
+        case SpanType::kTreeBuild: return "tree_build";
+        case SpanType::kFailureTimeline: return "failure_timeline";
+        case SpanType::kScenarioIndex: return "scenario_index";
+        case SpanType::kFaultPlan: return "fault_plan";
+        case SpanType::kTrial: return "trial";
+        case SpanType::kShard: return "shard";
+        case SpanType::kProbeRound: return "probe_round";
+        case SpanType::kHeavyweightSession: return "heavyweight_session";
+        case SpanType::kMleSolve: return "mle_solve";
+        case SpanType::kSnapshotExchange: return "snapshot_exchange";
+        case SpanType::kDiagnosis: return "diagnosis";
+        case SpanType::kJudgment: return "judgment";
+        case SpanType::kRecoveryHandshake: return "recovery_handshake";
+        case SpanType::kCount: break;
+    }
+    return "unknown";
+}
+
+std::int64_t wall_now_ns() noexcept {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                epoch)
+        .count();
+}
+
+namespace detail {
+
+ScopeState& scope_state() noexcept {
+    thread_local ScopeState state;
+    return state;
+}
+
+}  // namespace detail
+
+/// One thread's bounded ring.  Only the owning thread writes; `head` is a
+/// monotonic event count published with release stores so collectors that
+/// acquire it see completed slots.  Slots wrap oldest-first (the flight
+/// recorder behavior); a slot being overwritten while a concurrent collect
+/// reads it would race, so collection is specified post-quiescence only.
+struct Recorder::ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint16_t ordinal)
+        : ring(capacity), ordinal(ordinal) {}
+    std::vector<Event> ring;
+    std::atomic<std::uint64_t> head{0};
+    std::uint16_t ordinal;
+};
+
+namespace {
+
+struct RecorderState {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Recorder::ThreadBuffer>> buffers;
+    std::size_t capacity = Recorder::kDefaultCapacity;
+    std::atomic<std::uint32_t> scope_blocks{0};
+};
+
+RecorderState& state() {
+    // Leaked like metrics::Registry::global(): atexit exporters must be able
+    // to collect after static destruction begins.
+    static RecorderState* s = new RecorderState;
+    return *s;
+}
+
+}  // namespace
+
+Recorder& Recorder::global() {
+    static Recorder* instance = new Recorder;
+    return *instance;
+}
+
+void Recorder::enable(std::size_t per_thread_capacity) {
+    {
+        const std::lock_guard lock(state().mutex);
+        state().capacity = std::max<std::size_t>(per_thread_capacity, 16);
+    }
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Recorder::disable() {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Recorder::clear() {
+    const std::lock_guard lock(state().mutex);
+    for (auto& buf : state().buffers) {
+        buf->head.store(0, std::memory_order_relaxed);
+    }
+}
+
+Recorder::ThreadBuffer& Recorder::buffer_for_this_thread() noexcept {
+    thread_local ThreadBuffer* cached = nullptr;
+    if (cached == nullptr) {
+        auto& s = state();
+        const std::lock_guard lock(s.mutex);
+        s.buffers.push_back(std::make_unique<ThreadBuffer>(
+            s.capacity, static_cast<std::uint16_t>(s.buffers.size())));
+        cached = s.buffers.back().get();
+    }
+    return *cached;
+}
+
+void Recorder::record(Event e) noexcept {
+    ThreadBuffer& buf = buffer_for_this_thread();
+    auto& scope = detail::scope_state();
+    e.scope = scope.scope;
+    e.seq = scope.seq++;
+    e.thread = buf.ordinal;
+    const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
+    buf.ring[h % buf.ring.size()] = e;
+    buf.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t Recorder::next_scope_block() noexcept {
+    return static_cast<std::uint64_t>(
+               state().scope_blocks.fetch_add(1, std::memory_order_relaxed) +
+               1)
+           << 32;
+}
+
+std::uint64_t Recorder::total_recorded() const {
+    const std::lock_guard lock(state().mutex);
+    std::uint64_t total = 0;
+    for (const auto& buf : state().buffers) {
+        total += buf->head.load(std::memory_order_acquire);
+    }
+    return total;
+}
+
+std::uint64_t Recorder::total_dropped() const {
+    const std::lock_guard lock(state().mutex);
+    std::uint64_t dropped = 0;
+    for (const auto& buf : state().buffers) {
+        const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+        if (h > buf->ring.size()) dropped += h - buf->ring.size();
+    }
+    return dropped;
+}
+
+std::vector<Event> Recorder::collect() const {
+    const std::lock_guard lock(state().mutex);
+    std::vector<Event> out;
+    for (const auto& buf : state().buffers) {
+        const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+        const std::uint64_t cap = buf->ring.size();
+        const std::uint64_t n = std::min(h, cap);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            // Oldest surviving event first.
+            out.push_back(buf->ring[(h - n + i) % cap]);
+        }
+    }
+    return out;
+}
+
+std::string Recorder::to_chrome_json() const {
+    return spans::to_chrome_json(collect(), total_dropped());
+}
+
+// --------------------------------------------------------------------------
+// Chrome trace-event export
+
+namespace {
+
+void append_args(std::string& out, const Event& e) {
+    out += "\"args\":{\"scope\":" + json_number(e.scope) +
+           ",\"seq\":" + json_number(static_cast<std::uint64_t>(e.seq)) +
+           ",\"causal\":" + json_number(e.causal) +
+           ",\"arg\":" + json_number(e.arg) + "}";
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<Event>& events,
+                           std::uint64_t dropped) {
+    // Split by which clock an event carries; dual-clock events land in both
+    // sections (the wall twin carries the measured compute, the sim twin
+    // stays byte-deterministic).
+    std::vector<const Event*> sim;
+    std::vector<const Event*> wall;
+    for (const Event& e : events) {
+        if (e.sim_begin != kNoClock) sim.push_back(&e);
+        if (e.wall_begin != kNoClock) wall.push_back(&e);
+    }
+
+    // The sim section's order — and therefore its bytes — must be a pure
+    // function of the seed, so sort by deterministic fields only (never the
+    // recorder thread ordinal).
+    std::sort(sim.begin(), sim.end(), [](const Event* a, const Event* b) {
+        if (a->scope != b->scope) return a->scope < b->scope;
+        if (a->seq != b->seq) return a->seq < b->seq;
+        if (a->sim_begin != b->sim_begin) return a->sim_begin < b->sim_begin;
+        if (a->type != b->type) return a->type < b->type;
+        return a->causal < b->causal;
+    });
+    std::sort(wall.begin(), wall.end(), [](const Event* a, const Event* b) {
+        if (a->wall_begin != b->wall_begin) {
+            return a->wall_begin < b->wall_begin;
+        }
+        if (a->thread != b->thread) return a->thread < b->thread;
+        return a->seq < b->seq;
+    });
+
+    // Dense per-scope track ids in sorted order keep the Perfetto row layout
+    // (and the bytes) deterministic.
+    std::vector<std::uint64_t> scope_track;
+    const auto track_of = [&scope_track](std::uint64_t scope) {
+        for (std::size_t i = 0; i < scope_track.size(); ++i) {
+            if (scope_track[i] == scope) return i;
+        }
+        scope_track.push_back(scope);
+        return scope_track.size() - 1;
+    };
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                      "\"tool\":\"concilium util::spans\",\"dropped\":" +
+                      json_number(dropped) + "},\"traceEvents\":[\n";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"sim clock (deterministic)\"}},\n";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"args\":{\"name\":\"wall clock\"}}";
+    for (const Event* e : sim) {
+        out += ",\n{\"name\":" + json_quote(span_name(e->type)) +
+               ",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+               json_number(static_cast<std::uint64_t>(track_of(e->scope))) +
+               ",\"ts\":" + json_number(e->sim_begin) + ",\"dur\":" +
+               json_number(std::max<std::int64_t>(0,
+                                                  e->sim_end - e->sim_begin)) +
+               ",";
+        append_args(out, *e);
+        out += "}";
+    }
+    for (const Event* e : wall) {
+        out += ",\n{\"name\":" + json_quote(span_name(e->type)) +
+               ",\"cat\":\"wall\",\"ph\":\"X\",\"pid\":2,\"tid\":" +
+               json_number(static_cast<std::uint64_t>(e->thread)) +
+               ",\"ts\":" + json_number(static_cast<double>(e->wall_begin) /
+                                        1000.0) +
+               ",\"dur\":" +
+               json_number(static_cast<double>(std::max<std::int64_t>(
+                               0, e->wall_end - e->wall_begin)) /
+                           1000.0) +
+               ",";
+        append_args(out, *e);
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+}  // namespace concilium::util::spans

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "util/spans.h"
 #include "util/stats.h"
 
 namespace concilium::sim {
@@ -164,6 +167,49 @@ TEST(ExperimentDriver, RunShardsMergesInOrderIdenticalAcrossJobs) {
     const auto j1 = collect(1);
     const auto j4 = collect(4);
     ASSERT_EQ(j1.size(), 64u);
+    EXPECT_EQ(j1, j4);
+}
+
+TEST(ExperimentDriver, SimSpanSequenceIdenticalAcrossJobs) {
+    // The span recorder's cross-jobs guarantee, end to end: trials emit
+    // sim-clock spans under the driver's TrialScope, and the deterministic
+    // identity (scope-within-run, seq, type, times, causal) must not depend
+    // on which worker ran which trial.  Scope blocks (the high 32 bits) are
+    // allocated per run, so mask them off before comparing runs.
+    auto& recorder = util::spans::Recorder::global();
+    recorder.enable();
+    using Key = std::tuple<std::uint64_t, std::uint32_t, int, std::int64_t,
+                           std::int64_t, std::uint64_t, std::int64_t>;
+    const auto run_and_collect = [&](std::size_t jobs) {
+        recorder.clear();
+        const ExperimentDriver driver(21, jobs);
+        driver.run(
+            48,
+            [](std::uint64_t i, util::Rng& rng) {
+                const auto t = static_cast<util::SimTime>(
+                    rng.uniform(0.0, 1e6));
+                util::spans::sim_span(util::spans::SpanType::kProbeRound, t,
+                                      t + 50, i, static_cast<std::int64_t>(i));
+                util::spans::sim_instant(util::spans::SpanType::kJudgment,
+                                         t + 50, i);
+                return 0;
+            },
+            [](std::uint64_t, int&&) {});
+        std::vector<Key> keys;
+        for (const auto& e : recorder.collect()) {
+            if (e.sim_begin == util::spans::kNoClock) continue;  // wall-only
+            keys.emplace_back(e.scope & 0xffffffffu, e.seq,
+                              static_cast<int>(e.type), e.sim_begin,
+                              e.sim_end, e.causal, e.arg);
+        }
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    };
+    const auto j1 = run_and_collect(1);
+    const auto j4 = run_and_collect(4);
+    recorder.clear();
+    recorder.disable();
+    ASSERT_EQ(j1.size(), 96u);  // 2 sim events per trial
     EXPECT_EQ(j1, j4);
 }
 

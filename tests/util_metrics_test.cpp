@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -105,6 +106,62 @@ TEST(HistogramMetric, RejectsBadGeometry) {
     EXPECT_THROW(HistogramMetric(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(SeriesMetric, SumModeAccumulatesPerWindow) {
+    SeriesMetric s(1000, 4, SeriesMetric::Mode::kSum);
+    s.observe(0, 2);
+    s.observe(999, 3);   // still window 0
+    s.observe(1000, 5);  // window 1
+    EXPECT_EQ(s.value(0), 5);
+    EXPECT_EQ(s.value(1), 5);
+    EXPECT_EQ(s.value(2), 0);
+    EXPECT_EQ(s.clipped(), 0);
+}
+
+TEST(SeriesMetric, MaxModeKeepsPerWindowMaximum) {
+    SeriesMetric s(1000, 4, SeriesMetric::Mode::kMax);
+    s.observe(1500, 7);
+    s.observe(1600, 4);  // lower: no effect
+    s.observe(1700, 9);
+    EXPECT_EQ(s.value(1), 9);
+    EXPECT_EQ(s.value(0), 0);
+}
+
+TEST(SeriesMetric, OutOfRangeObservationsCountAsClipped) {
+    SeriesMetric s(1000, 2, SeriesMetric::Mode::kSum);
+    s.observe(-1, 5);
+    s.observe(2000, 5);  // first window past the end
+    EXPECT_EQ(s.clipped(), 2);
+    EXPECT_EQ(s.value(0), 0);
+    EXPECT_EQ(s.value(1), 0);
+    s.observe(500, 1);
+    s.reset();
+    EXPECT_EQ(s.value(0), 0);
+    EXPECT_EQ(s.clipped(), 0);
+}
+
+TEST(SeriesMetric, RejectsBadGeometry) {
+    EXPECT_THROW(SeriesMetric(0, 4, SeriesMetric::Mode::kSum),
+                 std::invalid_argument);
+    EXPECT_THROW(SeriesMetric(1000, 0, SeriesMetric::Mode::kSum),
+                 std::invalid_argument);
+}
+
+TEST(SeriesMetric, ConcurrentSumIsExact) {
+    SeriesMetric s(1000, 8, SeriesMetric::Mode::kSum);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&s] {
+            for (int i = 0; i < kPerThread; ++i) s.observe(3500);
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(s.value(3),
+              static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
 TEST(Registry, SameNameReturnsSameInstrument) {
     Registry reg;
     Counter& a = reg.counter("x.count");
@@ -179,6 +236,36 @@ TEST(Registry, GlobalPreregistersAllNamespaces) {
     EXPECT_TRUE(seen_sim);
 }
 
+TEST(Registry, SeriesGeometryMismatchThrows) {
+    Registry reg;
+    auto& s = reg.series("demo.series", 1000, 4, SeriesMetric::Mode::kSum);
+    EXPECT_EQ(&reg.series("demo.series", 1000, 4, SeriesMetric::Mode::kSum),
+              &s);
+    EXPECT_THROW(reg.series("demo.series", 2000, 4, SeriesMetric::Mode::kSum),
+                 std::logic_error);
+    EXPECT_THROW(reg.series("demo.series", 1000, 4, SeriesMetric::Mode::kMax),
+                 std::logic_error);
+    reg.counter("demo.count");
+    EXPECT_THROW(reg.series("demo.count", 1000, 4, SeriesMetric::Mode::kSum),
+                 std::logic_error);
+}
+
+TEST(Registry, SeriesSnapshotTrimsTrailingZeroWindows) {
+    Registry reg;
+    auto& s = reg.series("demo.series", 1000, 8, SeriesMetric::Mode::kSum);
+    s.observe(0, 2);
+    s.observe(2500, 7);
+    s.observe(9999);  // clipped
+    const Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.series.size(), 1u);
+    const auto& v = snap.series[0];
+    EXPECT_EQ(v.name, "demo.series");
+    EXPECT_EQ(v.window_us, 1000);
+    EXPECT_FALSE(v.maximum);
+    EXPECT_EQ(v.values, (std::vector<std::int64_t>{2, 0, 7}));
+    EXPECT_EQ(v.clipped, 1);
+}
+
 TEST(Exporters, PrometheusTextGolden) {
     Registry reg;  // bare: no well-known catalogue
     reg.counter("demo.count").add(3);
@@ -205,6 +292,74 @@ TEST(Exporters, TimingInstrumentsAreFlaggedInText) {
     EXPECT_NE(text.find("# TIMING (excluded from determinism checks)\n"
                         "# TYPE concilium_demo_wall_seconds gauge\n"),
               std::string::npos);
+}
+
+TEST(Exporters, PrometheusNamesGainPrefixAndLoseDots) {
+    Registry reg;
+    reg.counter("net.eventsim.queue_depth_max").add(1);
+    const std::string text = reg.snapshot().to_text();
+    EXPECT_NE(text.find("concilium_net_eventsim_queue_depth_max 1\n"),
+              std::string::npos);
+    EXPECT_EQ(text.find("net.eventsim"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusBucketsAreCumulativeAndMonotonic) {
+    Registry reg;
+    auto& h = reg.histogram("demo.hist", 0.0, 1.0, 4);
+    h.observe(0.1);   // bin 0
+    h.observe(0.3);   // bin 1
+    h.observe(0.35);  // bin 1
+    h.observe(0.9);   // bin 3
+    const std::string text = reg.snapshot().to_text();
+    std::vector<std::int64_t> cumulative;
+    std::size_t pos = 0;
+    while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+        const std::size_t value_at = text.find("} ", pos) + 2;
+        cumulative.push_back(std::stoll(text.substr(value_at)));
+        pos = value_at;
+    }
+    ASSERT_EQ(cumulative.size(), 5u);  // 4 bins + le="+Inf"
+    EXPECT_EQ(cumulative, (std::vector<std::int64_t>{1, 3, 3, 4, 4}));
+    EXPECT_NE(text.find("concilium_demo_hist_count 4\n"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusSeriesRendersLabeledWindows) {
+    Registry reg;
+    auto& s = reg.series("demo.series", 2'000'000, 4, SeriesMetric::Mode::kMax);
+    s.observe(0, 3);
+    s.observe(5'000'000, 9);  // window 2; window 1 stays zero and is elided
+    const std::string text = reg.snapshot().to_text();
+    EXPECT_NE(text.find("# TYPE concilium_demo_series gauge\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "concilium_demo_series{window=\"0\",window_seconds=\"2\"} 3\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "concilium_demo_series{window=\"2\",window_seconds=\"2\"} 9\n"),
+        std::string::npos);
+    EXPECT_EQ(text.find("{window=\"1\""), std::string::npos);
+    EXPECT_NE(text.find("concilium_demo_series_clipped 0\n"),
+              std::string::npos);
+}
+
+TEST(Exporters, SeriesJsonGolden) {
+    Registry reg;
+    auto& s = reg.series("demo.series", 1'000'000, 4, SeriesMetric::Mode::kSum);
+    s.observe(0, 2);
+    s.observe(2'500'000, 7);
+    s.observe(99'000'000);  // clipped
+    const std::string expected =
+        "{\n"
+        "  \"metrics\": {\n"
+        "    \"demo.series\": {\"window_seconds\": 1, \"mode\": \"sum\", "
+        "\"clipped\": 1, \"values\": [2, 0, 7]}\n"
+        "  },\n"
+        "  \"timing\": {\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(reg.snapshot().to_json(), expected);
 }
 
 TEST(Exporters, JsonGoldenSplitsSections) {

@@ -1,0 +1,226 @@
+// Unit tests for the causal span recorder and its Chrome trace export.
+//
+// The Recorder is a process singleton, so every test arms it, clears the
+// rings, tags its own events with distinctive causal ids, and disarms on
+// the way out; filtering by causal keeps the assertions valid even when
+// several tests share one process.
+
+#include "util/spans.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace concilium::util::spans {
+namespace {
+
+std::vector<Event> events_with_causal(std::uint64_t lo, std::uint64_t hi) {
+    std::vector<Event> out;
+    for (const Event& e : Recorder::global().collect()) {
+        if (e.causal >= lo && e.causal < hi) out.push_back(e);
+    }
+    return out;
+}
+
+class SpansTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        Recorder::global().enable();
+        Recorder::global().clear();
+    }
+    void TearDown() override {
+        Recorder::global().clear();
+        Recorder::global().enable(Recorder::kDefaultCapacity);
+        Recorder::global().disable();
+    }
+};
+
+TEST(SpanName, EveryTypeHasAUniqueLowercaseName) {
+    std::vector<std::string> names;
+    for (int t = 0; t < static_cast<int>(SpanType::kCount); ++t) {
+        const std::string name = span_name(static_cast<SpanType>(t));
+        EXPECT_NE(name, "unknown") << "type " << t;
+        for (const char c : name) {
+            EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_')
+                << "type " << t << " name " << name;
+        }
+        for (const auto& prev : names) EXPECT_NE(name, prev);
+        names.push_back(name);
+    }
+    EXPECT_STREQ(span_name(SpanType::kCount), "unknown");
+}
+
+TEST_F(SpansTest, DisabledRecorderIsANoOp) {
+    Recorder::global().disable();
+    sim_span(SpanType::kDiagnosis, 10, 20, 9001);
+    { const WallSpan span(SpanType::kWorldBuild, 9002); }
+    { const TrialScope scope(77); sim_instant(SpanType::kJudgment, 5, 9003); }
+    Recorder::global().enable();
+    EXPECT_TRUE(events_with_causal(9000, 9100).empty());
+}
+
+TEST_F(SpansTest, SimSpanStampsMonotonicSeq) {
+    sim_span(SpanType::kProbeRound, 100, 200, 9101, 4);
+    sim_instant(SpanType::kJudgment, 200, 9102);
+    const auto events = events_with_causal(9100, 9200);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].type, SpanType::kProbeRound);
+    EXPECT_EQ(events[0].sim_begin, 100);
+    EXPECT_EQ(events[0].sim_end, 200);
+    EXPECT_EQ(events[0].arg, 4);
+    EXPECT_EQ(events[0].wall_begin, kNoClock);  // sim-only event
+    EXPECT_EQ(events[1].sim_begin, events[1].sim_end);
+    EXPECT_EQ(events[1].seq, events[0].seq + 1);
+    EXPECT_EQ(events[0].scope, events[1].scope);
+}
+
+TEST_F(SpansTest, TrialScopeTagsAndRestoresOnNesting) {
+    constexpr std::uint64_t kOuter = (7ull << 32) | 1;
+    constexpr std::uint64_t kInner = (7ull << 32) | 2;
+    {
+        const TrialScope outer(kOuter);
+        sim_instant(SpanType::kDiagnosis, 1, 9201);
+        sim_instant(SpanType::kDiagnosis, 2, 9202);
+        {
+            const TrialScope inner(kInner);
+            sim_instant(SpanType::kDiagnosis, 3, 9203);
+        }
+        sim_instant(SpanType::kDiagnosis, 4, 9204);
+    }
+    const auto events = events_with_causal(9200, 9300);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].scope, kOuter);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[2].scope, kInner);
+    EXPECT_EQ(events[2].seq, 0u);  // numbering restarts per scope
+    EXPECT_EQ(events[3].scope, kOuter);
+    EXPECT_EQ(events[3].seq, 2u);  // outer numbering resumed, not reset
+}
+
+TEST_F(SpansTest, RingOverwritesOldestFirst) {
+    // Capacity applies to threads that register after enable(), so record
+    // from a fresh thread; the per-thread ring floor is 16.
+    Recorder::global().enable(16);
+    std::thread worker([] {
+        for (std::uint64_t i = 0; i < 40; ++i) {
+            sim_instant(SpanType::kProbeRound, static_cast<SimTime>(i),
+                        9300 + i);
+        }
+    });
+    worker.join();
+    const auto events = events_with_causal(9300, 9400);
+    ASSERT_EQ(events.size(), 16u);
+    for (std::uint64_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].causal, 9324 + i);  // the last 16, oldest first
+    }
+    EXPECT_EQ(Recorder::global().total_dropped(), 24u);
+}
+
+TEST_F(SpansTest, DualClockSpanLandsInBothSections) {
+    {
+        WallSpan span(SpanType::kHeavyweightSession, 9401, 24);
+        span.set_sim(1000, 2000);
+    }
+    const auto events = events_with_causal(9400, 9500);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].sim_begin, 1000);
+    EXPECT_EQ(events[0].sim_end, 2000);
+    EXPECT_NE(events[0].wall_begin, kNoClock);
+    EXPECT_GE(events[0].wall_end, events[0].wall_begin);
+
+    const std::string json = to_chrome_json(events, 0);
+    EXPECT_NE(json.find("\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"wall\",\"ph\":\"X\",\"pid\":2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1000,\"dur\":1000"), std::string::npos);
+}
+
+TEST_F(SpansTest, ChromeJsonSortsSimSectionByScopeThenSeq) {
+    // Record the higher scope first; the export must order by (scope, seq)
+    // regardless of arrival order — that is the cross-jobs guarantee.
+    {
+        const TrialScope late((1ull << 32) | 9);
+        sim_instant(SpanType::kDiagnosis, 50, 9502);
+    }
+    {
+        const TrialScope early((1ull << 32) | 3);
+        sim_instant(SpanType::kDiagnosis, 99, 9501);
+    }
+    const std::string json =
+        to_chrome_json(events_with_causal(9500, 9600), 0);
+    const auto pos_early = json.find("\"causal\":9501");
+    const auto pos_late = json.find("\"causal\":9502");
+    ASSERT_NE(pos_early, std::string::npos);
+    ASSERT_NE(pos_late, std::string::npos);
+    EXPECT_LT(pos_early, pos_late);
+}
+
+TEST_F(SpansTest, ChromeJsonCarriesMetadataAndDropCount) {
+    sim_instant(SpanType::kMleSolve, 1, 9601);
+    const std::string json = to_chrome_json(events_with_causal(9600, 9700), 3);
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    EXPECT_NE(json.find("\"dropped\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"mle_solve\""), std::string::npos);
+}
+
+TEST_F(SpansTest, ExportGoldenBytes) {
+    // Hand-built events through the free exporter: the bytes are part of
+    // the tool contract (tools/check_spans.py parses them).
+    Event sim_only;
+    sim_only.type = SpanType::kProbeRound;
+    sim_only.sim_begin = 10;
+    sim_only.sim_end = 30;
+    sim_only.scope = 5;
+    sim_only.seq = 2;
+    sim_only.causal = 8;
+    sim_only.arg = 4;
+    Event wall_only;
+    wall_only.type = SpanType::kWorldBuild;
+    wall_only.wall_begin = 1500;  // ns -> 1.5 us in the export
+    wall_only.wall_end = 4500;
+    wall_only.thread = 1;
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+        "\"tool\":\"concilium util::spans\",\"dropped\":7},\"traceEvents\":[\n"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"sim clock (deterministic)\"}},\n"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+        "\"args\":{\"name\":\"wall clock\"}},\n"
+        "{\"name\":\"probe_round\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":0,\"ts\":10,\"dur\":20,\"args\":{\"scope\":5,\"seq\":2,"
+        "\"causal\":8,\"arg\":4}},\n"
+        "{\"name\":\"world_build\",\"cat\":\"wall\",\"ph\":\"X\",\"pid\":2,"
+        "\"tid\":1,\"ts\":1.5,\"dur\":3,\"args\":{\"scope\":0,\"seq\":0,"
+        "\"causal\":0,\"arg\":0}}\n"
+        "]}\n";
+    EXPECT_EQ(to_chrome_json({sim_only, wall_only}, 7), expected);
+}
+
+TEST_F(SpansTest, ClearDropsEventsButKeepsRecording) {
+    sim_instant(SpanType::kJudgment, 1, 9701);
+    ASSERT_FALSE(events_with_causal(9700, 9800).empty());
+    Recorder::global().clear();
+    EXPECT_TRUE(events_with_causal(9700, 9800).empty());
+    sim_instant(SpanType::kJudgment, 2, 9702);
+    ASSERT_EQ(events_with_causal(9700, 9800).size(), 1u);
+}
+
+TEST_F(SpansTest, ScopeBlocksNeverCollide) {
+    const std::uint64_t a = Recorder::global().next_scope_block();
+    const std::uint64_t b = Recorder::global().next_scope_block();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a & 0xffffffffu, 0u);  // trial index lives in the low half
+    EXPECT_EQ(b & 0xffffffffu, 0u);
+}
+
+}  // namespace
+}  // namespace concilium::util::spans

@@ -17,6 +17,7 @@ defenses against simulation ground truth:
 Usage:
   check_attacks.py SNAPSHOT.json [--max-evasion R] [--max-slander N]
                    [--max-false-rate R] [--min-diagnosed N]
+                   [--flight SPANS.json]
 
   --max-evasion R     fail when attackers_evaded / attackers_with_drops > R
                       (default 0.25)
@@ -26,6 +27,8 @@ Usage:
                       (default 0.1)
   --min-diagnosed N   fail when fewer than N messages were diagnosed at
                       all -- a silently idle soak must not pass (default 10)
+  --flight SPANS.json on failure, dump the last sim events of this
+                      --spans-out trace (the flight-recorder post-mortem)
 """
 
 import argparse
@@ -44,11 +47,15 @@ def main(argv):
     parser.add_argument("--max-slander", type=int, default=0)
     parser.add_argument("--max-false-rate", type=float, default=0.1)
     parser.add_argument("--min-diagnosed", type=int, default=10)
+    parser.add_argument("--flight", default=None)
     args = parser.parse_args(argv[1:])
 
-    metrics = gatelib.load_metrics(args.snapshot, die)
-    counter = gatelib.counter_reader(metrics, args.snapshot, die,
+    fail = gatelib.with_flight(die, args.flight)
+    metrics = gatelib.load_metrics(args.snapshot, fail)
+    counter = gatelib.counter_reader(metrics, args.snapshot, fail,
                                      "soak_attacks")
+    series = gatelib.series_reader(metrics, args.snapshot, fail,
+                                   "soak_attacks")
 
     diagnosed = counter("attack.diagnosed_messages")
     false_acc = counter("attack.false_accusations")
@@ -56,8 +63,9 @@ def main(argv):
     caught = counter("attack.attackers_caught")
     evaded = counter("attack.attackers_evaded")
     slander = counter("attack.slander_successes")
+    by_minute = series("attack.false_accusations.by_minute")
 
-    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
+    gatelib.require_activity(diagnosed, args.min_diagnosed, fail)
 
     evasion_rate = 0.0 if with_drops == 0 else evaded / with_drops
     false_rate = false_acc / diagnosed
@@ -66,14 +74,15 @@ def main(argv):
           f"max {args.max_evasion}) slander={slander} "
           f"(max {args.max_slander}) false={false_acc} "
           f"(rate {false_rate:.4f}, max {args.max_false_rate})")
+    print(f"  false by minute: {gatelib.describe_series(by_minute)}")
     if evasion_rate > args.max_evasion:
-        die(f"evasion rate {evasion_rate:.4f} exceeds {args.max_evasion}")
+        fail(f"evasion rate {evasion_rate:.4f} exceeds {args.max_evasion}")
     if slander > args.max_slander:
-        die(f"{slander} slander accusations verified "
-            f"(max {args.max_slander}); the hardened verifier has a hole")
+        fail(f"{slander} slander accusations verified "
+             f"(max {args.max_slander}); the hardened verifier has a hole")
     if false_rate > args.max_false_rate:
-        die(f"false-accusation rate {false_rate:.4f} exceeds "
-            f"{args.max_false_rate}")
+        fail(f"false-accusation rate {false_rate:.4f} exceeds "
+             f"{args.max_false_rate}")
     print("ok")
 
 

@@ -10,11 +10,14 @@ check that keeps retry/backoff and graceful snapshot degradation honest.
 
 Usage:
   check_chaos.py SNAPSHOT.json [--max-rate R] [--min-diagnosed N]
+                 [--flight SPANS.json]
 
   --max-rate R       fail when false_accusations / diagnosed > R
                      (default 0.05)
   --min-diagnosed N  fail when fewer than N messages were diagnosed at
                      all -- a silently idle soak must not pass (default 10)
+  --flight SPANS.json  on failure, dump the last sim events of this
+                     --spans-out trace (the flight-recorder post-mortem)
 """
 
 import argparse
@@ -31,21 +34,28 @@ def main(argv):
     parser.add_argument("snapshot")
     parser.add_argument("--max-rate", type=float, default=0.05)
     parser.add_argument("--min-diagnosed", type=int, default=10)
+    parser.add_argument("--flight", default=None)
     args = parser.parse_args(argv[1:])
 
-    metrics = gatelib.load_metrics(args.snapshot, die)
-    counter = gatelib.counter_reader(metrics, args.snapshot, die, "soak_chaos")
+    fail = gatelib.with_flight(die, args.flight)
+    metrics = gatelib.load_metrics(args.snapshot, fail)
+    counter = gatelib.counter_reader(metrics, args.snapshot, fail,
+                                     "soak_chaos")
+    series = gatelib.series_reader(metrics, args.snapshot, fail,
+                                   "soak_chaos")
 
     diagnosed = counter("chaos.diagnosed_messages")
     false_acc = counter("chaos.false_accusations")
     correct = counter("chaos.correct_accusations")
+    by_minute = series("chaos.false_accusations.by_minute")
 
-    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
+    gatelib.require_activity(diagnosed, args.min_diagnosed, fail)
     rate = false_acc / diagnosed
     print(f"{args.snapshot}: diagnosed={diagnosed} correct={correct} "
           f"false={false_acc} rate={rate:.4f} (max {args.max_rate})")
+    print(f"  by minute: {gatelib.describe_series(by_minute)}")
     if rate > args.max_rate:
-        die(f"false-accusation rate {rate:.4f} exceeds {args.max_rate}")
+        fail(f"false-accusation rate {rate:.4f} exceeds {args.max_rate}")
     print("ok")
 
 

@@ -49,6 +49,23 @@ def check_histogram(name, value):
         die(f"histogram {name} has no bins")
 
 
+def check_series(name, value):
+    """A windowed time-series object (see OBSERVABILITY.md)."""
+    for field in ("window_seconds", "mode", "clipped", "values"):
+        if field not in value:
+            die(f"series {name} missing field '{field}'")
+    if value["mode"] not in ("sum", "max"):
+        die(f"series {name}: unknown mode {value['mode']!r}")
+    if value["window_seconds"] <= 0:
+        die(f"series {name}: non-positive window {value['window_seconds']}")
+    if value["clipped"] < 0:
+        die(f"series {name}: negative clipped count")
+    if not all(isinstance(v, (int, float)) for v in value["values"]):
+        die(f"series {name}: non-numeric window value")
+    if value["values"] and value["values"][-1] == 0:
+        die(f"series {name}: trailing zero windows were not trimmed")
+
+
 def validate(snapshot_path, keys_path):
     with open(snapshot_path, encoding="utf-8") as f:
         snap = json.load(f)
@@ -78,7 +95,10 @@ def validate(snapshot_path, keys_path):
                 f"(new instrumentation? update {keys_path})")
         for name, value in snap[section].items():
             if isinstance(value, dict):
-                check_histogram(name, value)
+                if "window_seconds" in value:
+                    check_series(name, value)
+                else:
+                    check_histogram(name, value)
             elif not isinstance(value, (int, float)):
                 die(f"{section}.{name}: unexpected value {value!r}")
 

@@ -18,7 +18,7 @@ ground truth:
 
 Usage:
   check_recovery.py SNAPSHOT.json [--max-false-rate R] [--max-orphan-rate R]
-                    [--min-diagnosed N]
+                    [--min-diagnosed N] [--flight SPANS.json]
 
   --max-false-rate R   fail when false_accusations / diagnosed > R
                        (default 0.25; the sweep's intensity-0 level keeps
@@ -28,6 +28,8 @@ Usage:
                        virtually every stewardship)
   --min-diagnosed N    fail when fewer than N messages were diagnosed at
                        all -- a silently idle soak must not pass (default 10)
+  --flight SPANS.json  on failure, dump the last sim events of this
+                       --spans-out trace (the flight-recorder post-mortem)
 """
 
 import argparse
@@ -45,11 +47,15 @@ def main(argv):
     parser.add_argument("--max-false-rate", type=float, default=0.25)
     parser.add_argument("--max-orphan-rate", type=float, default=0.02)
     parser.add_argument("--min-diagnosed", type=int, default=10)
+    parser.add_argument("--flight", default=None)
     args = parser.parse_args(argv[1:])
 
-    metrics = gatelib.load_metrics(args.snapshot, die)
-    counter = gatelib.counter_reader(metrics, args.snapshot, die,
+    fail = gatelib.with_flight(die, args.flight)
+    metrics = gatelib.load_metrics(args.snapshot, fail)
+    counter = gatelib.counter_reader(metrics, args.snapshot, fail,
                                      "soak_recovery")
+    series = gatelib.series_reader(metrics, args.snapshot, fail,
+                                   "soak_recovery")
 
     sent = counter("recovery.soak_messages")
     diagnosed = counter("recovery.diagnosed_messages")
@@ -59,10 +65,11 @@ def main(argv):
     orphans = counter("recovery.orphaned_messages")
     crashes = counter("recovery.crashes")
     restarts = counter("recovery.restarts")
+    by_minute = series("recovery.false_accusations.by_minute")
 
-    gatelib.require_activity(diagnosed, args.min_diagnosed, die)
+    gatelib.require_activity(diagnosed, args.min_diagnosed, fail)
     if crashes > 0 and restarts == 0:
-        die(f"{crashes} crashes but no restarts; journal recovery never ran")
+        fail(f"{crashes} crashes but no restarts; journal recovery never ran")
 
     false_rate = false_acc / diagnosed
     orphan_rate = 0.0 if sent == 0 else orphans / sent
@@ -71,11 +78,12 @@ def main(argv):
           f"(rate {false_rate:.4f}, max {args.max_false_rate}) "
           f"orphans={orphans}/{sent} (rate {orphan_rate:.4f}, "
           f"max {args.max_orphan_rate}) crashes={crashes}")
+    print(f"  false by minute: {gatelib.describe_series(by_minute)}")
     if false_rate > args.max_false_rate:
-        die(f"false-accusation rate {false_rate:.4f} exceeds "
-            f"{args.max_false_rate}")
+        fail(f"false-accusation rate {false_rate:.4f} exceeds "
+             f"{args.max_false_rate}")
     if orphan_rate > args.max_orphan_rate:
-        die(f"orphan rate {orphan_rate:.4f} exceeds {args.max_orphan_rate}")
+        fail(f"orphan rate {orphan_rate:.4f} exceeds {args.max_orphan_rate}")
     print("ok")
 
 

@@ -13,6 +13,10 @@
 //   concilium trace      [--seed N] [--messages M]
 //                                               diagnose a known dropper and
 //                                               print the JSON blame journal
+//   concilium spans      [--seed N] [--messages M] [--droppers F]
+//                                               run demo with the span
+//                                               recorder armed and print the
+//                                               Chrome trace-event JSON
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +32,7 @@
 #include "sim/scenario.h"
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/spans.h"
 
 namespace {
 
@@ -233,6 +238,18 @@ int cmd_metrics(const Options& o) {
     return 0;
 }
 
+int cmd_spans(const Options& o) {
+    // Same world as `concilium run`, with the span recorder armed: the
+    // demo's world-build phases, probe rounds, diagnoses, judgments, and
+    // snapshot exchanges come out as Chrome trace-event JSON (load in
+    // Perfetto / chrome://tracing, or feed to tools/check_spans.py).
+    util::spans::Recorder::global().enable();
+    run_demo(o, false);
+    const std::string out = util::spans::Recorder::global().to_chrome_json();
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
 int cmd_trace(const Options& o) {
     // A known-guilty world: one node on a predictable route drops every
     // message it should forward.  The journal printed at the end shows the
@@ -324,7 +341,7 @@ int cmd_trace(const Options& o) {
 void usage() {
     std::fprintf(stderr,
                  "usage: concilium <topology|occupancy|gamma|bandwidth|"
-                 "coverage|run|metrics|trace> [options]\n");
+                 "coverage|run|metrics|trace|spans> [options]\n");
 }
 
 }  // namespace
@@ -344,6 +361,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(o);
     if (cmd == "metrics") return cmd_metrics(o);
     if (cmd == "trace") return cmd_trace(o);
+    if (cmd == "spans") return cmd_spans(o);
     usage();
     return 2;
 }
