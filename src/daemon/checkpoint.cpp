@@ -1,0 +1,306 @@
+#include "daemon/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "daemon/workload.h"
+#include "runtime/journal.h"
+
+namespace concilium::daemon {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+    throw std::invalid_argument(where + ": " + what);
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    return fnv1a(h, bytes, sizeof bytes);
+}
+
+}  // namespace
+
+std::uint64_t journal_fnv(const runtime::NodeJournal& journal) {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& e : journal.entries()) {
+        h = fold_u64(h, static_cast<std::uint64_t>(e.kind));
+        h = fold_u64(h, e.value);
+        h = fold_u64(h, e.hop);
+        h = fnv1a(h, e.peer.bytes().data(), e.peer.bytes().size());
+        h = fold_u64(h, e.guilty ? 1 : 0);
+        h = fold_u64(h, static_cast<std::uint64_t>(e.at));
+        h = fold_u64(h, static_cast<std::uint64_t>(e.until));
+        h = fold_u64(h, e.commitment.has_value() ? 1 : 0);
+        if (e.commitment.has_value()) {
+            h = fold_u64(h, e.commitment->message_id);
+            h = fold_u64(h, static_cast<std::uint64_t>(e.commitment->at));
+            h = fnv1a(h, e.commitment->forwarder.bytes().data(),
+                      e.commitment->forwarder.bytes().size());
+        }
+    }
+    return h;
+}
+
+std::string Checkpoint::to_text() const {
+    std::string out = "concilium-checkpoint v1\n";
+    const auto line = [&out](const char* name, std::uint64_t v) {
+        out += name;
+        out += ' ';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    out += "trace-fnv ";
+    append_hex64(out, trace_fnv);
+    out += '\n';
+    line("sim-clock-us", static_cast<std::uint64_t>(sim_clock));
+    line("tick-us", static_cast<std::uint64_t>(tick));
+    line("checkpoint-every-us", static_cast<std::uint64_t>(checkpoint_every));
+    line("messages-fed", messages_fed);
+    line("checkpoints-written", checkpoints_written);
+    for (const auto& [name, value] : stats) {
+        out += "stat ";
+        out += name;
+        out += ' ';
+        out += std::to_string(value);
+        out += '\n';
+    }
+    for (std::size_t m = 0; m < journals.size(); ++m) {
+        out += "journal ";
+        out += std::to_string(m);
+        out += ' ';
+        out += std::to_string(journals[m].entries);
+        out += ' ';
+        append_hex64(out, journals[m].fnv);
+        out += '\n';
+    }
+    out += "digest ";
+    append_hex64(out, fnv1a(kFnvOffset, out.data(), out.size()));
+    out += "\nend\n";
+    return out;
+}
+
+Checkpoint Checkpoint::parse(std::string_view text, std::string_view origin) {
+    Checkpoint ck;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    bool saw_header = false;
+    bool saw_digest = false;
+    bool saw_end = false;
+    std::size_t digest_covers = 0;  // byte offset the self-digest spans
+    std::uint64_t claimed_digest = 0;
+
+    // Field presence, so a truncated file cannot parse as a sparse one.
+    bool have[6] = {};  // trace-fnv clock tick every fed written
+
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t line_end =
+            eol == std::string_view::npos ? text.size() : eol;
+        const std::string_view line = text.substr(pos, line_end - pos);
+        const std::size_t line_start = pos;
+        pos = eol == std::string_view::npos ? text.size() : eol + 1;
+        ++line_no;
+        const std::string where =
+            std::string(origin) + ":" + std::to_string(line_no);
+
+        if (!saw_header) {
+            if (line != "concilium-checkpoint v1") {
+                fail(where, "not a checkpoint file");
+            }
+            saw_header = true;
+            continue;
+        }
+        if (saw_end) fail(where, "content after 'end'");
+        if (saw_digest) {
+            if (line != "end") fail(where, "expected 'end' after digest");
+            saw_end = true;
+            continue;
+        }
+
+        // Tokenize: checkpoint lines are "name value [value ...]".
+        std::vector<std::string_view> fields;
+        std::size_t i = 0;
+        while (i < line.size()) {
+            while (i < line.size() && line[i] == ' ') ++i;
+            std::size_t start = i;
+            while (i < line.size() && line[i] != ' ') ++i;
+            if (i > start) fields.push_back(line.substr(start, i - start));
+        }
+        if (fields.empty()) fail(where, "blank line inside checkpoint");
+        const std::string_view kind = fields[0];
+
+        const auto want = [&](std::size_t n) {
+            if (fields.size() != n) {
+                fail(where, "'" + std::string(kind) + "' takes " +
+                                std::to_string(n - 1) + " value(s)");
+            }
+        };
+        const auto hex = [&](std::string_view token) {
+            if (token.size() != 16) {
+                fail(where, "expected 16 hex digits");
+            }
+            std::uint64_t v = 0;
+            for (const char c : token) {
+                int d;
+                if (c >= '0' && c <= '9') {
+                    d = c - '0';
+                } else if (c >= 'a' && c <= 'f') {
+                    d = 10 + (c - 'a');
+                } else {
+                    fail(where, "expected lowercase hex digits");
+                }
+                v = (v << 4) | static_cast<std::uint64_t>(d);
+            }
+            return v;
+        };
+
+        if (kind == "trace-fnv") {
+            want(2);
+            ck.trace_fnv = hex(fields[1]);
+            have[0] = true;
+        } else if (kind == "sim-clock-us") {
+            want(2);
+            ck.sim_clock = static_cast<util::SimTime>(
+                parse_uint(fields[1], where));
+            have[1] = true;
+        } else if (kind == "tick-us") {
+            want(2);
+            ck.tick = static_cast<util::SimTime>(parse_uint(fields[1], where));
+            have[2] = true;
+        } else if (kind == "checkpoint-every-us") {
+            want(2);
+            ck.checkpoint_every =
+                static_cast<util::SimTime>(parse_uint(fields[1], where));
+            have[3] = true;
+        } else if (kind == "messages-fed") {
+            want(2);
+            ck.messages_fed = parse_uint(fields[1], where);
+            have[4] = true;
+        } else if (kind == "checkpoints-written") {
+            want(2);
+            ck.checkpoints_written = parse_uint(fields[1], where);
+            have[5] = true;
+        } else if (kind == "stat") {
+            want(3);
+            ck.stats.emplace_back(std::string(fields[1]),
+                                  parse_uint(fields[2], where));
+        } else if (kind == "journal") {
+            want(4);
+            const std::uint64_t m = parse_uint(fields[1], where);
+            if (m != ck.journals.size()) {
+                fail(where, "journal lines out of order");
+            }
+            Checkpoint::JournalDigest jd;
+            jd.entries = parse_uint(fields[2], where);
+            jd.fnv = hex(fields[3]);
+            ck.journals.push_back(jd);
+        } else if (kind == "digest") {
+            want(2);
+            claimed_digest = hex(fields[1]);
+            digest_covers = line_start + 7;  // text up to "digest "
+            saw_digest = true;
+        } else {
+            fail(where, "unknown checkpoint field '" + std::string(kind) +
+                            "'");
+        }
+    }
+
+    if (!saw_header) fail(std::string(origin) + ":1", "empty checkpoint");
+    if (!saw_end) {
+        fail(std::string(origin) + ":" + std::to_string(line_no),
+             "missing 'end' (truncated checkpoint?)");
+    }
+    for (const bool h : have) {
+        if (!h) {
+            fail(std::string(origin),
+                 "checkpoint is missing a required header field");
+        }
+    }
+    const std::uint64_t actual =
+        fnv1a(kFnvOffset, text.data(), digest_covers);
+    if (actual != claimed_digest) {
+        fail(std::string(origin),
+             "self-digest mismatch (torn or tampered checkpoint)");
+    }
+    return ck;
+}
+
+Checkpoint Checkpoint::parse_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        throw std::invalid_argument(path + ": cannot open checkpoint");
+    }
+    std::string text;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        text.append(buf, n);
+    }
+    std::fclose(f);
+    return parse(text, path);
+}
+
+void write_atomic(const std::string& path, const std::string& text) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        throw std::runtime_error(tmp + ": cannot open for writing");
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != text.size() || !flushed) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error(tmp + ": short write");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error(path + ": rename failed");
+    }
+}
+
+std::string latest_checkpoint_file(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::string best;
+    util::SimTime best_clock = -1;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("checkpoint-", 0) != 0) continue;
+        if (name.size() < 16 || name.substr(name.size() - 5) != ".ckpt") {
+            continue;
+        }
+        // checkpoint-<sim_clock_us>.ckpt; non-numeric stems are skipped.
+        const std::string stem =
+            name.substr(11, name.size() - 11 - 5);
+        util::SimTime clock = 0;
+        bool ok = !stem.empty();
+        for (const char c : stem) {
+            if (c < '0' || c > '9') {
+                ok = false;
+                break;
+            }
+            clock = clock * 10 + (c - '0');
+        }
+        if (!ok) continue;
+        if (clock > best_clock) {
+            best_clock = clock;
+            best = entry.path().string();
+        }
+    }
+    return best;
+}
+
+}  // namespace concilium::daemon

@@ -1,0 +1,86 @@
+// Daemon checkpoints: periodic, verifiable progress records (DAEMON.md).
+//
+// conciliumd's recovery story is the NodeJournal philosophy applied at
+// process scope: the workload trace is the journal of record, the run is a
+// pure function of (trace bytes, directives), and a restarted daemon
+// *replays* that function deterministically.  A checkpoint therefore does
+// not serialize the cluster -- it records a digest of the full
+// deterministic state at one sim instant (ground-truth stats, every node's
+// journal, the feed cursor) so that
+//
+//   * restart knows the sim clock the previous incarnation had reached
+//     (the resume target),
+//   * the replay can be *verified*: when the replayed run reaches the
+//     checkpointed clock its recomputed state text must match the
+//     checkpoint byte for byte, or the daemon refuses to continue
+//     (non-determinism and trace tampering both fail loudly), and
+//   * two runs of the same trace -- killed-and-resumed or not -- can be
+//     compared with cmp(1): equal state text == identical runs.
+//
+// The file format is the same strict line-oriented text as the trace, with
+// a trailing self-digest so a torn write is detected even though writes go
+// through write_atomic()'s tmp-then-rename.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace concilium::runtime {
+class NodeJournal;
+}  // namespace concilium::runtime
+
+namespace concilium::daemon {
+
+struct Checkpoint {
+    /// FNV-1a of the raw trace text this run was driven by.
+    std::uint64_t trace_fnv = 0;
+    util::SimTime sim_clock = 0;
+    /// Loop geometry: a resume with different tick or cadence would place
+    /// feed windows and checkpoints elsewhere and silently diverge, so the
+    /// daemon refuses to resume across a mismatch.
+    util::SimTime tick = 0;
+    util::SimTime checkpoint_every = 0;
+    std::uint64_t messages_fed = 0;
+    std::uint64_t checkpoints_written = 0;
+
+    /// Ground-truth runtime::Cluster::Stats, every field by name in
+    /// declaration order.
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+
+    /// Per-node durable state: entry count + FNV-1a over a canonical
+    /// encoding of each NodeJournal.
+    struct JournalDigest {
+        std::uint64_t entries = 0;
+        std::uint64_t fnv = 0;
+    };
+    std::vector<JournalDigest> journals;
+
+    /// Serializes to the checkpoint text, self-digest line included.
+    [[nodiscard]] std::string to_text() const;
+
+    /// Strict parse; verifies the self-digest.  Throws
+    /// std::invalid_argument naming `origin` and the offending line.
+    [[nodiscard]] static Checkpoint parse(std::string_view text,
+                                          std::string_view origin);
+
+    [[nodiscard]] static Checkpoint parse_file(const std::string& path);
+};
+
+/// FNV-1a over a canonical byte encoding of the journal's entries.
+[[nodiscard]] std::uint64_t journal_fnv(const runtime::NodeJournal& journal);
+
+/// Writes `text` to `path` atomically (`path.tmp` + rename) so a SIGKILL
+/// mid-write never leaves a half-checkpoint behind.  Throws
+/// std::runtime_error on I/O failure.
+void write_atomic(const std::string& path, const std::string& text);
+
+/// The newest `checkpoint-*.ckpt` in `dir` (empty string when none).
+[[nodiscard]] std::string latest_checkpoint_file(const std::string& dir);
+
+}  // namespace concilium::daemon

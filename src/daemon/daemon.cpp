@@ -1,0 +1,444 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "util/metrics.h"
+
+namespace concilium::daemon {
+
+namespace {
+
+/// Every Cluster::Stats field by name, in declaration order; the checkpoint
+/// format and the soak report both enumerate through here so the two can
+/// never disagree about what "the stats" are.
+template <typename Fn>
+void for_each_stat(const runtime::Cluster::Stats& s, Fn&& fn) {
+    fn("messages", s.messages);
+    fn("delivered", s.delivered);
+    fn("dropped_by_forwarder", s.dropped_by_forwarder);
+    fn("dropped_by_network", s.dropped_by_network);
+    fn("guilty_verdicts", s.guilty_verdicts);
+    fn("innocent_verdicts", s.innocent_verdicts);
+    fn("accusations_filed", s.accusations_filed);
+    fn("revisions_pushed", s.revisions_pushed);
+    fn("revisions_applied", s.revisions_applied);
+    fn("snapshots_published", s.snapshots_published);
+    fn("snapshots_rejected", s.snapshots_rejected);
+    fn("lightweight_rounds", s.lightweight_rounds);
+    fn("heavyweight_sessions", s.heavyweight_sessions);
+    fn("commitments_issued", s.commitments_issued);
+    fn("commitments_refused", s.commitments_refused);
+    fn("reputation_votes", s.reputation_votes);
+    fn("advertisements_accepted", s.advertisements_accepted);
+    fn("advertisements_rejected", s.advertisements_rejected);
+    fn("forward_retransmissions", s.forward_retransmissions);
+    fn("snapshot_retries", s.snapshot_retries);
+    fn("snapshot_deliveries_failed", s.snapshot_deliveries_failed);
+    fn("duplicates_suppressed", s.duplicates_suppressed);
+    fn("churn_leaves", s.churn_leaves);
+    fn("churn_rejoins", s.churn_rejoins);
+    fn("crashes", s.crashes);
+    fn("restarts", s.restarts);
+    fn("journal_replays", s.journal_replays);
+    fn("recovery_announcements", s.recovery_announcements);
+    fn("recovery_repairs_accepted", s.recovery_repairs_accepted);
+    fn("recovery_repairs_rejected", s.recovery_repairs_rejected);
+    fn("stewardships_resumed", s.stewardships_resumed);
+    fn("stewardships_abandoned", s.stewardships_abandoned);
+    fn("insufficient_verdicts", s.insufficient_verdicts);
+    fn("verdicts_retracted", s.verdicts_retracted);
+    fn("partition_activations", s.partition_activations);
+    fn("partition_heals", s.partition_heals);
+    fn("partition_blocked_packets", s.partition_blocked_packets);
+    fn("resync_rounds", s.resync_rounds);
+    fn("equivocations_published", s.equivocations_published);
+    fn("replays_published", s.replays_published);
+    fn("slanders_filed", s.slanders_filed);
+    fn("spam_puts", s.spam_puts);
+    fn("collusions_pushed", s.collusions_pushed);
+    fn("snapshots_rejected_stale", s.snapshots_rejected_stale);
+    fn("snapshots_rejected_epoch", s.snapshots_rejected_epoch);
+    fn("equivocation_proofs_filed", s.equivocation_proofs_filed);
+    fn("revisions_rejected", s.revisions_rejected);
+    fn("dht_puts_rejected", s.dht_puts_rejected);
+}
+
+/// Cluster rng substream id: keeps the cluster's randomness independent of
+/// any other consumer of the trace seed (the generator scripts use the raw
+/// seed; message keys come from the trace itself).
+constexpr std::uint64_t kClusterStream = 0xDAE07;
+
+struct Instruments {
+    util::metrics::Counter& trace_records;
+    util::metrics::Counter& messages_fed;
+    util::metrics::Counter& messages_delivered;
+    util::metrics::Counter& messages_diagnosed;
+    util::metrics::Counter& false_accusations;
+    util::metrics::Counter& correct_attributions;
+    util::metrics::Counter& insufficient_outcomes;
+    util::metrics::Counter& orphaned_messages;
+    util::metrics::Counter& churn_events;
+    util::metrics::Counter& crash_events;
+    util::metrics::Counter& fault_downs;
+    util::metrics::Counter& attack_roles;
+    util::metrics::Counter& checkpoints_written;
+    util::metrics::Counter& resume_replays;
+    util::metrics::Counter& ticks;
+    util::metrics::SeriesMetric& fed_by_hour;
+    util::metrics::SeriesMetric& false_by_hour;
+};
+
+Instruments& instruments() {
+    auto& reg = util::metrics::Registry::global();
+    static Instruments ins{
+        reg.counter("daemon.trace_records"),
+        reg.counter("daemon.messages_fed"),
+        reg.counter("daemon.messages_delivered"),
+        reg.counter("daemon.messages_diagnosed"),
+        reg.counter("daemon.false_accusations"),
+        reg.counter("daemon.correct_attributions"),
+        reg.counter("daemon.insufficient_outcomes"),
+        reg.counter("daemon.orphaned_messages"),
+        reg.counter("daemon.churn_events"),
+        reg.counter("daemon.crash_events"),
+        reg.counter("daemon.fault_downs"),
+        reg.counter("daemon.attack_roles"),
+        reg.counter("daemon.checkpoints_written"),
+        reg.counter("daemon.resume_replays"),
+        reg.counter("daemon.ticks"),
+        reg.series("daemon.messages_fed.by_hour", util::kHour, 400,
+                   util::metrics::SeriesMetric::Mode::kSum),
+        reg.series("daemon.false_accusations.by_hour", util::kHour, 400,
+                   util::metrics::SeriesMetric::Mode::kSum),
+    };
+    return ins;
+}
+
+void apply_role(runtime::NodeBehavior& b, AttackRole role) {
+    switch (role) {
+        case AttackRole::kDrop: b.drop_forward_probability = 1.0; break;
+        case AttackRole::kFlip: b.flip_probe_reports = true; break;
+        case AttackRole::kEquivocate: b.equivocate_snapshots = true; break;
+        case AttackRole::kReplay: b.replay_snapshots = true; break;
+        case AttackRole::kSlander: b.slander = true; break;
+        case AttackRole::kSpam: b.spam_accusations = true; break;
+        case AttackRole::kCollude: b.collude_revisions = true; break;
+    }
+}
+
+}  // namespace
+
+Daemon::Daemon(Workload workload, DaemonOptions options)
+    : wl_(std::move(workload)), opts_(std::move(options)) {
+    if (opts_.tick <= 0) {
+        throw std::invalid_argument("daemon tick must be positive");
+    }
+    if (opts_.checkpoint_every <= 0) {
+        throw std::invalid_argument("checkpoint cadence must be positive");
+    }
+    if (opts_.settle < 0) {
+        throw std::invalid_argument("settle time must be non-negative");
+    }
+    end_ = wl_.duration + opts_.settle;
+
+    sim::ScenarioParams wp;
+    wp.topology = net::small_params();
+    wp.topology.end_hosts = wl_.end_hosts;
+    wp.topology.stub_domains = wl_.stub_domains;
+    wp.overlay_nodes_override = wl_.overlay_nodes;
+    wp.duration = wl_.duration;
+    wp.seed = wl_.seed;
+    world_ = std::make_unique<sim::Scenario>(wp);
+
+    const std::size_t n = world_->overlay_net().size();
+    behaviors_.assign(n, runtime::NodeBehavior{});
+
+    auto& ins = instruments();
+    std::uint64_t fault_downs_applied = 0;
+    for (const auto& rec : wl_.records) {
+        if (rec.kind != RecordKind::kMessage &&
+            (rec.a >= n || (rec.kind == RecordKind::kFault && rec.b >= n))) {
+            throw std::invalid_argument(
+                "trace names member beyond the built overlay (" +
+                std::to_string(n) + " nodes)");
+        }
+        switch (rec.kind) {
+            case RecordKind::kMessage:
+                break;
+            case RecordKind::kChurn:
+                plan_.churn.push_back(
+                    {rec.a, rec.at, rec.at + rec.down});
+                break;
+            case RecordKind::kCrash:
+                plan_.crashes.push_back(
+                    {rec.a, rec.at, rec.at + rec.down});
+                break;
+            case RecordKind::kFault: {
+                // The generator names an overlay member pair; the daemon
+                // resolves it to IP reality here and downs the middle link
+                // of a's path toward b (the interior is where tomography
+                // has to work for its answer).  Direct paths only exist
+                // toward routing peers, so a non-peer b deterministically
+                // redirects to one of a's tree leaves instead.
+                const auto a = static_cast<overlay::MemberIndex>(rec.a);
+                const auto b = static_cast<overlay::MemberIndex>(rec.b);
+                std::span<const net::LinkId> links;
+                if (world_->trees().leaf_slot(a, b).has_value()) {
+                    links = world_->path_links(a, b);
+                } else if (const std::size_t leaves =
+                               world_->trees().leaf_ids(a).size();
+                           leaves > 0) {
+                    links = world_->trees().slot_path_links(
+                        a, static_cast<int>(rec.b % leaves));
+                }
+                if (!links.empty()) {
+                    plan_.downs.add_down(links[links.size() / 2],
+                                         {rec.at, rec.at + rec.down});
+                    ++fault_downs_applied;
+                }
+                break;
+            }
+            case RecordKind::kAttack:
+                apply_role(behaviors_[rec.a], rec.role);
+                break;
+        }
+    }
+    plan_.downs.finalize();
+    const bool has_chaos =
+        wl_.churns + wl_.crashes + fault_downs_applied > 0;
+
+    ins.trace_records.add(static_cast<std::int64_t>(wl_.records.size()));
+    ins.churn_events.add(static_cast<std::int64_t>(wl_.churns));
+    ins.crash_events.add(static_cast<std::int64_t>(wl_.crashes));
+    ins.fault_downs.add(static_cast<std::int64_t>(fault_downs_applied));
+    ins.attack_roles.add(static_cast<std::int64_t>(wl_.attacks));
+
+    cluster_ = std::make_unique<runtime::Cluster>(
+        sim_, world_->timeline(), world_->overlay_net(), world_->trees(),
+        opts_.params, behaviors_,
+        util::Rng(util::Rng::substream_seed(wl_.seed, kClusterStream)));
+    if (has_chaos) cluster_->set_chaos(&plan_);
+
+    if (!opts_.checkpoint_dir.empty()) {
+        std::filesystem::create_directories(opts_.checkpoint_dir);
+        next_checkpoint_ = opts_.checkpoint_every;
+        const std::string latest =
+            latest_checkpoint_file(opts_.checkpoint_dir);
+        if (!latest.empty()) {
+            const Checkpoint ck = Checkpoint::parse_file(latest);
+            if (ck.trace_fnv != wl_.content_fnv) {
+                throw std::invalid_argument(
+                    latest + ": checkpoint was written for a different "
+                             "trace (digest mismatch); refusing to resume");
+            }
+            if (ck.tick != opts_.tick ||
+                ck.checkpoint_every != opts_.checkpoint_every) {
+                throw std::invalid_argument(
+                    latest + ": checkpoint loop geometry (tick / cadence) "
+                             "differs from this run; refusing to resume");
+            }
+            if (ck.sim_clock > end_) {
+                throw std::invalid_argument(
+                    latest + ": checkpoint is beyond this run's end");
+            }
+            if (ck.sim_clock > 0) {
+                resume_target_ = ck.sim_clock;
+                resume_expected_ = ck.to_text();
+                ins.resume_replays.add(1);
+            }
+        }
+    }
+
+    cluster_->start();
+    health_clock_.store(0, std::memory_order_relaxed);
+}
+
+Daemon::~Daemon() = default;
+
+void Daemon::feed_until(util::SimTime t) {
+    auto& ins = instruments();
+    while (next_record_ < wl_.records.size() &&
+           wl_.records[next_record_].at < t) {
+        const WorkloadRecord& rec = wl_.records[next_record_++];
+        if (rec.kind != RecordKind::kMessage) continue;
+        const auto from = static_cast<overlay::MemberIndex>(rec.a);
+        const std::uint64_t key = rec.key;
+        sim_.schedule_at(rec.at, [this, &ins, from, key] {
+            // The destination is a pure function of the trace's key64, so
+            // every incarnation routes the message identically.
+            util::Rng key_rng(key);
+            const util::NodeId dest = util::NodeId::random(key_rng);
+            ++messages_fed_;
+            ++score_.fed;
+            ins.messages_fed.add(1);
+            ins.fed_by_hour.observe(sim_.now());
+            health_fed_.store(messages_fed_, std::memory_order_relaxed);
+            cluster_->send(from, dest,
+                           [this](const runtime::Cluster::MessageOutcome& o) {
+                               complete_message(o);
+                           });
+        });
+    }
+}
+
+void Daemon::complete_message(const runtime::Cluster::MessageOutcome& res) {
+    auto& ins = instruments();
+    ++score_.completed;
+    health_completed_.store(score_.completed, std::memory_order_relaxed);
+    if (res.delivered) {
+        ++score_.delivered;
+        ins.messages_delivered.add(1);
+        return;
+    }
+    ++score_.diagnosed;
+    ins.messages_diagnosed.add(1);
+    if (res.insufficient_evidence) {
+        ++score_.insufficient;
+        ins.insufficient_outcomes.add(1);
+        return;
+    }
+    if (res.true_drop_hop.has_value()) {
+        // A forwarder ate it; naming exactly that node is correct, naming
+        // anyone else is a false accusation (soak_recovery's rule).
+        const util::NodeId& culprit =
+            world_->overlay_net()
+                .member(res.route[*res.true_drop_hop])
+                .id();
+        if (res.blamed == culprit) {
+            ++score_.correct_attributions;
+            ins.correct_attributions.add(1);
+        } else if (res.blamed.has_value()) {
+            ++score_.false_accusations;
+            ins.false_accusations.add(1);
+            ins.false_by_hour.observe(sim_.now());
+        }
+    } else {
+        // The IP network ate the message (or its ack): blaming the network
+        // is right, blaming any node is the failure mode the paper is
+        // engineered to avoid.
+        if (res.blamed.has_value()) {
+            ++score_.false_accusations;
+            ins.false_accusations.add(1);
+            ins.false_by_hour.observe(sim_.now());
+        } else if (res.network_blamed) {
+            ++score_.correct_attributions;
+            ins.correct_attributions.add(1);
+        }
+    }
+}
+
+bool Daemon::run(const std::atomic<bool>* stop, int pace_ms) {
+    auto& ins = instruments();
+    while (clock_ < end_) {
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+            if (!opts_.checkpoint_dir.empty()) {
+                write_checkpoint(/*on_cadence=*/false);
+            }
+            return false;
+        }
+
+        util::SimTime next = std::min<util::SimTime>(clock_ + opts_.tick,
+                                                     end_);
+        if (next_checkpoint_ > 0 && next_checkpoint_ > clock_ &&
+            next_checkpoint_ < next) {
+            next = next_checkpoint_;
+        }
+        if (resume_target_.has_value() && *resume_target_ > clock_ &&
+            *resume_target_ < next) {
+            next = *resume_target_;
+        }
+        const bool replaying =
+            resume_target_.has_value() && clock_ < *resume_target_;
+        health_replaying_.store(replaying, std::memory_order_relaxed);
+
+        feed_until(next);
+        sim_.run_until(next);
+        clock_ = next;
+        health_clock_.store(clock_, std::memory_order_relaxed);
+        ins.ticks.add(1);
+
+        if (next_checkpoint_ > 0 && clock_ == next_checkpoint_) {
+            write_checkpoint(/*on_cadence=*/true);
+            next_checkpoint_ += opts_.checkpoint_every;
+        }
+        if (resume_target_.has_value() && clock_ == *resume_target_) {
+            const std::string got = state_text();
+            if (got != resume_expected_) {
+                throw std::runtime_error(
+                    "resume verification failed at sim clock " +
+                    std::to_string(clock_) +
+                    "us: replayed state does not match the loaded "
+                    "checkpoint (non-determinism, or the trace or "
+                    "checkpoint changed underneath this run)");
+            }
+            resume_target_.reset();
+            resume_expected_.clear();
+            health_replaying_.store(false, std::memory_order_relaxed);
+        }
+
+        if (pace_ms > 0 && !replaying && clock_ < end_) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+        }
+    }
+    ins.orphaned_messages.add(static_cast<std::int64_t>(score_.orphans()));
+    return true;
+}
+
+Checkpoint Daemon::build_checkpoint() const {
+    Checkpoint ck;
+    ck.trace_fnv = wl_.content_fnv;
+    ck.sim_clock = clock_;
+    ck.tick = opts_.tick;
+    ck.checkpoint_every = opts_.checkpoint_every;
+    ck.messages_fed = messages_fed_;
+    ck.checkpoints_written = checkpoints_written_;
+    for_each_stat(cluster_->stats(),
+                  [&ck](const char* name, std::size_t value) {
+                      ck.stats.emplace_back(name,
+                                            static_cast<std::uint64_t>(value));
+                  });
+    const std::size_t n = world_->overlay_net().size();
+    ck.journals.reserve(n);
+    for (std::size_t m = 0; m < n; ++m) {
+        const runtime::NodeJournal& j =
+            cluster_->journal(static_cast<overlay::MemberIndex>(m));
+        ck.journals.push_back({j.size(), journal_fnv(j)});
+    }
+    return ck;
+}
+
+void Daemon::write_checkpoint(bool on_cadence) {
+    if (on_cadence) ++checkpoints_written_;
+    const Checkpoint ck = build_checkpoint();
+    write_atomic(opts_.checkpoint_dir + "/checkpoint-" +
+                     std::to_string(clock_) + ".ckpt",
+                 ck.to_text());
+    instruments().checkpoints_written.add(1);
+}
+
+std::string Daemon::state_text() const { return build_checkpoint().to_text(); }
+
+std::string Daemon::health_text() const {
+    std::string out = "ok\n";
+    const auto line = [&out](const char* name, std::uint64_t v) {
+        out += name;
+        out += ' ';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    line("sim-clock-us", static_cast<std::uint64_t>(
+                             health_clock_.load(std::memory_order_relaxed)));
+    line("end-us", static_cast<std::uint64_t>(end_));
+    line("replaying",
+         health_replaying_.load(std::memory_order_relaxed) ? 1 : 0);
+    line("messages-fed", health_fed_.load(std::memory_order_relaxed));
+    line("messages-completed",
+         health_completed_.load(std::memory_order_relaxed));
+    return out;
+}
+
+}  // namespace concilium::daemon

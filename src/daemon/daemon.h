@@ -1,0 +1,141 @@
+// conciliumd's engine: a long-running, resumable protocol run (DAEMON.md).
+//
+// A Daemon owns one deterministic world -- sim::Scenario built from the
+// trace's directives, runtime::Cluster driven by the trace's records -- and
+// advances it in fixed sim-time ticks.  Ticks exist for three reasons: they
+// bound how much workload is scheduled ahead (a weeks-long trace streams
+// instead of loading into the calendar queue at once), they are the points
+// where checkpoints are cut and stop flags honored, and they give the live
+// mode something to pace against wall time so a scraper can watch a run in
+// flight.
+//
+// Determinism contract: the entire run is a pure function of the trace
+// bytes (world directives + records) and the loop geometry (tick,
+// checkpoint cadence).  Tick boundaries are derived from sim time alone,
+// never from wall time, so a paced live run, a flat-out batch run, and a
+// killed-and-resumed run all execute the identical event sequence.  That is
+// what makes the checkpoint story work: resume replays from sim time zero,
+// rewrites every checkpoint it passes (byte-identical by construction),
+// verifies its recomputed state against the checkpoint it loaded, and only
+// then continues into new work.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "daemon/checkpoint.h"
+#include "daemon/workload.h"
+#include "net/chaos.h"
+#include "runtime/cluster.h"
+#include "sim/scenario.h"
+
+namespace concilium::daemon {
+
+struct DaemonOptions {
+    /// Directory for periodic checkpoints (empty = checkpointing off, and
+    /// therefore no resume).
+    std::string checkpoint_dir;
+    util::SimTime checkpoint_every = 10 * util::kMinute;
+    /// Sim-time advance per loop iteration; also the stop-flag and pacing
+    /// granularity.
+    util::SimTime tick = 30 * util::kSecond;
+    /// Extra sim time after the last scheduled record, so in-flight
+    /// stewardships finish diagnosing before orphans are counted.
+    util::SimTime settle = 5 * util::kMinute;
+    runtime::RuntimeParams params;
+};
+
+class Daemon {
+  public:
+    /// Builds the world and, when the checkpoint directory holds a prior
+    /// run's checkpoint for this exact trace and loop geometry, arms
+    /// replay-and-resume.  Throws std::invalid_argument on a checkpoint
+    /// that does not match the trace (wrong trace digest, different tick
+    /// or cadence) and std::runtime_error on I/O failure.
+    Daemon(Workload workload, DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// Advances the run to completion (trace duration + settle).  Returns
+    /// true when the run finished; false when `stop` was raised, in which
+    /// case a final off-cadence checkpoint has been written and a new
+    /// Daemon on the same directory will resume.  `pace_ms` sleeps that
+    /// many wall milliseconds per tick in live (non-replay) operation so
+    /// external scrapers see a run in motion; replay never paces.
+    /// Throws std::runtime_error when replay verification fails.
+    bool run(const std::atomic<bool>* stop = nullptr, int pace_ms = 0);
+
+    /// Ground-truth scoring of every completed message, soak_recovery
+    /// style.  Orphans are only meaningful after run() returns true.
+    struct Score {
+        std::uint64_t fed = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t diagnosed = 0;
+        std::uint64_t false_accusations = 0;
+        std::uint64_t correct_attributions = 0;
+        std::uint64_t insufficient = 0;
+        [[nodiscard]] std::uint64_t orphans() const noexcept {
+            return fed - completed;
+        }
+    };
+    [[nodiscard]] const Score& score() const noexcept { return score_; }
+
+    /// The current state serialized in checkpoint format; two runs of the
+    /// same trace are identical iff these bytes are.
+    [[nodiscard]] std::string state_text() const;
+
+    /// Small key-value health block, first line "ok".  Safe to call from
+    /// another thread while run() is executing.
+    [[nodiscard]] std::string health_text() const;
+
+    [[nodiscard]] util::SimTime clock() const noexcept { return clock_; }
+    [[nodiscard]] util::SimTime end() const noexcept { return end_; }
+    [[nodiscard]] bool resumed() const noexcept {
+        return resume_target_.has_value();
+    }
+    [[nodiscard]] const runtime::Cluster& cluster() const noexcept {
+        return *cluster_;
+    }
+    [[nodiscard]] const Workload& workload() const noexcept { return wl_; }
+
+  private:
+    [[nodiscard]] Checkpoint build_checkpoint() const;
+    void write_checkpoint(bool on_cadence);
+    void feed_until(util::SimTime t);
+    void complete_message(const runtime::Cluster::MessageOutcome& outcome);
+
+    Workload wl_;
+    DaemonOptions opts_;
+    std::unique_ptr<sim::Scenario> world_;
+    std::vector<runtime::NodeBehavior> behaviors_;
+    net::FaultPlan plan_;
+    net::EventSim sim_;
+    std::unique_ptr<runtime::Cluster> cluster_;
+
+    util::SimTime end_ = 0;          ///< duration + settle
+    util::SimTime clock_ = 0;        ///< sim time the loop has reached
+    std::size_t next_record_ = 0;    ///< feed cursor into wl_.records
+    std::uint64_t messages_fed_ = 0;
+    std::uint64_t checkpoints_written_ = 0;  ///< cadence checkpoints only
+    util::SimTime next_checkpoint_ = 0;      ///< 0 = checkpointing off
+    Score score_;
+
+    /// Replay-and-resume state (set when a valid checkpoint was loaded).
+    std::optional<util::SimTime> resume_target_;
+    std::string resume_expected_;  ///< loaded checkpoint, re-serialized
+
+    /// Mirrors for health_text(), readable off-thread.
+    std::atomic<std::int64_t> health_clock_{0};
+    std::atomic<std::uint64_t> health_fed_{0};
+    std::atomic<std::uint64_t> health_completed_{0};
+    std::atomic<bool> health_replaying_{false};
+};
+
+}  // namespace concilium::daemon

@@ -1,0 +1,170 @@
+#include "daemon/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/metrics.h"
+
+namespace concilium::daemon {
+
+namespace {
+
+std::string make_response(int code, const char* status,
+                          const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.0 ";
+    out += std::to_string(code);
+    out += ' ';
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return;  // client went away; nothing useful to do
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+void HttpServer::start(std::uint16_t port, Handlers handlers) {
+    handlers_ = std::move(handlers);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd_, 16) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("bind 127.0.0.1:" + std::to_string(port) +
+                                 ": " + why);
+    }
+
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    stopping_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { serve(); });
+}
+
+void HttpServer::stop() {
+    if (listen_fd_ >= 0) {
+        // Signal first, then shutdown() to wake the poll/accept; the fd is
+        // only closed and reassigned after the thread has joined, so the
+        // serving thread never observes a torn or stale descriptor.
+        stopping_.store(true, std::memory_order_release);
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    port_ = 0;
+}
+
+void HttpServer::serve() {
+    // Cached handle: the request counter is wall-clock-driven by nature.
+    auto& requests = util::metrics::Registry::global().timing_counter(
+        "daemon.http_requests");
+    for (;;) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, 250);
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (r <= 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            return;  // listener closed or broken
+        }
+        requests.add(1);
+        handle_client(fd);
+        ::close(fd);
+    }
+}
+
+void HttpServer::handle_client(int fd) {
+    // Read until the header terminator; request bodies are not supported.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            break;
+        }
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    const std::size_t line_end = req.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? req : req.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        send_all(fd, make_response(400, "Bad Request", "text/plain",
+                                   "malformed request line\n"));
+        return;
+    }
+    const std::string method = line.substr(0, sp1);
+    const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+        send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
+                                   "GET only\n"));
+        return;
+    }
+
+    if (path == "/metrics") {
+        send_all(fd, make_response(200, "OK",
+                                   "text/plain; version=0.0.4",
+                                   handlers_.metrics_text()));
+    } else if (path == "/metrics.json") {
+        send_all(fd, make_response(200, "OK", "application/json",
+                                   handlers_.metrics_json()));
+    } else if (path == "/healthz") {
+        send_all(fd, make_response(200, "OK", "text/plain",
+                                   handlers_.health()));
+    } else if (path == "/spans") {
+        send_all(fd, make_response(200, "OK", "application/json",
+                                   handlers_.spans()));
+    } else {
+        send_all(fd, make_response(404, "Not Found", "text/plain",
+                                   "unknown path " + path + "\n"));
+    }
+}
+
+}  // namespace concilium::daemon

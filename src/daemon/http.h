@@ -1,0 +1,67 @@
+// Minimal scrape server for conciliumd (DAEMON.md).
+//
+// One loopback listener, one background thread, HTTP/1.0 close-per-request
+// semantics: exactly the surface a Prometheus scraper or a CI curl needs
+// and nothing more.  Responses are produced by caller-supplied handlers so
+// the server knows nothing about metrics, health, or spans -- it routes
+// four GET paths and closes the connection.
+//
+// Deliberately not a general web server: no keep-alive, no TLS, no POST,
+// no request bodies, loopback only.  The daemon's *state* is owned by the
+// sim thread; handlers must be safe to call from the server thread (the
+// ones conciliumd installs snapshot atomics or take registry snapshots,
+// both of which are).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace concilium::daemon {
+
+class HttpServer {
+  public:
+    /// One handler per route; each returns the full response body.  The
+    /// content type is fixed per route (text/plain for /metrics and
+    /// /healthz, application/json for /metrics.json and /spans).
+    struct Handlers {
+        std::function<std::string()> metrics_text;
+        std::function<std::string()> metrics_json;
+        std::function<std::string()> health;
+        std::function<std::string()> spans;
+    };
+
+    HttpServer() = default;
+    ~HttpServer() { stop(); }
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+    /// serving thread.  Throws std::runtime_error when the bind fails.
+    void start(std::uint16_t port, Handlers handlers);
+
+    /// Closes the listener and joins the thread.  Idempotent.
+    void stop();
+
+    /// The bound port (resolves ephemeral binds); 0 before start().
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  private:
+    void serve();
+    void handle_client(int fd);
+
+    Handlers handlers_;
+    // The fd is written only while the serving thread is not running;
+    // stopping_ is the cross-thread signal (the fd itself stays valid
+    // until the thread has joined, so serve() never reads a stale fd).
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+}  // namespace concilium::daemon

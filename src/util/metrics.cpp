@@ -284,6 +284,25 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kGauge, "sim.driver_busy_seconds", true},
     {WellKnown::kHistogram, "sim.driver_run_seconds", true, 0.0, 60.0, 24},
     {WellKnown::kHistogram, "sim.driver_trial_seconds", true, 0.0, 0.05, 50},
+    // daemon — conciliumd's trace-driven service loop (DAEMON.md).  The
+    // run is deterministic end to end, so everything but the HTTP request
+    // counter lives in the deterministic section.
+    {WellKnown::kCounter, "daemon.trace_records"},
+    {WellKnown::kCounter, "daemon.messages_fed"},
+    {WellKnown::kCounter, "daemon.messages_delivered"},
+    {WellKnown::kCounter, "daemon.messages_diagnosed"},
+    {WellKnown::kCounter, "daemon.false_accusations"},
+    {WellKnown::kCounter, "daemon.correct_attributions"},
+    {WellKnown::kCounter, "daemon.insufficient_outcomes"},
+    {WellKnown::kCounter, "daemon.orphaned_messages"},
+    {WellKnown::kCounter, "daemon.churn_events"},
+    {WellKnown::kCounter, "daemon.crash_events"},
+    {WellKnown::kCounter, "daemon.fault_downs"},
+    {WellKnown::kCounter, "daemon.attack_roles"},
+    {WellKnown::kCounter, "daemon.checkpoints_written"},
+    {WellKnown::kCounter, "daemon.resume_replays"},
+    {WellKnown::kCounter, "daemon.ticks"},
+    {WellKnown::kCounter, "daemon.http_requests", true},
 };
 
 // Windowed sim-clock series (OBSERVABILITY.md "Windowed series").  Named
@@ -305,6 +324,12 @@ constexpr WellKnownSeries kWellKnownSeries[] = {
     {"partition.messages_blocked.by_minute"},
     {"net.eventsim.queue_depth.by_minute", 60'000'000, 240,
      SeriesMetric::Mode::kMax},
+    // Daemon soaks simulate weeks, so these decompose by sim-hour instead
+    // of sim-minute: 400 one-hour windows cover a 16-day run.
+    {"daemon.messages_fed.by_hour", 3'600'000'000, 400,
+     SeriesMetric::Mode::kSum},
+    {"daemon.false_accusations.by_hour", 3'600'000'000, 400,
+     SeriesMetric::Mode::kSum},
 };
 
 }  // namespace

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression gate on the daemon soak's simulated-weeks scores.
+
+The nightly workflow generates a diurnal + flash-crowd + regional-churn
+trace with tools/gen_workload.py, runs `soak_daemon --trace ... --metrics-out
+daemon.json`, and feeds the snapshot here.  The daemon scores every
+completed message against simulation ground truth:
+
+  daemon.false_accusations   diagnoses whose final blame landed on the
+                             wrong node (or on any node when the IP network
+                             was the real cause)
+  daemon.orphaned_messages   fed messages whose completion callback never
+                             fired by end of run + settle
+  daemon.checkpoints_written checkpoint files cut during the run; a
+                             long-running service that stops checkpointing
+                             has lost its restart story even if the math
+                             is still right
+
+Usage:
+  check_daemon.py SNAPSHOT.json [--max-false-rate R] [--max-orphan-rate R]
+                  [--min-messages N] [--min-checkpoints N]
+                  [--flight SPANS.json]
+
+  --max-false-rate R    fail when false_accusations / diagnosed > R
+                        (default 0.15; the trace mixes honest churn and
+                        IP faults where abstention, not blame, is right)
+  --max-orphan-rate R   fail when orphaned / fed > R (default 0.02)
+  --min-messages N      fail when fewer than N messages were fed -- a
+                        silently idle daemon must not pass (default 100)
+  --min-checkpoints N   fail when fewer than N checkpoints were written
+                        (default 0 = not enforced; the nightly lane passes
+                        the cadence it expects from the trace length)
+  --flight SPANS.json   on failure, dump the last sim events of this
+                        --spans-out trace (the flight-recorder post-mortem)
+"""
+
+import argparse
+import sys
+
+import gatelib
+
+die = gatelib.make_die("check_daemon")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshot")
+    parser.add_argument("--max-false-rate", type=float, default=0.15)
+    parser.add_argument("--max-orphan-rate", type=float, default=0.02)
+    parser.add_argument("--min-messages", type=int, default=100)
+    parser.add_argument("--min-checkpoints", type=int, default=0)
+    parser.add_argument("--flight", default=None)
+    args = parser.parse_args(argv[1:])
+
+    fail = gatelib.with_flight(die, args.flight)
+    metrics = gatelib.load_metrics(args.snapshot, fail)
+    counter = gatelib.counter_reader(metrics, args.snapshot, fail,
+                                     "soak_daemon")
+    series = gatelib.series_reader(metrics, args.snapshot, fail,
+                                   "soak_daemon")
+
+    fed = counter("daemon.messages_fed")
+    diagnosed = counter("daemon.messages_diagnosed")
+    false_acc = counter("daemon.false_accusations")
+    correct = counter("daemon.correct_attributions")
+    insufficient = counter("daemon.insufficient_outcomes")
+    orphans = counter("daemon.orphaned_messages")
+    checkpoints = counter("daemon.checkpoints_written")
+    crashes = counter("daemon.crash_events")
+    false_by_hour = series("daemon.false_accusations.by_hour")
+
+    gatelib.require_activity(fed, args.min_messages, fail)
+
+    false_rate = 0.0 if diagnosed == 0 else false_acc / diagnosed
+    orphan_rate = 0.0 if fed == 0 else orphans / fed
+    print(f"{args.snapshot}: fed={fed} diagnosed={diagnosed} "
+          f"correct={correct} insufficient={insufficient} "
+          f"false={false_acc} (rate {false_rate:.4f}, "
+          f"max {args.max_false_rate}) "
+          f"orphans={orphans}/{fed} (rate {orphan_rate:.4f}, "
+          f"max {args.max_orphan_rate}) "
+          f"checkpoints={checkpoints} crashes={crashes}")
+    print(f"  false by hour: "
+          f"{gatelib.describe_series(false_by_hour, window_seconds=3600)}")
+    if false_rate > args.max_false_rate:
+        fail(f"false-accusation rate {false_rate:.4f} exceeds "
+             f"{args.max_false_rate}")
+    if orphan_rate > args.max_orphan_rate:
+        fail(f"orphan rate {orphan_rate:.4f} exceeds {args.max_orphan_rate}")
+    if checkpoints < args.min_checkpoints:
+        fail(f"only {checkpoints} checkpoints written; expected at least "
+             f"{args.min_checkpoints} (cadence broke)")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

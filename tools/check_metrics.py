@@ -19,7 +19,7 @@ import sys
 
 NAMESPACES = ("net.", "tomography.", "overlay.", "core.", "runtime.",
               "sim.", "chaos.", "attack.", "defense.", "dht.",
-              "recovery.", "partition.", "crypto.")
+              "recovery.", "partition.", "crypto.", "daemon.")
 
 
 def die(msg):

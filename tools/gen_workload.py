@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Generate a conciliumd workload trace (DAEMON.md).
+
+Produces the millions-of-users-shaped traffic the daemon exists to serve,
+as a pure function of --seed:
+
+  * diurnal load: message arrivals follow an inhomogeneous Poisson process
+    whose rate swings sinusoidally over a 24-hour sim day (quiet nights,
+    busy afternoons),
+  * flash crowds: short windows where the arrival rate multiplies, landing
+    preferentially on a handful of "hot" destination keys,
+  * correlated regional churn: nodes are partitioned into regions; a churn
+    event takes several nodes of one region down with staggered leave
+    times (a rack or ISP going away, not independent coin flips),
+  * background crash-stop cycles and IP link faults between member pairs,
+  * optional static attacker roles.
+
+The output is the strict text format parsed by src/daemon/workload.h: a
+directive preamble, timestamp-sorted records, and an `end <count>` trailer.
+
+Usage:
+  gen_workload.py --out day.trace --seed 7 --nodes 48 --minutes 30
+  gen_workload.py --out weeks.trace --seed 1 --nodes 48 --days 14 \\
+      --rate-per-min 4 --flash-crowds 8 --regions 6 --churn-per-day 4 \\
+      --crashes-per-day 2 --link-faults-per-day 6 --attackers 3
+"""
+
+import argparse
+import math
+import random
+import sys
+
+US = 1
+MS = 1000 * US
+S = 1000 * MS
+MIN = 60 * S
+HOUR = 60 * MIN
+DAY = 24 * HOUR
+
+ATTACK_ROLES = ("drop", "flip", "equivocate", "replay", "slander", "spam",
+                "collude")
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", required=True, help="output trace path")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--nodes", type=int, default=48)
+    p.add_argument("--hosts", type=int, default=320)
+    p.add_argument("--stubs", type=int, default=12)
+    dur = p.add_mutually_exclusive_group()
+    dur.add_argument("--minutes", type=float, help="trace length in minutes")
+    dur.add_argument("--days", type=float, help="trace length in days")
+    p.add_argument("--rate-per-min", type=float, default=3.0,
+                   help="mean message rate at the diurnal midline")
+    p.add_argument("--diurnal-swing", type=float, default=0.7,
+                   help="sinusoid amplitude as a fraction of the midline")
+    p.add_argument("--flash-crowds", type=int, default=2,
+                   help="number of flash-crowd windows")
+    p.add_argument("--flash-multiplier", type=float, default=8.0)
+    p.add_argument("--flash-minutes", type=float, default=10.0)
+    p.add_argument("--regions", type=int, default=4,
+                   help="regions for correlated churn")
+    p.add_argument("--churn-per-day", type=float, default=3.0,
+                   help="regional churn events per sim day")
+    p.add_argument("--crashes-per-day", type=float, default=1.0)
+    p.add_argument("--link-faults-per-day", type=float, default=4.0)
+    p.add_argument("--attackers", type=int, default=0,
+                   help="nodes given a random static attack role at t=0")
+    args = p.parse_args(argv)
+    if args.nodes < 8:
+        p.error("--nodes must be >= 8")
+    if args.minutes is not None:
+        args.duration_us = int(args.minutes * MIN)
+    elif args.days is not None:
+        args.duration_us = int(args.days * DAY)
+    else:
+        args.duration_us = 2 * HOUR
+    if args.duration_us <= 0:
+        p.error("duration must be positive")
+    return args
+
+
+def diurnal_rate(t_us, midline_per_min, swing):
+    """Messages per sim minute at sim time t (sinusoid over a 24 h day)."""
+    phase = 2.0 * math.pi * (t_us % DAY) / DAY
+    # Peak mid-afternoon, trough in the small hours.
+    return midline_per_min * (1.0 + swing * math.sin(phase - math.pi / 2))
+
+
+def message_times(rng, args, flash_windows):
+    """Inhomogeneous Poisson arrivals by thinning."""
+    peak = args.rate_per_min * (1.0 + args.diurnal_swing) * (
+        args.flash_multiplier if flash_windows else 1.0)
+    if peak <= 0.0:
+        return []
+    times = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak / MIN)
+        if t >= args.duration_us:
+            return times
+        rate = diurnal_rate(t, args.rate_per_min, args.diurnal_swing)
+        for (start, end) in flash_windows:
+            if start <= t < end:
+                rate *= args.flash_multiplier
+                break
+        if rng.random() < rate / peak:
+            times.append(int(t))
+
+
+def main(argv):
+    args = parse_args(argv)
+    rng = random.Random(args.seed)
+    duration = args.duration_us
+    records = []  # (t_us, order, line)
+
+    def emit(t, line):
+        records.append((t, len(records), line))
+
+    # Static attacker roles, all at t=0 (behaviors are fixed at cluster
+    # start; the parser insists timestamps are sorted, and 0 sorts first).
+    attackers = rng.sample(range(args.nodes), min(args.attackers, args.nodes))
+    for node in attackers:
+        emit(0, f"attack 0us {node} {rng.choice(ATTACK_ROLES)}")
+
+    # Flash-crowd windows, each with a small hot key set.
+    flash_windows = []
+    hot_keys = []
+    flash_len = int(args.flash_minutes * MIN)
+    for _ in range(args.flash_crowds):
+        start = rng.randrange(max(1, duration - flash_len))
+        flash_windows.append((start, min(start + flash_len, duration)))
+        hot_keys.append([rng.getrandbits(64) for _ in range(3)])
+
+    # Messages: random sender; destination keys are uniform except inside a
+    # flash crowd, where most of the traffic piles onto that crowd's hot
+    # keys (everyone fetching the same thing).
+    for t in message_times(rng, args, flash_windows):
+        sender = rng.randrange(args.nodes)
+        key = rng.getrandbits(64)
+        for i, (start, end) in enumerate(flash_windows):
+            if start <= t < end and rng.random() < 0.8:
+                key = rng.choice(hot_keys[i])
+                break
+        emit(t, f"msg {t}us {sender} {key:016x}")
+
+    # Correlated regional churn: regions are contiguous index stripes; one
+    # event takes a random subset of a region down with staggered leaves.
+    regions = [
+        list(range(r * args.nodes // args.regions,
+                   (r + 1) * args.nodes // args.regions))
+        for r in range(args.regions)
+    ]
+    n_churn = int(args.churn_per_day * duration / DAY + 0.5)
+    for _ in range(n_churn):
+        region = rng.choice([r for r in regions if r])
+        t0 = rng.randrange(duration)
+        down = int(rng.uniform(2, 15) * MIN)
+        for node in rng.sample(region, max(1, len(region) // 2)):
+            t = t0 + int(rng.uniform(0, 30) * S)  # staggered, not lockstep
+            emit(t, f"churn {t}us {node} {down}us")
+
+    # Independent crash-stop cycles (journal replay on restart).
+    n_crash = int(args.crashes_per_day * duration / DAY + 0.5)
+    for _ in range(n_crash):
+        t = rng.randrange(duration)
+        node = rng.randrange(args.nodes)
+        down = int(rng.uniform(1, 5) * MIN)
+        emit(t, f"crash {t}us {node} {down}us")
+
+    # IP link faults between member pairs (the daemon downs the middle link
+    # of the a->b path).
+    n_fault = int(args.link_faults_per_day * duration / DAY + 0.5)
+    for _ in range(n_fault):
+        t = rng.randrange(duration)
+        a, b = rng.sample(range(args.nodes), 2)
+        down = int(rng.uniform(1, 10) * MIN)
+        emit(t, f"fault {t}us {a} {b} {down}us")
+
+    records.sort()
+    lines = ["concilium-trace v1",
+             f"# generated by tools/gen_workload.py --seed {args.seed}",
+             f"seed {args.seed}",
+             f"nodes {args.nodes}",
+             f"hosts {args.hosts}",
+             f"stubs {args.stubs}",
+             f"duration {duration}us"]
+    lines.extend(line for (_, _, line) in records)
+    lines.append(f"end {len(records)}")
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+    n_msg = sum(1 for (_, _, l) in records if l.startswith("msg "))
+    print(f"{args.out}: {len(records)} records "
+          f"({n_msg} msg, {n_churn} churn events, {n_crash} crashes, "
+          f"{n_fault} faults, {len(attackers)} attackers) over "
+          f"{duration / HOUR:.1f} sim hours")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
