@@ -15,7 +15,9 @@
 // tools/check_daemon.py gates the end-of-run metrics in the nightly lane.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench_common.h"
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
 
     std::string trace_path;
     std::string checkpoint_dir;
+    std::string io_faults_text;
+    std::uint64_t io_faults_seed = 0;
     const auto args = bench::parse_args(
         argc, argv, [&](int& i, int arg_count, char** arg_values) {
             if (std::strcmp(arg_values[i], "--trace") == 0 &&
@@ -36,6 +40,16 @@ int main(int argc, char** argv) {
             if (std::strcmp(arg_values[i], "--checkpoint-dir") == 0 &&
                 i + 1 < arg_count) {
                 checkpoint_dir = arg_values[++i];
+                return true;
+            }
+            if (std::strcmp(arg_values[i], "--io-faults") == 0 &&
+                i + 1 < arg_count) {
+                io_faults_text = arg_values[++i];
+                return true;
+            }
+            if (std::strcmp(arg_values[i], "--io-faults-seed") == 0 &&
+                i + 1 < arg_count) {
+                io_faults_seed = std::strtoull(arg_values[++i], nullptr, 10);
                 return true;
             }
             return false;
@@ -58,6 +72,13 @@ int main(int argc, char** argv) {
 
     daemon::DaemonOptions opts;
     opts.checkpoint_dir = checkpoint_dir;
+    try {
+        opts.io = std::make_shared<util::FaultFs>(
+            util::IoFaultSpec::parse(io_faults_text, io_faults_seed));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "soak_daemon: %s\n", e.what());
+        return 2;
+    }
     opts.checkpoint_every = 6 * util::kHour;
     opts.tick = 5 * util::kMinute;
     opts.settle = 10 * util::kMinute;
@@ -85,6 +106,9 @@ int main(int argc, char** argv) {
 
     daemon::Daemon d(std::move(workload), opts);
     if (!d.run()) return 1;  // no stop flag: false is unreachable
+    for (const std::string& note : d.io_notes()) {
+        std::fprintf(stderr, "soak_daemon: %s\n", note.c_str());
+    }
 
     // Per-day decomposition through the windowed series the daemon fills.
     auto& reg = util::metrics::Registry::global();
@@ -139,5 +163,7 @@ int main(int argc, char** argv) {
     report.set("messages_fed", static_cast<double>(score.fed));
     report.set("false_rate", false_rate);
     report.set("orphan_rate", orphan_rate);
+    report.set("io_faults_injected", static_cast<double>(d.io().injected()));
+    report.set("io_degraded", d.io_degraded() ? 1.0 : 0.0);
     return 0;
 }

@@ -1,8 +1,10 @@
 #include "daemon/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 #include "daemon/workload.h"
 #include "runtime/journal.h"
@@ -238,69 +240,133 @@ Checkpoint Checkpoint::parse(std::string_view text, std::string_view origin) {
 }
 
 Checkpoint Checkpoint::parse_file(const std::string& path) {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) {
-        throw std::invalid_argument(path + ": cannot open checkpoint");
+    return parse_file(path, util::FaultFs::system());
+}
+
+Checkpoint Checkpoint::parse_file(const std::string& path,
+                                  util::FaultFs& fs) {
+    return parse(fs.read_file(path), path);
+}
+
+void write_atomic(const std::string& path, const std::string& text,
+                  util::FaultFs& fs) {
+    const std::string tmp = path + ".tmp";
+    const int fd = fs.open_trunc(tmp);
+    try {
+        fs.write_all(fd, text, tmp);
+        // fsync *before* rename: without it, a power loss after the rename
+        // can surface an empty or garbage file under the final name -- the
+        // one failure shape tmp-then-rename exists to rule out.
+        fs.fsync_fd(fd, tmp);
+    } catch (...) {
+        fs.close_fd(fd);
+        std::remove(tmp.c_str());
+        throw;
     }
-    std::string text;
-    char buf[1 << 14];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-        text.append(buf, n);
+    fs.close_fd(fd);
+    try {
+        fs.rename_file(tmp, path);
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
     }
-    std::fclose(f);
-    return parse(text, path);
+    // fsync the containing directory so the rename itself is durable.
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    fs.fsync_dir(parent.empty() ? "." : parent);
 }
 
 void write_atomic(const std::string& path, const std::string& text) {
-    const std::string tmp = path + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr) {
-        throw std::runtime_error(tmp + ": cannot open for writing");
+    write_atomic(path, text, util::FaultFs::system());
+}
+
+namespace {
+
+/// The sim clock encoded in a resume-candidate filename, or -1 when the
+/// name is not a candidate (wrong affixes, leftover `.tmp`, quarantined
+/// artifact, non-decimal stem).
+util::SimTime candidate_clock(const std::string& name) {
+    if (name.rfind("checkpoint-", 0) != 0) return -1;
+    if (name.size() < 17 || name.substr(name.size() - 5) != ".ckpt") {
+        return -1;
     }
-    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-    const bool flushed = std::fflush(f) == 0;
-    std::fclose(f);
-    if (written != text.size() || !flushed) {
-        std::remove(tmp.c_str());
-        throw std::runtime_error(tmp + ": short write");
+    // Defense in depth: the suffix check above already rejects `.tmp` and
+    // `.quarantined-*` names, but those must never become resume
+    // candidates even if the naming scheme grows, so reject explicitly.
+    if (name.find(".tmp") != std::string::npos ||
+        name.find(".quarantined") != std::string::npos) {
+        return -1;
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw std::runtime_error(path + ": rename failed");
+    const std::string stem = name.substr(11, name.size() - 11 - 5);
+    if (stem.empty()) return -1;
+    util::SimTime clock = 0;
+    for (const char c : stem) {
+        if (c < '0' || c > '9') return -1;
+        clock = clock * 10 + (c - '0');
     }
+    return clock;
+}
+
+}  // namespace
+
+std::vector<std::string> checkpoint_chain(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::pair<util::SimTime, std::string>> found;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        const util::SimTime clock =
+            candidate_clock(entry.path().filename().string());
+        if (clock < 0) continue;
+        found.emplace_back(clock, entry.path().string());
+    }
+    std::sort(found.begin(), found.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<std::string> chain;
+    chain.reserve(found.size());
+    for (auto& [clock, path] : found) chain.push_back(std::move(path));
+    return chain;
 }
 
 std::string latest_checkpoint_file(const std::string& dir) {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    std::string best;
-    util::SimTime best_clock = -1;
-    for (const auto& entry : fs::directory_iterator(dir, ec)) {
-        const std::string name = entry.path().filename().string();
-        if (name.rfind("checkpoint-", 0) != 0) continue;
-        if (name.size() < 16 || name.substr(name.size() - 5) != ".ckpt") {
-            continue;
-        }
-        // checkpoint-<sim_clock_us>.ckpt; non-numeric stems are skipped.
-        const std::string stem =
-            name.substr(11, name.size() - 11 - 5);
-        util::SimTime clock = 0;
-        bool ok = !stem.empty();
-        for (const char c : stem) {
-            if (c < '0' || c > '9') {
-                ok = false;
-                break;
-            }
-            clock = clock * 10 + (c - '0');
-        }
-        if (!ok) continue;
-        if (clock > best_clock) {
-            best_clock = clock;
-            best = entry.path().string();
+    const std::vector<std::string> chain = checkpoint_chain(dir);
+    return chain.empty() ? std::string() : chain.front();
+}
+
+std::string quarantine_checkpoint(const std::string& path,
+                                  const std::string& reason) {
+    std::string slug;
+    for (const char c : reason) {
+        if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-') {
+            slug += c;
+        } else if (c == ' ' || c == '_') {
+            slug += '-';
         }
     }
-    return best;
+    if (slug.empty()) slug = "unknown";
+    const std::string moved = path + ".quarantined-" + slug;
+    if (std::rename(path.c_str(), moved.c_str()) != 0) return {};
+    return moved;
+}
+
+std::string checkpoint_failure_reason(const std::string& what) {
+    if (what.find("digest") != std::string::npos) return "digest-mismatch";
+    if (what.find("truncated") != std::string::npos ||
+        what.find("empty checkpoint") != std::string::npos) {
+        return "truncated";
+    }
+    if (what.find("failed:") != std::string::npos) return "io-error";
+    return "parse-error";
+}
+
+std::size_t prune_checkpoint_chain(const std::string& dir,
+                                   std::size_t keep) {
+    if (keep == 0) return 0;
+    const std::vector<std::string> chain = checkpoint_chain(dir);
+    std::size_t removed = 0;
+    for (std::size_t i = keep; i < chain.size(); ++i) {
+        if (std::remove(chain[i].c_str()) == 0) ++removed;
+    }
+    return removed;
 }
 
 }  // namespace concilium::daemon

@@ -19,7 +19,15 @@
 //
 // The file format is the same strict line-oriented text as the trace, with
 // a trailing self-digest so a torn write is detected even though writes go
-// through write_atomic()'s tmp-then-rename.
+// through write_atomic()'s tmp-fsync-rename-fsync sequence.
+//
+// Durability (DAEMON.md "Durability under storage faults"): all checkpoint
+// file I/O goes through util::FaultFs, the deterministic storage-fault
+// seam.  The chain helpers below implement verify-and-fall-back: a
+// digest-mismatched, truncated, or unreadable checkpoint is *quarantined*
+// (renamed with a named reason) instead of wedging resume, and the daemon
+// proceeds from the newest valid ancestor -- redundancy plus verification,
+// never hope.
 
 #pragma once
 
@@ -29,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/faultfs.h"
 #include "util/time.h"
 
 namespace concilium::runtime {
@@ -70,17 +79,52 @@ struct Checkpoint {
                                           std::string_view origin);
 
     [[nodiscard]] static Checkpoint parse_file(const std::string& path);
+    /// Same, reading through a FaultFs seam (and its fault schedule).
+    [[nodiscard]] static Checkpoint parse_file(const std::string& path,
+                                               util::FaultFs& fs);
 };
 
 /// FNV-1a over a canonical byte encoding of the journal's entries.
 [[nodiscard]] std::uint64_t journal_fnv(const runtime::NodeJournal& journal);
 
-/// Writes `text` to `path` atomically (`path.tmp` + rename) so a SIGKILL
-/// mid-write never leaves a half-checkpoint behind.  Throws
-/// std::runtime_error on I/O failure.
+/// Writes `text` to `path` atomically and durably: `path.tmp`, fsync of
+/// the temp file *before* rename, fsync of the containing directory
+/// *after* -- so neither a SIGKILL mid-write nor a power-loss-style crash
+/// can surface an empty, missing, or half-written "successfully written"
+/// file.  All five steps are FaultFs fault sites.  Throws
+/// std::runtime_error on I/O failure (injected or real); the temp file is
+/// cleaned up on every failure path.
+void write_atomic(const std::string& path, const std::string& text,
+                  util::FaultFs& fs);
+/// Convenience overload through the process-wide passthrough seam.
 void write_atomic(const std::string& path, const std::string& text);
 
-/// The newest `checkpoint-*.ckpt` in `dir` (empty string when none).
+/// Every resume candidate `checkpoint-<sim_clock_us>.ckpt` in `dir`,
+/// newest (highest clock) first.  Leftover `*.tmp` files from interrupted
+/// writes and `*.quarantined-*` artifacts are never candidates, nor is
+/// anything whose stem is not a pure decimal clock.
+[[nodiscard]] std::vector<std::string> checkpoint_chain(
+    const std::string& dir);
+
+/// The newest `checkpoint-*.ckpt` in `dir` (empty string when none):
+/// checkpoint_chain(dir).front().
 [[nodiscard]] std::string latest_checkpoint_file(const std::string& dir);
+
+/// Moves a corrupt checkpoint out of the resume-candidate set by renaming
+/// it to `<path>.quarantined-<reason>`, preserving the evidence for a
+/// post-mortem.  Returns the new name, or the empty string when even the
+/// rename failed (the caller still skips the file either way).
+std::string quarantine_checkpoint(const std::string& path,
+                                  const std::string& reason);
+
+/// Maps a checkpoint load failure (exception text) to the short reason
+/// slug used in quarantine names: "digest-mismatch", "truncated",
+/// "io-error", or "parse-error".
+[[nodiscard]] std::string checkpoint_failure_reason(const std::string& what);
+
+/// Deletes the oldest entries of the chain beyond the newest `keep`
+/// (keep == 0 keeps everything).  Quarantined artifacts are never touched.
+/// Returns the number of files removed.
+std::size_t prune_checkpoint_chain(const std::string& dir, std::size_t keep);
 
 }  // namespace concilium::daemon

@@ -10,7 +10,9 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "daemon/daemon.h"
@@ -44,7 +46,18 @@ int usage(const char* argv0) {
         "  --port-file FILE        write the bound port (for ephemeral)\n"
         "  --state-out FILE        final state text (checkpoint format)\n"
         "  --metrics-out FILE      final metrics snapshot JSON\n"
-        "  --spans-out FILE        Chrome trace JSON of recorded spans\n",
+        "  --spans-out FILE        Chrome trace JSON of recorded spans\n"
+        "  --checkpoint-keep N     retain only the newest N checkpoints\n"
+        "                          (default 0 = keep all)\n"
+        "  --io-faults SPEC        inject storage faults at the given\n"
+        "                          per-site rates, e.g. eio:0.01,short:0.01,\n"
+        "                          torn_rename:0.005,bitrot:0.001,\n"
+        "                          enospc:0.002\n"
+        "  --io-faults-seed N      fault-schedule seed (default 0)\n"
+        "  --io-fault-at SITE:KIND inject exactly one fault at global I/O\n"
+        "                          site SITE (kinds above plus 'crash')\n"
+        "  --io-ops-out FILE       write the final I/O site count (for the\n"
+        "                          crashpoint sweep to enumerate sites)\n",
         argv0);
     return 2;
 }
@@ -67,6 +80,10 @@ int main(int argc, char** argv) {
     std::string metrics_out;
     std::string spans_out;
     std::string port_file;
+    std::string io_faults_text;
+    std::string io_fault_at;
+    std::string io_ops_out;
+    std::uint64_t io_faults_seed = 0;
     long http_port = -1;  // -1 = no server
     int pace_ms = 0;
     daemon::DaemonOptions opts;
@@ -103,6 +120,17 @@ int main(int argc, char** argv) {
             metrics_out = value();
         } else if (arg == "--spans-out") {
             spans_out = value();
+        } else if (arg == "--checkpoint-keep") {
+            opts.checkpoint_keep =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--io-faults") {
+            io_faults_text = value();
+        } else if (arg == "--io-faults-seed") {
+            io_faults_seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--io-fault-at") {
+            io_fault_at = value();
+        } else if (arg == "--io-ops-out") {
+            io_ops_out = value();
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else {
@@ -117,17 +145,31 @@ int main(int argc, char** argv) {
 
     util::spans::Recorder::global().enable();
 
+    // The storage seam is built before the first file is touched so the
+    // trace read, every checkpoint load, and every checkpoint write share
+    // one deterministic fault schedule (site indices are global).
+    std::shared_ptr<util::FaultFs> io;
+    try {
+        io = std::make_shared<util::FaultFs>(
+            util::IoFaultSpec::parse(io_faults_text, io_faults_seed));
+        if (!io_fault_at.empty()) io->arm_one_shot(io_fault_at);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "conciliumd: %s\n", e.what());
+        return 2;
+    }
+
     // Strict parse first: a malformed trace must fail fast, before any
     // world building, with the offending line on stderr.
     daemon::Workload workload;
     try {
-        workload = daemon::Workload::parse_file(trace_path);
+        workload = daemon::Workload::parse_file(trace_path, *io);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "conciliumd: bad trace: %s\n", e.what());
         return 1;
     }
 
     opts.checkpoint_dir = checkpoint_dir;
+    opts.io = io;
     std::unique_ptr<daemon::Daemon> daemon_ptr;
     try {
         daemon_ptr = std::make_unique<daemon::Daemon>(std::move(workload),
@@ -137,6 +179,18 @@ int main(int argc, char** argv) {
         return 1;
     }
     daemon::Daemon& d = *daemon_ptr;
+
+    // Quarantine and degradation notices must reach the operator even with
+    // logging off (the default); they go to stderr as they appear.
+    std::size_t notes_printed = 0;
+    const auto flush_io_notes = [&] {
+        const auto& notes = d.io_notes();
+        for (; notes_printed < notes.size(); ++notes_printed) {
+            std::fprintf(stderr, "conciliumd: %s\n",
+                         notes[notes_printed].c_str());
+        }
+    };
+    flush_io_notes();
 
     daemon::HttpServer server;
     if (http_port >= 0) {
@@ -181,11 +235,20 @@ int main(int argc, char** argv) {
     try {
         finished = d.run(&g_stop, pace_ms);
     } catch (const std::exception& e) {
+        flush_io_notes();
         std::fprintf(stderr, "conciliumd: %s\n", e.what());
         return 1;
     }
+    flush_io_notes();
 
     server.stop();
+
+    if (!io_ops_out.empty() &&
+        !write_file(io_ops_out, std::to_string(d.io().ops()) + "\n")) {
+        std::fprintf(stderr, "conciliumd: cannot write %s\n",
+                     io_ops_out.c_str());
+        return 1;
+    }
 
     if (!metrics_out.empty() &&
         !write_file(metrics_out,
@@ -203,8 +266,10 @@ int main(int argc, char** argv) {
     }
 
     if (!finished) {
-        std::printf("conciliumd: stopped at sim clock %lldus (checkpointed)\n",
-                    static_cast<long long>(d.clock()));
+        std::printf("conciliumd: stopped at sim clock %lldus (%s)\n",
+                    static_cast<long long>(d.clock()),
+                    d.io_degraded() ? "checkpointing degraded, NOT saved"
+                                    : "checkpointed");
         return 0;
     }
 
@@ -226,5 +291,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(score.correct_attributions),
         static_cast<unsigned long long>(score.insufficient),
         static_cast<unsigned long long>(score.orphans()));
+    if (d.io_degraded()) {
+        std::printf(
+            "conciliumd: WARNING run finished io-degraded -- checkpoint "
+            "writes were disarmed after exhausting the retry budget\n");
+    }
     return 0;
 }

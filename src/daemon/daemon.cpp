@@ -88,6 +88,12 @@ struct Instruments {
     util::metrics::Counter& checkpoints_written;
     util::metrics::Counter& resume_replays;
     util::metrics::Counter& ticks;
+    util::metrics::Counter& io_write_errors;
+    util::metrics::Counter& io_write_retries;
+    util::metrics::Counter& io_quarantined;
+    util::metrics::Counter& io_pruned;
+    util::metrics::Gauge& io_faults_injected;
+    util::metrics::Gauge& io_degraded;
     util::metrics::SeriesMetric& fed_by_hour;
     util::metrics::SeriesMetric& false_by_hour;
 };
@@ -110,6 +116,12 @@ Instruments& instruments() {
         reg.counter("daemon.checkpoints_written"),
         reg.counter("daemon.resume_replays"),
         reg.counter("daemon.ticks"),
+        reg.counter("daemon.io.write_errors"),
+        reg.counter("daemon.io.write_retries"),
+        reg.counter("daemon.io.checkpoints_quarantined"),
+        reg.counter("daemon.io.checkpoints_pruned"),
+        reg.gauge("daemon.io.faults_injected"),
+        reg.gauge("daemon.io.degraded"),
         reg.series("daemon.messages_fed.by_hour", util::kHour, 400,
                    util::metrics::SeriesMetric::Mode::kSum),
         reg.series("daemon.false_accusations.by_hour", util::kHour, 400,
@@ -132,8 +144,17 @@ void apply_role(runtime::NodeBehavior& b, AttackRole role) {
 
 }  // namespace
 
+/// Substream id for checkpoint-write retry jitter; disjoint from
+/// kClusterStream and util::FaultFs's kFaultStream so durability policy
+/// never perturbs simulation randomness.
+constexpr std::uint64_t kIoRetryStream = 0x10FA17;
+
 Daemon::Daemon(Workload workload, DaemonOptions options)
-    : wl_(std::move(workload)), opts_(std::move(options)) {
+    : wl_(std::move(workload)),
+      opts_(std::move(options)),
+      io_(opts_.io != nullptr ? opts_.io
+                              : std::make_shared<util::FaultFs>()),
+      io_retry_rng_(util::Rng::substream_seed(wl_.seed, kIoRetryStream)) {
     if (opts_.tick <= 0) {
         throw std::invalid_argument("daemon tick must be positive");
     }
@@ -226,10 +247,16 @@ Daemon::Daemon(Workload workload, DaemonOptions options)
     if (!opts_.checkpoint_dir.empty()) {
         std::filesystem::create_directories(opts_.checkpoint_dir);
         next_checkpoint_ = opts_.checkpoint_every;
-        const std::string latest =
-            latest_checkpoint_file(opts_.checkpoint_dir);
-        if (!latest.empty()) {
-            const Checkpoint ck = Checkpoint::parse_file(latest);
+        checkpoint_armed_ = true;
+        const std::optional<Checkpoint> loaded = load_resume_checkpoint();
+        if (loaded.has_value()) {
+            // A checkpoint that *parses* but belongs to a different trace
+            // or loop geometry is not corruption -- it is an operator
+            // error, and falling back past it would silently run the wrong
+            // experiment.  Refuse loudly instead.
+            const Checkpoint& ck = *loaded;
+            const std::string latest =
+                latest_checkpoint_file(opts_.checkpoint_dir);
             if (ck.trace_fnv != wl_.content_fnv) {
                 throw std::invalid_argument(
                     latest + ": checkpoint was written for a different "
@@ -258,6 +285,35 @@ Daemon::Daemon(Workload workload, DaemonOptions options)
 }
 
 Daemon::~Daemon() = default;
+
+std::optional<Checkpoint> Daemon::load_resume_checkpoint() {
+    auto& ins = instruments();
+    // Verify-and-fall-back: walk the retained chain newest-first.  A
+    // checkpoint that fails to read or parse (torn write, bitrot, tampering,
+    // I/O error) is quarantined under a name that states the reason, and the
+    // walk falls back to its ancestor.  Replay-from-zero regenerates every
+    // cadence checkpoint byte-identically, so a quarantined file costs
+    // nothing but the fall-back distance.
+    for (const std::string& path : checkpoint_chain(opts_.checkpoint_dir)) {
+        try {
+            return Checkpoint::parse_file(path, *io_);
+        } catch (const std::exception& e) {
+            const std::string reason = checkpoint_failure_reason(e.what());
+            const std::string moved = quarantine_checkpoint(path, reason);
+            ins.io_quarantined.add(1);
+            health_quarantined_.fetch_add(1, std::memory_order_relaxed);
+            std::string note = "quarantined corrupt checkpoint " + path +
+                               " (" + reason + "): " + e.what();
+            if (!moved.empty()) {
+                note += "; kept as " + moved;
+            } else {
+                note += "; quarantine rename failed, skipping in place";
+            }
+            io_notes_.push_back(std::move(note));
+        }
+    }
+    return std::nullopt;
+}
 
 void Daemon::feed_until(util::SimTime t) {
     auto& ins = instruments();
@@ -385,6 +441,7 @@ bool Daemon::run(const std::atomic<bool>* stop, int pace_ms) {
         }
     }
     ins.orphaned_messages.add(static_cast<std::int64_t>(score_.orphans()));
+    ins.io_faults_injected.set(static_cast<double>(io_->injected()));
     return true;
 }
 
@@ -412,12 +469,51 @@ Checkpoint Daemon::build_checkpoint() const {
 }
 
 void Daemon::write_checkpoint(bool on_cadence) {
+    // checkpoints_written_ is part of the checkpoint text, so it must
+    // advance at every cadence point whether or not a file lands on disk:
+    // a degraded run's state_text() has to stay byte-identical to an
+    // unfaulted run's, or degradation itself would look like divergence.
     if (on_cadence) ++checkpoints_written_;
-    const Checkpoint ck = build_checkpoint();
-    write_atomic(opts_.checkpoint_dir + "/checkpoint-" +
-                     std::to_string(clock_) + ".ckpt",
-                 ck.to_text());
-    instruments().checkpoints_written.add(1);
+    if (!checkpoint_armed_) return;
+    auto& ins = instruments();
+    const std::string path = opts_.checkpoint_dir + "/checkpoint-" +
+                             std::to_string(clock_) + ".ckpt";
+    const std::string text = build_checkpoint().to_text();
+    for (int attempt = 1;; ++attempt) {
+        try {
+            write_atomic(path, text, *io_);
+            break;
+        } catch (const std::runtime_error& e) {
+            ins.io_write_errors.add(1);
+            const int next_attempt = attempt + 1;
+            if (!opts_.io_retry.allows(next_attempt)) {
+                // Budget exhausted: disarm checkpointing and keep running.
+                // A long run that loses its disk should finish its science
+                // and say so on /healthz, not die at 90%.
+                checkpoint_armed_ = false;
+                health_degraded_.store(true, std::memory_order_relaxed);
+                ins.io_degraded.set(1.0);
+                io_notes_.push_back(
+                    "checkpoint write failed " + std::to_string(attempt) +
+                    "x, retry budget exhausted; checkpointing disarmed, "
+                    "run continues without durability (" + e.what() + ")");
+                return;
+            }
+            ins.io_write_retries.add(1);
+            const util::SimTime backoff =
+                opts_.io_retry.delay_before(next_attempt, io_retry_rng_);
+            std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        }
+    }
+    ins.checkpoints_written.add(1);
+    if (opts_.checkpoint_keep > 0) {
+        const std::size_t pruned = prune_checkpoint_chain(
+            opts_.checkpoint_dir, opts_.checkpoint_keep);
+        if (pruned > 0) {
+            ins.io_pruned.add(static_cast<std::int64_t>(pruned));
+        }
+    }
+    ins.io_faults_injected.set(static_cast<double>(io_->injected()));
 }
 
 std::string Daemon::state_text() const { return build_checkpoint().to_text(); }
@@ -438,6 +534,10 @@ std::string Daemon::health_text() const {
     line("messages-fed", health_fed_.load(std::memory_order_relaxed));
     line("messages-completed",
          health_completed_.load(std::memory_order_relaxed));
+    line("io-degraded",
+         health_degraded_.load(std::memory_order_relaxed) ? 1 : 0);
+    line("checkpoints-quarantined",
+         health_quarantined_.load(std::memory_order_relaxed));
     return out;
 }
 

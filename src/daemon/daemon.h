@@ -31,7 +31,9 @@
 #include "daemon/workload.h"
 #include "net/chaos.h"
 #include "runtime/cluster.h"
+#include "runtime/retry.h"
 #include "sim/scenario.h"
+#include "util/faultfs.h"
 
 namespace concilium::daemon {
 
@@ -46,7 +48,28 @@ struct DaemonOptions {
     /// Extra sim time after the last scheduled record, so in-flight
     /// stewardships finish diagnosing before orphans are counted.
     util::SimTime settle = 5 * util::kMinute;
+    /// Retain only the newest this-many checkpoints (0 = keep all).
+    /// Redundancy is the fall-back budget: a corrupt newest checkpoint
+    /// resumes from its ancestor, so keep >= 2 when pruning at all.
+    std::size_t checkpoint_keep = 0;
+    /// The storage seam every checkpoint and trace byte moves through.
+    /// Defaults to a private passthrough; tests and the fault harness hand
+    /// in a FaultFs armed with an injection schedule.
+    std::shared_ptr<util::FaultFs> io;
+    /// Bounded retry for *loud* checkpoint-write failures (EIO/ENOSPC).
+    /// When the budget is exhausted the daemon degrades -- checkpointing
+    /// disarms, the run continues, /healthz and daemon.io.* say so --
+    /// instead of dying mid-run.
+    runtime::RetryPolicy io_retry = default_io_retry();
     runtime::RuntimeParams params;
+
+    [[nodiscard]] static runtime::RetryPolicy default_io_retry() {
+        runtime::RetryPolicy p;
+        p.max_attempts = 3;
+        p.base_delay = 2 * util::kMillisecond;
+        p.max_delay = 50 * util::kMillisecond;
+        return p;
+    }
 };
 
 class Daemon {
@@ -105,9 +128,26 @@ class Daemon {
     }
     [[nodiscard]] const Workload& workload() const noexcept { return wl_; }
 
+    /// True once checkpoint writing has been disarmed after exhausting the
+    /// retry budget; the run itself is still healthy and deterministic.
+    [[nodiscard]] bool io_degraded() const noexcept {
+        return health_degraded_.load(std::memory_order_relaxed);
+    }
+    /// One human-readable line per checkpoint quarantined or write budget
+    /// exhausted during construction/run, for the operator's stderr
+    /// (logging is off by default; these must not be silent).
+    [[nodiscard]] const std::vector<std::string>& io_notes() const noexcept {
+        return io_notes_;
+    }
+    [[nodiscard]] util::FaultFs& io() noexcept { return *io_; }
+
   private:
     [[nodiscard]] Checkpoint build_checkpoint() const;
     void write_checkpoint(bool on_cadence);
+    /// Loads the newest *valid* checkpoint in the chain, quarantining any
+    /// corrupt ones it walks past.  Returns nullopt when no readable
+    /// checkpoint remains (fresh start).
+    [[nodiscard]] std::optional<Checkpoint> load_resume_checkpoint();
     void feed_until(util::SimTime t);
     void complete_message(const runtime::Cluster::MessageOutcome& outcome);
 
@@ -127,6 +167,16 @@ class Daemon {
     util::SimTime next_checkpoint_ = 0;      ///< 0 = checkpointing off
     Score score_;
 
+    /// Durability state.  checkpoint_armed_ flips false when the write
+    /// retry budget is exhausted (graceful degradation); cadence
+    /// accounting continues regardless, because checkpoints_written_ is
+    /// part of the deterministic state text and must stay a pure function
+    /// of sim progress, faults or no faults.
+    std::shared_ptr<util::FaultFs> io_;
+    bool checkpoint_armed_ = false;
+    util::Rng io_retry_rng_;  ///< jitter stream for io_retry backoff
+    std::vector<std::string> io_notes_;
+
     /// Replay-and-resume state (set when a valid checkpoint was loaded).
     std::optional<util::SimTime> resume_target_;
     std::string resume_expected_;  ///< loaded checkpoint, re-serialized
@@ -136,6 +186,8 @@ class Daemon {
     std::atomic<std::uint64_t> health_fed_{0};
     std::atomic<std::uint64_t> health_completed_{0};
     std::atomic<bool> health_replaying_{false};
+    std::atomic<bool> health_degraded_{false};
+    std::atomic<std::uint64_t> health_quarantined_{0};
 };
 
 }  // namespace concilium::daemon

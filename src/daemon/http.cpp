@@ -116,17 +116,52 @@ void HttpServer::serve() {
     }
 }
 
+namespace {
+
+/// Per-connection read deadline.  The serve loop is single-threaded by
+/// design (one scraper, localhost); without a deadline one silent client
+/// that connects and sends nothing wedges /healthz for every scraper that
+/// follows -- the exact unobservability failure the daemon exists to avoid.
+constexpr int kRecvTimeoutMs = 2000;
+/// Header-size ceiling; a request that exceeds it is refused, not dropped.
+constexpr std::size_t kMaxRequestBytes = 16384;
+
+}  // namespace
+
 void HttpServer::handle_client(int fd) {
     // Read until the header terminator; request bodies are not supported.
     std::string req;
     char buf[2048];
-    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
+    bool timed_out = false;
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() <= kMaxRequestBytes) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, kRecvTimeoutMs);
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) {
+            timed_out = true;
+            break;
+        }
         const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
         if (n <= 0) {
             if (n < 0 && errno == EINTR) continue;
             break;
         }
         req.append(buf, static_cast<std::size_t>(n));
+    }
+    if (timed_out) {
+        send_all(fd, make_response(408, "Request Timeout", "text/plain",
+                                   "no complete request header within " +
+                                       std::to_string(kRecvTimeoutMs) +
+                                       "ms\n"));
+        return;
+    }
+    if (req.size() > kMaxRequestBytes) {
+        send_all(fd, make_response(413, "Payload Too Large", "text/plain",
+                                   "request header exceeds " +
+                                       std::to_string(kMaxRequestBytes) +
+                                       " bytes\n"));
+        return;
     }
 
     const std::size_t line_end = req.find("\r\n");

@@ -11,6 +11,12 @@
 // sim thread; handlers must be safe to call from the server thread (the
 // ones conciliumd installs snapshot atomics or take registry snapshots,
 // both of which are).
+//
+// Because the loop serves one connection at a time, it defends its own
+// availability: a client that connects and sends nothing is cut off with
+// 408 after a short per-connection deadline, and a request whose header
+// exceeds the size ceiling gets 413 -- either way the loop moves on and
+// /healthz stays scrapeable.
 
 #pragma once
 

@@ -334,4 +334,8 @@ Workload Workload::parse_file(const std::string& path) {
     return parse(text, path);
 }
 
+Workload Workload::parse_file(const std::string& path, util::FaultFs& fs) {
+    return parse(fs.read_file(path), path);
+}
+
 }  // namespace concilium::daemon

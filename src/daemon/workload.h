@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/faultfs.h"
 #include "util/time.h"
 
 namespace concilium::daemon {
@@ -123,6 +124,10 @@ struct Workload {
     /// parse() over a file's bytes; throws std::invalid_argument when the
     /// file cannot be read.
     [[nodiscard]] static Workload parse_file(const std::string& path);
+    /// Same, reading through a FaultFs seam so trace input shares the
+    /// daemon's storage-fault schedule.
+    [[nodiscard]] static Workload parse_file(const std::string& path,
+                                             util::FaultFs& fs);
 };
 
 /// Strict `<uint><unit>` simulation-time parse shared with the checkpoint

@@ -1,0 +1,309 @@
+#include "util/faultfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/rate_spec.h"
+
+namespace concilium::util {
+
+namespace {
+
+constexpr RateSpecKind kRateKinds[] = {
+    {static_cast<std::size_t>(IoFaultKind::kEio), "eio"},
+    {static_cast<std::size_t>(IoFaultKind::kShortWrite), "short"},
+    {static_cast<std::size_t>(IoFaultKind::kTornRename), "torn_rename"},
+    {static_cast<std::size_t>(IoFaultKind::kBitrot), "bitrot"},
+    {static_cast<std::size_t>(IoFaultKind::kEnospc), "enospc"},
+};
+
+constexpr unsigned bit(IoFaultKind kind) {
+    return 1u << static_cast<unsigned>(kind);
+}
+
+[[noreturn]] void throw_errno(const std::string& path, const char* op) {
+    throw std::runtime_error(path + ": " + op + " failed: " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+std::string_view to_string(IoFaultKind kind) {
+    switch (kind) {
+        case IoFaultKind::kEio: return "eio";
+        case IoFaultKind::kShortWrite: return "short";
+        case IoFaultKind::kTornRename: return "torn_rename";
+        case IoFaultKind::kBitrot: return "bitrot";
+        case IoFaultKind::kEnospc: return "enospc";
+        case IoFaultKind::kCrash: return "crash";
+        case IoFaultKind::kCount: break;
+    }
+    return "none";
+}
+
+std::pair<std::uint64_t, IoFaultKind> parse_one_shot_fault(
+    std::string_view text) {
+    const auto fail = [&](const std::string& what) {
+        return std::invalid_argument("--io-fault-at: " + what + " (in '" +
+                                     std::string(text) + "')");
+    };
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos) {
+        throw fail("expected 'SITE:KIND'");
+    }
+    const std::string_view site_text = text.substr(0, colon);
+    const std::string_view kind_text = text.substr(colon + 1);
+    if (site_text.empty()) throw fail("empty site index");
+    std::uint64_t site = 0;
+    for (const char c : site_text) {
+        if (c < '0' || c > '9') throw fail("malformed site index");
+        site = site * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    for (std::size_t k = 0; k < static_cast<std::size_t>(IoFaultKind::kCount);
+         ++k) {
+        if (kind_text == to_string(static_cast<IoFaultKind>(k))) {
+            return {site, static_cast<IoFaultKind>(k)};
+        }
+    }
+    throw fail("unknown fault kind '" + std::string(kind_text) +
+               "' (known: eio, short, torn_rename, bitrot, enospc, crash)");
+}
+
+IoFaultSpec IoFaultSpec::parse(std::string_view text, std::uint64_t seed) {
+    IoFaultSpec spec;
+    spec.seed = seed;
+    parse_rate_spec(text, "--io-faults", "io fault", kRateKinds, spec.rates);
+    return spec;
+}
+
+std::string IoFaultSpec::format() const {
+    return format_rate_spec(kRateKinds, rates);
+}
+
+bool IoFaultSpec::any() const noexcept {
+    for (const double r : rates) {
+        if (r > 0.0) return true;
+    }
+    return false;
+}
+
+FaultFs& FaultFs::system() {
+    static FaultFs fs;
+    return fs;
+}
+
+void FaultFs::arm_one_shot(std::uint64_t site, IoFaultKind kind) {
+    if (kind == IoFaultKind::kCount) {
+        throw std::invalid_argument("--io-fault-at: no fault kind given");
+    }
+    one_shot_armed_ = true;
+    one_shot_site_ = site;
+    one_shot_kind_ = kind;
+}
+
+void FaultFs::arm_one_shot(std::string_view text) {
+    const auto [site, kind] = parse_one_shot_fault(text);
+    arm_one_shot(site, kind);
+}
+
+std::uint64_t FaultFs::site_entropy() const noexcept {
+    // ops_ has already been advanced past this site, so -1 keys the
+    // entropy to the firing site itself.
+    return Rng::substream_seed(spec_.seed ^ 0xB17F11Full, ops_ - 1);
+}
+
+IoFaultKind FaultFs::next_site(unsigned applicable, bool rate_eligible) {
+    const std::uint64_t site = ops_++;
+    if (one_shot_armed_ && site == one_shot_site_ &&
+        (applicable & bit(one_shot_kind_)) != 0) {
+        one_shot_armed_ = false;
+        ++injected_;
+        return one_shot_kind_;
+    }
+    if (!rate_eligible) return IoFaultKind::kCount;
+    // Rate draws in fixed kind order; only applicable kinds consume
+    // randomness, so the schedule is a pure function of the op sequence.
+    for (const RateSpecKind& k : kRateKinds) {
+        const auto kind = static_cast<IoFaultKind>(k.slot);
+        if ((applicable & bit(kind)) == 0) continue;
+        const double rate = spec_.rates[k.slot];
+        if (rate <= 0.0) continue;
+        if (rng_.bernoulli(rate)) {
+            ++injected_;
+            return kind;
+        }
+    }
+    return IoFaultKind::kCount;
+}
+
+void FaultFs::throw_injected(IoFaultKind kind, const std::string& path,
+                             const char* op) {
+    const char* why = kind == IoFaultKind::kEnospc
+                          ? "ENOSPC (no space left on device)"
+                          : "EIO (input/output error)";
+    throw std::runtime_error(path + ": " + op + " failed: injected " + why +
+                             " [io fault site " + std::to_string(ops_ - 1) +
+                             "]");
+}
+
+int FaultFs::open_trunc(const std::string& path) {
+    switch (next_site(bit(IoFaultKind::kEio) | bit(IoFaultKind::kEnospc) |
+                      bit(IoFaultKind::kCrash))) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, path, "open");
+        case IoFaultKind::kEnospc:
+            throw_injected(IoFaultKind::kEnospc, path, "open");
+        default: break;
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_errno(path, "open");
+    return fd;
+}
+
+void FaultFs::write_all(int fd, std::string_view data,
+                        const std::string& path) {
+    std::size_t limit = data.size();
+    switch (next_site(bit(IoFaultKind::kEio) | bit(IoFaultKind::kEnospc) |
+                      bit(IoFaultKind::kShortWrite) |
+                      bit(IoFaultKind::kCrash))) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, path, "write");
+        case IoFaultKind::kEnospc:
+            throw_injected(IoFaultKind::kEnospc, path, "write");
+        case IoFaultKind::kShortWrite:
+            // The lying-disk shape: persist a deterministic prefix, then
+            // report success.  Verification, not hope, has to catch it.
+            if (!data.empty()) limit = site_entropy() % data.size();
+            break;
+        default: break;
+    }
+    std::size_t off = 0;
+    while (off < limit) {
+        const ssize_t n = ::write(fd, data.data() + off, limit - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno(path, "write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void FaultFs::fsync_fd(int fd, const std::string& path) {
+    switch (next_site(bit(IoFaultKind::kEio) | bit(IoFaultKind::kCrash))) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, path, "fsync");
+        default: break;
+    }
+    if (::fsync(fd) != 0) throw_errno(path, "fsync");
+}
+
+void FaultFs::rename_file(const std::string& from, const std::string& to) {
+    IoFaultKind bitrot_pending = IoFaultKind::kCount;
+    switch (next_site(bit(IoFaultKind::kEio) |
+                      bit(IoFaultKind::kTornRename) |
+                      bit(IoFaultKind::kBitrot) | bit(IoFaultKind::kCrash))) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, to, "rename");
+        case IoFaultKind::kTornRename: {
+            // Power-loss shape: the destination materializes truncated,
+            // the source is gone, and the call claims success.
+            std::string text;
+            if (std::FILE* f = std::fopen(from.c_str(), "rb")) {
+                char buf[1 << 14];
+                std::size_t n;
+                while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+                    text.append(buf, n);
+                }
+                std::fclose(f);
+            }
+            const std::size_t keep =
+                text.empty() ? 0 : site_entropy() % text.size();
+            if (std::FILE* f = std::fopen(to.c_str(), "wb")) {
+                std::fwrite(text.data(), 1, keep, f);
+                std::fclose(f);
+            }
+            std::remove(from.c_str());
+            return;
+        }
+        case IoFaultKind::kBitrot:
+            bitrot_pending = IoFaultKind::kBitrot;
+            break;
+        default: break;
+    }
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+        throw_errno(to, "rename");
+    }
+    if (bitrot_pending == IoFaultKind::kBitrot) {
+        // At-rest decay: flip one deterministically chosen bit of the
+        // freshly renamed file.  No error is reported -- that is the point.
+        if (std::FILE* f = std::fopen(to.c_str(), "r+b")) {
+            std::string text;
+            char buf[1 << 14];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+                text.append(buf, n);
+            }
+            if (!text.empty()) {
+                const std::uint64_t target = site_entropy() % (text.size() * 8);
+                text[target / 8] = static_cast<char>(
+                    static_cast<unsigned char>(text[target / 8]) ^
+                    (1u << (target % 8)));
+                std::fseek(f, 0, SEEK_SET);
+                std::fwrite(text.data(), 1, text.size(), f);
+            }
+            std::fclose(f);
+        }
+    }
+}
+
+void FaultFs::fsync_dir(const std::string& dir) {
+    switch (next_site(bit(IoFaultKind::kEio) | bit(IoFaultKind::kCrash))) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, dir, "fsync (directory)");
+        default: break;
+    }
+    const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0) throw_errno(dir, "open (directory)");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) throw_errno(dir, "fsync (directory)");
+}
+
+std::string FaultFs::read_file(const std::string& path) {
+    switch (next_site(bit(IoFaultKind::kEio) | bit(IoFaultKind::kCrash),
+                      /*rate_eligible=*/false)) {
+        case IoFaultKind::kCrash: std::_Exit(137);
+        case IoFaultKind::kEio:
+            throw_injected(IoFaultKind::kEio, path, "read");
+        default: break;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw_errno(path, "open");
+    std::string text;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        text.append(buf, n);
+    }
+    std::fclose(f);
+    return text;
+}
+
+void FaultFs::close_fd(int fd) noexcept {
+    if (fd >= 0) ::close(fd);
+}
+
+}  // namespace concilium::util

@@ -1,0 +1,187 @@
+// Deterministic storage-fault injection: a thin VFS seam for file I/O.
+//
+// Concilium's thesis is that failures must be diagnosed loudly and
+// correctly rather than papered over; FaultFs applies that standard to our
+// own disk path.  Every durability-critical file operation the daemon
+// performs -- open, write, fsync, rename, read -- goes through this seam,
+// and each call is one *fault site*: a point where an injected storage
+// fault may fire instead of (or on top of) the real syscall.  Two
+// injection modes, composable:
+//
+//  * Rate mode (`--io-faults eio:0.01,short:0.01,torn_rename:0.005,
+//    bitrot:0.001,enospc:0.002`, the FaultSpec grammar family): each site
+//    draws one Bernoulli per applicable kind, in fixed kind order, from a
+//    dedicated Rng substream of the spec's seed.  The schedule is a pure
+//    function of (seed, operation sequence) -- byte-reproducible, like
+//    every other stochastic component in this repo.  Rates apply to the
+//    *write path* only (open/write/fsync/rename/dir-fsync): that is the
+//    failing-disk scenario the daemon's retry-then-degrade policy exists
+//    for.  A rate-driven fault on the trace read would just abort the run
+//    at startup -- a case one-shot mode already pins down exhaustively.
+//
+//  * One-shot mode (`--io-fault-at 17:bitrot`): exactly one fault of one
+//    kind at one global site index, regardless of rates.  This is what the
+//    crashpoint sweep (tools/check_faultfs.py) enumerates: every site x
+//    every kind, each run asserting "cmp-identical resume or a loud
+//    refusal naming the corrupt artifact".
+//
+// Fault taxonomy -- the split that matters is loud vs silent:
+//
+//   eio          the operation fails loudly (injected EIO)      -> retry
+//   enospc       the operation fails loudly (injected ENOSPC)   -> retry
+//   short        a write persists only a prefix but CLAIMS
+//                success (a lying disk)                 -> caught at verify
+//   torn_rename  rename leaves a truncated destination and
+//                CLAIMS success (power-loss-shaped)     -> caught at verify
+//   bitrot       one bit of the just-renamed file flips
+//                on the platter, silently               -> caught at verify
+//   crash        the process dies on the spot (_Exit), the
+//                SIGKILL shape no handler can soften    -> resume replays
+//
+// Loud faults surface as std::runtime_error naming the path, the fault,
+// and the site index; callers own retry/degradation policy (the daemon
+// uses runtime::RetryPolicy and then disarms checkpointing rather than
+// dying).  Silent faults corrupt the artifact exactly the way a real
+// storage stack would; the checkpoint chain's verify-and-fall-back is what
+// catches them.
+//
+// A default-constructed FaultFs is a passthrough (no faults, real I/O,
+// still counts sites); FaultFs::system() is the process-wide passthrough
+// used by code without an injection context.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace concilium::util {
+
+enum class IoFaultKind : std::size_t {
+    kEio = 0,      ///< loud failure: injected EIO
+    kShortWrite,   ///< silent: write persists a prefix, claims success
+    kTornRename,   ///< silent: truncated destination, claims success
+    kBitrot,       ///< silent: one bit flips in the renamed file
+    kEnospc,       ///< loud failure: injected ENOSPC
+    kCrash,        ///< process exits immediately (one-shot mode only)
+    kCount,
+};
+
+/// Kinds addressable by the probabilistic `--io-faults` spec (crash is
+/// excluded: a rate-driven process exit is not a reproducible experiment;
+/// the crashpoint sweep places crashes site by site instead).
+inline constexpr std::size_t kIoFaultRateKinds = 5;
+
+[[nodiscard]] std::string_view to_string(IoFaultKind kind);
+
+/// Parses a one-shot "SITE:KIND" spec (e.g. "17:bitrot"); throws
+/// std::invalid_argument naming the offending token.  All six kinds,
+/// crash included, are valid here.
+[[nodiscard]] std::pair<std::uint64_t, IoFaultKind> parse_one_shot_fault(
+    std::string_view text);
+
+struct IoFaultSpec {
+    /// Per-site firing probability, indexed by IoFaultKind (< kCrash).
+    std::array<double, kIoFaultRateKinds> rates{};
+    /// Base seed; the fault schedule draws from a dedicated substream so
+    /// it never perturbs (or is perturbed by) simulation randomness.
+    std::uint64_t seed = 0;
+
+    /// Strict `kind:rate[,kind:rate]*` parse in the shared rate-spec
+    /// grammar (util/rate_spec.h), option name "--io-faults", noun
+    /// "io fault".  The empty string is the empty spec.
+    [[nodiscard]] static IoFaultSpec parse(std::string_view text,
+                                           std::uint64_t seed = 0);
+
+    /// Canonical spec text (enabled kinds only); parse() round-trips it.
+    [[nodiscard]] std::string format() const;
+
+    [[nodiscard]] bool any() const noexcept;
+};
+
+class FaultFs {
+  public:
+    /// Passthrough: real I/O, no faults, sites still counted.
+    FaultFs() : rng_(Rng::substream(0, kFaultStream)) {}
+
+    explicit FaultFs(const IoFaultSpec& spec)
+        : spec_(spec), rng_(Rng::substream(spec.seed, kFaultStream)) {}
+
+    /// The process-wide passthrough instance.
+    [[nodiscard]] static FaultFs& system();
+
+    /// Arms a single fault of `kind` at global site index `site` (0-based,
+    /// in operation order).  Fires once, on top of any rate spec.
+    void arm_one_shot(std::uint64_t site, IoFaultKind kind);
+    /// Same, from "SITE:KIND" text; throws std::invalid_argument.
+    void arm_one_shot(std::string_view text);
+
+    /// Fault sites visited so far (= operations attempted).
+    [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+    /// Faults injected so far, loud and silent together.
+    [[nodiscard]] std::uint64_t injected() const noexcept {
+        return injected_;
+    }
+
+    // --- the VFS surface ------------------------------------------------
+    // Each call is one fault site.  Loud faults and real syscall failures
+    // both throw std::runtime_error naming the path and cause.
+
+    /// Opens `path` for writing (create + truncate).  Faults: eio,
+    /// enospc, crash.
+    [[nodiscard]] int open_trunc(const std::string& path);
+
+    /// Writes all of `data` to `fd`.  Faults: eio, enospc, crash, and
+    /// short (persists a deterministic prefix, then claims success).
+    void write_all(int fd, std::string_view data, const std::string& path);
+
+    /// fsync(2) on `fd`.  Faults: eio, crash.
+    void fsync_fd(int fd, const std::string& path);
+
+    /// rename(2).  Faults: eio, crash, torn_rename (destination keeps a
+    /// truncated copy, source unlinked, success claimed), and bitrot (the
+    /// rename succeeds, then one bit of the destination flips silently).
+    void rename_file(const std::string& from, const std::string& to);
+
+    /// fsync(2) on the directory itself, making a preceding rename
+    /// durable.  Faults: eio, crash.
+    void fsync_dir(const std::string& dir);
+
+    /// Slurps `path`.  Faults: eio, crash -- one-shot injection only
+    /// (read sites never draw from the rate schedule; see above).
+    [[nodiscard]] std::string read_file(const std::string& path);
+
+    /// close(2); not a fault site (close errors are unactionable here).
+    void close_fd(int fd) noexcept;
+
+  private:
+    /// Substream id for the fault schedule, disjoint from every simulation
+    /// stream constant by construction (documented in DAEMON.md).
+    static constexpr std::uint64_t kFaultStream = 0xFA017F5;
+
+    /// Visits the next site and decides whether a fault fires; returns
+    /// kCount when the operation should proceed cleanly.  `applicable` is
+    /// a bitmask over IoFaultKind; `rate_eligible` is false for read
+    /// sites, which only one-shot injection can fault.
+    [[nodiscard]] IoFaultKind next_site(unsigned applicable,
+                                        bool rate_eligible = true);
+    [[noreturn]] void throw_injected(IoFaultKind kind,
+                                     const std::string& path,
+                                     const char* op);
+    /// Deterministic per-site entropy for silent-fault shaping (prefix
+    /// lengths, bit positions).
+    [[nodiscard]] std::uint64_t site_entropy() const noexcept;
+
+    IoFaultSpec spec_{};
+    Rng rng_;
+    bool one_shot_armed_ = false;
+    std::uint64_t one_shot_site_ = 0;
+    IoFaultKind one_shot_kind_ = IoFaultKind::kCount;
+    std::uint64_t ops_ = 0;       ///< sites visited
+    std::uint64_t injected_ = 0;  ///< faults fired
+};
+
+}  // namespace concilium::util

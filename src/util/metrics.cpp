@@ -302,6 +302,12 @@ constexpr WellKnown kWellKnown[] = {
     {WellKnown::kCounter, "daemon.checkpoints_written"},
     {WellKnown::kCounter, "daemon.resume_replays"},
     {WellKnown::kCounter, "daemon.ticks"},
+    {WellKnown::kCounter, "daemon.io.write_errors"},
+    {WellKnown::kCounter, "daemon.io.write_retries"},
+    {WellKnown::kCounter, "daemon.io.checkpoints_quarantined"},
+    {WellKnown::kCounter, "daemon.io.checkpoints_pruned"},
+    {WellKnown::kGauge, "daemon.io.faults_injected"},
+    {WellKnown::kGauge, "daemon.io.degraded"},
     {WellKnown::kCounter, "daemon.http_requests", true},
 };
 

@@ -271,5 +271,221 @@ TEST(DaemonResume, RefusesGeometryAndTraceMismatches) {
     fs::remove_all(dir.parent_path());
 }
 
+TEST(CheckpointChain, SkipsTmpQuarantinedAndForeignFiles) {
+    const fs::path dir = scratch_dir("chain");
+    Checkpoint ck = sample_checkpoint();
+    const auto write_at = [&](util::SimTime clock) {
+        ck.sim_clock = clock;
+        const std::string path =
+            (dir / ("checkpoint-" + std::to_string(clock) + ".ckpt"))
+                .string();
+        write_atomic(path, ck.to_text());
+        return path;
+    };
+    const std::string oldest = write_at(2 * kMinute);
+    const std::string newest = write_at(6 * kMinute);
+    // Distractors: an interrupted write's leftover temp file, a quarantined
+    // artifact, a non-decimal stem, and an unrelated file.
+    std::ofstream(dir / "checkpoint-999.ckpt.tmp") << "torn";
+    std::ofstream(dir / "checkpoint-888.ckpt.quarantined-digest-mismatch")
+        << "bad";
+    std::ofstream(dir / "checkpoint-abc.ckpt") << "junk";
+    std::ofstream(dir / "notes.txt") << "unrelated";
+
+    const std::vector<std::string> chain = checkpoint_chain(dir.string());
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0], newest);
+    EXPECT_EQ(chain[1], oldest);
+    EXPECT_EQ(latest_checkpoint_file(dir.string()), newest);
+    fs::remove_all(dir.parent_path());
+}
+
+TEST(CheckpointChain, PruneKeepsTheNewestAndSparesQuarantine) {
+    const fs::path dir = scratch_dir("prune");
+    Checkpoint ck = sample_checkpoint();
+    for (int i = 1; i <= 5; ++i) {
+        ck.sim_clock = i * kMinute;
+        write_atomic((dir / ("checkpoint-" + std::to_string(ck.sim_clock) +
+                             ".ckpt"))
+                         .string(),
+                     ck.to_text());
+    }
+    std::ofstream(dir / "checkpoint-7.ckpt.quarantined-truncated") << "bad";
+
+    EXPECT_EQ(prune_checkpoint_chain(dir.string(), 0), 0u);  // keep all
+    EXPECT_EQ(prune_checkpoint_chain(dir.string(), 2), 3u);
+    const std::vector<std::string> chain = checkpoint_chain(dir.string());
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_NE(chain[0].find(std::to_string(5 * kMinute)), std::string::npos);
+    EXPECT_NE(chain[1].find(std::to_string(4 * kMinute)), std::string::npos);
+    EXPECT_TRUE(
+        fs::exists(dir / "checkpoint-7.ckpt.quarantined-truncated"));
+    fs::remove_all(dir.parent_path());
+}
+
+// The self-healing contract (DAEMON.md "Durability under storage faults"):
+// whatever shape of corruption hits the newest checkpoint -- truncation,
+// one flipped bit, a tampered self-digest line -- resume quarantines it
+// with a named reason, falls back to the newest valid ancestor, finishes
+// byte-identical to an unfaulted run, and regenerates the corrupted
+// cadence checkpoint cleanly along the way.
+class DaemonSelfHeal : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        ref_dir_ = new fs::path(scratch_dir("selfheal_ref"));
+        Daemon ref(Workload::parse(kTrace, "test"),
+                   test_options(ref_dir_->string()));
+        ASSERT_TRUE(ref.run());
+        ref_state_ = new std::string(ref.state_text());
+    }
+
+    static void TearDownTestSuite() {
+        fs::remove_all(ref_dir_->parent_path());
+        delete ref_dir_;
+        delete ref_state_;
+        ref_dir_ = nullptr;
+        ref_state_ = nullptr;
+    }
+
+    /// A fresh copy of the reference checkpoint directory.
+    static fs::path cloned_dir(const std::string& name) {
+        const fs::path dir = scratch_dir(name);
+        for (const auto& entry : fs::directory_iterator(*ref_dir_)) {
+            fs::copy_file(entry.path(), dir / entry.path().filename());
+        }
+        return dir;
+    }
+
+    /// Corrupts the newest checkpoint in `dir`; returns its path.
+    static std::string corrupt_newest(const fs::path& dir,
+                                      const std::string& shape) {
+        const std::string path = latest_checkpoint_file(dir.string());
+        EXPECT_FALSE(path.empty());
+        std::string text = slurp(path);
+        if (shape == "truncate") {
+            // Tear at a line boundary: whole trailing lines (self-digest
+            // and 'end' included) are gone, the prefix is intact.
+            text.resize(text.rfind('\n', text.size() / 2) + 1);
+        } else if (shape == "bitflip") {
+            text[text.size() / 3] =
+                static_cast<char>(text[text.size() / 3] ^ 0x10);
+        } else {  // tamper the self-digest line itself
+            const auto pos = text.rfind("digest ");
+            EXPECT_NE(pos, std::string::npos);
+            char& c = text[pos + 7];
+            c = c == '0' ? '1' : '0';
+        }
+        std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+        return path;
+    }
+
+    void expect_heals(const std::string& name, const std::string& shape,
+                      const std::string& reason) {
+        const fs::path dir = cloned_dir(name);
+        const std::string corrupted = corrupt_newest(dir, shape);
+        const std::string clean_bytes =
+            slurp(*ref_dir_ / fs::path(corrupted).filename());
+
+        Daemon d(Workload::parse(kTrace, "test"),
+                 test_options(dir.string()));
+        // The corrupt file is out of the candidate set, under a name that
+        // states why, and the daemon said so.
+        EXPECT_FALSE(fs::exists(corrupted));
+        EXPECT_TRUE(fs::exists(corrupted + ".quarantined-" + reason))
+            << shape;
+        ASSERT_EQ(d.io_notes().size(), 1u);
+        EXPECT_NE(d.io_notes()[0].find(corrupted), std::string::npos);
+        EXPECT_NE(d.io_notes()[0].find(reason), std::string::npos);
+        EXPECT_NE(d.health_text().find("checkpoints-quarantined 1"),
+                  std::string::npos);
+        // Resume fell back to the older ancestor, not a fresh start.
+        EXPECT_TRUE(d.resumed());
+
+        ASSERT_TRUE(d.run());
+        EXPECT_EQ(d.state_text(), *ref_state_) << shape;
+        // Replay regenerated the corrupted cadence checkpoint cleanly.
+        EXPECT_EQ(slurp(corrupted), clean_bytes) << shape;
+        fs::remove_all(dir);
+    }
+
+    static fs::path* ref_dir_;
+    static std::string* ref_state_;
+};
+
+fs::path* DaemonSelfHeal::ref_dir_ = nullptr;
+std::string* DaemonSelfHeal::ref_state_ = nullptr;
+
+TEST_F(DaemonSelfHeal, TruncatedNewestFallsBackToOlder) {
+    expect_heals("selfheal_trunc", "truncate", "truncated");
+}
+
+TEST_F(DaemonSelfHeal, BitFlippedNewestFallsBackToOlder) {
+    expect_heals("selfheal_flip", "bitflip", "digest-mismatch");
+}
+
+TEST_F(DaemonSelfHeal, TamperedDigestLineFallsBackToOlder) {
+    expect_heals("selfheal_digest", "digest", "digest-mismatch");
+}
+
+TEST_F(DaemonSelfHeal, FullyCorruptChainStartsFreshAndStillMatches) {
+    const fs::path dir = cloned_dir("selfheal_all");
+    std::size_t corrupted = 0;
+    for (const std::string& path : checkpoint_chain(dir.string())) {
+        std::string text = slurp(path);
+        text.resize(text.size() / 2);
+        std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+        ++corrupted;
+    }
+    ASSERT_GT(corrupted, 1u);
+
+    Daemon d(Workload::parse(kTrace, "test"), test_options(dir.string()));
+    EXPECT_FALSE(d.resumed());  // nothing valid left: fresh start
+    EXPECT_EQ(d.io_notes().size(), corrupted);
+    ASSERT_TRUE(d.run());
+    EXPECT_EQ(d.state_text(), *ref_state_);
+    fs::remove_all(dir);
+}
+
+TEST_F(DaemonSelfHeal, ExhaustedWriteRetriesDegradeInsteadOfDying) {
+    // Every write fails loudly (eio at rate 1): the daemon retries within
+    // its bounded budget, then disarms checkpointing and finishes the run
+    // -- with the exact bytes of the unfaulted reference, because cadence
+    // accounting keeps advancing while degraded.
+    const fs::path dir = scratch_dir("selfheal_degraded");
+    DaemonOptions opts = test_options(dir.string());
+    opts.io = std::make_shared<util::FaultFs>(
+        util::IoFaultSpec::parse("eio:1", /*seed=*/3));
+
+    Daemon d(Workload::parse(kTrace, "test"), opts);
+    EXPECT_FALSE(d.resumed());
+    ASSERT_TRUE(d.run());
+    EXPECT_TRUE(d.io_degraded());
+    EXPECT_NE(d.health_text().find("io-degraded 1"), std::string::npos);
+    ASSERT_FALSE(d.io_notes().empty());
+    EXPECT_NE(d.io_notes().back().find("retry budget exhausted"),
+              std::string::npos);
+    EXPECT_EQ(d.state_text(), *ref_state_);
+    EXPECT_TRUE(latest_checkpoint_file(dir.string()).empty());
+    fs::remove_all(dir);
+}
+
+TEST_F(DaemonSelfHeal, CheckpointKeepBoundsTheChainOnDisk) {
+    const fs::path dir = scratch_dir("selfheal_keep");
+    DaemonOptions opts = test_options(dir.string());
+    opts.checkpoint_keep = 2;
+    Daemon d(Workload::parse(kTrace, "test"), opts);
+    ASSERT_TRUE(d.run());
+    const std::vector<std::string> chain = checkpoint_chain(dir.string());
+    EXPECT_EQ(chain.size(), 2u);
+    EXPECT_EQ(d.state_text(), *ref_state_);
+    // The retained prefix of the chain is byte-identical to the unpruned
+    // reference run's: pruning is a disk policy, not a state change.
+    for (const std::string& path : chain) {
+        EXPECT_EQ(slurp(path),
+                  slurp(*ref_dir_ / fs::path(path).filename()));
+    }
+    fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace concilium::daemon

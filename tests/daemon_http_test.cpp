@@ -1,0 +1,120 @@
+// daemon::HttpServer: the scrape loop must defend its own availability.
+//
+// The serve loop is single-threaded by design; these tests pin down the two
+// ways a misbehaving client used to wedge it -- a silent connection that
+// sends nothing (now cut off with 408 after the per-connection deadline)
+// and an unbounded request header (now refused with 413) -- by asserting
+// that a well-behaved /healthz scrape still succeeds *afterwards*.
+
+#include "daemon/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace concilium::daemon {
+namespace {
+
+int connect_to(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    return fd;
+}
+
+std::string roundtrip(std::uint16_t port, const std::string& request) {
+    const int fd = connect_to(port);
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + off,
+                                 request.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+class HttpServerFixture : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        HttpServer::Handlers handlers;
+        handlers.metrics_text = [] { return std::string("metrics\n"); };
+        handlers.metrics_json = [] { return std::string("{}"); };
+        handlers.health = [] { return std::string("ok\n"); };
+        handlers.spans = [] { return std::string("[]"); };
+        server_.start(0, std::move(handlers));
+    }
+
+    HttpServer server_;
+};
+
+TEST_F(HttpServerFixture, HealthzAnswers) {
+    const std::string r =
+        roundtrip(server_.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(r.find("200 OK"), std::string::npos) << r;
+    EXPECT_NE(r.find("ok\n"), std::string::npos) << r;
+}
+
+TEST_F(HttpServerFixture, UnknownPathIs404) {
+    const std::string r =
+        roundtrip(server_.port(), "GET /nope HTTP/1.0\r\n\r\n");
+    EXPECT_NE(r.find("404 Not Found"), std::string::npos) << r;
+}
+
+TEST_F(HttpServerFixture, SilentClientGets408AndDoesNotWedgeTheLoop) {
+    // Connect and send *nothing*.  Before the per-connection deadline this
+    // held the single-threaded loop hostage forever; now the server must
+    // answer 408 on its own initiative and move on.
+    const int silent = connect_to(server_.port());
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(silent, buf, sizeof buf, 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(silent);
+    EXPECT_NE(response.find("408 Request Timeout"), std::string::npos)
+        << response;
+
+    // The loop is free again: a normal scrape succeeds.
+    const std::string r =
+        roundtrip(server_.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(r.find("200 OK"), std::string::npos) << r;
+}
+
+TEST_F(HttpServerFixture, OversizedHeaderIs413) {
+    std::string request = "GET /healthz HTTP/1.0\r\n";
+    request += "X-Junk: " + std::string(20000, 'a') + "\r\n\r\n";
+    const std::string r = roundtrip(server_.port(), request);
+    EXPECT_NE(r.find("413 Payload Too Large"), std::string::npos) << r;
+
+    const std::string ok =
+        roundtrip(server_.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+}
+
+TEST_F(HttpServerFixture, NonGetIs405) {
+    const std::string r =
+        roundtrip(server_.port(), "POST /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(r.find("405 Method Not Allowed"), std::string::npos) << r;
+}
+
+}  // namespace
+}  // namespace concilium::daemon

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Crashpoint sweep: every injectable storage fault, at every I/O site.
+
+The durability contract (DAEMON.md "Durability under storage faults") is
+binary: whatever single storage fault fires at whatever I/O site, a
+conciliumd run must end in one of exactly two states --
+
+  * the final state text is byte-identical (cmp) to an unfaulted
+    reference run of the same trace, or
+  * the process refuses loudly, naming the corrupt artifact or the
+    injected fault on stderr.
+
+Anything else is a *silent divergence*, and one is one too many.  This
+gate enumerates the space:
+
+  phase A (sweep)    for each (site, kind): run with --io-fault-at
+                     SITE:KIND.  A crash kind must exit 137; anything
+                     else must either finish with cmp-identical state or
+                     fail loudly.  Then a clean follow-up run on the same
+                     checkpoint directory must resume/complete and end
+                     cmp-identical -- the self-healing half of the claim.
+  phase B (degrade)  a run with --io-faults eio:1 (every write fails,
+                     retry budget exhausted) must still exit 0, report
+                     io-degraded, and end cmp-identical.
+
+Modes: --mode smoke spreads each fault kind across the site space once
+(PR gate, ~a dozen runs); --mode full covers every site x kind, with
+--stride to subsample evenly (nightly).  Exits non-zero listing every
+violation; on failure the offending case's artifacts are left in the
+workdir for post-mortem.
+"""
+
+import argparse
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import gatelib
+
+die = gatelib.make_die("check_faultfs")
+
+FAULT_KINDS = ["eio", "short", "torn_rename", "bitrot", "enospc", "crash"]
+# Loud faults fail the operation; silent ones corrupt the artifact and are
+# only caught by checkpoint verification at the next resume.
+SILENT_KINDS = {"short", "torn_rename", "bitrot"}
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def gen_trace(tools_dir: pathlib.Path, path: pathlib.Path) -> None:
+    r = run([
+        sys.executable, str(tools_dir / "gen_workload.py"),
+        "--out", str(path), "--seed", "9", "--nodes", "24", "--hosts", "160",
+        "--stubs", "4", "--minutes", "8", "--rate-per-min", "2",
+        "--churn-per-day", "40", "--crashes-per-day", "20",
+        "--link-faults-per-day", "30", "--attackers", "2",
+    ])
+    if r.returncode != 0:
+        die(f"gen_workload failed:\n{r.stderr}")
+
+
+def conciliumd_cmd(binary, trace, ckpt_dir, state_out, extra=()):
+    return [
+        str(binary), "--trace", str(trace), "--checkpoint-dir", str(ckpt_dir),
+        "--checkpoint-every-sec", "120", "--tick-sec", "30",
+        "--settle-sec", "120", "--state-out", str(state_out), *extra,
+    ]
+
+
+def is_loud(proc, case: str) -> bool:
+    """A loud refusal names the injected fault or the corrupt artifact."""
+    text = proc.stderr + proc.stdout
+    return ("injected" in text or "checkpoint" in text or
+            "quarantined" in text or case in text)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--conciliumd", required=True,
+                    help="path to the conciliumd binary")
+    ap.add_argument("--workdir", required=True,
+                    help="scratch directory (created, then reused)")
+    ap.add_argument("--mode", choices=["smoke", "full"], default="smoke",
+                    help="smoke: each kind once at spread sites; "
+                         "full: every site x kind (with --stride)")
+    ap.add_argument("--stride", type=int, default=1,
+                    help="in full mode, test every Nth site per kind")
+    args = ap.parse_args()
+
+    binary = pathlib.Path(args.conciliumd).resolve()
+    if not binary.exists():
+        die(f"no such binary: {binary}")
+    tools_dir = pathlib.Path(__file__).resolve().parent
+    work = pathlib.Path(args.workdir)
+    if work.exists():
+        shutil.rmtree(work)
+    work.mkdir(parents=True)
+
+    trace = work / "sweep.trace"
+    gen_trace(tools_dir, trace)
+
+    # Reference: one unfaulted run.  Also counts the I/O sites to sweep.
+    ref_state = work / "ref.state"
+    ops_file = work / "ref.ops"
+    r = run(conciliumd_cmd(binary, trace, work / "ref-ckpt", ref_state,
+                           ["--io-ops-out", str(ops_file)]))
+    if r.returncode != 0:
+        die(f"reference run failed:\n{r.stdout}\n{r.stderr}")
+    ref_bytes = ref_state.read_bytes()
+    total_sites = int(ops_file.read_text().strip())
+    if total_sites < 10:
+        die(f"suspiciously few I/O sites ({total_sites}); "
+            "is checkpointing on?")
+
+    # Which (site, kind) pairs to test.
+    cases = []
+    if args.mode == "smoke":
+        # Each kind once, at sites spread across the op space so the trace
+        # read, early writes, and late writes all get coverage.
+        for i, kind in enumerate(FAULT_KINDS):
+            for frac in (0.1, 0.6):
+                site = min(total_sites - 1,
+                           int(total_sites * frac) + i)
+                cases.append((site, kind))
+    else:
+        stride = max(1, args.stride)
+        for site in range(0, total_sites, stride):
+            for kind in FAULT_KINDS:
+                cases.append((site, kind))
+
+    silent_divergences = []
+    failures = []
+    tested = 0
+    for site, kind in cases:
+        case = f"site{site}-{kind}"
+        ckpt = work / f"ckpt-{case}"
+        state = work / f"state-{case}"
+        proc = run(conciliumd_cmd(
+            binary, trace, ckpt, state,
+            ["--io-fault-at", f"{site}:{kind}"]))
+        tested += 1
+
+        if kind == "crash":
+            if proc.returncode != 137:
+                failures.append(
+                    f"{case}: crash injection exited {proc.returncode}, "
+                    f"expected 137")
+                continue
+        elif proc.returncode == 0:
+            # Claimed success: the state must be cmp-identical.  A silent
+            # fault that evaded detection here would also have had to evade
+            # the checkpoint self-digest -- that is the zero we assert.
+            if not state.exists() or state.read_bytes() != ref_bytes:
+                silent_divergences.append(
+                    f"{case}: exit 0 but state differs from reference")
+                continue
+        else:
+            if not is_loud(proc, case):
+                silent_divergences.append(
+                    f"{case}: exit {proc.returncode} with no loud "
+                    f"explanation on stderr:\n{proc.stderr[-400:]}")
+                continue
+
+        # Self-healing half: a clean run on the same directory must
+        # recover whatever the fault left behind (quarantine corrupt
+        # checkpoints, resume from a valid ancestor or from zero) and end
+        # cmp-identical -- or refuse loudly naming the artifact.
+        state2 = work / f"state2-{case}"
+        proc2 = run(conciliumd_cmd(binary, trace, ckpt, state2))
+        if proc2.returncode == 0:
+            if state2.read_bytes() != ref_bytes:
+                silent_divergences.append(
+                    f"{case}: post-fault resume diverged from reference")
+                continue
+        elif not is_loud(proc2, case):
+            silent_divergences.append(
+                f"{case}: post-fault resume exited {proc2.returncode} "
+                f"silently:\n{proc2.stderr[-400:]}")
+            continue
+
+        # Case passed: reclaim its scratch space (full mode sweeps
+        # hundreds of cases).
+        shutil.rmtree(ckpt, ignore_errors=True)
+        state.unlink(missing_ok=True)
+        state2.unlink(missing_ok=True)
+
+    # Phase B: persistent loud failure degrades gracefully.
+    deg_state = work / "state-degraded"
+    proc = run(conciliumd_cmd(binary, trace, work / "ckpt-degraded",
+                              deg_state, ["--io-faults", "eio:1"]))
+    if proc.returncode != 0:
+        failures.append(
+            f"degraded run (eio:1) exited {proc.returncode}; graceful "
+            f"degradation must keep the run alive:\n{proc.stderr[-400:]}")
+    else:
+        if deg_state.read_bytes() != ref_bytes:
+            silent_divergences.append(
+                "degraded run (eio:1): state differs from reference")
+        if "degraded" not in (proc.stdout + proc.stderr):
+            failures.append(
+                "degraded run (eio:1) never reported degradation")
+
+    print(f"check_faultfs: mode={args.mode} sites={total_sites} "
+          f"cases={tested} silent_divergences={len(silent_divergences)} "
+          f"other_failures={len(failures)}")
+    problems = silent_divergences + failures
+    if problems:
+        for p in problems:
+            print(f"check_faultfs: FAIL {p}", file=sys.stderr)
+        die(f"{len(silent_divergences)} silent divergence(s), "
+            f"{len(failures)} other failure(s); artifacts kept in {work}")
+    print("check_faultfs: ok -- every fault was survived byte-identically "
+          "or refused loudly")
+
+
+if __name__ == "__main__":
+    main()
